@@ -1,0 +1,92 @@
+// Ablation: which PL-VINI scheduling knob buys what (Section 4.1.2).
+//
+// The paper bundles two mechanisms: a CPU *reservation* ("improves the
+// overall capacity of IIAS by giving it more CPU") and *real-time
+// priority* ("reduces the scheduling latency of the Click process and
+// so improves end-to-end overlay latency").  This ablation runs the
+// Chicago -> Washington workloads with each knob alone and both
+// together: the reservation moves throughput, RT priority moves the
+// latency tail, and only the combination reproduces the PL-VINI rows of
+// Tables 4 and 5.
+#include "app/iperf.h"
+#include "app/ping.h"
+#include "bench_common.h"
+#include "topo/worlds.h"
+
+using namespace vini;
+
+namespace {
+
+struct Result {
+  double mbps = 0;
+  double ping_avg = 0;
+  double ping_max = 0;
+  double ping_mdev = 0;
+};
+
+Result runKnobs(bool reservation, bool realtime, double contention,
+                std::uint64_t seed) {
+  topo::WorldOptions options;
+  options.seed = seed;
+  options.contention = contention;
+  options.resources.cpu_reservation = reservation ? 0.25 : 0.0;
+  options.resources.realtime = realtime;
+  auto world = topo::makeAbileneWorld(options);
+  world->runUntilConverged(180 * sim::kSecond);
+
+  Result result;
+  auto iperf = app::runIperfTcp(world->queue, world->stack("Chicago"),
+                                world->stack("Washington"),
+                                world->tapOf("Washington"), 5001, 20,
+                                10 * sim::kSecond, {}, world->tapOf("Chicago"));
+  result.mbps = iperf.mbps;
+
+  app::Pinger::Options popt;
+  popt.count = 2000;
+  popt.source = world->tapOf("Chicago");
+  app::Pinger pinger(world->stack("Chicago"), world->tapOf("Washington"), popt);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 120 * sim::kSecond);
+  result.ping_avg = pinger.report().rtt_ms.mean();
+  result.ping_max = pinger.report().rtt_ms.max();
+  result.ping_mdev = pinger.report().rtt_ms.mdev();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: CPU reservation vs real-time priority",
+                "Section 4.1.2 design choices");
+  struct Case {
+    const char* name;
+    bool reservation;
+    bool realtime;
+  };
+  const Case cases[] = {
+      {"default share", false, false},
+      {"reservation only (25%)", true, false},
+      {"real-time only", false, true},
+      {"PL-VINI (both)", true, true},
+  };
+  const double loads[] = {topo::kPlanetLabContention, 30.0};
+  for (double load : loads) {
+    std::printf("\n--- node contention: ~%.0f other runnable slices ---\n",
+                load);
+    std::printf("%-26s %8s %9s %9s %9s\n", "configuration", "Mb/s", "ping avg",
+                "ping max", "ping mdev");
+    for (const auto& c : cases) {
+      const Result r = runKnobs(c.reservation, c.realtime, load, 4242);
+      std::printf("%-26s %8.1f %9.2f %9.1f %9.2f\n", c.name, r.mbps, r.ping_avg,
+                  r.ping_max, r.ping_mdev);
+    }
+  }
+  bench::note(
+      "\nExpected shape: real-time priority flattens the latency tail and\n"
+      "(by preempting the timeshare class) recovers throughput on a\n"
+      "moderately loaded node; under heavy load the 25% reservation is the\n"
+      "binding guarantee — only the combination is robust to both, which\n"
+      "is why PL-VINI uses both (Tables 4 and 5).");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: upcall-driven failover vs timer-driven detection
+// (Section 6.1: "extending our software to perform 'upcalls' to notify
+// the affected slices" of underlay topology changes).
+//
+// The same physical Denver-Kansas City failure, measured two ways: the
+// slice relying purely on its routing protocol's timers (10 s router-
+// dead interval), and the slice subscribing to VINI upcalls, which tear
+// the OSPF adjacency down the moment the substrate reports the failure.
+#include "app/ping.h"
+#include "bench_common.h"
+#include "topo/worlds.h"
+
+using namespace vini;
+
+namespace {
+
+struct Outcome {
+  double reroute_s = -1;
+  std::uint64_t lost_pings = 0;
+};
+
+Outcome run(bool use_upcalls) {
+  topo::WorldOptions options;
+  options.contention = 0.0;
+  options.seed = 606;
+  auto world = topo::makeAbileneWorld(options);
+  if (use_upcalls) world->iias->enableUpcallFailover(*world->vini);
+  world->runUntilConverged(120 * sim::kSecond);
+
+  auto* seattle = world->router("Seattle");
+  const auto kc_tap = world->tapOf("KansasCity");
+  const auto metric_before = seattle->xorp().rib().lookup(kc_tap)->metric;
+
+  // Continuous probing Seattle -> Kansas City across the event.
+  app::Pinger::Options popt;
+  popt.count = 400;
+  popt.flood = false;
+  popt.interval = 50 * sim::kMillisecond;
+  popt.source = world->tapOf("Seattle");
+  app::Pinger pinger(world->stack("Seattle"), kc_tap, popt);
+  pinger.start();
+  world->queue.runUntil(world->queue.now() + 2 * sim::kSecond);
+
+  Outcome outcome;
+  const sim::Time fail_at = world->queue.now();
+  world->net.linkBetween("Denver", "KansasCity")->setUp(false);
+  for (int tick = 0; tick < 800; ++tick) {
+    world->queue.runUntil(fail_at + (tick + 1) * (25 * sim::kMillisecond));
+    auto route = seattle->xorp().rib().lookup(kc_tap);
+    if (route && route->metric != metric_before) {
+      outcome.reroute_s = sim::toSeconds(world->queue.now() - fail_at);
+      break;
+    }
+  }
+  world->queue.runUntil(world->queue.now() + 10 * sim::kSecond);
+  outcome.lost_pings = pinger.report().transmitted - pinger.report().received;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: upcall-driven failover vs protocol timers",
+                "Section 6.1 upcalls");
+  std::printf("\n%-28s %14s %12s\n", "failure visibility", "reroute (s)",
+              "lost pings");
+  const Outcome timers = run(false);
+  std::printf("%-28s %14.2f %12llu\n", "timers only (dead=10s)",
+              timers.reroute_s,
+              static_cast<unsigned long long>(timers.lost_pings));
+  const Outcome upcalls = run(true);
+  std::printf("%-28s %14.2f %12llu\n", "VINI upcalls", upcalls.reroute_s,
+              static_cast<unsigned long long>(upcalls.lost_pings));
+  bench::note(
+      "\nUpcalls let the slice react to an exposed physical failure in\n"
+      "milliseconds (SPF hold-down + flooding) instead of waiting out the\n"
+      "router-dead interval — the payoff of Section 6.1's 'exposing\n"
+      "network failures and topology changes' machinery.");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the table/figure benches.
+//
+// Each bench binary regenerates one table or figure of the paper: it
+// runs the experiment on the simulated substrate, prints the measured
+// rows next to the paper's published values, and (for figures) writes a
+// CSV artifact for replotting.  Absolute agreement is not expected —
+// the substrate is a model, not the authors' hardware — but who wins,
+// by what factor, and where the crossovers fall should match.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace vini::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  (reproduces %s of \"In VINI Veritas\", SIGCOMM 2006)\n",
+              paper_ref.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void writeCsv(const std::string& path, const sim::TimeSeries& series) {
+  std::ofstream out(path);
+  series.writeCsv(out);
+  std::printf("  [series written to %s]\n", path.c_str());
+}
+
+/// Convenience: run-to-run statistics formatted as "mean (sd)".
+inline std::string meanSd(const sim::SampleStats& s, const char* fmt = "%.1f") {
+  char mean_buf[64];
+  char sd_buf[64];
+  std::snprintf(mean_buf, sizeof(mean_buf), fmt, s.mean());
+  std::snprintf(sd_buf, sizeof(sd_buf), fmt, s.stddev());
+  return std::string(mean_buf) + " (" + sd_buf + ")";
+}
+
+}  // namespace vini::bench

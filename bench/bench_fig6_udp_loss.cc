@@ -1,0 +1,63 @@
+// Figure 6: packet losses in IIAS on PlanetLab.
+//
+// UDP CBR streams from 1 to 45 Mb/s, Chicago -> Washington via the New
+// York forwarder.  (a) With the default CPU share, the Click process is
+// descheduled for tens of milliseconds at a time; its UDP socket buffer
+// overflows and loss climbs steeply with the offered rate (paper: up to
+// ~14% at 45 Mb/s).  (b) With PL-VINI's reservation + real-time
+// priority, scheduling gaps are too short to overflow the buffer and
+// loss stays near zero ("comparable to that measured in Abilene
+// itself").
+#include "app/iperf.h"
+#include "bench_common.h"
+#include "planetlab.h"
+
+using namespace vini;
+using bench::PlMode;
+
+namespace {
+
+double lossAtRate(PlMode mode, double rate_mbps, std::uint64_t seed) {
+  auto world = bench::makePlanetLabWorld(mode, seed);
+  const auto ends = bench::endpointsFor(mode, *world);
+  app::IperfUdpServer server(world->stack("Washington"), 5002);
+  app::IperfUdpClient client(world->stack("Chicago"), ends.dst, 5002,
+                             rate_mbps * 1e6, 1430, ends.src);
+  client.start(10 * sim::kSecond);
+  world->queue.runUntil(world->queue.now() + 12 * sim::kSecond);
+  const double sent = static_cast<double>(client.packetsSent());
+  const double got = static_cast<double>(server.packetsReceived());
+  if (sent <= 0) return 0.0;
+  return 100.0 * std::max(0.0, sent - got) / sent;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 6: packet losses in IIAS on PlanetLab", "Figure 6(a)/(b)");
+  sim::TimeSeries default_share("loss_pct_default_share");
+  sim::TimeSeries pl_vini("loss_pct_pl_vini");
+
+  std::printf("\n%8s %22s %18s\n", "Mb/s", "loss%% (default share)",
+              "loss%% (PL-VINI)");
+  for (double rate = 5; rate <= 45; rate += 5) {
+    double a = 0;
+    double b = 0;
+    const int seeds = 3;
+    for (int s = 0; s < seeds; ++s) {
+      a += lossAtRate(PlMode::kIiasDefault, rate, 9100 + static_cast<std::uint64_t>(rate) + 31u * static_cast<std::uint64_t>(s));
+      b += lossAtRate(PlMode::kIiasPlVini, rate, 9100 + static_cast<std::uint64_t>(rate) + 31u * static_cast<std::uint64_t>(s));
+    }
+    a /= seeds;
+    b /= seeds;
+    std::printf("%8.0f %22.2f %18.2f\n", rate, a, b);
+    default_share.add(sim::fromSeconds(rate), a);  // x-axis: Mb/s
+    pl_vini.add(sim::fromSeconds(rate), b);
+  }
+  bench::writeCsv("fig6a_default_share.csv", default_share);
+  bench::writeCsv("fig6b_pl_vini.csv", pl_vini);
+  bench::note(
+      "\npaper: (a) loss grows from ~0% below 10 Mb/s to ~14% at 45 Mb/s;\n"
+      "       (b) loss stays below ~0.5% at every rate.");
+  return 0;
+}

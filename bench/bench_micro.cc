@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) of the substrate's hot paths:
+// FIB longest-prefix match (trie vs. a linear scan baseline — the
+// data-plane design choice), packet serialization, checksums, the event
+// queue, and RIB churn.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "click/fib.h"
+#include "packet/checksum.h"
+#include "packet/packet.h"
+#include "sim/event_queue.h"
+#include "xorp/rib.h"
+
+namespace {
+
+using vini::click::Fib;
+using vini::click::FibEntry;
+using vini::packet::IpAddress;
+using vini::packet::Packet;
+using vini::packet::Prefix;
+
+std::vector<FibEntry> makeRoutes(std::size_t n) {
+  std::mt19937 rng(7);
+  std::vector<FibEntry> routes;
+  routes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FibEntry entry;
+    entry.prefix = Prefix(IpAddress(static_cast<std::uint32_t>(rng())),
+                          8 + static_cast<int>(rng() % 25));
+    entry.next_hop = IpAddress(static_cast<std::uint32_t>(rng()));
+    entry.port = static_cast<int>(rng() % 4);
+    routes.push_back(entry);
+  }
+  return routes;
+}
+
+void BM_FibTrieLookup(benchmark::State& state) {
+  const auto routes = makeRoutes(static_cast<std::size_t>(state.range(0)));
+  Fib fib;
+  for (const auto& r : routes) fib.addRoute(r);
+  std::mt19937 rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fib.lookup(IpAddress(static_cast<std::uint32_t>(rng()))));
+  }
+}
+BENCHMARK(BM_FibTrieLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_FibLinearLookup(benchmark::State& state) {
+  // The naive alternative the trie replaces.
+  const auto routes = makeRoutes(static_cast<std::size_t>(state.range(0)));
+  std::mt19937 rng(13);
+  for (auto _ : state) {
+    const IpAddress addr(static_cast<std::uint32_t>(rng()));
+    const FibEntry* best = nullptr;
+    for (const auto& r : routes) {
+      if (r.prefix.contains(addr) &&
+          (!best || r.prefix.length() > best->prefix.length())) {
+        best = &r;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_FibLinearLookup)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_FibInsert(benchmark::State& state) {
+  const auto routes = makeRoutes(1024);
+  for (auto _ : state) {
+    Fib fib;
+    for (const auto& r : routes) fib.addRoute(r);
+    benchmark::DoNotOptimize(fib.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FibInsert);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    vini::sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      q.schedule(i * 100, [&sink] { ++sink; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vini::packet::internetChecksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(1500);
+
+void BM_PacketSerializeParse(benchmark::State& state) {
+  const Packet p = Packet::udp(IpAddress(10, 1, 0, 2), IpAddress(10, 1, 1, 2),
+                               4000, 5000, 1430);
+  for (auto _ : state) {
+    const auto wire = p.serialize();
+    benchmark::DoNotOptimize(Packet::parse(wire));
+  }
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+void BM_TunnelEncapsulate(benchmark::State& state) {
+  auto inner = std::make_shared<const Packet>(
+      Packet::udp(IpAddress(10, 1, 0, 2), IpAddress(10, 1, 1, 2), 1, 2, 1430));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Packet::encapsulateUdp(
+        IpAddress(198, 32, 154, 10), IpAddress(198, 32, 154, 11), 33001, 33001,
+        inner));
+  }
+}
+BENCHMARK(BM_TunnelEncapsulate);
+
+void BM_RibChurn(benchmark::State& state) {
+  using vini::xorp::Rib;
+  using vini::xorp::RibRoute;
+  using vini::xorp::RouteOrigin;
+  std::mt19937 rng(3);
+  std::vector<RibRoute> routes;
+  for (int i = 0; i < 256; ++i) {
+    RibRoute r;
+    r.prefix = Prefix(IpAddress(static_cast<std::uint32_t>(rng())), 24);
+    r.origin = RouteOrigin::kOspf;
+    r.protocol = "ospf";
+    r.metric = rng() % 1000;
+    routes.push_back(r);
+  }
+  for (auto _ : state) {
+    Rib rib;
+    for (const auto& r : routes) rib.addRoute(r);
+    for (const auto& r : routes) rib.removeRoute("ospf", r.prefix);
+    benchmark::DoNotOptimize(rib.candidateCount());
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_RibChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Case study: evaluating a RON-style overlay service *inside* a VINI
+// slice, with an injected failure — the exact experiment the paper's
+// introduction says is "challenging (if not impossible)" without an
+// infrastructure like VINI:
+//
+//   "evaluating [RON's] effectiveness requires waiting for network
+//    failures to occur 'naturally' ... [researchers need] the ability
+//    to inject such failures."  (Section 1)
+//
+// Setup: IIAS mirrors Abilene; RON nodes run over the slice's tap
+// addresses at Washington, New York, Houston, Los Angeles, Denver and
+// Seattle.  A 10 pkt/s data stream flows Washington -> Seattle.  At
+// t=10 s the Denver-Kansas City virtual link fails (dropped in Click);
+// OSPF needs its dead interval + SPF to reroute, but RON's one-hop
+// detour (via Los Angeles, whose both legs avoid the dead link) kicks
+// in within a few probe rounds.  At t=30 s the link is restored.
+#include "app/ron.h"
+#include "bench_common.h"
+#include "topo/worlds.h"
+
+using namespace vini;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t detoured = 0;
+};
+
+Outcome run(bool ron_enabled) {
+  topo::WorldOptions options;
+  options.contention = 0.0;
+  options.seed = 4141;
+  auto world = topo::makeAbileneWorld(options);
+  world->runUntilConverged(120 * sim::kSecond);
+  const sim::Time t0 = world->queue.now();
+
+  const char* members[] = {"Washington", "NewYork",    "Houston",
+                           "LosAngeles", "Denver",     "Seattle"};
+  app::RonConfig config;
+  config.probe_interval = sim::kSecond;
+  // Disabling detours turns the node into a plain direct-path sender —
+  // the baseline an overlay-less application would experience.
+  if (!ron_enabled) config.detour_threshold = 2.0;
+
+  std::vector<std::unique_ptr<app::RonNode>> nodes;
+  for (const char* name : members) {
+    nodes.push_back(std::make_unique<app::RonNode>(world->stack(name),
+                                                   world->tapOf(name), config));
+  }
+  for (auto& node : nodes) {
+    for (const char* name : members) node->addPeer(world->tapOf(name));
+    node->start();
+  }
+  world->queue.runUntil(t0 + 5 * sim::kSecond);  // let probes settle
+
+  app::RonNode& washington = *nodes[0];
+  app::RonNode& seattle = *nodes[5];
+  const auto seattle_tap = world->tapOf("Seattle");
+
+  world->schedule.at(t0 + 10 * sim::kSecond, "fail", [&] {
+    world->iias->failLink("Denver", "KansasCity");
+  });
+  world->schedule.at(t0 + 30 * sim::kSecond, "restore", [&] {
+    world->iias->restoreLink("Denver", "KansasCity");
+  });
+
+  Outcome outcome;
+  for (int i = 0; i < 400; ++i) {  // 10 pkt/s for 40 s
+    washington.sendData(seattle_tap, 512, static_cast<std::uint64_t>(i));
+    ++outcome.sent;
+    world->queue.runUntil(world->queue.now() + 100 * sim::kMillisecond);
+  }
+  world->queue.runUntil(world->queue.now() + 3 * sim::kSecond);
+  outcome.delivered = seattle.stats().data_received;
+  outcome.detoured = washington.stats().data_sent_detour;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Case study: RON inside a VINI slice, with injected failure",
+                "Section 1 motivation");
+  std::printf("\n%-24s %8s %10s %10s %14s\n", "application", "sent",
+              "delivered", "lost", "via detour");
+  for (const bool ron : {false, true}) {
+    const Outcome outcome = run(ron);
+    std::printf("%-24s %8llu %10llu %10llu %14llu\n",
+                ron ? "RON (one-hop detours)" : "direct path only",
+                static_cast<unsigned long long>(outcome.sent),
+                static_cast<unsigned long long>(outcome.delivered),
+                static_cast<unsigned long long>(outcome.sent - outcome.delivered),
+                static_cast<unsigned long long>(outcome.detoured));
+  }
+  bench::note(
+      "\nThe direct-path application loses everything from the failure at\n"
+      "t=10 s until OSPF reconverges; RON's probes detect the dead path in\n"
+      "a few rounds and relay through Los Angeles (both legs avoid the\n"
+      "failed fiber), so it loses only the detection window.  The failure\n"
+      "was injected, repeatable, and observable — VINI's pitch.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The Section 5.1.2 PlanetLab scenario, shared by Tables 4-6 and
+// Figure 6: traffic between the Chicago and Washington D.C. PlanetLab
+// nodes, forwarded by New York (Figure 5), in three configurations:
+//
+//   Network       in-kernel path between the nodes (no overlay)
+//   IIAS          the overlay with PlanetLab's default CPU fair share
+//   IIAS+PL-VINI  the overlay with a 25% CPU reservation and real-time
+//                 priority for the Click process
+#pragma once
+
+#include <memory>
+
+#include "topo/worlds.h"
+
+namespace vini::bench {
+
+enum class PlMode { kNetwork, kIiasDefault, kIiasPlVini };
+
+inline const char* plModeName(PlMode mode) {
+  switch (mode) {
+    case PlMode::kNetwork: return "Network";
+    case PlMode::kIiasDefault: return "IIAS on PlanetLab";
+    case PlMode::kIiasPlVini: return "IIAS on PL-VINI";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<topo::World> makePlanetLabWorld(PlMode mode,
+                                                       std::uint64_t seed) {
+  topo::WorldOptions options;
+  options.seed = seed;
+  options.contention = topo::kPlanetLabContention;
+  if (mode == PlMode::kIiasPlVini) {
+    options.resources.cpu_reservation = 0.25;
+    options.resources.realtime = true;
+  }
+  if (mode == PlMode::kNetwork) {
+    auto world = topo::makeAbileneSubstrate(options);
+    // Kernel forwarding needs a host stack on every transit PoP.
+    for (const auto& node : world->net.nodes()) world->stacks.ensure(*node);
+    return world;
+  }
+  auto world = topo::makeAbileneWorld(options);
+  world->runUntilConverged(180 * sim::kSecond);
+  return world;
+}
+
+/// Source/destination addresses for the Chicago -> Washington flow.
+struct Endpoints {
+  packet::IpAddress src;  ///< bind address at Chicago (zero = public)
+  packet::IpAddress dst;  ///< target at Washington
+};
+
+inline Endpoints endpointsFor(PlMode mode, topo::World& world) {
+  if (mode == PlMode::kNetwork) {
+    return {packet::IpAddress{}, world.stack("Washington").address()};
+  }
+  return {world.tapOf("Chicago"), world.tapOf("Washington")};
+}
+
+}  // namespace vini::bench

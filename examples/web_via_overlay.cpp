@@ -1,0 +1,88 @@
+// The life of a packet (Figure 2): a browser on an opted-in end host
+// fetches a page from a web server that knows nothing about the
+// overlay.
+//
+//   Firefox -> OpenVPN client -> (UDP tunnel) -> OpenVPN server on the
+//   ingress node -> Click forwards across the IIAS overlay -> NAPT at
+//   the egress rewrites the private source -> the "real Internet" ->
+//   www.cnn.com -> return traffic lands at the egress (it carries the
+//   egress's public address), is pulled back into Click, crosses the
+//   overlay, and is tunneled down to the client.
+//
+// Build & run:  ./examples/web_via_overlay
+#include <cstdio>
+
+#include "app/web.h"
+#include "overlay/openvpn.h"
+#include "topo/worlds.h"
+
+using namespace vini;
+
+int main() {
+  // IIAS over the DETER chain; a client hangs off Src, a web server
+  // ("CNN") hangs off Sink.
+  auto world = topo::makeDeterWorld();
+  auto& net = world->net;
+  auto& client_node = net.addNode("Client", packet::IpAddress(128, 112, 93, 81));
+  auto& cnn_node = net.addNode("CNN", packet::IpAddress(64, 236, 16, 20));
+  net.addLink(client_node, *net.nodeByName("Src"));
+  net.addLink(*net.nodeByName("Sink"), cnn_node);
+  auto& client_stack = world->stacks.ensure(client_node);
+  auto& cnn_stack = world->stacks.ensure(cnn_node);
+
+  // Roles: Src is the overlay ingress, Sink the egress.
+  world->router("Sink")->setExternalEgress();
+  overlay::OpenVpnServer vpn_server(*world->router("Src"),
+                                    packet::Prefix::mustParse("10.1.250.0/24"));
+  world->runUntilConverged(60 * sim::kSecond);
+  std::printf("overlay converged; ingress=Src egress=Sink\n");
+
+  // The end host opts in.
+  overlay::OpenVpnClient vpn_client(client_stack, "laptop");
+  if (!vpn_client.connect(vpn_server)) {
+    std::fprintf(stderr, "VPN connect failed\n");
+    return 1;
+  }
+  std::printf("client opted in; assigned overlay address %s\n\n",
+              vpn_client.overlayAddress().str().c_str());
+
+  // Watch the packet cross each boundary.
+  cnn_stack.setRxTrace([&](const packet::Packet& p) {
+    if (p.isTcp() && p.tcpHeader()->flags.syn) {
+      std::printf("  [CNN]    SYN arrives from %s (the egress's public "
+                  "address — NAPT did its job)\n",
+                  p.ip.src.str().c_str());
+    }
+  });
+
+  app::WebServer cnn(cnn_stack, 80, 50'000);
+  app::WebClient firefox(client_stack);
+  std::printf("Firefox fetches http://%s/ ...\n",
+              cnn_stack.address().str().c_str());
+  bool done = false;
+  firefox.fetch(cnn_stack.address(), 80, vpn_client.overlayAddress(),
+                [&](const app::WebClient::FetchResult& result) {
+                  done = true;
+                  std::printf("  [Client] page received: %zu bytes in %.1f ms\n",
+                              result.bytes, sim::toMillis(result.elapsed));
+                });
+  world->queue.runUntil(world->queue.now() + 60 * sim::kSecond);
+  if (!done) {
+    std::fprintf(stderr, "fetch did not complete\n");
+    return 1;
+  }
+
+  auto& napt = world->router("Sink")->napt();
+  std::printf("\nscorecard:\n");
+  std::printf("  OpenVPN ingress packets:       %llu\n",
+              static_cast<unsigned long long>(vpn_server.ingressPackets()));
+  std::printf("  OpenVPN egress packets:        %llu\n",
+              static_cast<unsigned long long>(vpn_server.egressPackets()));
+  std::printf("  NAPT translations out/back:    %llu / %llu\n",
+              static_cast<unsigned long long>(napt.translatedOut()),
+              static_cast<unsigned long long>(napt.translatedBack()));
+  std::printf("  active NAPT mappings:          %zu\n", napt.activeMappings());
+  std::printf("\nEvery hop of Figure 2 ran: opt-in ingress, overlay\n"
+              "forwarding, NAT egress, and the return path through VINI.\n");
+  return 0;
+}

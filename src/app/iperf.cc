@@ -1,0 +1,184 @@
+#include "app/iperf.h"
+
+namespace vini::app {
+
+// ---------------------------------------------------------------------------
+// TCP server
+
+IperfTcpServer::IperfTcpServer(tcpip::HostStack& stack, std::uint16_t port,
+                               tcpip::TcpConfig config)
+    : stack_(stack) {
+  listener_ = std::make_unique<tcpip::TcpListener>(
+      stack_, port, config,
+      [this](std::shared_ptr<tcpip::TcpConnection> conn) {
+        ++accepted_;
+        conn->on_receive = [this, raw = conn.get()](std::size_t bytes) {
+          bytes_ += bytes;
+          if (bytes == 0) raw->close();  // EOF: finish the passive close
+        };
+        if (trace_) {
+          conn->on_segment = [this](const packet::Packet& p) { trace_(p); };
+        }
+        connections_.push_back(std::move(conn));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// TCP client
+
+IperfTcpClient::IperfTcpClient(tcpip::HostStack& stack, packet::IpAddress server,
+                               std::uint16_t port, int streams,
+                               tcpip::TcpConfig config,
+                               packet::IpAddress local_addr)
+    : stack_(stack),
+      server_(server),
+      port_(port),
+      stream_count_(streams),
+      config_(config),
+      local_addr_(local_addr) {}
+
+IperfTcpClient::~IperfTcpClient() { *alive_ = false; }
+
+void IperfTcpClient::pump(const std::shared_ptr<tcpip::TcpConnection>& conn) {
+  // Keep the send queue topped up while the test runs; iperf writes as
+  // fast as the socket accepts.
+  if (!running_) return;
+  // Keep well ahead of even a Gig-E-rate stream (the refill cadence must
+  // never be the experiment's bottleneck).
+  if (conn->sendQueueBytes() < 2 * 1024 * 1024) conn->send(4 * 1024 * 1024);
+  stack_.queue().scheduleAfter(10 * sim::kMillisecond,
+                               [this, conn, alive = alive_] {
+                                 if (*alive) pump(conn);
+                               });
+}
+
+void IperfTcpClient::start(sim::Duration duration, std::function<void()> done) {
+  running_ = true;
+  for (int i = 0; i < stream_count_; ++i) {
+    auto conn =
+        tcpip::TcpConnection::connect(stack_, server_, port_, config_, local_addr_);
+    auto raw = conn;
+    conn->on_connected = [this, raw] { pump(raw); };
+    connections_.push_back(std::move(conn));
+  }
+  stack_.queue().scheduleAfter(duration,
+                               [this, alive = alive_, done = std::move(done)] {
+                                 if (!*alive) return;
+                                 running_ = false;
+                                 // iperf stops writing and closes; tear the
+                                 // streams down rather than draining the
+                                 // (model-only) pre-queued send intent.
+                                 for (auto& conn : connections_) conn->abort();
+                                 if (done) done();
+                               });
+}
+
+std::uint64_t IperfTcpClient::bytesAcked() const {
+  std::uint64_t n = 0;
+  for (const auto& conn : connections_) n += conn->stats().bytes_acked;
+  return n;
+}
+
+std::uint64_t IperfTcpClient::retransmits() const {
+  std::uint64_t n = 0;
+  for (const auto& conn : connections_) n += conn->stats().retransmits;
+  return n;
+}
+
+IperfTcpResult runIperfTcp(sim::EventQueue& queue, tcpip::HostStack& client_stack,
+                           tcpip::HostStack& server_stack,
+                           packet::IpAddress server_addr, std::uint16_t port,
+                           int streams, sim::Duration duration,
+                           tcpip::TcpConfig config, packet::IpAddress client_local) {
+  IperfTcpServer server(server_stack, port, config);
+  IperfTcpClient client(client_stack, server_addr, port, streams, config,
+                        client_local);
+  const sim::Time t0 = queue.now();
+  client.start(duration);
+  queue.runUntil(t0 + duration);
+  IperfTcpResult result;
+  result.bytes = server.bytesReceived();
+  result.mbps = static_cast<double>(result.bytes) * 8.0 /
+                sim::toSeconds(duration) / 1e6;
+  result.retransmits = client.retransmits();
+  // Let the connections drain/close cleanly.
+  queue.runUntil(t0 + duration + 2 * sim::kSecond);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// UDP server
+
+IperfUdpServer::IperfUdpServer(tcpip::HostStack& stack, std::uint16_t port)
+    : stack_(stack), port_(port) {
+  stack_.openUdp(port).setReceiveHandler([this](packet::Packet p) {
+    ++packets_;
+    bytes_ += p.payload_bytes;
+    if (p.meta.app_seq > highest_seq_) highest_seq_ = p.meta.app_seq;
+    if (p.meta.app_send_time >= 0) {
+      jitter_.onPacket(p.meta.app_send_time, stack_.queue().now());
+    }
+  });
+}
+
+double IperfUdpServer::lossFraction() const {
+  if (highest_seq_ == 0) return 0.0;
+  const double expected = static_cast<double>(highest_seq_);
+  const double got = static_cast<double>(packets_);
+  if (got >= expected) return 0.0;
+  return (expected - got) / expected;
+}
+
+void IperfUdpServer::reset() {
+  packets_ = 0;
+  bytes_ = 0;
+  highest_seq_ = 0;
+  jitter_ = sim::JitterEstimator{};
+}
+
+// ---------------------------------------------------------------------------
+// UDP client
+
+IperfUdpClient::IperfUdpClient(tcpip::HostStack& stack, packet::IpAddress server,
+                               std::uint16_t port, double rate_bps,
+                               std::size_t payload_bytes,
+                               packet::IpAddress local_addr)
+    : stack_(stack),
+      socket_(stack.openUdp(0)),
+      server_(server),
+      port_(port),
+      rate_bps_(rate_bps),
+      payload_(payload_bytes) {
+  if (!local_addr.isZero()) socket_.bindAddress(local_addr);
+  const double pps = rate_bps_ / (static_cast<double>(payload_) * 8.0);
+  interval_ = static_cast<sim::Duration>(static_cast<double>(sim::kSecond) / pps);
+}
+
+IperfUdpClient::~IperfUdpClient() {
+  running_ = false;
+  *alive_ = false;
+}
+
+void IperfUdpClient::start(sim::Duration duration, std::function<void()> done) {
+  running_ = true;
+  end_time_ = stack_.queue().now() + duration;
+  done_ = std::move(done);
+  sendOne();
+}
+
+void IperfUdpClient::sendOne() {
+  if (!running_ || stack_.queue().now() >= end_time_) {
+    running_ = false;
+    if (done_) done_();
+    return;
+  }
+  packet::PacketMeta meta;
+  meta.app_send_time = stack_.queue().now();
+  meta.app_seq = ++sent_;  // iperf numbers datagrams from 1
+  socket_.sendTo(server_, port_, payload_, meta);
+  stack_.queue().scheduleAfter(interval_, [this, alive = alive_] {
+    if (*alive) sendOne();
+  });
+}
+
+}  // namespace vini::app

@@ -1,0 +1,152 @@
+// iperf 1.7.0, reimplemented for the simulation (Section 5.1: "The
+// microbenchmark experiments are run using iperf version 1.7.0").
+//
+// TCP mode: N parallel streams of bulk data for a fixed duration; the
+// *server* reports goodput, as iperf does.  UDP mode: a constant-bit-
+// rate stream of 1430-byte payloads; the server reports interarrival
+// jitter (the RFC 1889 estimator iperf uses) and sequence-gap loss.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.h"
+#include "tcpip/host_stack.h"
+#include "tcpip/tcp.h"
+
+namespace vini::app {
+
+// ---------------------------------------------------------------------------
+// TCP
+
+class IperfTcpServer {
+ public:
+  IperfTcpServer(tcpip::HostStack& stack, std::uint16_t port,
+                 tcpip::TcpConfig config = {});
+
+  std::uint64_t bytesReceived() const { return bytes_; }
+  std::size_t connectionsAccepted() const { return accepted_; }
+  void resetCounters() { bytes_ = 0; }
+
+  /// tcpdump hook: observe every segment arriving at accepted
+  /// connections (Figure 9 is plotted from this).
+  void setSegmentTrace(std::function<void(const packet::Packet&)> trace) {
+    trace_ = std::move(trace);
+  }
+
+ private:
+  tcpip::HostStack& stack_;
+  std::unique_ptr<tcpip::TcpListener> listener_;
+  std::vector<std::shared_ptr<tcpip::TcpConnection>> connections_;
+  std::uint64_t bytes_ = 0;
+  std::size_t accepted_ = 0;
+  std::function<void(const packet::Packet&)> trace_;
+};
+
+class IperfTcpClient {
+ public:
+  /// `local_addr` zero = the host's primary address; pass the slice's
+  /// tap0 address to drive traffic through an overlay.
+  IperfTcpClient(tcpip::HostStack& stack, packet::IpAddress server,
+                 std::uint16_t port, int streams, tcpip::TcpConfig config = {},
+                 packet::IpAddress local_addr = {});
+
+  ~IperfTcpClient();
+
+  /// Connect all streams and transmit for `duration`; then close.
+  /// `done` fires after the transmission window ends.
+  void start(sim::Duration duration, std::function<void()> done = {});
+
+  std::uint64_t bytesAcked() const;
+  std::uint64_t retransmits() const;
+  const std::vector<std::shared_ptr<tcpip::TcpConnection>>& streams() const {
+    return connections_;
+  }
+
+ private:
+  void pump(const std::shared_ptr<tcpip::TcpConnection>& conn);
+
+  /// Guards the scheduled pump callbacks against outliving the client.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  tcpip::HostStack& stack_;
+  packet::IpAddress server_;
+  std::uint16_t port_;
+  int stream_count_;
+  tcpip::TcpConfig config_;
+  packet::IpAddress local_addr_;
+  bool running_ = false;
+  std::vector<std::shared_ptr<tcpip::TcpConnection>> connections_;
+};
+
+/// Convenience: run a complete TCP throughput test and report the
+/// server-side goodput in Mb/s (measured over the send window).
+struct IperfTcpResult {
+  double mbps = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t retransmits = 0;
+};
+
+IperfTcpResult runIperfTcp(sim::EventQueue& queue, tcpip::HostStack& client_stack,
+                           tcpip::HostStack& server_stack,
+                           packet::IpAddress server_addr, std::uint16_t port,
+                           int streams, sim::Duration duration,
+                           tcpip::TcpConfig config = {},
+                           packet::IpAddress client_local = {});
+
+// ---------------------------------------------------------------------------
+// UDP
+
+class IperfUdpServer {
+ public:
+  IperfUdpServer(tcpip::HostStack& stack, std::uint16_t port);
+
+  std::uint64_t packetsReceived() const { return packets_; }
+  std::uint64_t bytesReceived() const { return bytes_; }
+  double jitterMs() const { return jitter_.jitterMs(); }
+  std::uint64_t highestSeq() const { return highest_seq_; }
+
+  /// Loss fraction inferred from sequence gaps, iperf-style.
+  double lossFraction() const;
+
+  void reset();
+
+ private:
+  tcpip::HostStack& stack_;
+  std::uint16_t port_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t highest_seq_ = 0;
+  sim::JitterEstimator jitter_;
+};
+
+class IperfUdpClient {
+ public:
+  IperfUdpClient(tcpip::HostStack& stack, packet::IpAddress server,
+                 std::uint16_t port, double rate_bps,
+                 std::size_t payload_bytes = 1430,
+                 packet::IpAddress local_addr = {});
+  ~IperfUdpClient();
+
+  void start(sim::Duration duration, std::function<void()> done = {});
+  std::uint64_t packetsSent() const { return sent_; }
+
+ private:
+  void sendOne();
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  tcpip::HostStack& stack_;
+  tcpip::UdpSocket& socket_;
+  packet::IpAddress server_;
+  std::uint16_t port_;
+  double rate_bps_;
+  std::size_t payload_;
+  sim::Duration interval_;
+  std::uint64_t sent_ = 0;
+  sim::Time end_time_ = 0;
+  bool running_ = false;
+  std::function<void()> done_;
+};
+
+}  // namespace vini::app

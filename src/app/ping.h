@@ -1,0 +1,80 @@
+// ping(8), flood mode and interval mode.
+//
+// `ping -f -c 10000` is the paper's fine-grained latency probe
+// (Tables 3 and 5): the next request goes out as soon as a reply
+// arrives, or after 10 ms if none does; the report is min/avg/max/mdev
+// and loss.  Interval mode (one probe per second) drives Figure 8's RTT
+// time series during OSPF convergence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "tcpip/host_stack.h"
+
+namespace vini::app {
+
+struct PingReport {
+  std::uint64_t transmitted = 0;
+  std::uint64_t received = 0;
+  sim::SampleStats rtt_ms;
+  double lossPercent() const {
+    if (transmitted == 0) return 0.0;
+    return 100.0 * static_cast<double>(transmitted - received) /
+           static_cast<double>(transmitted);
+  }
+};
+
+class Pinger {
+ public:
+  struct Options {
+    std::uint64_t count = 10000;
+    std::size_t payload_bytes = 56;
+    /// Flood mode: next probe on reply or after flood_timeout.
+    bool flood = true;
+    sim::Duration flood_timeout = 10 * sim::kMillisecond;
+    /// Interval mode: one probe per interval.
+    sim::Duration interval = sim::kSecond;
+    /// Source address override (zero = host primary address).
+    packet::IpAddress source;
+  };
+
+  Pinger(tcpip::HostStack& stack, packet::IpAddress target, Options options);
+  ~Pinger();
+
+  Pinger(const Pinger&) = delete;
+  Pinger& operator=(const Pinger&) = delete;
+
+  /// Begin probing; `done` fires after the last reply or timeout.
+  void start(std::function<void()> done = {});
+  void stop();
+
+  const PingReport& report() const { return report_; }
+
+  /// Per-probe hook: (seq, rtt) for every reply — Figure 8's series.
+  std::function<void(std::uint64_t seq, sim::Duration rtt)> on_reply;
+
+ private:
+  void sendNext();
+  void onReply(const packet::Packet& reply);
+  void onTimeout();
+  void finish();
+
+  tcpip::HostStack& stack_;
+  packet::IpAddress target_;
+  Options options_;
+  std::uint16_t ident_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t awaited_seq_ = 0;
+  bool awaiting_ = false;
+  bool running_ = false;
+  bool collecting_ = false;
+  PingReport report_;
+  std::unique_ptr<sim::OneShotTimer> timeout_timer_;
+  std::function<void()> done_;
+};
+
+}  // namespace vini::app

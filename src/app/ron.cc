@@ -1,0 +1,184 @@
+#include "app/ron.h"
+
+namespace vini::app {
+
+namespace {
+
+/// Probe (and probe reply), carrying the sender's loss vector so every
+/// participant learns path quality between the *other* pairs — RON's
+/// link-state exchange.
+struct RonProbe final : packet::AppPayload {
+  bool reply = false;
+  std::uint64_t seq = 0;
+  packet::IpAddress from;
+  std::vector<std::pair<packet::IpAddress, double>> losses;
+
+  std::size_t sizeBytes() const override { return 24 + 12 * losses.size(); }
+  std::string describe() const override { return reply ? "ron-reply" : "ron-probe"; }
+};
+
+/// A data packet, possibly relayed through one intermediate.
+struct RonData final : packet::AppPayload {
+  packet::IpAddress final_dst;
+  packet::IpAddress origin;
+  std::uint64_t seq = 0;
+  std::size_t payload_bytes = 0;
+
+  std::size_t sizeBytes() const override { return 24 + payload_bytes; }
+  std::string describe() const override { return "ron-data"; }
+};
+
+}  // namespace
+
+RonNode::RonNode(tcpip::HostStack& stack, packet::IpAddress local,
+                 RonConfig config)
+    : stack_(stack), local_(local), config_(config),
+      socket_(stack.openUdp(config.port)) {
+  socket_.bindAddress(local_);
+  socket_.setReceiveHandler([this](packet::Packet p) { onDatagram(std::move(p)); });
+  probe_timer_ = std::make_unique<sim::PeriodicTimer>(
+      stack_.queue(), config_.probe_interval, [this] { probeAll(); });
+}
+
+RonNode::~RonNode() {
+  stop();
+  stack_.closeUdp(config_.port);
+}
+
+void RonNode::addPeer(packet::IpAddress peer) {
+  if (peer != local_) peers_.try_emplace(peer);
+}
+
+void RonNode::start() {
+  if (running_) return;
+  running_ = true;
+  probeAll();
+  probe_timer_->start();
+}
+
+void RonNode::stop() {
+  running_ = false;
+  if (probe_timer_) probe_timer_->stop();
+}
+
+void RonNode::probeAll() {
+  if (!running_) return;
+  // Sweep: anything still outstanding from the previous round was lost.
+  for (auto& [peer, state] : peers_) {
+    if (state.awaiting_seq != 0) {
+      state.loss = state.loss * (1 - config_.loss_ewma) + config_.loss_ewma;
+      state.awaiting_seq = 0;
+    }
+  }
+  // Fresh probes, carrying our current loss vector.
+  for (auto& [peer, state] : peers_) {
+    auto probe = std::make_shared<RonProbe>();
+    probe->seq = state.next_probe_seq++;
+    probe->from = local_;
+    for (const auto& [other, other_state] : peers_) {
+      probe->losses.emplace_back(other, other_state.loss);
+    }
+    state.awaiting_seq = probe->seq;
+    ++stats_.probes_sent;
+    packet::Packet p = packet::Packet::udp(local_, peer, config_.port,
+                                           config_.port, 0);
+    p.app = std::move(probe);
+    stack_.sendPacket(std::move(p));
+  }
+}
+
+void RonNode::onDatagram(packet::Packet p) {
+  if (auto probe = std::dynamic_pointer_cast<const RonProbe>(p.app)) {
+    auto it = peers_.find(probe->from);
+    if (it == peers_.end()) return;  // not a registered participant
+    PeerState& state = it->second;
+    // Learn the sender's view of the mesh either way.
+    state.advertised.clear();
+    for (const auto& [addr, loss] : probe->losses) {
+      state.advertised[addr] = loss;
+    }
+    if (!probe->reply) {
+      auto reply = std::make_shared<RonProbe>();
+      reply->reply = true;
+      reply->seq = probe->seq;
+      reply->from = local_;
+      for (const auto& [other, other_state] : peers_) {
+        reply->losses.emplace_back(other, other_state.loss);
+      }
+      packet::Packet out = packet::Packet::udp(local_, probe->from, config_.port,
+                                               config_.port, 0);
+      out.app = std::move(reply);
+      stack_.sendPacket(std::move(out));
+      return;
+    }
+    if (probe->seq == state.awaiting_seq) {
+      ++stats_.probes_answered;
+      state.loss = state.loss * (1 - config_.loss_ewma);  // success sample
+      state.awaiting_seq = 0;
+    }
+    return;
+  }
+  if (auto data = std::dynamic_pointer_cast<const RonData>(p.app)) {
+    if (data->final_dst == local_) {
+      ++stats_.data_received;
+      return;
+    }
+    // One-hop relay: deliver directly to the final destination.
+    ++stats_.data_forwarded;
+    packet::Packet out = packet::Packet::udp(local_, data->final_dst,
+                                             config_.port, config_.port, 0);
+    out.app = data;
+    stack_.sendPacket(std::move(out));
+    return;
+  }
+}
+
+double RonNode::lossTo(packet::IpAddress peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 1.0 : it->second.loss;
+}
+
+packet::IpAddress RonNode::currentDetour(packet::IpAddress dst) const {
+  auto dst_it = peers_.find(dst);
+  if (dst_it == peers_.end()) return {};
+  const double direct = dst_it->second.loss;
+  if (direct < config_.detour_threshold) return {};
+  // Best single intermediate: minimize the worse of the two legs.
+  packet::IpAddress best;
+  double best_score = direct;
+  for (const auto& [mid, state] : peers_) {
+    if (mid == dst) continue;
+    auto adv = state.advertised.find(dst);
+    const double second_leg = adv == state.advertised.end() ? 1.0 : adv->second;
+    const double score = std::max(state.loss, second_leg);
+    if (score < best_score) {
+      best_score = score;
+      best = mid;
+    }
+  }
+  return best;
+}
+
+packet::IpAddress RonNode::sendData(packet::IpAddress dst,
+                                    std::size_t payload_bytes,
+                                    std::uint64_t seq) {
+  const packet::IpAddress via = currentDetour(dst);
+  auto data = std::make_shared<RonData>();
+  data->final_dst = dst;
+  data->origin = local_;
+  data->seq = seq;
+  data->payload_bytes = payload_bytes;
+  const packet::IpAddress next = via.isZero() ? dst : via;
+  if (via.isZero()) {
+    ++stats_.data_sent_direct;
+  } else {
+    ++stats_.data_sent_detour;
+  }
+  packet::Packet p =
+      packet::Packet::udp(local_, next, config_.port, config_.port, 0);
+  p.app = std::move(data);
+  stack_.sendPacket(std::move(p));
+  return via;
+}
+
+}  // namespace vini::app

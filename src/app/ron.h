@@ -1,0 +1,103 @@
+// A RON-style resilient overlay service (Andersen et al., SOSP 2001) —
+// the paper's motivating application:
+//
+//   "Consider a Resilient Overlay Network (RON) that circumvents
+//    performance and reachability problems in the underlying network by
+//    directing traffic through intermediate hosts. ... evaluating its
+//    effectiveness requires waiting for network failures to occur
+//    'naturally'. ... determining when and why a system like RON works
+//    — and how well it works under various failure scenarios — is
+//    challenging (if not impossible) without ... the ability to inject
+//    such failures."  (Section 1)
+//
+// RonNode runs as an application on top of a network (here: an IIAS
+// overlay's tap addresses, making it an experiment *inside* a VINI
+// slice).  Nodes probe each other over UDP, maintain EWMA loss
+// estimates, exchange those estimates in their probes (link-state, RON-
+// style), and route each data packet either directly or through the
+// best single intermediate hop — RON's key design point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "tcpip/host_stack.h"
+
+namespace vini::app {
+
+struct RonConfig {
+  std::uint16_t port = 46000;
+  sim::Duration probe_interval = sim::kSecond;
+  /// EWMA weight of the newest probe outcome.  A probe unanswered by the
+  /// time the next round fires counts as a loss.
+  double loss_ewma = 0.3;
+  /// Use an intermediate hop when the direct path's loss estimate
+  /// exceeds this.
+  double detour_threshold = 0.5;
+};
+
+struct RonStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_answered = 0;
+  std::uint64_t data_sent_direct = 0;
+  std::uint64_t data_sent_detour = 0;
+  std::uint64_t data_forwarded = 0;  ///< as an intermediate hop
+  std::uint64_t data_received = 0;   ///< as the final destination
+};
+
+class RonNode {
+ public:
+  /// `local` is this node's overlay address (e.g. a slice tap address).
+  RonNode(tcpip::HostStack& stack, packet::IpAddress local,
+          RonConfig config = {});
+  ~RonNode();
+
+  RonNode(const RonNode&) = delete;
+  RonNode& operator=(const RonNode&) = delete;
+
+  /// Register a fellow RON participant.
+  void addPeer(packet::IpAddress peer);
+
+  void start();
+  void stop();
+
+  /// Send one data packet to `dst` (a peer), choosing direct vs detour.
+  /// Returns the intermediate used (zero = direct).
+  packet::IpAddress sendData(packet::IpAddress dst, std::size_t payload_bytes,
+                             std::uint64_t seq = 0);
+
+  /// Current loss estimate for the direct path to `peer` (0..1).
+  double lossTo(packet::IpAddress peer) const;
+
+  /// The intermediate sendData would pick right now (zero = direct).
+  packet::IpAddress currentDetour(packet::IpAddress dst) const;
+
+  const RonStats& stats() const { return stats_; }
+  packet::IpAddress address() const { return local_; }
+
+ private:
+  struct PeerState {
+    double loss = 0.0;  ///< EWMA; optimistic start
+    std::uint64_t next_probe_seq = 1;
+    std::uint64_t awaiting_seq = 0;  ///< 0 = none outstanding
+    /// The peer's own loss vector, as last advertised (peer addr -> loss).
+    std::map<packet::IpAddress, double> advertised;
+  };
+
+  void onDatagram(packet::Packet p);
+  void probeAll();
+
+  tcpip::HostStack& stack_;
+  packet::IpAddress local_;
+  RonConfig config_;
+  tcpip::UdpSocket& socket_;
+  std::map<packet::IpAddress, PeerState> peers_;
+  bool running_ = false;
+  std::unique_ptr<sim::PeriodicTimer> probe_timer_;
+  RonStats stats_;
+};
+
+}  // namespace vini::app

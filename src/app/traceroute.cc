@@ -1,0 +1,81 @@
+#include "app/traceroute.h"
+
+namespace vini::app {
+
+Traceroute::Traceroute(tcpip::HostStack& stack, packet::IpAddress target,
+                       Options options)
+    : stack_(stack), target_(target), options_(options),
+      socket_(stack.openUdp(0)) {
+  if (!options_.source.isZero()) socket_.bindAddress(options_.source);
+  timeout_ = std::make_unique<sim::OneShotTimer>(stack_.queue(),
+                                                 [this] { onTimeout(); });
+  stack_.setIcmpErrorHandler([this](const packet::Packet& p) { onError(p); });
+}
+
+Traceroute::~Traceroute() {
+  running_ = false;
+  stack_.setIcmpErrorHandler(nullptr);
+}
+
+void Traceroute::start(std::function<void()> done) {
+  done_ = std::move(done);
+  running_ = true;
+  current_ttl_ = 0;
+  sendProbe();
+}
+
+void Traceroute::sendProbe() {
+  if (!running_) return;
+  if (++current_ttl_ > options_.max_hops) {
+    finish();
+    return;
+  }
+  packet::Packet probe = packet::Packet::udp(
+      socket_.boundAddress(), target_, socket_.port(),
+      static_cast<std::uint16_t>(options_.base_port + current_ttl_), 32);
+  probe.ip.ttl = static_cast<std::uint8_t>(current_ttl_);
+  probe.meta.app_send_time = stack_.queue().now();
+  probe.meta.app_seq = static_cast<std::uint64_t>(current_ttl_);
+  stack_.sendPacket(std::move(probe));
+  timeout_->armAfter(options_.probe_timeout);
+}
+
+void Traceroute::onError(const packet::Packet& error) {
+  if (!running_) return;
+  const auto* icmp = error.icmpHeader();
+  if (!icmp) return;
+  // Match the error to the outstanding probe via the quoted metadata.
+  if (error.meta.app_seq != static_cast<std::uint64_t>(current_ttl_)) return;
+  timeout_->cancel();
+  Hop hop;
+  hop.ttl = current_ttl_;
+  hop.router = error.ip.src;
+  hop.rtt = stack_.queue().now() - error.meta.app_send_time;
+  hops_.push_back(hop);
+  if (icmp->type == packet::IcmpHeader::kDestUnreachable) {
+    reached_ = true;
+    finish();
+    return;
+  }
+  sendProbe();
+}
+
+void Traceroute::onTimeout() {
+  if (!running_) return;
+  Hop hop;
+  hop.ttl = current_ttl_;
+  hops_.push_back(hop);  // "* * *"
+  sendProbe();
+}
+
+void Traceroute::finish() {
+  running_ = false;
+  timeout_->cancel();
+  if (done_) {
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done();
+  }
+}
+
+}  // namespace vini::app

@@ -1,0 +1,73 @@
+// traceroute(8).
+//
+// The paper maps its testbed with traceroute ("as revealed by running
+// traceroute between the three nodes", Figure 5).  This implementation
+// sends UDP probes with increasing TTLs to high ports; routers answer
+// expired probes with ICMP Time Exceeded, and the destination answers
+// the final probe with ICMP Port Unreachable.  It works on the underlay
+// (kernel forwarders generate the errors) and *inside* an IIAS overlay
+// (each virtual hop's DecIpTtl feeds an IcmpTimeExceeded element), so a
+// researcher can reveal the virtual topology the same way the authors
+// revealed Abilene's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "tcpip/host_stack.h"
+
+namespace vini::app {
+
+class Traceroute {
+ public:
+  struct Options {
+    int max_hops = 16;
+    sim::Duration probe_timeout = sim::kSecond;
+    /// Source address override (a tap address probes inside the overlay).
+    packet::IpAddress source;
+    std::uint16_t base_port = 33434;  // classic traceroute port range
+  };
+
+  struct Hop {
+    int ttl = 0;
+    /// Responding router address; nullopt = probe timed out ("* * *").
+    std::optional<packet::IpAddress> router;
+    sim::Duration rtt = 0;
+  };
+
+  Traceroute(tcpip::HostStack& stack, packet::IpAddress target, Options options);
+  ~Traceroute();
+
+  Traceroute(const Traceroute&) = delete;
+  Traceroute& operator=(const Traceroute&) = delete;
+
+  /// Run the trace; `done` fires when the destination answers or
+  /// max_hops is exhausted.
+  void start(std::function<void()> done = {});
+
+  const std::vector<Hop>& hops() const { return hops_; }
+  bool reachedDestination() const { return reached_; }
+
+ private:
+  void sendProbe();
+  void onError(const packet::Packet& error);
+  void onTimeout();
+  void finish();
+
+  tcpip::HostStack& stack_;
+  packet::IpAddress target_;
+  Options options_;
+  tcpip::UdpSocket& socket_;
+  int current_ttl_ = 0;
+  bool running_ = false;
+  bool reached_ = false;
+  std::vector<Hop> hops_;
+  std::unique_ptr<sim::OneShotTimer> timeout_;
+  std::function<void()> done_;
+};
+
+}  // namespace vini::app

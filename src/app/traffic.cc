@@ -1,0 +1,88 @@
+#include "app/traffic.h"
+
+namespace vini::app {
+
+CrossTrafficSource::CrossTrafficSource(tcpip::HostStack& stack,
+                                       packet::IpAddress dst, Options options)
+    : stack_(stack),
+      socket_(stack.openUdp(0)),
+      dst_(dst),
+      options_(options),
+      random_(options.seed) {
+  // Peak rate inside bursts; duty cycle = 1/burstiness keeps the mean.
+  const double peak_bps = options_.mean_rate_bps * options_.burstiness;
+  const double pps = peak_bps / (static_cast<double>(options_.payload_bytes) * 8);
+  packet_interval_ =
+      static_cast<sim::Duration>(static_cast<double>(sim::kSecond) / pps);
+  mean_idle_ = static_cast<sim::Duration>(
+      static_cast<double>(options_.mean_burst) * (options_.burstiness - 1.0));
+}
+
+CrossTrafficSource::~CrossTrafficSource() {
+  *alive_ = false;
+  running_ = false;
+}
+
+void CrossTrafficSource::start() {
+  if (running_) return;
+  running_ = true;
+  enterBurst();
+}
+
+void CrossTrafficSource::stop() { running_ = false; }
+
+void CrossTrafficSource::enterBurst() {
+  if (!running_) return;
+  in_burst_ = true;
+  const sim::Duration length =
+      random_.exponentialDuration(options_.mean_burst, 10 * options_.mean_burst);
+  stack_.queue().scheduleAfter(length, [this, alive = alive_] {
+    if (*alive) enterIdle();
+  });
+  sendOne();
+}
+
+void CrossTrafficSource::enterIdle() {
+  if (!running_) return;
+  in_burst_ = false;
+  const sim::Duration length =
+      random_.exponentialDuration(mean_idle_, 10 * mean_idle_);
+  stack_.queue().scheduleAfter(length, [this, alive = alive_] {
+    if (*alive) enterBurst();
+  });
+}
+
+void CrossTrafficSource::sendOne() {
+  if (!running_ || !in_burst_) return;
+  ++sent_;
+  bytes_ += options_.payload_bytes;
+  socket_.sendTo(dst_, options_.port, options_.payload_bytes);
+  // Poisson arrivals inside the burst.
+  stack_.queue().scheduleAfter(
+      random_.exponentialDuration(packet_interval_, 10 * packet_interval_),
+      [this, alive = alive_] {
+        if (*alive) sendOne();
+      });
+}
+
+Tcpdump::Tcpdump(tcpip::HostStack& stack, std::size_t capacity)
+    : stack_(stack), capacity_(capacity) {
+  stack_.setRxTrace([this](const packet::Packet& p) { record(false, p); });
+  stack_.setTxTrace([this](const packet::Packet& p) { record(true, p); });
+}
+
+void Tcpdump::record(bool tx, const packet::Packet& p) {
+  ++captured_;
+  if (entries_.size() >= capacity_) entries_.pop_front();
+  entries_.push_back(Entry{stack_.queue().now(), tx, p.summary()});
+}
+
+std::vector<Tcpdump::Entry> Tcpdump::grep(const std::string& needle) const {
+  std::vector<Entry> out;
+  for (const auto& entry : entries_) {
+    if (entry.summary.find(needle) != std::string::npos) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace vini::app

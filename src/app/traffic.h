@@ -1,0 +1,94 @@
+// Traffic generation and capture utilities.
+//
+// CrossTrafficSource produces bursty background load (exponential on/off
+// with Poisson packet arrivals inside bursts) so experiments can study
+// behaviour on non-quiet substrates — "the traffic from one experiment
+// may affect the network conditions seen in another virtual network"
+// (Section 3.1).  Tcpdump records packet summaries at a host's trace
+// hooks, like the capture the paper uses to draw Figure 9.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "tcpip/host_stack.h"
+
+namespace vini::app {
+
+/// Bursty UDP background traffic between two hosts.
+class CrossTrafficSource {
+ public:
+  struct Options {
+    double mean_rate_bps = 10e6;       ///< long-run average offered load
+    double burstiness = 4.0;           ///< peak rate = burstiness * mean
+    sim::Duration mean_burst = 200 * sim::kMillisecond;
+    std::size_t payload_bytes = 1000;
+    std::uint16_t port = 9;            ///< discard port
+    std::uint64_t seed = 99;
+  };
+
+  CrossTrafficSource(tcpip::HostStack& stack, packet::IpAddress dst,
+                     Options options);
+  ~CrossTrafficSource();
+
+  CrossTrafficSource(const CrossTrafficSource&) = delete;
+  CrossTrafficSource& operator=(const CrossTrafficSource&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint64_t packetsSent() const { return sent_; }
+  std::uint64_t bytesSent() const { return bytes_; }
+
+ private:
+  void enterBurst();
+  void enterIdle();
+  void sendOne();
+
+  tcpip::HostStack& stack_;
+  tcpip::UdpSocket& socket_;
+  packet::IpAddress dst_;
+  Options options_;
+  sim::Random random_;
+  bool running_ = false;
+  bool in_burst_ = false;
+  sim::Duration packet_interval_ = 0;  ///< inside a burst
+  sim::Duration mean_idle_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// A bounded in-memory packet capture attached to a host's rx/tx hooks.
+class Tcpdump {
+ public:
+  struct Entry {
+    sim::Time when = 0;
+    bool tx = false;
+    std::string summary;
+  };
+
+  /// Attach to `stack`'s trace hooks (replaces any existing hooks).
+  explicit Tcpdump(tcpip::HostStack& stack, std::size_t capacity = 4096);
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  std::size_t captured() const { return captured_; }
+  void clear() { entries_.clear(); }
+
+  /// Entries whose summary contains `needle`.
+  std::vector<Entry> grep(const std::string& needle) const;
+
+ private:
+  void record(bool tx, const packet::Packet& p);
+
+  tcpip::HostStack& stack_;
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+  std::size_t captured_ = 0;
+};
+
+}  // namespace vini::app

@@ -1,0 +1,54 @@
+#include "app/web.h"
+
+namespace vini::app {
+
+WebServer::WebServer(tcpip::HostStack& stack, std::uint16_t port,
+                     std::size_t response_bytes)
+    : stack_(stack), response_bytes_(response_bytes) {
+  tcpip::TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  listener_ = std::make_unique<tcpip::TcpListener>(
+      stack_, port, config,
+      [this](std::shared_ptr<tcpip::TcpConnection> conn) {
+        auto raw = conn.get();
+        conn->on_receive = [this, raw](std::size_t bytes) {
+          if (bytes > 0) {
+            // Any request bytes: serve the page, then close.
+            ++served_;
+            raw->send(response_bytes_);
+            raw->close();
+          } else {
+            raw->close();  // EOF
+          }
+        };
+        connections_.push_back(std::move(conn));
+      });
+}
+
+void WebClient::fetch(packet::IpAddress server, std::uint16_t port,
+                      packet::IpAddress local_addr,
+                      std::function<void(const FetchResult&)> done) {
+  tcpip::TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  auto conn = tcpip::TcpConnection::connect(stack_, server, port, config,
+                                            local_addr);
+  auto result = std::make_shared<FetchResult>();
+  const sim::Time t0 = stack_.queue().now();
+  auto raw = conn.get();
+  conn->on_connected = [raw] { raw->send(300); };  // the GET request
+  conn->on_receive = [result, raw](std::size_t bytes) {
+    if (bytes == 0) {
+      raw->close();  // server finished the page: finish our side too
+      return;
+    }
+    result->bytes += bytes;
+  };
+  conn->on_closed = [this, result, t0, done = std::move(done)] {
+    result->ok = result->bytes > 0;
+    result->elapsed = stack_.queue().now() - t0;
+    if (done) done(*result);
+  };
+  connections_.push_back(std::move(conn));
+}
+
+}  // namespace vini::app

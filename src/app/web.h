@@ -1,0 +1,52 @@
+// A minimal HTTP-shaped client and server for the life-of-a-packet
+// scenario (Figure 2): Firefox on an opted-in client fetches a page from
+// www.cnn.com, which knows nothing about the overlay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tcpip/host_stack.h"
+#include "tcpip/tcp.h"
+
+namespace vini::app {
+
+class WebServer {
+ public:
+  WebServer(tcpip::HostStack& stack, std::uint16_t port = 80,
+            std::size_t response_bytes = 64 * 1024);
+
+  std::size_t requestsServed() const { return served_; }
+
+ private:
+  tcpip::HostStack& stack_;
+  std::size_t response_bytes_;
+  std::unique_ptr<tcpip::TcpListener> listener_;
+  std::vector<std::shared_ptr<tcpip::TcpConnection>> connections_;
+  std::size_t served_ = 0;
+};
+
+class WebClient {
+ public:
+  explicit WebClient(tcpip::HostStack& stack) : stack_(stack) {}
+
+  struct FetchResult {
+    bool ok = false;
+    std::size_t bytes = 0;
+    sim::Duration elapsed = 0;
+  };
+
+  /// Fetch from `server:port`, sourcing from `local_addr` if nonzero
+  /// (the OpenVPN-assigned overlay address, for opted-in clients).
+  void fetch(packet::IpAddress server, std::uint16_t port,
+             packet::IpAddress local_addr,
+             std::function<void(const FetchResult&)> done);
+
+ private:
+  tcpip::HostStack& stack_;
+  std::vector<std::shared_ptr<tcpip::TcpConnection>> connections_;
+};
+
+}  // namespace vini::app

@@ -1,0 +1,160 @@
+#include "click/graph.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace vini::click {
+
+namespace {
+
+/// Strip // and /* */ comments.
+std::string stripComments(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size();) {
+    if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (text[i] == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) ++i;
+      i = i + 2 <= text.size() ? i + 2 : text.size();
+    } else {
+      out.push_back(text[i++]);
+    }
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Split on `sep` at paren depth 0.
+std::vector<std::string> splitTop(const std::string& s, const std::string& sep) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    if (s[i] == ')') --depth;
+    if (depth == 0 && s.compare(i, sep.size(), sep) == 0) {
+      parts.push_back(s.substr(start, i - start));
+      i += sep.size() - 1;
+      start = i + 1;
+    }
+  }
+  parts.push_back(s.substr(start));
+  return parts;
+}
+
+/// One endpoint of a connection: "[q] name [p]" with both brackets optional.
+struct PortSpec {
+  std::string name;
+  int in_port = 0;
+  int out_port = 0;
+};
+
+PortSpec parsePortSpec(const std::string& raw) {
+  PortSpec spec;
+  std::string s = trim(raw);
+  if (!s.empty() && s.front() == '[') {
+    const auto close = s.find(']');
+    if (close == std::string::npos) throw std::runtime_error("unclosed '[' in: " + raw);
+    spec.in_port = std::stoi(s.substr(1, close - 1));
+    s = trim(s.substr(close + 1));
+  }
+  if (!s.empty() && s.back() == ']') {
+    const auto open = s.rfind('[');
+    if (open == std::string::npos) throw std::runtime_error("unopened ']' in: " + raw);
+    spec.out_port = std::stoi(s.substr(open + 1, s.size() - open - 2));
+    s = trim(s.substr(0, open));
+  }
+  if (s.empty()) throw std::runtime_error("missing element name in: " + raw);
+  spec.name = s;
+  return spec;
+}
+
+}  // namespace
+
+RouterGraph::RouterGraph(ClickContext context) : context_(context) {
+  registerStandardElements();
+}
+
+RouterGraph::~RouterGraph() = default;
+
+Element& RouterGraph::addElement(const std::string& name,
+                                 std::unique_ptr<Element> element) {
+  if (elements_.count(name) != 0) {
+    throw std::runtime_error("duplicate element name: " + name);
+  }
+  element->name_ = name;
+  Element& ref = *element;
+  elements_[name] = std::move(element);
+  order_.push_back(name);
+  return ref;
+}
+
+Element& RouterGraph::instantiate(const std::string& name,
+                                  const std::string& class_name,
+                                  const std::vector<std::string>& args) {
+  return addElement(name,
+                    ElementRegistry::instance().create(class_name, args, context_));
+}
+
+void RouterGraph::connect(const std::string& from, int from_port,
+                          const std::string& to, int to_port) {
+  Element* a = find(from);
+  Element* b = find(to);
+  if (!a) throw std::runtime_error("unknown element: " + from);
+  if (!b) throw std::runtime_error("unknown element: " + to);
+  a->connectOutput(from_port, *b, to_port);
+}
+
+Element* RouterGraph::find(const std::string& name) {
+  auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : it->second.get();
+}
+
+void RouterGraph::parseConfig(const std::string& text) {
+  const std::string clean = stripComments(text);
+  for (const std::string& raw_stmt : splitTop(clean, ";")) {
+    const std::string stmt = trim(raw_stmt);
+    if (stmt.empty()) continue;
+
+    // Declaration: name :: Class(args) — detect "::" at depth 0.
+    const auto decl_parts = splitTop(stmt, "::");
+    if (decl_parts.size() == 2) {
+      const std::string name = trim(decl_parts[0]);
+      std::string rhs = trim(decl_parts[1]);
+      std::string class_name = rhs;
+      std::vector<std::string> args;
+      const auto paren = rhs.find('(');
+      if (paren != std::string::npos) {
+        if (rhs.back() != ')') throw std::runtime_error("bad declaration: " + stmt);
+        class_name = trim(rhs.substr(0, paren));
+        const std::string arg_text = rhs.substr(paren + 1, rhs.size() - paren - 2);
+        if (!trim(arg_text).empty()) {
+          for (const auto& a : splitTop(arg_text, ",")) args.push_back(trim(a));
+        }
+      }
+      instantiate(name, class_name, args);
+      continue;
+    }
+    if (decl_parts.size() > 2) throw std::runtime_error("bad declaration: " + stmt);
+
+    // Connection chain: a [p] -> [q] b -> c
+    const auto hops = splitTop(stmt, "->");
+    if (hops.size() < 2) throw std::runtime_error("unrecognized statement: " + stmt);
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      const PortSpec from = parsePortSpec(hops[i]);
+      const PortSpec to = parsePortSpec(hops[i + 1]);
+      connect(from.name, from.out_port, to.name, to.in_port);
+    }
+  }
+}
+
+}  // namespace vini::click

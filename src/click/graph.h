@@ -1,0 +1,66 @@
+// RouterGraph: a configured Click router.
+//
+// Owns the elements, their connections, and the parser for a practical
+// subset of the Click configuration language:
+//
+//   // declaration
+//   rt :: LookupIPRoute(10.0.0.0/8 0.0.0.0 1);
+//   // connections, with optional port brackets, chainable
+//   from [0] -> [0] rt;
+//   rt [1] -> tap;
+//
+// Inline declarations inside connection chains are not supported; the
+// generators always emit declarations first.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "click/element.h"
+
+namespace vini::click {
+
+class RouterGraph {
+ public:
+  explicit RouterGraph(ClickContext context);
+  ~RouterGraph();
+
+  RouterGraph(const RouterGraph&) = delete;
+  RouterGraph& operator=(const RouterGraph&) = delete;
+
+  /// Add a pre-built element under `name`.
+  Element& addElement(const std::string& name, std::unique_ptr<Element> element);
+
+  /// Instantiate `class_name(args...)` from the registry under `name`.
+  Element& instantiate(const std::string& name, const std::string& class_name,
+                       const std::vector<std::string>& args = {});
+
+  /// Connect `from`'s output `from_port` to `to`'s input `to_port`.
+  void connect(const std::string& from, int from_port, const std::string& to,
+               int to_port);
+
+  Element* find(const std::string& name);
+
+  /// Typed lookup; returns nullptr if absent or of a different class.
+  template <typename T>
+  T* get(const std::string& name) {
+    return dynamic_cast<T*>(find(name));
+  }
+
+  /// Parse a Click-language configuration, instantiating and connecting
+  /// elements.  Throws std::runtime_error with a location on bad input.
+  void parseConfig(const std::string& text);
+
+  std::size_t elementCount() const { return order_.size(); }
+  const std::vector<std::string>& elementNames() const { return order_; }
+
+  ClickContext& context() { return context_; }
+
+ private:
+  ClickContext context_;
+  std::map<std::string, std::unique_ptr<Element>> elements_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace vini::click

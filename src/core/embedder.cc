@@ -1,0 +1,65 @@
+#include "core/embedder.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace vini::core {
+
+Embedding TopologyEmbedder::embed(const TopologySpec& spec, ResourceSpec resources) {
+  phys::PhysNetwork& net = vini_.network();
+  Embedding result;
+  result.slice = &vini_.createSlice(spec.name, resources);
+  Slice& slice = *result.slice;
+
+  // Pass 1: explicit bindings.
+  std::set<int> used_phys;
+  std::map<std::string, phys::PhysNode*> placement;
+  for (const auto& node_spec : spec.nodes) {
+    if (node_spec.phys_name.empty()) continue;
+    phys::PhysNode* phys = net.nodeByName(node_spec.phys_name);
+    if (!phys) {
+      throw std::runtime_error("embed: no physical node named " +
+                               node_spec.phys_name);
+    }
+    if (!used_phys.insert(phys->id()).second) {
+      throw std::runtime_error("embed: physical node " + node_spec.phys_name +
+                               " bound twice");
+    }
+    placement[node_spec.name] = phys;
+  }
+
+  // Pass 2: greedy placement of unbound nodes on distinct free nodes.
+  for (const auto& node_spec : spec.nodes) {
+    if (!node_spec.phys_name.empty()) continue;
+    phys::PhysNode* chosen = nullptr;
+    for (const auto& phys : net.nodes()) {
+      if (used_phys.count(phys->id()) == 0) {
+        chosen = phys.get();
+        break;
+      }
+    }
+    if (!chosen) {
+      throw std::runtime_error("embed: not enough physical nodes for " +
+                               spec.name);
+    }
+    used_phys.insert(chosen->id());
+    placement[node_spec.name] = chosen;
+  }
+
+  for (const auto& node_spec : spec.nodes) {
+    slice.addNode(*placement.at(node_spec.name), node_spec.name);
+  }
+  for (const auto& link_spec : spec.links) {
+    VirtualNode* a = slice.nodeByName(link_spec.a);
+    VirtualNode* b = slice.nodeByName(link_spec.b);
+    if (!a || !b) {
+      throw std::runtime_error("embed: link references unknown node " +
+                               link_spec.a + "/" + link_spec.b);
+    }
+    VirtualLink& link = slice.addLink(*a, *b);
+    result.link_costs[&link] = link_spec.igp_cost;
+  }
+  return result;
+}
+
+}  // namespace vini::core

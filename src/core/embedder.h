@@ -1,0 +1,57 @@
+// Topology embedding.
+//
+// An experiment asks for a virtual topology (nodes, links, metrics); the
+// embedder places it onto the physical infrastructure — honoring
+// explicit bindings like "my virtual Denver goes on the PlanetLab node
+// at the Denver PoP" (the Section 5.2 experiment mirrors Abilene
+// one-to-one) and assigning the rest greedily to distinct nodes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/vini.h"
+
+namespace vini::core {
+
+struct TopologyNodeSpec {
+  std::string name;
+  /// Physical node to bind to; empty = embedder's choice.
+  std::string phys_name;
+};
+
+struct TopologyLinkSpec {
+  std::string a;
+  std::string b;
+  /// IGP metric for this virtual link (e.g. the real Abilene OSPF weight).
+  std::uint32_t igp_cost = 1;
+};
+
+struct TopologySpec {
+  std::string name;
+  std::vector<TopologyNodeSpec> nodes;
+  std::vector<TopologyLinkSpec> links;
+};
+
+/// The result of an embedding: the slice plus per-link metrics the
+/// overlay layer needs when configuring routing.
+struct Embedding {
+  Slice* slice = nullptr;
+  std::map<const VirtualLink*, std::uint32_t> link_costs;
+};
+
+class TopologyEmbedder {
+ public:
+  explicit TopologyEmbedder(Vini& vini) : vini_(vini) {}
+
+  /// Create a slice and embed `spec` onto the physical network.
+  /// Throws on unsatisfiable bindings or admission-control rejection.
+  Embedding embed(const TopologySpec& spec, ResourceSpec resources = {});
+
+ private:
+  Vini& vini_;
+};
+
+}  // namespace vini::core

@@ -1,0 +1,14 @@
+#include "core/schedule.h"
+
+namespace vini::core {
+
+void EventSchedule::at(sim::Time when, const std::string& label,
+                       std::function<void()> action) {
+  ++scheduled_;
+  queue_.schedule(when, [this, when, label, action = std::move(action)] {
+    log_.push_back(LogEntry{when, label});
+    action();
+  });
+}
+
+}  // namespace vini::core

@@ -1,0 +1,154 @@
+#include "core/slice.h"
+
+#include <stdexcept>
+
+#include "core/vini.h"
+
+namespace vini::core {
+
+// ---------------------------------------------------------------------------
+// VirtualInterface
+
+bool VirtualInterface::isUp() const { return link_.isUp(); }
+
+void VirtualInterface::send(packet::Packet p) {
+  if (!link_.isUp()) return;  // fate sharing: a dead link eats packets
+  p.meta.slice_id = node_.slice().id();
+  if (node_.control_tx_) node_.control_tx_(std::move(p));
+}
+
+// ---------------------------------------------------------------------------
+// VirtualNode
+
+VirtualNode::VirtualNode(Slice& slice, phys::PhysNode& phys, std::string name,
+                         packet::IpAddress tap_address)
+    : slice_(slice), phys_(phys), name_(std::move(name)), tap_address_(tap_address) {}
+
+VirtualInterface* VirtualNode::interfaceByAddress(packet::IpAddress addr) {
+  for (auto& iface : interfaces_) {
+    if (iface->address() == addr) return iface.get();
+  }
+  return nullptr;
+}
+
+VirtualInterface* VirtualNode::interfaceToPeer(packet::IpAddress peer) {
+  for (auto& iface : interfaces_) {
+    if (iface->peerAddress() == peer) return iface.get();
+  }
+  return nullptr;
+}
+
+VirtualInterface* VirtualNode::interfaceOnLink(const VirtualLink& link) {
+  for (auto& iface : interfaces_) {
+    if (&iface->link() == &link) return iface.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualLink
+
+void VirtualLink::setAdminUp(bool up) {
+  if (admin_up_ == up) return;
+  const bool was_up = isUp();
+  admin_up_ = up;
+  notify(was_up);
+}
+
+void VirtualLink::setUnderlayUp(bool up) {
+  if (underlay_up_ == up) return;
+  const bool was_up = isUp();
+  underlay_up_ = up;
+  notify(was_up);
+}
+
+void VirtualLink::notify(bool was_up) {
+  const bool now_up = isUp();
+  if (now_up == was_up) return;
+  for (auto& listener : listeners_) listener(*this, now_up);
+}
+
+// ---------------------------------------------------------------------------
+// Slice
+
+Slice::Slice(Vini& vini, int id, std::string name, ResourceSpec resources,
+             std::uint16_t tunnel_port, packet::Prefix overlay_prefix)
+    : vini_(vini),
+      id_(id),
+      name_(std::move(name)),
+      resources_(resources),
+      tunnel_port_(tunnel_port),
+      overlay_prefix_(overlay_prefix) {}
+
+VirtualNode& Slice::addNode(phys::PhysNode& phys, const std::string& name) {
+  for (const auto& node : nodes_) {
+    if (&node->physNode() == &phys) {
+      throw std::runtime_error("slice " + name_ + " already has a node on " +
+                               phys.name());
+    }
+    if (node->name() == name) {
+      throw std::runtime_error("duplicate virtual node name: " + name);
+    }
+  }
+  vini_.admitNode(*this, phys);
+  // tap0 address: 10.<slice>.<node-index>.2 inside the slice's /16.
+  const auto index = static_cast<std::uint32_t>(nodes_.size());
+  const packet::IpAddress tap(overlay_prefix_.address().value() | (index << 8) | 2);
+  nodes_.push_back(std::make_unique<VirtualNode>(*this, phys, name, tap));
+  return *nodes_.back();
+}
+
+VirtualLink& Slice::addLink(VirtualNode& a, VirtualNode& b) {
+  if (&a.slice() != this || &b.slice() != this) {
+    throw std::runtime_error("virtual link endpoints must belong to the slice");
+  }
+  if (&a == &b) throw std::runtime_error("virtual link endpoints must differ");
+
+  auto link = std::make_unique<VirtualLink>();
+  link->id_ = static_cast<int>(links_.size());
+  link->name_ = a.name() + "-" + b.name();
+  link->a_ = &a;
+  link->b_ = &b;
+
+  // Number the link ends from a common /30 inside 10.<slice>.224.0/19
+  // (disjoint from the node-index /24s used for tap addresses).
+  const int k = next_link_subnet_++;
+  if (k >= (1 << 11)) throw std::runtime_error("slice out of /30 link subnets");
+  const std::uint32_t base = overlay_prefix_.address().value() +
+                             (224u << 8) +  // start at 10.<slice>.224.0
+                             (static_cast<std::uint32_t>(k) << 2);
+  link->subnet_ = packet::Prefix(packet::IpAddress(base), 30);
+  const packet::IpAddress addr_a(base + 1);
+  const packet::IpAddress addr_b(base + 2);
+
+  auto if_a = std::make_unique<VirtualInterface>(
+      "vif-" + link->name_ + "-a", addr_a, addr_b, link->subnet_, a, *link);
+  auto if_b = std::make_unique<VirtualInterface>(
+      "vif-" + link->name_ + "-b", addr_b, addr_a, link->subnet_, b, *link);
+  link->if_a_ = if_a.get();
+  link->if_b_ = if_b.get();
+  a.interfaces_.push_back(std::move(if_a));
+  b.interfaces_.push_back(std::move(if_b));
+
+  links_.push_back(std::move(link));
+  vini_.pinLink(*links_.back());
+  return *links_.back();
+}
+
+VirtualNode* Slice::nodeByName(const std::string& name) {
+  for (auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
+VirtualLink* Slice::linkBetween(const std::string& a, const std::string& b) {
+  for (auto& link : links_) {
+    const std::string& na = link->nodeA().name();
+    const std::string& nb = link->nodeB().name();
+    if ((na == a && nb == b) || (na == b && nb == a)) return link.get();
+  }
+  return nullptr;
+}
+
+}  // namespace vini::core

@@ -1,0 +1,210 @@
+// The VINI layer: slices, virtual nodes, virtual interfaces, and virtual
+// links embedded on the shared physical infrastructure.
+//
+// This is the paper's primary contribution (Section 3): give each
+// experiment (a "slice", in PlanetLab terms) its own arbitrary virtual
+// topology — nodes with as many interfaces as the experiment wants
+// (Section 3.1 "unique interfaces per experiment"), point-to-point
+// virtual links numbered from common /30 subnets so unmodified routing
+// software sees a real network (Section 4.1.3), fate sharing with the
+// underlay (Section 3.1 "exposure of underlying topology changes"), and
+// per-slice resources (Section 3.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "packet/ip_address.h"
+#include "packet/packet.h"
+#include "phys/network.h"
+#include "xorp/vif.h"
+
+namespace vini::core {
+
+class Slice;
+class VirtualLink;
+class VirtualNode;
+class Vini;
+
+/// Per-slice resource guarantees (Section 3.4 / 4.1.2).
+struct ResourceSpec {
+  /// Guaranteed minimum CPU fraction on every node the slice occupies.
+  double cpu_reservation = 0.0;
+  /// Linux real-time priority for the slice's forwarder.
+  bool realtime = false;
+  /// Shape each virtual link to this rate (0 = unshaped).
+  double link_bandwidth_bps = 0.0;
+};
+
+/// A virtual point-to-point interface: one end of a virtual link, as the
+/// routing software sees it.  Implements xorp::Vif so XORP can treat it
+/// exactly like a physical interface (Section 4.2.2).
+class VirtualInterface final : public xorp::Vif {
+ public:
+  VirtualInterface(std::string name, packet::IpAddress address,
+                   packet::IpAddress peer, packet::Prefix subnet,
+                   VirtualNode& node, VirtualLink& link)
+      : name_(std::move(name)),
+        address_(address),
+        peer_(peer),
+        subnet_(subnet),
+        node_(node),
+        link_(link) {}
+
+  const std::string& name() const override { return name_; }
+  packet::IpAddress address() const override { return address_; }
+  packet::IpAddress peerAddress() const override { return peer_; }
+  packet::Prefix subnet() const override { return subnet_; }
+  bool isUp() const override;
+  void send(packet::Packet p) override;
+
+  VirtualNode& node() { return node_; }
+  VirtualLink& link() { return link_; }
+
+ private:
+  std::string name_;
+  packet::IpAddress address_;
+  packet::IpAddress peer_;
+  packet::Prefix subnet_;
+  VirtualNode& node_;
+  VirtualLink& link_;
+};
+
+/// A virtual node: the slice's presence on one physical node.
+class VirtualNode {
+ public:
+  VirtualNode(Slice& slice, phys::PhysNode& phys, std::string name,
+              packet::IpAddress tap_address);
+
+  const std::string& name() const { return name_; }
+  Slice& slice() { return slice_; }
+  phys::PhysNode& physNode() { return phys_; }
+
+  /// The node's address on the slice's overlay (its tap0 address).
+  packet::IpAddress tapAddress() const { return tap_address_; }
+
+  const std::vector<std::unique_ptr<VirtualInterface>>& interfaces() const {
+    return interfaces_;
+  }
+  VirtualInterface* interfaceByAddress(packet::IpAddress addr);
+  VirtualInterface* interfaceToPeer(packet::IpAddress peer);
+  VirtualInterface* interfaceOnLink(const VirtualLink& link);
+
+  /// The data plane (overlay layer) installs the transmit hook that
+  /// carries control-plane packets out of this virtual node.
+  void setControlTx(std::function<void(packet::Packet)> tx) { control_tx_ = std::move(tx); }
+
+ private:
+  friend class Slice;
+  friend class VirtualInterface;
+
+  Slice& slice_;
+  phys::PhysNode& phys_;
+  std::string name_;
+  packet::IpAddress tap_address_;
+  std::vector<std::unique_ptr<VirtualInterface>> interfaces_;
+  std::function<void(packet::Packet)> control_tx_;
+};
+
+/// A virtual link: a UDP tunnel between two virtual nodes, pinned to the
+/// underlay path between their physical nodes so that physical failures
+/// are shared (never masked) when the infrastructure is in expose mode.
+class VirtualLink {
+ public:
+  using StateListener = std::function<void(VirtualLink&, bool up)>;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  VirtualNode& nodeA() { return *a_; }
+  VirtualNode& nodeB() { return *b_; }
+  VirtualInterface& interfaceA() { return *if_a_; }
+  VirtualInterface& interfaceB() { return *if_b_; }
+  packet::Prefix subnet() const { return subnet_; }
+
+  /// The underlay links this virtual link is pinned over.
+  const std::vector<phys::PhysLink*>& underlayPath() const { return path_; }
+
+  /// Up = administratively up AND (in expose mode) every underlay link up.
+  bool isUp() const { return admin_up_ && underlay_up_; }
+  bool adminUp() const { return admin_up_; }
+  bool underlayUp() const { return underlay_up_; }
+
+  /// Administrative control (experiment-driven).
+  void setAdminUp(bool up);
+
+  void subscribe(StateListener listener) { listeners_.push_back(std::move(listener)); }
+
+  /// The peer virtual node of `node` on this link.
+  VirtualNode& peerOf(const VirtualNode& node) {
+    return &node == a_ ? *b_ : *a_;
+  }
+
+ private:
+  friend class Slice;
+  friend class Vini;
+
+  void setUnderlayUp(bool up);
+  void notify(bool was_up);
+
+  int id_ = 0;
+  std::string name_;
+  VirtualNode* a_ = nullptr;
+  VirtualNode* b_ = nullptr;
+  VirtualInterface* if_a_ = nullptr;
+  VirtualInterface* if_b_ = nullptr;
+  packet::Prefix subnet_;
+  std::vector<phys::PhysLink*> path_;
+  bool admin_up_ = true;
+  bool underlay_up_ = true;
+  std::vector<StateListener> listeners_;
+};
+
+/// One experiment's virtual network.
+class Slice {
+ public:
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const ResourceSpec& resources() const { return resources_; }
+
+  /// UDP port this slice's tunnels use on every node (each slice may
+  /// reserve its own ports — Section 4.1.1).
+  std::uint16_t tunnelPort() const { return tunnel_port_; }
+
+  /// The 10.x prefix that addresses this slice's overlay.
+  packet::Prefix overlayPrefix() const { return overlay_prefix_; }
+
+  /// Place a virtual node on a physical node.  Throws if admission
+  /// control rejects the placement (CPU over-subscription) or the slice
+  /// already has a node there.
+  VirtualNode& addNode(phys::PhysNode& phys, const std::string& name);
+
+  /// Create a virtual link between two of this slice's nodes: allocates
+  /// a /30, creates the two interfaces, and pins the underlay path.
+  VirtualLink& addLink(VirtualNode& a, VirtualNode& b);
+
+  const std::vector<std::unique_ptr<VirtualNode>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<VirtualLink>>& links() const { return links_; }
+  VirtualNode* nodeByName(const std::string& name);
+  VirtualLink* linkBetween(const std::string& a, const std::string& b);
+
+ private:
+  friend class Vini;
+
+  Slice(Vini& vini, int id, std::string name, ResourceSpec resources,
+        std::uint16_t tunnel_port, packet::Prefix overlay_prefix);
+
+  Vini& vini_;
+  int id_;
+  std::string name_;
+  ResourceSpec resources_;
+  std::uint16_t tunnel_port_;
+  packet::Prefix overlay_prefix_;
+  std::vector<std::unique_ptr<VirtualNode>> nodes_;
+  std::vector<std::unique_ptr<VirtualLink>> links_;
+  int next_link_subnet_ = 0;
+};
+
+}  // namespace vini::core

@@ -1,0 +1,124 @@
+#include "core/vini.h"
+
+#include <stdexcept>
+
+namespace vini::core {
+
+const char* upcallTypeName(UpcallEvent::Type type) {
+  switch (type) {
+    case UpcallEvent::Type::kPhysLinkDown: return "phys-link-down";
+    case UpcallEvent::Type::kPhysLinkUp: return "phys-link-up";
+    case UpcallEvent::Type::kVirtualLinkDown: return "virtual-link-down";
+    case UpcallEvent::Type::kVirtualLinkUp: return "virtual-link-up";
+  }
+  return "?";
+}
+
+Vini::Vini(phys::PhysNetwork& net, ViniConfig config)
+    : net_(net), config_(config) {}
+
+Vini::~Vini() = default;
+
+Slice& Vini::createSlice(const std::string& name, ResourceSpec resources) {
+  const int id = static_cast<int>(slices_.size()) + 1;  // 10.0/16 reserved
+  if (id > 255) throw std::runtime_error("out of slice address space");
+  const packet::Prefix overlay(packet::IpAddress(10, static_cast<std::uint8_t>(id), 0, 0), 16);
+  const auto port = static_cast<std::uint16_t>(config_.base_tunnel_port + id);
+  slices_.push_back(std::unique_ptr<Slice>(
+      new Slice(*this, id, name, resources, port, overlay)));
+  port_reservations_[port] = id;  // the slice's tunnel port is its own
+  return *slices_.back();
+}
+
+bool Vini::reservePort(const Slice& slice, std::uint16_t port) {
+  auto [it, inserted] = port_reservations_.try_emplace(port, slice.id());
+  return inserted || it->second == slice.id();
+}
+
+int Vini::portOwner(std::uint16_t port) const {
+  auto it = port_reservations_.find(port);
+  return it == port_reservations_.end() ? -1 : it->second;
+}
+
+Slice* Vini::sliceByName(const std::string& name) {
+  for (auto& slice : slices_) {
+    if (slice->name() == name) return slice.get();
+  }
+  return nullptr;
+}
+
+double Vini::reservedCpuOn(const phys::PhysNode& node) const {
+  auto it = node_reservations_.find(node.id());
+  return it == node_reservations_.end() ? 0.0 : it->second;
+}
+
+void Vini::admitNode(Slice& slice, phys::PhysNode& phys) {
+  double& reserved = node_reservations_[phys.id()];
+  const double want = slice.resources().cpu_reservation;
+  if (reserved + want > config_.max_node_reservation) {
+    throw std::runtime_error(
+        "admission control: node " + phys.name() + " has " +
+        std::to_string(reserved) + " CPU reserved; cannot admit " +
+        std::to_string(want) + " more for slice " + slice.name());
+  }
+  reserved += want;
+}
+
+void Vini::pinLink(VirtualLink& link) {
+  link.path_ = net_.pathBetween(link.nodeA().physNode().id(),
+                                link.nodeB().physNode().id());
+  if (link.path_.empty()) {
+    throw std::runtime_error("no underlay path for virtual link " + link.name());
+  }
+  bool all_up = true;
+  for (phys::PhysLink* phys_link : link.path_) {
+    riders_[phys_link->id()].push_back(&link);
+    if (riders_[phys_link->id()].size() == 1) {
+      // First rider on this physical link: subscribe once.
+      phys_link->subscribe([this](phys::PhysLink& l, bool up) {
+        onPhysLinkState(l, up);
+      });
+    }
+    all_up = all_up && phys_link->isUp();
+  }
+  if (config_.expose_underlay_failures) link.setUnderlayUp(all_up);
+}
+
+void Vini::onPhysLinkState(phys::PhysLink& phys_link, bool up) {
+  const sim::Time now = net_.queue().now();
+  auto it = riders_.find(phys_link.id());
+  if (it == riders_.end()) return;
+  for (VirtualLink* vlink : it->second) {
+    const int slice_id = vlink->nodeA().slice().id();
+
+    // Raw physical alarm to the owning slice.
+    UpcallEvent phys_event;
+    phys_event.type = up ? UpcallEvent::Type::kPhysLinkUp
+                         : UpcallEvent::Type::kPhysLinkDown;
+    phys_event.when = now;
+    phys_event.phys_link_id = phys_link.id();
+    phys_event.virtual_link_id = vlink->id();
+    upcalls_.deliver(slice_id, phys_event);
+
+    if (!config_.expose_underlay_failures) continue;  // overlay mode: masked
+
+    // Fate sharing: recompute the virtual link's underlay state.
+    bool all_up = true;
+    for (phys::PhysLink* l : vlink->underlayPath()) {
+      all_up = all_up && l->isUp();
+    }
+    const bool was_up = vlink->isUp();
+    vlink->setUnderlayUp(all_up);
+    if (vlink->isUp() != was_up) {
+      UpcallEvent virt_event;
+      virt_event.type = vlink->isUp() ? UpcallEvent::Type::kVirtualLinkUp
+                                      : UpcallEvent::Type::kVirtualLinkDown;
+      virt_event.when = now;
+      virt_event.phys_link_id = phys_link.id();
+      virt_event.virtual_link_id = vlink->id();
+      upcalls_.deliver(slice_id, virt_event);
+    }
+  }
+}
+
+}  // namespace vini::core

@@ -1,0 +1,122 @@
+// Vini: the virtual network infrastructure controller.
+//
+// Owns the slices embedded on a physical network, allocates per-slice
+// address space and tunnel ports, performs admission control for CPU
+// reservations, pins virtual links to underlay paths, and delivers
+// upcalls — "layer-3 alarms to virtual nodes" (Table 1) — when physical
+// components fail, so experiments share fate with the substrate instead
+// of having failures silently masked by IP rerouting (Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/slice.h"
+#include "phys/network.h"
+#include "sim/time.h"
+
+namespace vini::core {
+
+/// An infrastructure event reported to slices.
+struct UpcallEvent {
+  enum class Type {
+    kPhysLinkDown,
+    kPhysLinkUp,
+    kVirtualLinkDown,
+    kVirtualLinkUp,
+  };
+  Type type;
+  sim::Time when = 0;
+  int phys_link_id = -1;
+  int virtual_link_id = -1;
+};
+
+const char* upcallTypeName(UpcallEvent::Type type);
+
+/// Per-slice subscription bus for infrastructure events.
+class UpcallBus {
+ public:
+  using Handler = std::function<void(const UpcallEvent&)>;
+
+  void subscribe(int slice_id, Handler handler) {
+    handlers_[slice_id].push_back(std::move(handler));
+  }
+
+  void deliver(int slice_id, const UpcallEvent& event) {
+    auto it = handlers_.find(slice_id);
+    if (it == handlers_.end()) return;
+    for (auto& handler : it->second) handler(event);
+  }
+
+ private:
+  std::map<int, std::vector<Handler>> handlers_;
+};
+
+struct ViniConfig {
+  /// Expose underlay failures to virtual links (the VINI requirement).
+  /// When false, virtual links behave like a plain overlay: the underlay
+  /// reroutes and the experiment never hears about the failure — the
+  /// behaviour the paper argues against.  Combine with
+  /// phys::NetworkConfig::mask_failures for the full plain-overlay mode.
+  bool expose_underlay_failures = true;
+  /// First slice gets this tunnel port; subsequent slices the next ones.
+  std::uint16_t base_tunnel_port = 33000;
+  /// Admission control: total CPU reservation allowed per physical node.
+  double max_node_reservation = 0.9;
+};
+
+class Vini {
+ public:
+  Vini(phys::PhysNetwork& net, ViniConfig config = {});
+  ~Vini();
+
+  Vini(const Vini&) = delete;
+  Vini& operator=(const Vini&) = delete;
+
+  /// Create a slice.  Each slice receives a distinct overlay prefix
+  /// 10.<slice>.0.0/16 and a distinct tunnel port.
+  Slice& createSlice(const std::string& name, ResourceSpec resources = {});
+
+  const std::vector<std::unique_ptr<Slice>>& slices() const { return slices_; }
+  Slice* sliceByName(const std::string& name);
+
+  phys::PhysNetwork& network() { return net_; }
+  const ViniConfig& config() const { return config_; }
+  UpcallBus& upcalls() { return upcalls_; }
+
+  /// Total CPU reservation currently admitted on a physical node.
+  double reservedCpuOn(const phys::PhysNode& node) const;
+
+  /// Reserve a UDP port infrastructure-wide for a slice (Section 4.1.1:
+  /// each slice "may reserve specific ports").  Returns false if another
+  /// slice holds it.  Slice tunnel ports are reserved automatically.
+  bool reservePort(const Slice& slice, std::uint16_t port);
+  /// The slice holding `port`, or -1.
+  int portOwner(std::uint16_t port) const;
+
+ private:
+  friend class Slice;
+
+  /// Called by Slice::addNode for admission control; throws on violation.
+  void admitNode(Slice& slice, phys::PhysNode& phys);
+
+  /// Called by Slice::addLink: pins the path and wires fate sharing.
+  void pinLink(VirtualLink& link);
+
+  void onPhysLinkState(phys::PhysLink& link, bool up);
+
+  phys::PhysNetwork& net_;
+  ViniConfig config_;
+  std::vector<std::unique_ptr<Slice>> slices_;
+  UpcallBus upcalls_;
+  /// Which virtual links ride each physical link.
+  std::map<int, std::vector<VirtualLink*>> riders_;
+  std::map<int, double> node_reservations_;
+  std::map<std::uint16_t, int> port_reservations_;
+};
+
+}  // namespace vini::core

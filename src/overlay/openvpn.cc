@@ -1,0 +1,114 @@
+#include "overlay/openvpn.h"
+
+namespace vini::overlay {
+
+// ---------------------------------------------------------------------------
+// OpenVpnServer
+
+OpenVpnServer::OpenVpnServer(IiasRouter& router, packet::Prefix client_pool)
+    : router_(router), pool_(client_pool) {
+  egress_element_ = std::make_unique<EgressElement>(*this);
+  router_.attachStubPrefix(pool_, *egress_element_);
+  tcpip::UdpSocket& socket = router_.stack().openUdp(kOpenVpnPort);
+  socket.setReceiveHandler([this](packet::Packet p) { onDatagram(std::move(p)); });
+}
+
+OpenVpnServer::~OpenVpnServer() { router_.stack().closeUdp(kOpenVpnPort); }
+
+packet::IpAddress OpenVpnServer::openSession(packet::IpAddress real_addr,
+                                             std::uint16_t real_port,
+                                             std::uint32_t session_id) {
+  if (auto it = by_source_.find(real_addr); it != by_source_.end()) {
+    return it->second.overlay_addr;  // reconnect: keep the lease
+  }
+  const packet::IpAddress overlay = pool_.hostAt(next_host_);
+  if (!pool_.contains(overlay) || next_host_ >= (1u << (32 - pool_.length())) - 1) {
+    return packet::IpAddress{};  // pool exhausted
+  }
+  ++next_host_;
+  Session session{real_addr, real_port, overlay, session_id};
+  by_source_[real_addr] = session;
+  by_overlay_[overlay] = session;
+  return overlay;
+}
+
+void OpenVpnServer::onDatagram(packet::Packet p) {
+  // Data channel: an encapsulated IP packet from an opted-in client.
+  if (!p.inner) return;
+  auto it = by_source_.find(p.ip.src);
+  if (it == by_source_.end()) return;  // no session: drop
+  ++ingress_packets_;
+  // "The OpenVPN server removes the headers and forwards the original
+  // packet to Click over a local Unix domain socket."  (Figure 2, step 2)
+  router_.injectIntoDataPlane(*p.inner);
+}
+
+void OpenVpnServer::EgressElement::push(int, packet::Packet p) {
+  auto it = server_.by_overlay_.find(p.ip.dst);
+  if (it == server_.by_overlay_.end()) return;
+  ++count_;
+  server_.sendToClient(it->second, std::move(p));
+}
+
+void OpenVpnServer::sendToClient(const Session& session, packet::Packet p) {
+  tcpip::UdpSocket* socket = router_.stack().udpSocket(kOpenVpnPort);
+  if (!socket) return;
+  socket->sendEncapsulatedTo(session.real_addr, session.real_port,
+                             std::make_shared<const packet::Packet>(std::move(p)),
+                             packet::OpenVpnHeader::kWireBytes);
+}
+
+// ---------------------------------------------------------------------------
+// OpenVpnClient
+
+OpenVpnClient::OpenVpnClient(tcpip::HostStack& stack, std::string name)
+    : stack_(stack), name_(std::move(name)) {}
+
+OpenVpnClient::~OpenVpnClient() = default;
+
+bool OpenVpnClient::connect(OpenVpnServer& server) {
+  server_addr_ = server.serverAddress();
+  socket_ = &stack_.openUdp(0);
+  session_id_ = socket_->port();  // cheap unique id
+  overlay_addr_ =
+      server.openSession(stack_.address(), socket_->port(), session_id_);
+  if (overlay_addr_.isZero()) return false;
+
+  socket_->setReceiveHandler([this](packet::Packet p) { onDatagram(std::move(p)); });
+
+  // "OpenVPN creates a TUN/TAP device on the client to intercept
+  // outgoing packets from the operating system."
+  tun_ = &stack_.createTunDevice("tun-" + name_, overlay_addr_);
+  tun_->setReader([this](packet::Packet p) { onTunPacket(std::move(p)); });
+
+  // Routing: everything into the tunnel, except the server itself.
+  tcpip::Route all;
+  all.prefix = packet::Prefix::defaultRoute();
+  all.device = tun_;
+  all.metric = 5;  // beats the underlay default route (metric 100)
+  stack_.routingTable().addRoute(all);
+  tcpip::Route server_host;
+  server_host.prefix = packet::Prefix(server_addr_, 32);
+  server_host.device = &stack_.underlayDevice();
+  server_host.metric = 1;
+  stack_.routingTable().addRoute(server_host);
+  return true;
+}
+
+void OpenVpnClient::onTunPacket(packet::Packet p) {
+  if (!socket_) return;
+  ++sent_;
+  // Rewrite nothing: the client sources traffic from its overlay address
+  // (applications bind to it).  Encapsulate with OpenVPN framing.
+  socket_->sendEncapsulatedTo(server_addr_, kOpenVpnPort,
+                              std::make_shared<const packet::Packet>(std::move(p)),
+                              packet::OpenVpnHeader::kWireBytes);
+}
+
+void OpenVpnClient::onDatagram(packet::Packet p) {
+  if (!p.inner || !tun_) return;
+  ++received_;
+  tun_->inject(*p.inner);
+}
+
+}  // namespace vini::overlay

@@ -1,0 +1,122 @@
+// OpenVPN-style ingress (Section 4.2.3).
+//
+// End hosts "opt in" to an IIAS instance by connecting an OpenVPN client
+// that diverts their traffic to a server running on a designated ingress
+// node.  The client creates a TUN device, routes traffic into it, and
+// tunnels packets (with OpenVPN framing overhead) over UDP to the
+// server; the server decapsulates and hands them to the local Click
+// process.  Return traffic toward the client pool is routed across the
+// overlay to the ingress node (the server advertises the pool into the
+// IGP) and tunneled back down to the right client.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "overlay/iias_router.h"
+#include "tcpip/host_stack.h"
+
+namespace vini::overlay {
+
+inline constexpr std::uint16_t kOpenVpnPort = 1194;
+
+class OpenVpnClient;
+
+class OpenVpnServer {
+ public:
+  /// Attach a server to an ingress router.  `client_pool` is the overlay
+  /// prefix handed out to clients (advertised into the IGP as a stub).
+  OpenVpnServer(IiasRouter& router, packet::Prefix client_pool);
+  ~OpenVpnServer();
+
+  OpenVpnServer(const OpenVpnServer&) = delete;
+  OpenVpnServer& operator=(const OpenVpnServer&) = delete;
+
+  packet::IpAddress serverAddress() const { return router_.stack().address(); }
+  packet::Prefix clientPool() const { return pool_; }
+  std::size_t sessionCount() const { return by_source_.size(); }
+  std::uint64_t ingressPackets() const { return ingress_packets_; }
+  std::uint64_t egressPackets() const { return egress_element_->count(); }
+
+ private:
+  friend class OpenVpnClient;
+
+  /// The control-channel handshake: allocate an overlay address for a
+  /// client at (real_addr, real_port).  Returns zero when the pool is
+  /// exhausted.
+  packet::IpAddress openSession(packet::IpAddress real_addr,
+                                std::uint16_t real_port,
+                                std::uint32_t session_id);
+
+  void onDatagram(packet::Packet p);
+
+  /// Click element that carries overlay packets back down to clients.
+  class EgressElement final : public click::Element {
+   public:
+    explicit EgressElement(OpenVpnServer& server) : server_(server) {}
+    std::string className() const override { return "OpenVpnEgress"; }
+    void push(int, packet::Packet p) override;
+    std::uint64_t count() const { return count_; }
+
+   private:
+    OpenVpnServer& server_;
+    std::uint64_t count_ = 0;
+  };
+
+  struct Session {
+    packet::IpAddress real_addr;
+    std::uint16_t real_port = 0;
+    packet::IpAddress overlay_addr;
+    std::uint32_t session_id = 0;
+  };
+
+  void sendToClient(const Session& session, packet::Packet p);
+
+  IiasRouter& router_;
+  packet::Prefix pool_;
+  std::uint32_t next_host_ = 10;
+  std::map<packet::IpAddress, Session> by_source_;   ///< by client real addr
+  std::map<packet::IpAddress, Session> by_overlay_;  ///< by assigned addr
+  std::unique_ptr<EgressElement> egress_element_;
+  std::uint64_t ingress_packets_ = 0;
+};
+
+class OpenVpnClient {
+ public:
+  /// Create a client on an end host's stack, pointed at a server.
+  OpenVpnClient(tcpip::HostStack& stack, std::string name);
+  ~OpenVpnClient();
+
+  OpenVpnClient(const OpenVpnClient&) = delete;
+  OpenVpnClient& operator=(const OpenVpnClient&) = delete;
+
+  /// Perform the handshake with `server` and plumb the TUN device plus
+  /// routes: the overlay prefix and the default route are diverted into
+  /// the tunnel; a host route pins the server's real address to the
+  /// underlay.  Returns false if the server refused (pool exhausted).
+  bool connect(OpenVpnServer& server);
+
+  /// The overlay address assigned by the server (zero before connect).
+  packet::IpAddress overlayAddress() const { return overlay_addr_; }
+  bool connected() const { return !overlay_addr_.isZero(); }
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t received() const { return received_; }
+
+ private:
+  void onTunPacket(packet::Packet p);
+  void onDatagram(packet::Packet p);
+
+  tcpip::HostStack& stack_;
+  std::string name_;
+  tcpip::TunDevice* tun_ = nullptr;
+  tcpip::UdpSocket* socket_ = nullptr;
+  packet::IpAddress server_addr_;
+  packet::IpAddress overlay_addr_;
+  std::uint32_t session_id_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace vini::overlay

@@ -1,0 +1,42 @@
+#include "packet/checksum.h"
+
+namespace vini::packet {
+
+std::uint16_t onesComplementSum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += std::uint32_t{data[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(sum);
+}
+
+std::uint16_t internetChecksum(std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~onesComplementSum(data));
+}
+
+std::uint16_t incrementalChecksumUpdate(std::uint16_t old_checksum,
+                                        std::uint16_t old_word,
+                                        std::uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t incrementalChecksumUpdate32(std::uint16_t old_checksum,
+                                          std::uint32_t old_value,
+                                          std::uint32_t new_value) {
+  std::uint16_t c = old_checksum;
+  c = incrementalChecksumUpdate(c, static_cast<std::uint16_t>(old_value >> 16),
+                                static_cast<std::uint16_t>(new_value >> 16));
+  c = incrementalChecksumUpdate(c, static_cast<std::uint16_t>(old_value & 0xffff),
+                                static_cast<std::uint16_t>(new_value & 0xffff));
+  return c;
+}
+
+}  // namespace vini::packet

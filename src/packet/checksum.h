@@ -1,0 +1,31 @@
+// The Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//
+// The NAPT element must rewrite addresses/ports and patch checksums the
+// way a real translator does; the incremental form is what production
+// NATs use so a full-packet recompute is not needed per translation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace vini::packet {
+
+/// One's-complement sum over a byte range, folded to 16 bits (not inverted).
+std::uint16_t onesComplementSum(std::span<const std::uint8_t> data);
+
+/// Full Internet checksum: invert the folded one's-complement sum.
+std::uint16_t internetChecksum(std::span<const std::uint8_t> data);
+
+/// RFC 1624 incremental update: given the old checksum and a 16-bit field
+/// change old_word -> new_word, return the new checksum.
+std::uint16_t incrementalChecksumUpdate(std::uint16_t old_checksum,
+                                        std::uint16_t old_word,
+                                        std::uint16_t new_word);
+
+/// Incremental update for a 32-bit field (e.g. an IPv4 address).
+std::uint16_t incrementalChecksumUpdate32(std::uint16_t old_checksum,
+                                          std::uint32_t old_value,
+                                          std::uint32_t new_value);
+
+}  // namespace vini::packet

@@ -1,0 +1,173 @@
+#include "packet/headers.h"
+
+#include "packet/checksum.h"
+
+namespace vini::packet {
+
+namespace {
+
+void put8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> d, std::size_t off) {
+  return static_cast<std::uint16_t>((std::uint16_t{d[off]} << 8) | d[off + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> d, std::size_t off) {
+  return (std::uint32_t{get16(d, off)} << 16) | get16(d, off + 2);
+}
+
+}  // namespace
+
+void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  put8(out, 0x45);  // version 4, IHL 5
+  put8(out, tos);
+  put16(out, total_length);
+  put16(out, id);
+  put16(out, 0);  // flags + fragment offset: never fragmented in-sim
+  put8(out, ttl);
+  put8(out, static_cast<std::uint8_t>(proto));
+  put16(out, 0);  // checksum placeholder
+  put32(out, src.value());
+  put32(out, dst.value());
+  const std::uint16_t csum =
+      internetChecksum(std::span(out).subspan(start, kWireBytes));
+  out[start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(std::span<const std::uint8_t> d) {
+  if (d.size() < kWireBytes) return std::nullopt;
+  if ((d[0] >> 4) != 4 || (d[0] & 0x0f) != 5) return std::nullopt;
+  if (internetChecksum(d.subspan(0, kWireBytes)) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.tos = d[1];
+  h.total_length = get16(d, 2);
+  h.id = get16(d, 4);
+  h.ttl = d[8];
+  h.proto = static_cast<IpProto>(d[9]);
+  h.src = IpAddress(get32(d, 12));
+  h.dst = IpAddress(get32(d, 16));
+  return h;
+}
+
+void UdpHeader::serialize(std::vector<std::uint8_t>& out) const {
+  put16(out, src_port);
+  put16(out, dst_port);
+  put16(out, length);
+  put16(out, 0);  // checksum optional in IPv4; the sim relies on IP checksum
+}
+
+std::optional<UdpHeader> UdpHeader::parse(std::span<const std::uint8_t> d) {
+  if (d.size() < kWireBytes) return std::nullopt;
+  UdpHeader h;
+  h.src_port = get16(d, 0);
+  h.dst_port = get16(d, 2);
+  h.length = get16(d, 4);
+  return h;
+}
+
+std::uint8_t TcpFlags::toByte() const {
+  std::uint8_t b = 0;
+  if (fin) b |= 0x01;
+  if (syn) b |= 0x02;
+  if (rst) b |= 0x04;
+  if (psh) b |= 0x08;
+  if (ack) b |= 0x10;
+  return b;
+}
+
+TcpFlags TcpFlags::fromByte(std::uint8_t b) {
+  TcpFlags f;
+  f.fin = (b & 0x01) != 0;
+  f.syn = (b & 0x02) != 0;
+  f.rst = (b & 0x04) != 0;
+  f.psh = (b & 0x08) != 0;
+  f.ack = (b & 0x10) != 0;
+  return f;
+}
+
+std::string TcpFlags::str() const {
+  std::string s;
+  if (syn) s += 'S';
+  if (fin) s += 'F';
+  if (rst) s += 'R';
+  if (psh) s += 'P';
+  if (ack) s += '.';
+  return s.empty() ? "-" : s;
+}
+
+void TcpHeader::serialize(std::vector<std::uint8_t>& out) const {
+  put16(out, src_port);
+  put16(out, dst_port);
+  put32(out, seq);
+  put32(out, ack);
+  put8(out, 5 << 4);  // data offset 5 words, no options
+  put8(out, flags.toByte());
+  put16(out, window);
+  put16(out, 0);  // checksum: covered by IP-layer integrity in-sim
+  put16(out, 0);  // urgent pointer
+}
+
+std::optional<TcpHeader> TcpHeader::parse(std::span<const std::uint8_t> d) {
+  if (d.size() < kWireBytes) return std::nullopt;
+  if ((d[12] >> 4) != 5) return std::nullopt;
+  TcpHeader h;
+  h.src_port = get16(d, 0);
+  h.dst_port = get16(d, 2);
+  h.seq = get32(d, 4);
+  h.ack = get32(d, 8);
+  h.flags = TcpFlags::fromByte(d[13]);
+  h.window = get16(d, 14);
+  return h;
+}
+
+void IcmpHeader::serialize(std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  put8(out, type);
+  put8(out, code);
+  put16(out, 0);  // checksum placeholder
+  put16(out, ident);
+  put16(out, seq);
+  const std::uint16_t csum =
+      internetChecksum(std::span(out).subspan(start, kWireBytes));
+  out[start + 2] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 3] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+std::optional<IcmpHeader> IcmpHeader::parse(std::span<const std::uint8_t> d) {
+  if (d.size() < kWireBytes) return std::nullopt;
+  if (internetChecksum(d.subspan(0, kWireBytes)) != 0) return std::nullopt;
+  IcmpHeader h;
+  h.type = d[0];
+  h.code = d[1];
+  h.ident = get16(d, 4);
+  h.seq = get16(d, 6);
+  return h;
+}
+
+void OpenVpnHeader::serialize(std::vector<std::uint8_t>& out) const {
+  put8(out, opcode);
+  put32(out, session_id);
+  for (int i = 0; i < 16; ++i) put8(out, 0);  // HMAC bytes (not computed)
+}
+
+std::optional<OpenVpnHeader> OpenVpnHeader::parse(std::span<const std::uint8_t> d) {
+  if (d.size() < kWireBytes) return std::nullopt;
+  OpenVpnHeader h;
+  h.opcode = d[0];
+  h.session_id = get32(d, 1);
+  return h;
+}
+
+}  // namespace vini::packet

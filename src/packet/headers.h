@@ -1,0 +1,130 @@
+// Protocol headers.
+//
+// Packets in the simulation carry structured headers (fast to copy and
+// inspect), but each header also has a faithful wire encoding used by the
+// serialization layer: byte-accurate field layout and Internet checksums.
+// This keeps sizes honest (link serialization delay, MTU accounting) and
+// lets the NAPT element patch checksums exactly as a real box would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "packet/ip_address.h"
+
+namespace vini::packet {
+
+/// IP protocol numbers used by the system.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+  kOspf = 89,
+};
+
+/// Ethernet framing constants. The virtual Ethernet devices (UML-style)
+/// and the physical NICs both frame packets; links additionally charge
+/// preamble + interframe gap when computing serialization time.
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kEthernetFcsBytes = 4;
+inline constexpr std::size_t kEthernetPreambleAndGapBytes = 20;
+inline constexpr std::size_t kEthernetOverheadOnWire =
+    kEthernetHeaderBytes + kEthernetFcsBytes + kEthernetPreambleAndGapBytes;
+inline constexpr std::size_t kDefaultMtu = 1500;
+
+/// IPv4 header (options unsupported; IHL fixed at 5).
+struct Ipv4Header {
+  IpAddress src;
+  IpAddress dst;
+  IpProto proto = IpProto::kUdp;
+  std::uint8_t ttl = 64;
+  std::uint8_t tos = 0;
+  std::uint16_t id = 0;
+  std::uint16_t total_length = 0;  // filled in by serialization / senders
+
+  static constexpr std::size_t kWireBytes = 20;
+
+  /// Serialize with a correct header checksum.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  /// Parse; returns nullopt on truncation, bad version, or bad checksum.
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> data);
+};
+
+/// UDP header. `length` covers header + payload.
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+
+  static constexpr std::size_t kWireBytes = 8;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<UdpHeader> parse(std::span<const std::uint8_t> data);
+};
+
+/// TCP flag bits (subset the stack uses).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  std::uint8_t toByte() const;
+  static TcpFlags fromByte(std::uint8_t b);
+  std::string str() const;
+  bool operator==(const TcpFlags&) const = default;
+};
+
+/// TCP header (no options on the wire; MSS is negotiated out of band by
+/// the stack, as the simulation's connections share one MTU domain).
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 0;
+
+  static constexpr std::size_t kWireBytes = 20;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<TcpHeader> parse(std::span<const std::uint8_t> data);
+};
+
+/// ICMP header: echo request/reply (ping) plus the error messages
+/// traceroute depends on (time exceeded, destination unreachable).
+struct IcmpHeader {
+  std::uint8_t type = 8;  // 8 = echo request, 0 = echo reply
+  std::uint8_t code = 0;
+  std::uint16_t ident = 0;
+  std::uint16_t seq = 0;
+
+  static constexpr std::size_t kWireBytes = 8;
+  static constexpr std::uint8_t kEchoRequest = 8;
+  static constexpr std::uint8_t kEchoReply = 0;
+  static constexpr std::uint8_t kDestUnreachable = 3;
+  static constexpr std::uint8_t kTimeExceeded = 11;
+  static constexpr std::uint8_t kCodePortUnreachable = 3;
+  static constexpr std::uint8_t kCodeTtlExpired = 0;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<IcmpHeader> parse(std::span<const std::uint8_t> data);
+};
+
+/// OpenVPN-style encapsulation header: opcode + session id + HMAC.
+/// We model the bytes (the paper's ingress tunnels add real overhead) but
+/// not the cryptography, which is irrelevant to the evaluation.
+struct OpenVpnHeader {
+  std::uint8_t opcode = 0x30;       // P_DATA_V1-like
+  std::uint32_t session_id = 0;
+  static constexpr std::size_t kWireBytes = 1 + 4 + 16;  // opcode, session, HMAC
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<OpenVpnHeader> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace vini::packet

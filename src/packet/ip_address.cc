@@ -1,0 +1,83 @@
+#include "packet/ip_address.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vini::packet {
+
+std::optional<IpAddress> IpAddress::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return IpAddress(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                   static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+IpAddress IpAddress::mustParse(const std::string& text) {
+  auto addr = parse(text);
+  if (!addr) throw std::invalid_argument("bad IPv4 address: " + text);
+  return *addr;
+}
+
+std::string IpAddress::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, IpAddress addr) {
+  return os << addr.str();
+}
+
+Prefix::Prefix(IpAddress addr, int length) : length_(length) {
+  if (length < 0 || length > 32) throw std::invalid_argument("bad prefix length");
+  addr_ = IpAddress(addr.value() & (length == 0 ? 0 : ~std::uint32_t{0} << (32 - length)));
+}
+
+std::optional<Prefix> Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  try {
+    const int len = std::stoi(text.substr(slash + 1));
+    if (len < 0 || len > 32) return std::nullopt;
+    return Prefix(*addr, len);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+Prefix Prefix::mustParse(const std::string& text) {
+  auto p = parse(text);
+  if (!p) throw std::invalid_argument("bad IPv4 prefix: " + text);
+  return *p;
+}
+
+std::uint32_t Prefix::mask() const {
+  return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+}
+
+bool Prefix::contains(IpAddress addr) const {
+  return (addr.value() & mask()) == addr_.value();
+}
+
+bool Prefix::covers(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.addr_);
+}
+
+IpAddress Prefix::hostAt(std::uint32_t n) const {
+  return IpAddress(addr_.value() | (n & ~mask()));
+}
+
+std::string Prefix::str() const {
+  return addr_.str() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& p) {
+  return os << p.str();
+}
+
+}  // namespace vini::packet

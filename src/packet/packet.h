@@ -1,0 +1,129 @@
+// The Packet value type.
+//
+// A Packet is an IPv4 packet with one optional transport header and either
+// an opaque payload length, a structured application payload (used by the
+// control-plane protocols riding inside the overlay), or a nested inner
+// packet (tunnel encapsulation: the overlay's UDP tunnels and the OpenVPN
+// ingress wrap whole IP packets as UDP payload, exactly as in Figure 2 of
+// the paper).  Packets are cheap to copy; nested packets are shared and
+// immutable once encapsulated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "packet/headers.h"
+#include "packet/ip_address.h"
+#include "sim/time.h"
+
+namespace vini::packet {
+
+/// Base for structured in-simulation payloads (routing protocol messages).
+/// sizeBytes() must report the message's honest wire size so that links
+/// and CPU models charge control traffic correctly.
+struct AppPayload {
+  virtual ~AppPayload() = default;
+  virtual std::size_t sizeBytes() const = 0;
+  virtual std::string describe() const { return "payload"; }
+};
+
+/// Measurement metadata carried alongside a packet (not on the wire).
+struct PacketMeta {
+  sim::Time app_send_time = -1;  ///< stamped by traffic sources for RTT/jitter
+  std::uint64_t flow_id = 0;     ///< traffic source identifier
+  std::uint64_t app_seq = 0;     ///< per-flow sequence number (loss detection)
+  int slice_id = -1;             ///< owning slice, for VNET-style accounting
+
+  // Click-style annotations: set and consumed inside a router graph
+  // (LookupIPRoute -> EncapTable -> ToSocket); never on the wire.
+  IpAddress next_hop;            ///< chosen by the FIB lookup
+  IpAddress encap_dst;           ///< tunnel endpoint (underlay address)
+  std::uint16_t encap_port = 0;  ///< tunnel UDP port
+};
+
+class Packet;
+using PacketPtr = std::shared_ptr<const Packet>;
+
+class Packet {
+ public:
+  using L4 = std::variant<std::monostate, UdpHeader, TcpHeader, IcmpHeader>;
+
+  Ipv4Header ip;
+  L4 l4;
+  /// Opaque payload size; ignored when `inner` or `app` is set.
+  std::size_t payload_bytes = 0;
+  /// Structured payload (routing messages); contributes sizeBytes().
+  std::shared_ptr<const AppPayload> app;
+  /// Encapsulated packet (tunnelling); contributes its full IP size.
+  PacketPtr inner;
+  /// Extra encapsulation bytes between L4 and inner (e.g. OpenVPN header).
+  std::size_t encap_extra_bytes = 0;
+  PacketMeta meta;
+
+  // -- Constructors for the common shapes ---------------------------------
+
+  static Packet udp(IpAddress src, IpAddress dst, std::uint16_t sport,
+                    std::uint16_t dport, std::size_t payload_bytes);
+  static Packet tcp(IpAddress src, IpAddress dst, const TcpHeader& header,
+                    std::size_t payload_bytes);
+  static Packet icmpEchoRequest(IpAddress src, IpAddress dst, std::uint16_t ident,
+                                std::uint16_t seq, std::size_t payload_bytes);
+  static Packet icmpEchoReply(const Packet& request);
+
+  /// ICMP error (time exceeded, destination unreachable) about
+  /// `original`, sourced from `reporter`.  Carries the original packet's
+  /// measurement metadata so probes (traceroute) can be correlated, and
+  /// the conventional "IP header + 8 bytes" of quoted payload.
+  static Packet icmpError(IpAddress reporter, std::uint8_t type,
+                          std::uint8_t code, const Packet& original);
+
+  /// Wrap `inner` in a UDP tunnel packet between two underlay endpoints.
+  static Packet encapsulateUdp(IpAddress src, IpAddress dst, std::uint16_t sport,
+                               std::uint16_t dport, PacketPtr inner,
+                               std::size_t extra_bytes = 0);
+
+  // -- Accessors -----------------------------------------------------------
+
+  bool isUdp() const { return std::holds_alternative<UdpHeader>(l4); }
+  bool isTcp() const { return std::holds_alternative<TcpHeader>(l4); }
+  bool isIcmp() const { return std::holds_alternative<IcmpHeader>(l4); }
+
+  const UdpHeader* udpHeader() const { return std::get_if<UdpHeader>(&l4); }
+  const TcpHeader* tcpHeader() const { return std::get_if<TcpHeader>(&l4); }
+  const IcmpHeader* icmpHeader() const { return std::get_if<IcmpHeader>(&l4); }
+  UdpHeader* udpHeader() { return std::get_if<UdpHeader>(&l4); }
+  TcpHeader* tcpHeader() { return std::get_if<TcpHeader>(&l4); }
+  IcmpHeader* icmpHeader() { return std::get_if<IcmpHeader>(&l4); }
+
+  /// Size of the transport header, if any.
+  std::size_t l4HeaderBytes() const;
+
+  /// Payload size as seen by L4 (inner packet size, app size, or raw bytes).
+  std::size_t l4PayloadBytes() const;
+
+  /// Total IP packet size: IP header + L4 header + payload.
+  std::size_t ipPacketBytes() const;
+
+  /// Bytes occupied on an Ethernet wire (adds framing, preamble, gap).
+  /// This is what links use to compute serialization time.
+  std::size_t wireBytes() const {
+    return ipPacketBytes() + kEthernetOverheadOnWire;
+  }
+
+  /// Serialize the full packet (recursively for tunnels) to wire bytes.
+  /// The structured `app` payload serializes as zero padding of its size.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a packet previously produced by serialize().  Structured
+  /// payloads do not round-trip (they come back as opaque bytes).
+  static std::optional<Packet> parse(std::span<const std::uint8_t> data);
+
+  /// One-line human-readable summary ("10.1.1.2 > 10.1.2.3 udp 1430b").
+  std::string summary() const;
+};
+
+}  // namespace vini::packet

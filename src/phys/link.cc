@@ -1,0 +1,84 @@
+#include "phys/link.h"
+
+#include <utility>
+
+namespace vini::phys {
+
+Channel::Channel(sim::EventQueue& queue, sim::Random& random,
+                 const LinkConfig& config, const bool& link_up)
+    : queue_(queue), random_(random), config_(config), link_up_(link_up) {}
+
+void Channel::transmit(packet::Packet p) {
+  if (!link_up_) {
+    ++stats_.down_drops;
+    return;
+  }
+  const std::size_t wire = p.wireBytes();
+  if (queued_bytes_ + wire > config_.queue_bytes) {
+    ++stats_.queue_drops;
+    return;
+  }
+  queued_bytes_ += wire;
+  tx_queue_.push_back(std::move(p));
+  if (!transmitting_) startNextTransmission();
+}
+
+void Channel::startNextTransmission() {
+  if (tx_queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  packet::Packet p = std::move(tx_queue_.front());
+  tx_queue_.pop_front();
+  const std::size_t wire = p.wireBytes();
+  queued_bytes_ -= wire;
+
+  const auto serialization = static_cast<sim::Duration>(
+      static_cast<double>(wire) * 8.0 / config_.bandwidth_bps *
+      static_cast<double>(sim::kSecond));
+
+  queue_.scheduleAfter(serialization, [this, p = std::move(p)]() mutable {
+    ++stats_.tx_packets;
+    stats_.tx_bytes += p.wireBytes();
+    // The wire is free again; start the next frame.
+    const bool lost = !link_up_ ||
+                      (config_.loss_rate > 0.0 && random_.chance(config_.loss_rate));
+    if (lost) {
+      if (!link_up_) {
+        ++stats_.down_drops;
+      } else {
+        ++stats_.loss_drops;
+      }
+    } else {
+      queue_.scheduleAfter(config_.propagation,
+                           [this, p = std::move(p)]() mutable {
+                             // A link that died mid-flight eats the packet:
+                             // physical fate sharing.
+                             if (!link_up_) {
+                               ++stats_.down_drops;
+                               return;
+                             }
+                             if (deliver_) deliver_(std::move(p));
+                           });
+    }
+    startNextTransmission();
+  });
+}
+
+PhysLink::PhysLink(int id, std::string name, NodeId a, NodeId b,
+                   sim::EventQueue& queue, sim::Random& random, LinkConfig config)
+    : id_(id),
+      name_(std::move(name)),
+      a_(a),
+      b_(b),
+      ab_(queue, random, config, up_),
+      ba_(queue, random, config, up_) {}
+
+void PhysLink::setUp(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  for (auto& listener : listeners_) listener(*this, up_);
+}
+
+}  // namespace vini::phys

@@ -1,0 +1,120 @@
+// Physical links.
+//
+// A PhysLink is a full-duplex point-to-point link between two physical
+// nodes: a pair of unidirectional channels, each modelling serialization
+// time (bandwidth), a drop-tail output queue, propagation delay, random
+// loss, and an up/down state.  Link state changes are observable — the
+// VINI layer subscribes so virtual links can share fate with the
+// physical components beneath them (Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace vini::phys {
+
+using NodeId = int;
+
+struct LinkConfig {
+  double bandwidth_bps = 1e9;                       ///< Gig-E by default
+  sim::Duration propagation = 0;                    ///< one-way delay
+  std::size_t queue_bytes = 512 * 1024;             ///< drop-tail output queue
+  double loss_rate = 0.0;                           ///< random per-packet loss
+  double weight = 1.0;                              ///< underlay routing metric
+};
+
+/// Counters for one direction of a link.
+struct ChannelStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t loss_drops = 0;
+  std::uint64_t down_drops = 0;
+};
+
+/// One direction of a physical link.
+class Channel {
+ public:
+  using DeliverFn = std::function<void(packet::Packet)>;
+
+  Channel(sim::EventQueue& queue, sim::Random& random, const LinkConfig& config,
+          const bool& link_up);
+
+  /// Enqueue a packet for transmission; it is delivered to the receiver's
+  /// handler after queueing + serialization + propagation, unless dropped.
+  void transmit(packet::Packet p);
+
+  /// The receiving node installs its delivery handler here.
+  void setDeliverHandler(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  const ChannelStats& stats() const { return stats_; }
+  std::size_t queuedBytes() const { return queued_bytes_; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  void startNextTransmission();
+
+  sim::EventQueue& queue_;
+  sim::Random& random_;
+  LinkConfig config_;
+  const bool& link_up_;
+  DeliverFn deliver_;
+  std::deque<packet::Packet> tx_queue_;
+  std::size_t queued_bytes_ = 0;
+  bool transmitting_ = false;
+  ChannelStats stats_;
+};
+
+/// A full-duplex physical link between nodes `a` and `b`.
+class PhysLink {
+ public:
+  using StateListener = std::function<void(PhysLink&, bool up)>;
+
+  PhysLink(int id, std::string name, NodeId a, NodeId b,
+           sim::EventQueue& queue, sim::Random& random, LinkConfig config);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  NodeId nodeA() const { return a_; }
+  NodeId nodeB() const { return b_; }
+  const LinkConfig& config() const { return ab_.config(); }
+
+  /// True if `n` is one of the link's endpoints.
+  bool attaches(NodeId n) const { return n == a_ || n == b_; }
+  /// The endpoint opposite `n`.
+  NodeId peerOf(NodeId n) const { return n == a_ ? b_ : a_; }
+
+  /// The transmit channel out of node `n`.
+  Channel& channelFrom(NodeId n) { return n == a_ ? ab_ : ba_; }
+  const Channel& channelFrom(NodeId n) const { return n == a_ ? ab_ : ba_; }
+
+  bool isUp() const { return up_; }
+  /// Fail or restore the link; notifies subscribers on change.
+  void setUp(bool up);
+
+  /// Subscribe to up/down transitions (used by the VINI fate-sharing and
+  /// upcall machinery).
+  void subscribe(StateListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+ private:
+  int id_;
+  std::string name_;
+  NodeId a_;
+  NodeId b_;
+  bool up_ = true;
+  Channel ab_;
+  Channel ba_;
+  std::vector<StateListener> listeners_;
+};
+
+}  // namespace vini::phys

@@ -1,0 +1,147 @@
+#include "phys/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace vini::phys {
+
+PhysNetwork::PhysNetwork(sim::EventQueue& queue, NetworkConfig config)
+    : queue_(queue), config_(config), random_(config.seed) {}
+
+PhysNode& PhysNetwork::addNode(const std::string& name, packet::IpAddress address,
+                               cpu::SchedulerConfig cpu_config) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (cpu_config.seed == 1) cpu_config.seed = config_.seed + 1000 + id;
+  nodes_.push_back(std::make_unique<PhysNode>(id, name, queue_, cpu_config));
+  nodes_.back()->setAddress(address);
+  name_to_node_[name] = id;
+  if (!address.isZero()) address_to_node_[address] = id;
+  routes_dirty_ = true;
+  return *nodes_.back();
+}
+
+PhysLink& PhysNetwork::addLink(PhysNode& a, PhysNode& b, LinkConfig config) {
+  const int id = static_cast<int>(links_.size());
+  links_.push_back(std::make_unique<PhysLink>(
+      id, a.name() + "-" + b.name(), a.id(), b.id(), queue_, random_, config));
+  PhysLink& link = *links_.back();
+  a.attachLink(link);
+  b.attachLink(link);
+  // Apply the masking policy on every state change.
+  link.subscribe([this](PhysLink&, bool) {
+    if (config_.mask_failures) {
+      queue_.scheduleAfter(config_.reroute_delay, [this] { recomputeRoutes(); });
+    }
+    // In expose mode routes stay pinned to the configured topology, so
+    // nothing to do: packets hitting the dead link are dropped.
+  });
+  routes_dirty_ = true;
+  return link;
+}
+
+void PhysNetwork::registerAddress(packet::IpAddress addr, NodeId node) {
+  address_to_node_[addr] = node;
+}
+
+PhysNode* PhysNetwork::nodeById(NodeId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) return nullptr;
+  return nodes_[static_cast<std::size_t>(id)].get();
+}
+
+PhysNode* PhysNetwork::nodeByName(const std::string& name) {
+  auto it = name_to_node_.find(name);
+  return it == name_to_node_.end() ? nullptr : nodes_[it->second].get();
+}
+
+NodeId PhysNetwork::nodeForAddress(packet::IpAddress addr) const {
+  auto it = address_to_node_.find(addr);
+  return it == address_to_node_.end() ? -1 : it->second;
+}
+
+PhysLink* PhysNetwork::linkById(int id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= links_.size()) return nullptr;
+  return links_[static_cast<std::size_t>(id)].get();
+}
+
+PhysLink* PhysNetwork::linkBetween(NodeId a, NodeId b) {
+  for (auto& link : links_) {
+    if (link->attaches(a) && link->attaches(b)) return link.get();
+  }
+  return nullptr;
+}
+
+PhysLink* PhysNetwork::linkBetween(const std::string& a, const std::string& b) {
+  PhysNode* na = nodeByName(a);
+  PhysNode* nb = nodeByName(b);
+  if (!na || !nb) return nullptr;
+  return linkBetween(na->id(), nb->id());
+}
+
+void PhysNetwork::runDijkstra(NodeId src, std::vector<int>& next_link_out) const {
+  const std::size_t n = nodes_.size();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<int> first_link(n, -1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const PhysLink* link : nodes_[static_cast<std::size_t>(u)]->links()) {
+      if (config_.mask_failures && !link->isUp()) continue;
+      const NodeId v = link->peerOf(u);
+      const double nd = d + link->config().weight;
+      auto& dv = dist[static_cast<std::size_t>(v)];
+      // Tie-break deterministically by link id for repeatability.
+      if (nd < dv) {
+        dv = nd;
+        first_link[static_cast<std::size_t>(v)] =
+            (u == src) ? link->id() : first_link[static_cast<std::size_t>(u)];
+        pq.push({nd, v});
+      }
+    }
+  }
+  next_link_out = std::move(first_link);
+}
+
+void PhysNetwork::recomputeRoutes() {
+  const std::size_t n = nodes_.size();
+  next_link_.assign(n, {});
+  for (std::size_t src = 0; src < n; ++src) {
+    runDijkstra(static_cast<NodeId>(src), next_link_[src]);
+  }
+  routes_dirty_ = false;
+}
+
+PhysLink* PhysNetwork::nextLinkFor(NodeId from, packet::IpAddress dst) {
+  const NodeId dest = nodeForAddress(dst);
+  if (dest < 0 || dest == from) return nullptr;
+  if (routes_dirty_) recomputeRoutes();
+  const int link_id = next_link_[static_cast<std::size_t>(from)]
+                                [static_cast<std::size_t>(dest)];
+  return link_id < 0 ? nullptr : links_[static_cast<std::size_t>(link_id)].get();
+}
+
+std::vector<PhysLink*> PhysNetwork::pathBetween(NodeId a, NodeId b) {
+  if (routes_dirty_) recomputeRoutes();
+  std::vector<PhysLink*> path;
+  NodeId cur = a;
+  std::size_t guard = 0;
+  while (cur != b && guard++ <= links_.size()) {
+    const int link_id =
+        next_link_[static_cast<std::size_t>(cur)][static_cast<std::size_t>(b)];
+    if (link_id < 0) return {};
+    PhysLink* link = links_[static_cast<std::size_t>(link_id)].get();
+    path.push_back(link);
+    cur = link->peerOf(cur);
+  }
+  if (cur != b) return {};
+  return path;
+}
+
+void PhysNetwork::setLinkState(PhysLink& link, bool up) { link.setUp(up); }
+
+}  // namespace vini::phys

@@ -1,0 +1,13 @@
+#include "phys/node.h"
+
+namespace vini::phys {
+
+void PhysNode::attachLink(PhysLink& link) {
+  links_.push_back(&link);
+  link.channelFrom(link.peerOf(id_))
+      .setDeliverHandler([this, &link](packet::Packet p) {
+        if (handler_) handler_(std::move(p), link);
+      });
+}
+
+}  // namespace vini::phys

@@ -1,0 +1,97 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace vini::sim {
+
+EventId EventQueue::schedule(Time when, Callback cb) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Only events still awaiting execution can be cancelled.
+  if (pending_ids_.erase(id) == 0) return false;
+  // Lazy cancellation: mark the id and skip it when popped.
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_ids_.erase(e.id);
+    now_ = e.when;
+    ++executed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::runUntil(Time deadline) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = queue_.scheduleAfter(period_, [this] { fire(); });
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != 0) {
+    queue_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+void PeriodicTimer::fire() {
+  pending_ = 0;
+  if (!running_) return;
+  // Re-arm before invoking so the callback may stop() or setPeriod().
+  pending_ = queue_.scheduleAfter(period_, [this] { fire(); });
+  fn_();
+}
+
+void OneShotTimer::armAfter(Duration delay) {
+  cancel();
+  pending_ = queue_.scheduleAfter(delay, [this] {
+    pending_ = 0;
+    fn_();
+  });
+}
+
+void OneShotTimer::cancel() {
+  if (pending_ != 0) {
+    queue_.cancel(pending_);
+    pending_ = 0;
+  }
+}
+
+}  // namespace vini::sim

@@ -1,0 +1,145 @@
+// Discrete-event engine.
+//
+// The EventQueue is the heart of the substrate: every physical link
+// transmission, CPU scheduling decision, protocol timer, and application
+// action is an event.  Events at equal timestamps execute in scheduling
+// order (FIFO by sequence number), which keeps runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vini::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+/// A deterministic discrete-event scheduler.
+///
+/// Usage:
+///   EventQueue q;
+///   q.schedule(q.now() + kSecond, [] { ... });
+///   q.runUntil(10 * kSecond);
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulation time.  Advances only inside run()/runUntil()/step().
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (clamped to now()).
+  /// Returns a handle that can be passed to cancel().
+  EventId schedule(Time when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after the current time.
+  EventId scheduleAfter(Duration delay, Callback cb) {
+    return schedule(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  /// Cancel a previously scheduled event.  Returns true if the event was
+  /// still pending (i.e. it will no longer fire).
+  bool cancel(EventId id);
+
+  /// Execute the single next pending event.  Returns false if none remain.
+  bool step();
+
+  /// Run until the queue drains or `deadline` is reached.  Time is left at
+  /// `deadline` if it was reached, else at the last event executed.
+  void runUntil(Time deadline);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  /// Number of events still pending (cancelled events are excluded).
+  std::size_t pendingCount() const { return pending_ids_.size(); }
+
+  /// Total number of events executed since construction.
+  std::uint64_t executedCount() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when = 0;
+    EventId id = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_ids_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// A repeating timer built on EventQueue; cancels cleanly on destruction.
+///
+/// Used by protocol implementations (OSPF hellos, BGP keepalives, traffic
+/// generators) that need a periodic callback which can be rescheduled or
+/// stopped at any point.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(EventQueue& queue, Duration period, std::function<void()> fn)
+      : queue_(queue), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Arm the timer; first firing occurs one period from now.
+  void start();
+  /// Disarm the timer; no further firings.
+  void stop();
+  /// Change the period; takes effect from the next (re)scheduling.
+  void setPeriod(Duration period) { period_ = period; }
+  Duration period() const { return period_; }
+  bool running() const { return running_; }
+
+ private:
+  void fire();
+
+  EventQueue& queue_;
+  Duration period_;
+  std::function<void()> fn_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+/// A one-shot timer that can be re-armed; models protocol hold timers
+/// (e.g. the OSPF router-dead interval) that are repeatedly pushed back.
+class OneShotTimer {
+ public:
+  OneShotTimer(EventQueue& queue, std::function<void()> fn)
+      : queue_(queue), fn_(std::move(fn)) {}
+  ~OneShotTimer() { cancel(); }
+
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  /// (Re)arm the timer to fire `delay` from now, replacing any pending firing.
+  void armAfter(Duration delay);
+  /// Disarm; no firing until re-armed.
+  void cancel();
+  bool pending() const { return pending_ != 0; }
+
+ private:
+  EventQueue& queue_;
+  std::function<void()> fn_;
+  EventId pending_ = 0;
+};
+
+}  // namespace vini::sim

@@ -1,0 +1,39 @@
+#include "sim/log.h"
+
+#include <iomanip>
+
+namespace vini::sim {
+
+Log& Log::instance() {
+  static Log log;
+  return log;
+}
+
+namespace {
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(Time now, LogLevel level, const std::string& component,
+                const std::string& message) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6) << toSeconds(now) << "s ["
+     << levelName(level) << "] " << component << ": " << message << "\n";
+  std::cerr << os.str();
+}
+
+void logAt(Time now, LogLevel level, const std::string& component,
+           const std::string& message) {
+  Log& log = Log::instance();
+  if (log.shouldLog(level, component)) log.write(now, level, component, message);
+}
+
+}  // namespace vini::sim

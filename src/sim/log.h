@@ -1,0 +1,49 @@
+// Minimal leveled logger, prefixed with simulation time.
+//
+// Logging is off by default so tests and benches run quietly; experiments
+// flip it on per component ("ospf", "click", ...) when debugging.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+#include "sim/time.h"
+
+namespace vini::sim {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration (a deliberate singleton: logging is the one
+/// piece of state that is not part of experiment repeatability).
+class Log {
+ public:
+  static Log& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Restrict output to the named components; empty set means "all".
+  void enableComponent(const std::string& name) { components_.insert(name); }
+  void clearComponents() { components_.clear(); }
+
+  bool shouldLog(LogLevel level, const std::string& component) const {
+    if (level < level_) return false;
+    return components_.empty() || components_.count(component) != 0;
+  }
+
+  void write(Time now, LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Log() = default;
+  LogLevel level_ = LogLevel::kOff;
+  std::unordered_set<std::string> components_;
+};
+
+/// Log a message if the component/level is enabled.
+void logAt(Time now, LogLevel level, const std::string& component,
+           const std::string& message);
+
+}  // namespace vini::sim

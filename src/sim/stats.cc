@@ -1,0 +1,69 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+namespace vini::sim {
+
+void SampleStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void SampleStats::clear() { *this = SampleStats{}; }
+
+double SampleStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double SampleStats::mdev() const {
+  if (n_ == 0) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double m = sum_ / n;
+  const double var = sum_sq_ / n - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+SampleStats TimeSeries::stats() const {
+  SampleStats s;
+  for (const Point& p : points_) s.add(p.value);
+  return s;
+}
+
+SampleStats TimeSeries::statsBetween(Time from, Time to) const {
+  SampleStats s;
+  for (const Point& p : points_) {
+    if (p.t >= from && p.t < to) s.add(p.value);
+  }
+  return s;
+}
+
+void TimeSeries::writeCsv(std::ostream& os) const {
+  os << "seconds," << (name_.empty() ? "value" : name_) << "\n";
+  for (const Point& p : points_) {
+    os << toSeconds(p.t) << "," << p.value << "\n";
+  }
+}
+
+void JitterEstimator::onPacket(Time sent, Time received) {
+  ++packets_;
+  const Time transit = received - sent;
+  if (have_prev_) {
+    double d = toMillis(transit - prev_transit_);
+    if (d < 0) d = -d;
+    jitter_ms_ += (d - jitter_ms_) / 16.0;
+  }
+  prev_transit_ = transit;
+  have_prev_ = true;
+}
+
+}  // namespace vini::sim

@@ -1,0 +1,100 @@
+// Measurement containers used by every experiment.
+//
+// SampleStats accumulates scalar observations (throughput per run, RTT per
+// probe) and reports the aggregates the paper's tables use: min / avg /
+// max, standard deviation, and `mdev` as computed by ping(8).
+// TimeSeries records (time, value) points for figure-style output.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vini::sim {
+
+/// Streaming scalar statistics over a set of observations.
+class SampleStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Sample standard deviation (n-1 denominator); 0 with fewer than 2 points.
+  double stddev() const;
+
+  /// Mean absolute deviation around the mean, as ping(8) reports ("mdev").
+  /// ping computes sqrt(E[x^2] - E[x]^2), i.e. the population deviation.
+  double mdev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A time-indexed series of scalar samples, e.g. "bytes received so far"
+/// or "RTT of the probe sent at time t".  Supports CSV dumping so every
+/// figure bench can emit a replottable artifact.
+class TimeSeries {
+ public:
+  struct Point {
+    Time t = 0;
+    double value = 0.0;
+  };
+
+  explicit TimeSeries(std::string name = {}) : name_(std::move(name)) {}
+
+  void add(Time t, double value) { points_.push_back({t, value}); }
+  void clear() { points_.clear(); }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Aggregate statistics over the values (ignores timestamps).
+  SampleStats stats() const;
+
+  /// Values restricted to t in [from, to).
+  SampleStats statsBetween(Time from, Time to) const;
+
+  /// Write "seconds,value" rows (header included) for external plotting.
+  void writeCsv(std::ostream& os) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// Interarrival jitter as iperf computes it (RFC 1889 Section 6.3.1):
+/// J += (|D(i-1,i)| - J) / 16, where D is the difference between the
+/// receive spacing and the send spacing of consecutive packets.
+class JitterEstimator {
+ public:
+  /// Feed one received packet (its send timestamp and receive timestamp).
+  void onPacket(Time sent, Time received);
+
+  /// Current smoothed jitter, in milliseconds.
+  double jitterMs() const { return jitter_ms_; }
+  std::size_t packets() const { return packets_; }
+
+ private:
+  bool have_prev_ = false;
+  Time prev_transit_ = 0;
+  double jitter_ms_ = 0.0;
+  std::size_t packets_ = 0;
+};
+
+}  // namespace vini::sim

@@ -1,0 +1,47 @@
+// Simulated time for the VINI substrate.
+//
+// All simulation time is kept as a signed 64-bit count of nanoseconds.
+// A signed representation makes interval arithmetic (t2 - t1) safe and
+// lets -1 serve as an explicit "no deadline" sentinel where needed.
+#pragma once
+
+#include <cstdint>
+
+namespace vini::sim {
+
+/// Simulation time in nanoseconds since the start of the run.
+using Time = std::int64_t;
+
+/// Duration in nanoseconds (same representation as Time).
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Convert a duration to fractional seconds (for reporting only).
+constexpr double toSeconds(Duration d) { return static_cast<double>(d) / kSecond; }
+
+/// Convert a duration to fractional milliseconds (for reporting only).
+constexpr double toMillis(Duration d) { return static_cast<double>(d) / kMillisecond; }
+
+/// Convert a duration to fractional microseconds (for reporting only).
+constexpr double toMicros(Duration d) { return static_cast<double>(d) / kMicrosecond; }
+
+/// Convert fractional seconds to a duration, rounding to the nearest tick.
+constexpr Duration fromSeconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert fractional milliseconds to a duration.
+constexpr Duration fromMillis(double ms) {
+  return fromSeconds(ms / 1e3);
+}
+
+/// Convert fractional microseconds to a duration.
+constexpr Duration fromMicros(double us) {
+  return fromSeconds(us / 1e6);
+}
+
+}  // namespace vini::sim

@@ -1,0 +1,37 @@
+#include "tcpip/routing_table.h"
+
+namespace vini::tcpip {
+
+void RoutingTable::addRoute(const Route& route) {
+  for (auto& r : routes_) {
+    if (r.prefix == route.prefix && r.metric == route.metric) {
+      r = route;
+      return;
+    }
+  }
+  routes_.push_back(route);
+}
+
+bool RoutingTable::removeRoute(const packet::Prefix& prefix) {
+  for (auto it = routes_.begin(); it != routes_.end(); ++it) {
+    if (it->prefix == prefix) {
+      routes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const Route* RoutingTable::lookup(packet::IpAddress dst) const {
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.prefix.contains(dst)) continue;
+    if (!best || r.prefix.length() > best->prefix.length() ||
+        (r.prefix.length() == best->prefix.length() && r.metric < best->metric)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+}  // namespace vini::tcpip

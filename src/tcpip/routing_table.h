@@ -1,0 +1,45 @@
+// The kernel routing table.
+//
+// Longest-prefix-match over (prefix -> device [+ gateway]) entries.  On a
+// PL-VINI node the interesting configuration is exactly the paper's:
+// 10.0.0.0/8 routes to the slice's tap0 device (pulling overlay-addressed
+// traffic into Click), and 0.0.0.0/0 routes to the underlay NIC.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/ip_address.h"
+
+namespace vini::tcpip {
+
+class Device;
+
+struct Route {
+  packet::Prefix prefix;
+  Device* device = nullptr;
+  /// Optional next-hop gateway; zero means directly connected.
+  packet::IpAddress gateway;
+  int metric = 0;
+};
+
+class RoutingTable {
+ public:
+  /// Insert or replace the route for `prefix`.
+  void addRoute(const Route& route);
+
+  /// Remove the route for exactly this prefix; returns true if removed.
+  bool removeRoute(const packet::Prefix& prefix);
+
+  /// Longest-prefix match; ties broken by lower metric.
+  const Route* lookup(packet::IpAddress dst) const;
+
+  const std::vector<Route>& routes() const { return routes_; }
+  void clear() { routes_.clear(); }
+
+ private:
+  std::vector<Route> routes_;
+};
+
+}  // namespace vini::tcpip

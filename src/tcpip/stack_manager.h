@@ -1,0 +1,58 @@
+// StackManager: one HostStack per physical node, created on demand.
+//
+// Experiments need kernels on many nodes (IIAS routers, traffic
+// endpoints, external servers); this keeps the 1:1 node-to-stack mapping
+// in one place, with per-node HostConfig overrides for heterogeneous
+// hardware (the DETER Xeons vs. the PlanetLab P-IIIs).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "tcpip/host_stack.h"
+
+namespace vini::tcpip {
+
+class StackManager {
+ public:
+  StackManager(phys::PhysNetwork& net, HostConfig default_config = {})
+      : net_(net), default_config_(default_config) {}
+
+  /// Override the config used when the named node's stack is created.
+  void setConfigFor(const std::string& node_name, HostConfig config) {
+    overrides_[node_name] = config;
+  }
+
+  /// Get or create the stack for `node`.
+  HostStack& ensure(phys::PhysNode& node) {
+    auto it = stacks_.find(node.id());
+    if (it != stacks_.end()) return *it->second;
+    HostConfig config = default_config_;
+    if (auto ov = overrides_.find(node.name()); ov != overrides_.end()) {
+      config = ov->second;
+    }
+    auto stack = std::make_unique<HostStack>(node, net_, config);
+    HostStack& ref = *stack;
+    stacks_[node.id()] = std::move(stack);
+    return ref;
+  }
+
+  HostStack* get(phys::NodeId id) {
+    auto it = stacks_.find(id);
+    return it == stacks_.end() ? nullptr : it->second.get();
+  }
+
+  HostStack* getByName(const std::string& name) {
+    phys::PhysNode* node = net_.nodeByName(name);
+    return node ? get(node->id()) : nullptr;
+  }
+
+ private:
+  phys::PhysNetwork& net_;
+  HostConfig default_config_;
+  std::map<std::string, HostConfig> overrides_;
+  std::map<phys::NodeId, std::unique_ptr<HostStack>> stacks_;
+};
+
+}  // namespace vini::tcpip

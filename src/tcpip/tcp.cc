@@ -1,0 +1,677 @@
+#include "tcpip/tcp.h"
+
+#include <algorithm>
+
+namespace vini::tcpip {
+
+namespace {
+
+// 32-bit sequence arithmetic.
+bool seqLt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+bool seqLe(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+bool seqGt(std::uint32_t a, std::uint32_t b) { return seqLt(b, a); }
+bool seqGe(std::uint32_t a, std::uint32_t b) { return seqLe(b, a); }
+
+constexpr std::uint32_t kInitialSeq = 1;
+
+}  // namespace
+
+const char* tcpStateName(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpConnection::TcpConnection(HostStack& stack, TcpConfig config)
+    : stack_(stack), config_(config) {
+  rto_ = config_.initial_rto;
+  cwnd_ = config_.initial_cwnd_segments * config_.mss;
+  rto_timer_ = std::make_unique<sim::OneShotTimer>(stack_.queue(),
+                                                   [this] { onRtoExpired(); });
+  delack_timer_ = std::make_unique<sim::OneShotTimer>(stack_.queue(), [this] {
+    if (unacked_segments_ > 0) sendAck();
+  });
+  time_wait_timer_ =
+      std::make_unique<sim::OneShotTimer>(stack_.queue(), [this] { becomeClosed(); });
+}
+
+TcpConnection::~TcpConnection() = default;
+
+std::shared_ptr<TcpConnection> TcpConnection::connect(HostStack& stack,
+                                                      packet::IpAddress remote,
+                                                      std::uint16_t remote_port,
+                                                      TcpConfig config,
+                                                      packet::IpAddress local_addr) {
+  auto conn = std::shared_ptr<TcpConnection>(new TcpConnection(stack, config));
+  conn->startConnect(remote, remote_port,
+                     local_addr.isZero() ? stack.address() : local_addr);
+  return conn;
+}
+
+void TcpConnection::startConnect(packet::IpAddress remote, std::uint16_t remote_port,
+                                 packet::IpAddress local_addr) {
+  local_addr_ = local_addr;
+  remote_addr_ = remote;
+  remote_port_ = remote_port;
+  local_port_ = stack_.allocateEphemeralPort();
+  iss_ = kInitialSeq;
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  state_ = TcpState::kSynSent;
+  registerDemux();
+  packet::TcpFlags syn;
+  syn.syn = true;
+  sendSegment(iss_, 0, syn, false);
+  armRto();
+}
+
+std::shared_ptr<TcpConnection> TcpConnection::acceptFrom(HostStack& stack,
+                                                         const packet::Packet& p,
+                                                         TcpConfig config) {
+  const auto* h = p.tcpHeader();
+  auto conn = std::shared_ptr<TcpConnection>(new TcpConnection(stack, config));
+  conn->local_addr_ = p.ip.dst;
+  conn->local_port_ = h->dst_port;
+  conn->remote_addr_ = p.ip.src;
+  conn->remote_port_ = h->src_port;
+  conn->irs_ = h->seq;
+  conn->rcv_nxt_ = h->seq + 1;
+  conn->iss_ = kInitialSeq;
+  conn->snd_una_ = conn->iss_;
+  conn->snd_nxt_ = conn->iss_ + 1;
+  conn->state_ = TcpState::kSynRcvd;
+  conn->registerDemux();
+  packet::TcpFlags synack;
+  synack.syn = true;
+  synack.ack = true;
+  conn->sendSegment(conn->iss_, 0, synack, false);
+  conn->armRto();
+  return conn;
+}
+
+void TcpConnection::registerDemux() {
+  const TcpKey key{local_port_, remote_addr_.value(), remote_port_};
+  self_ = shared_from_this();
+  auto weak = std::weak_ptr<TcpConnection>(self_);
+  stack_.registerTcpConnection(key, [weak](packet::Packet p) {
+    if (auto conn = weak.lock()) conn->onPacket(std::move(p));
+  });
+  demux_registered_ = true;
+}
+
+void TcpConnection::send(std::size_t bytes) {
+  if (state_ == TcpState::kClosed || fin_queued_) return;
+  send_queue_bytes_ += bytes;
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
+    trySend();
+  }
+}
+
+void TcpConnection::close() {
+  switch (state_) {
+    case TcpState::kSynSent:
+      becomeClosed();
+      break;
+    case TcpState::kSynRcvd:
+    case TcpState::kEstablished:
+    case TcpState::kCloseWait:
+      fin_queued_ = true;
+      trySend();
+      break;
+    default:
+      break;
+  }
+}
+
+void TcpConnection::abort() {
+  if (state_ != TcpState::kClosed) sendRst();
+  becomeClosed();
+}
+
+// ---------------------------------------------------------------------------
+// Input
+
+void TcpConnection::onPacket(packet::Packet p) {
+  const auto* h = p.tcpHeader();
+  if (!h) return;
+  ++stats_.segments_received;
+  if (on_segment) on_segment(p);
+
+  if (h->flags.rst) {
+    becomeClosed();
+    return;
+  }
+  if (h->flags.ack) peer_window_ = h->window;
+
+  switch (state_) {
+    case TcpState::kSynSent: {
+      if (h->flags.syn && h->flags.ack && h->ack == iss_ + 1) {
+        snd_una_ = h->ack;
+        irs_ = h->seq;
+        rcv_nxt_ = h->seq + 1;
+        state_ = TcpState::kEstablished;
+        rto_timer_->cancel();
+        consecutive_timeouts_ = 0;
+        sendAck();
+        if (on_connected) on_connected();
+        trySend();
+      }
+      return;
+    }
+    case TcpState::kSynRcvd: {
+      if (h->flags.syn && !h->flags.ack) {
+        // Retransmitted SYN: resend our SYN-ACK.
+        packet::TcpFlags synack;
+        synack.syn = true;
+        synack.ack = true;
+        sendSegment(iss_, 0, synack, true);
+        return;
+      }
+      if (h->flags.ack && h->ack == iss_ + 1) {
+        snd_una_ = h->ack;
+        state_ = TcpState::kEstablished;
+        rto_timer_->cancel();
+        consecutive_timeouts_ = 0;
+        if (on_connected) on_connected();
+        // Fall through to normal processing for any piggybacked data.
+        break;
+      }
+      return;
+    }
+    case TcpState::kClosed:
+    case TcpState::kListen:
+      return;
+    default:
+      break;
+  }
+
+  if (h->flags.ack) processAck(*h);
+  if (state_ == TcpState::kClosed) return;  // processAck may have closed us
+  if (p.payload_bytes > 0) processData(p);
+  if (h->flags.fin) {
+    processFin(h->seq + static_cast<std::uint32_t>(p.payload_bytes));
+  }
+}
+
+void TcpConnection::processAck(const packet::TcpHeader& h) {
+  const std::uint32_t ack = h.ack;
+  const std::uint32_t flight = snd_nxt_ - snd_una_;
+
+  // Duplicate ACK: no progress, no payload, while data is outstanding.
+  if (ack == snd_una_ && flight > 0 && !h.flags.syn && !h.flags.fin) {
+    ++dup_acks_;
+    ++stats_.dup_acks_received;
+    if (in_recovery_) {
+      cwnd_ += config_.mss;  // inflate during recovery
+      trySend();
+    } else if (dup_acks_ == 3) {
+      enterRecovery();
+    }
+    return;
+  }
+
+  if (seqGt(ack, snd_nxt_)) {
+    // The peer acknowledges data beyond our highest outstanding sequence.
+    // This happens after a go-back-N rewind when original in-flight
+    // copies (or their ACKs) survive a long outage: the bytes we put
+    // back on the send queue were in fact delivered.  Reclaim them.
+    const std::uint32_t beyond = ack - snd_nxt_;
+    const auto reclaim = std::min<std::size_t>(beyond, send_queue_bytes_);
+    send_queue_bytes_ -= reclaim;
+    if (beyond > reclaim && fin_queued_ && !fin_sent_) {
+      // The surplus can only be our original FIN: the peer saw it.
+      fin_queued_ = false;
+      fin_sent_ = true;
+      state_ = state_ == TcpState::kCloseWait ? TcpState::kLastAck
+                                              : TcpState::kFinWait1;
+    }
+    snd_nxt_ = ack;
+  }
+  if (!seqGt(ack, snd_una_)) return;
+
+  const std::uint32_t newly_acked = ack - snd_una_;
+  stats_.bytes_acked += newly_acked;
+  consecutive_timeouts_ = 0;
+
+  if (rtt_sample_pending_ && seqGe(ack, rtt_sample_end_)) {
+    updateRtt(stack_.queue().now() - rtt_sample_sent_);
+    rtt_sample_pending_ = false;
+  }
+
+  if (in_recovery_) {
+    if (seqGe(ack, recover_)) {
+      in_recovery_ = false;
+      dup_acks_ = 0;
+      cwnd_ = ssthresh_;
+    } else {
+      // NewReno partial ACK: retransmit the next hole, deflate.
+      snd_una_ = ack;
+      const std::size_t remaining =
+          std::min<std::size_t>(config_.mss, snd_nxt_ - snd_una_);
+      if (remaining > 0) {
+        packet::TcpFlags flags;
+        flags.ack = true;
+        sendSegment(snd_una_, std::min<std::size_t>(remaining, config_.mss), flags,
+                    true);
+      }
+      cwnd_ = std::max(cwnd_ >= newly_acked ? cwnd_ - newly_acked + config_.mss
+                                            : config_.mss,
+                       config_.mss);
+      armRto();
+      return;
+    }
+  } else {
+    dup_acks_ = 0;
+    // Congestion window growth.
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += std::min<std::size_t>(newly_acked, config_.mss);  // slow start
+    } else {
+      cwnd_ += std::max<std::size_t>(1, config_.mss * config_.mss / cwnd_);
+    }
+  }
+
+  snd_una_ = ack;
+
+  // Has our FIN been acknowledged?
+  const bool all_acked = snd_una_ == snd_nxt_;
+  if (fin_sent_ && all_acked) {
+    switch (state_) {
+      case TcpState::kFinWait1:
+        state_ = TcpState::kFinWait2;
+        break;
+      case TcpState::kClosing:
+        enterTimeWait();
+        break;
+      case TcpState::kLastAck:
+        becomeClosed();
+        return;
+      default:
+        break;
+    }
+  }
+
+  if (all_acked) {
+    rto_timer_->cancel();
+  } else {
+    armRto();
+  }
+  trySend();
+}
+
+void TcpConnection::processData(const packet::Packet& p) {
+  const auto* h = p.tcpHeader();
+  const std::uint32_t seq = h->seq;
+  const auto len = static_cast<std::uint32_t>(p.payload_bytes);
+  const std::uint32_t seg_end = seq + len;
+
+  if (seqLe(seg_end, rcv_nxt_)) {
+    // Entirely old: re-ACK immediately so the sender can make progress.
+    sendAck();
+    return;
+  }
+
+  if (seqLe(seq, rcv_nxt_)) {
+    // In order (possibly partially overlapping).
+    const std::uint32_t delivered = seg_end - rcv_nxt_;
+    rcv_nxt_ = seg_end;
+    stats_.bytes_received += delivered;
+    if (on_receive) on_receive(delivered);
+    // Pull any now-contiguous out-of-order data.
+    while (!ooo_.empty()) {
+      auto it = ooo_.begin();
+      const std::uint32_t start = irs_ + it->first;
+      const std::uint32_t end = irs_ + it->second;
+      if (seqGt(start, rcv_nxt_)) break;
+      if (seqGt(end, rcv_nxt_)) {
+        const std::uint32_t extra = end - rcv_nxt_;
+        rcv_nxt_ = end;
+        stats_.bytes_received += extra;
+        if (on_receive) on_receive(extra);
+      }
+      ooo_bytes_ -= std::min<std::size_t>(ooo_bytes_, it->second - it->first);
+      ooo_.erase(it);
+    }
+    // A FIN that arrived beyond a hole becomes processable once the
+    // stream catches up to it.
+    if (!fin_received_ && fin_seq_ != 0 && rcv_nxt_ == fin_seq_) {
+      processFin(fin_seq_);
+      return;
+    }
+    ++unacked_segments_;
+    if (unacked_segments_ >= 2 || !ooo_.empty() || fin_received_) {
+      sendAck();
+    } else {
+      delack_timer_->armAfter(config_.delayed_ack);
+    }
+    return;
+  }
+
+  // Out of order: buffer (keyed by offset from irs_ so ordering is sane)
+  // and send an immediate duplicate ACK.
+  const std::uint32_t rel_start = seq - irs_;
+  const std::uint32_t rel_end = seg_end - irs_;
+  auto [it, inserted] = ooo_.try_emplace(rel_start, rel_end);
+  if (inserted) {
+    ooo_bytes_ += len;
+  } else if (it->second < rel_end) {
+    ooo_bytes_ += rel_end - it->second;
+    it->second = rel_end;
+  }
+  sendAck();
+}
+
+void TcpConnection::processFin(std::uint32_t fin_seq) {
+  if (fin_received_) {
+    sendAck();
+    return;
+  }
+  if (fin_seq != rcv_nxt_) {
+    // FIN beyond a hole: remember it; it is processed when data catches up.
+    fin_seq_ = fin_seq;
+    sendAck();
+    return;
+  }
+  fin_received_ = true;
+  rcv_nxt_ = fin_seq + 1;
+  sendAck();
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      break;
+    case TcpState::kFinWait1:
+      // Our FIN not yet acked: simultaneous close.
+      state_ = TcpState::kClosing;
+      break;
+    case TcpState::kFinWait2:
+      enterTimeWait();
+      break;
+    default:
+      break;
+  }
+  if (on_receive) on_receive(0);  // EOF signal
+}
+
+// ---------------------------------------------------------------------------
+// Output
+
+std::size_t TcpConnection::advertisedWindow() const {
+  const std::size_t used = std::min(ooo_bytes_, config_.recv_buffer);
+  return std::min<std::size_t>(config_.recv_buffer - used, 65535);
+}
+
+void TcpConnection::trySend() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    return;
+  }
+  maybeRestartAfterIdle();
+
+  const std::size_t wnd = std::min(cwnd_, peer_window_);
+  while (send_queue_bytes_ > 0) {
+    const std::uint32_t flight = snd_nxt_ - snd_una_;
+    if (flight >= wnd) break;
+    const std::size_t len =
+        std::min({config_.mss, send_queue_bytes_, wnd - flight});
+    if (len == 0) break;
+    packet::TcpFlags flags;
+    flags.ack = true;
+    flags.psh = send_queue_bytes_ == len;
+    sendSegment(snd_nxt_, len, flags, false);
+    snd_nxt_ += static_cast<std::uint32_t>(len);
+    send_queue_bytes_ -= len;
+  }
+
+  if (fin_queued_ && !fin_sent_ && send_queue_bytes_ == 0) {
+    packet::TcpFlags flags;
+    flags.fin = true;
+    flags.ack = true;
+    sendSegment(snd_nxt_, 0, flags, false);
+    snd_nxt_ += 1;
+    fin_sent_ = true;
+    state_ = state_ == TcpState::kCloseWait ? TcpState::kLastAck
+                                            : TcpState::kFinWait1;
+  }
+
+  if (snd_nxt_ != snd_una_ && !rto_timer_->pending()) armRto();
+  // Zero-window persist: keep probing so a window update cannot be lost.
+  if (peer_window_ == 0 && send_queue_bytes_ > 0 && snd_nxt_ == snd_una_ &&
+      !rto_timer_->pending()) {
+    armRto();
+  }
+}
+
+void TcpConnection::sendSegment(std::uint32_t seq, std::size_t len,
+                                packet::TcpFlags flags, bool retransmission) {
+  packet::TcpHeader h;
+  h.src_port = local_port_;
+  h.dst_port = remote_port_;
+  h.seq = seq;
+  h.ack = flags.ack ? rcv_nxt_ : 0;
+  h.flags = flags;
+  h.window = static_cast<std::uint16_t>(advertisedWindow());
+  packet::Packet p = packet::Packet::tcp(local_addr_, remote_addr_, h, len);
+  p.meta.app_send_time = stack_.queue().now();
+
+  ++stats_.segments_sent;
+  if (retransmission) {
+    ++stats_.retransmits;
+    // Karn's algorithm: a retransmission poisons the outstanding sample.
+    rtt_sample_pending_ = false;
+  } else if (len > 0) {
+    stats_.bytes_sent += len;
+    if (!rtt_sample_pending_) {
+      rtt_sample_pending_ = true;
+      rtt_sample_end_ = seq + static_cast<std::uint32_t>(len);
+      rtt_sample_sent_ = stack_.queue().now();
+    }
+  }
+  if (len > 0 || flags.syn || flags.fin) {
+    last_send_activity_ = stack_.queue().now();
+  }
+  if (flags.ack) {
+    unacked_segments_ = 0;
+    delack_timer_->cancel();
+  }
+  stats_.cwnd = cwnd_;
+  stats_.ssthresh = ssthresh_;
+  stats_.srtt = srtt_;
+  stats_.rto = rto_;
+  stack_.sendPacket(std::move(p));
+}
+
+void TcpConnection::sendAck() {
+  packet::TcpFlags flags;
+  flags.ack = true;
+  sendSegment(snd_nxt_, 0, flags, false);
+}
+
+void TcpConnection::sendRst() {
+  packet::TcpFlags flags;
+  flags.rst = true;
+  sendSegment(snd_nxt_, 0, flags, false);
+}
+
+// ---------------------------------------------------------------------------
+// Timers and congestion control
+
+void TcpConnection::armRto() { rto_timer_->armAfter(rto_); }
+
+void TcpConnection::onRtoExpired() {
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+
+  // Zero-window persist probe.
+  if (peer_window_ == 0 && send_queue_bytes_ > 0 && snd_nxt_ == snd_una_) {
+    packet::TcpFlags flags;
+    flags.ack = true;
+    sendSegment(snd_nxt_, 1, flags, false);
+    snd_nxt_ += 1;
+    send_queue_bytes_ -= 1;
+    armRto();
+    return;
+  }
+
+  if (snd_nxt_ == snd_una_) return;  // nothing outstanding
+
+  ++stats_.timeouts;
+  if (++consecutive_timeouts_ > config_.max_retransmits) {
+    becomeClosed();
+    return;
+  }
+
+  const std::uint32_t flight = snd_nxt_ - snd_una_;
+  ssthresh_ = std::max<std::size_t>(flight / 2, 2 * config_.mss);
+  cwnd_ = config_.mss;
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  rto_ = std::min<sim::Duration>(rto_ * 2, config_.max_rto);
+  rtt_sample_pending_ = false;
+
+  switch (state_) {
+    case TcpState::kSynSent: {
+      packet::TcpFlags syn;
+      syn.syn = true;
+      sendSegment(iss_, 0, syn, true);
+      break;
+    }
+    case TcpState::kSynRcvd: {
+      packet::TcpFlags synack;
+      synack.syn = true;
+      synack.ack = true;
+      sendSegment(iss_, 0, synack, true);
+      break;
+    }
+    default: {
+      const bool only_fin = fin_sent_ && flight == 1;
+      packet::TcpFlags flags;
+      flags.ack = true;
+      if (only_fin) {
+        flags.fin = true;
+        sendSegment(snd_una_, 0, flags, true);
+        break;
+      }
+      // Go-back-N: everything beyond snd_una returns to the send queue
+      // and is resent in order as ACKs reopen the window.  Without this,
+      // a long outage (Figure 9's) leaves a window of lost data that
+      // trickles out at one segment per backed-off RTO.
+      const std::uint32_t flight_data = flight - (fin_sent_ ? 1 : 0);
+      send_queue_bytes_ += flight_data;
+      snd_nxt_ = snd_una_;
+      if (fin_sent_) {
+        fin_sent_ = false;
+        fin_queued_ = true;
+        if (state_ == TcpState::kFinWait1) state_ = TcpState::kEstablished;
+        if (state_ == TcpState::kLastAck || state_ == TcpState::kClosing) {
+          state_ = TcpState::kCloseWait;
+        }
+      }
+      const std::size_t len =
+          std::min<std::size_t>(config_.mss, send_queue_bytes_);
+      if (len > 0) {
+        sendSegment(snd_nxt_, len, flags, true);
+        snd_nxt_ += static_cast<std::uint32_t>(len);
+        send_queue_bytes_ -= len;
+      }
+      break;
+    }
+  }
+  armRto();
+}
+
+void TcpConnection::enterRecovery() {
+  const std::uint32_t flight = snd_nxt_ - snd_una_;
+  ssthresh_ = std::max<std::size_t>(flight / 2, 2 * config_.mss);
+  recover_ = snd_nxt_;
+  in_recovery_ = true;
+  ++stats_.fast_retransmits;
+  packet::TcpFlags flags;
+  flags.ack = true;
+  const std::size_t data_outstanding = flight - (fin_sent_ ? 1 : 0);
+  if (data_outstanding > 0) {
+    sendSegment(snd_una_, std::min<std::size_t>(config_.mss, data_outstanding),
+                flags, true);
+  }
+  cwnd_ = ssthresh_ + 3 * config_.mss;
+  armRto();
+}
+
+void TcpConnection::updateRtt(sim::Duration sample) {
+  if (!srtt_valid_) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+    srtt_valid_ = true;
+  } else {
+    const sim::Duration err = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = std::clamp<sim::Duration>(srtt_ + std::max<sim::Duration>(4 * rttvar_,
+                                                                   sim::kMillisecond),
+                                   config_.min_rto, config_.max_rto);
+}
+
+void TcpConnection::maybeRestartAfterIdle() {
+  if (!config_.slow_start_restart) return;
+  if (snd_nxt_ != snd_una_) return;  // not idle: data in flight
+  if (last_send_activity_ <= 0) return;
+  const sim::Duration idle = stack_.queue().now() - last_send_activity_;
+  if (idle > rto_) {
+    // RFC 2861: decay cwnd toward the restart window.
+    cwnd_ = std::min(cwnd_, config_.initial_cwnd_segments * config_.mss);
+  }
+}
+
+void TcpConnection::enterTimeWait() {
+  state_ = TcpState::kTimeWait;
+  rto_timer_->cancel();
+  time_wait_timer_->armAfter(config_.time_wait);
+}
+
+void TcpConnection::becomeClosed() {
+  if (state_ == TcpState::kClosed) return;
+  state_ = TcpState::kClosed;
+  rto_timer_->cancel();
+  delack_timer_->cancel();
+  time_wait_timer_->cancel();
+  if (demux_registered_) {
+    stack_.unregisterTcpConnection(
+        TcpKey{local_port_, remote_addr_.value(), remote_port_});
+    demux_registered_ = false;
+  }
+  if (on_closed) on_closed();
+  self_.reset();  // may destroy `this`; nothing after this line
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+
+TcpListener::TcpListener(HostStack& stack, std::uint16_t port, TcpConfig config,
+                         AcceptHandler on_accept)
+    : stack_(stack), port_(port), config_(config), on_accept_(std::move(on_accept)) {
+  stack_.registerTcpListener(port_,
+                             [this](packet::Packet p) { onSyn(std::move(p)); });
+}
+
+TcpListener::~TcpListener() { stack_.unregisterTcpListener(port_); }
+
+void TcpListener::onSyn(packet::Packet p) {
+  const auto* h = p.tcpHeader();
+  if (!h || !h->flags.syn || h->flags.ack || h->flags.rst) return;
+  auto conn = TcpConnection::acceptFrom(stack_, p, config_);
+  if (on_accept_) on_accept_(conn);
+}
+
+}  // namespace vini::tcpip

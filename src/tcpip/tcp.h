@@ -1,0 +1,226 @@
+// TCP.
+//
+// A Reno/NewReno TCP with the mechanisms the paper's experiments depend
+// on: slow start and congestion avoidance, fast retransmit / fast
+// recovery, RTO per RFC 6298 with Karn's algorithm and exponential
+// backoff, delayed ACKs, receiver flow control with a configurable
+// receive buffer (iperf's default is 16 KB — that is why the Figure 9
+// transfer is limited to ~3 Mb/s), and slow-start restart after idle
+// (RFC 2861), which is exactly what Figure 9(b) shows when OSPF finds a
+// new route 8 seconds after the failure.
+//
+// The stream is content-free: applications write byte *counts*, the
+// stack moves sequence ranges, and receivers observe byte counts — the
+// evaluation only ever measures throughput and timing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "tcpip/host_stack.h"
+
+namespace vini::tcpip {
+
+struct TcpConfig {
+  std::size_t mss = 1448;
+  /// Receiver buffer: advertised window ceiling.  iperf 1.7.0's default
+  /// of 16 KB is the paper's Figure 9 setting.
+  std::size_t recv_buffer = 16 * 1024;
+  std::size_t initial_cwnd_segments = 2;
+  sim::Duration initial_rto = 1 * sim::kSecond;
+  sim::Duration min_rto = 200 * sim::kMillisecond;
+  sim::Duration max_rto = 60 * sim::kSecond;
+  sim::Duration delayed_ack = 40 * sim::kMillisecond;
+  int max_retransmits = 15;
+  /// RFC 2861: collapse cwnd after an idle period of one RTO.
+  bool slow_start_restart = true;
+  sim::Duration time_wait = 1 * sim::kSecond;
+};
+
+enum class TcpState {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kClosing,
+  kTimeWait,
+};
+
+const char* tcpStateName(TcpState s);
+
+/// Counters and live congestion state, for assertions and reporting.
+struct TcpStats {
+  std::uint64_t bytes_sent = 0;        ///< new data bytes transmitted
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t bytes_received = 0;    ///< in-order bytes delivered to app
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t dup_acks_received = 0;
+  std::size_t cwnd = 0;
+  std::size_t ssthresh = 0;
+  sim::Duration srtt = 0;
+  sim::Duration rto = 0;
+};
+
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  /// Active open.  `local_addr` defaults to the host's primary address;
+  /// pass the slice's tap0 address to run the connection over an overlay.
+  static std::shared_ptr<TcpConnection> connect(
+      HostStack& stack, packet::IpAddress remote, std::uint16_t remote_port,
+      TcpConfig config = {}, packet::IpAddress local_addr = {});
+
+  ~TcpConnection();
+
+  // -- Application interface -------------------------------------------------
+
+  /// Queue `bytes` of application data for transmission.
+  void send(std::size_t bytes);
+
+  /// Half-close: FIN after all queued data is delivered.
+  void close();
+
+  /// Abort: RST and tear down.
+  void abort();
+
+  TcpState state() const { return state_; }
+  const TcpStats& stats() const { return stats_; }
+  std::size_t sendQueueBytes() const { return send_queue_bytes_; }
+  packet::IpAddress localAddr() const { return local_addr_; }
+  std::uint16_t localPort() const { return local_port_; }
+
+  // -- Callbacks ----------------------------------------------------------------
+
+  std::function<void()> on_connected;
+  std::function<void(std::size_t bytes)> on_receive;
+  std::function<void()> on_closed;
+  /// tcpdump-style hook: every segment that reaches this connection,
+  /// before processing.  Figure 9 is drawn from this.
+  std::function<void(const packet::Packet&)> on_segment;
+
+ private:
+  friend class TcpListener;
+
+  TcpConnection(HostStack& stack, TcpConfig config);
+
+  // Passive-open constructor path (invoked by TcpListener on SYN).
+  static std::shared_ptr<TcpConnection> acceptFrom(HostStack& stack,
+                                                   const packet::Packet& syn,
+                                                   TcpConfig config);
+
+  void startConnect(packet::IpAddress remote, std::uint16_t remote_port,
+                    packet::IpAddress local_addr);
+
+  // Input path.
+  void onPacket(packet::Packet p);
+  void processAck(const packet::TcpHeader& h);
+  void processData(const packet::Packet& p);
+  void processFin(std::uint32_t fin_seq);
+
+  // Output path.
+  void trySend();
+  void sendSegment(std::uint32_t seq, std::size_t len, packet::TcpFlags flags,
+                   bool retransmission);
+  void sendAck();
+  void sendRst();
+  std::size_t advertisedWindow() const;
+
+  // Timers and congestion control.
+  void armRto();
+  void onRtoExpired();
+  void enterRecovery();
+  void updateRtt(sim::Duration sample);
+  void maybeRestartAfterIdle();
+  void enterTimeWait();
+  void becomeClosed();
+  void registerDemux();
+
+  HostStack& stack_;
+  TcpConfig config_;
+  TcpState state_ = TcpState::kClosed;
+
+  packet::IpAddress local_addr_;
+  packet::IpAddress remote_addr_;
+  std::uint16_t local_port_ = 0;
+  std::uint16_t remote_port_ = 0;
+  bool demux_registered_ = false;
+
+  // Sender state.
+  std::uint32_t iss_ = 0;
+  std::uint32_t snd_una_ = 0;
+  std::uint32_t snd_nxt_ = 0;
+  std::size_t send_queue_bytes_ = 0;
+  bool fin_queued_ = false;
+  bool fin_sent_ = false;
+  std::size_t cwnd_ = 0;
+  std::size_t ssthresh_ = 65535;
+  std::size_t peer_window_ = 65535;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint32_t recover_ = 0;
+  int consecutive_timeouts_ = 0;
+  sim::Time last_send_activity_ = 0;
+
+  // RTT estimation (Karn: one sample outstanding, invalidated on rexmit).
+  bool rtt_sample_pending_ = false;
+  std::uint32_t rtt_sample_end_ = 0;
+  sim::Time rtt_sample_sent_ = 0;
+  bool srtt_valid_ = false;
+  sim::Duration srtt_ = 0;
+  sim::Duration rttvar_ = 0;
+  sim::Duration rto_ = 0;
+
+  // Receiver state.
+  std::uint32_t irs_ = 0;
+  std::uint32_t rcv_nxt_ = 0;
+  bool fin_received_ = false;
+  std::uint32_t fin_seq_ = 0;
+  /// Out-of-order byte ranges [start, end) keyed by start sequence.
+  std::map<std::uint32_t, std::uint32_t> ooo_;
+  std::size_t ooo_bytes_ = 0;
+  int unacked_segments_ = 0;
+
+  TcpStats stats_;
+  std::unique_ptr<sim::OneShotTimer> rto_timer_;
+  std::unique_ptr<sim::OneShotTimer> delack_timer_;
+  std::unique_ptr<sim::OneShotTimer> time_wait_timer_;
+  // Keeps the connection alive while registered with the stack.
+  std::shared_ptr<TcpConnection> self_;
+};
+
+/// Passive listener: accepts connections on a port.
+class TcpListener {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<TcpConnection>)>;
+
+  TcpListener(HostStack& stack, std::uint16_t port, TcpConfig config,
+              AcceptHandler on_accept);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void onSyn(packet::Packet p);
+
+  HostStack& stack_;
+  std::uint16_t port_;
+  TcpConfig config_;
+  AcceptHandler on_accept_;
+};
+
+}  // namespace vini::tcpip

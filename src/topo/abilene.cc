@@ -1,0 +1,98 @@
+#include "topo/abilene.h"
+
+#include "topo/calibration.h"
+
+namespace vini::topo {
+
+const std::vector<std::string>& abilenePopNames() {
+  static const std::vector<std::string> names = {
+      "Seattle",      "Sunnyvale", "LosAngeles", "Denver",
+      "KansasCity",   "Houston",   "Indianapolis", "Chicago",
+      "Atlanta",      "NewYork",   "Washington",
+  };
+  return names;
+}
+
+const std::vector<AbileneLinkSpec>& abileneLinks() {
+  // One-way latencies approximate the 2006 fiber paths; IGP weights are
+  // latency-proportional (weight ~= 100 * one-way ms), which reproduces
+  // Abilene's latency-based metric plan and the Figure 8 routing.
+  static const std::vector<AbileneLinkSpec> links = {
+      {"Seattle", "Sunnyvale", 6.5, 650},
+      {"Seattle", "Denver", 11.0, 1100},
+      {"Sunnyvale", "LosAngeles", 3.0, 300},
+      {"Sunnyvale", "Denver", 10.0, 1000},
+      {"LosAngeles", "Houston", 16.0, 1600},
+      {"Denver", "KansasCity", 5.0, 500},
+      {"KansasCity", "Houston", 8.0, 800},
+      {"KansasCity", "Indianapolis", 4.5, 450},
+      {"Houston", "Atlanta", 12.0, 1200},
+      {"Indianapolis", "Chicago", 2.0, 200},
+      {"Indianapolis", "Atlanta", 8.0, 800},
+      {"Chicago", "NewYork", 10.1, 1010},
+      {"Atlanta", "Washington", 7.0, 700},
+      {"NewYork", "Washington", 2.25, 225},
+  };
+  return links;
+}
+
+void buildAbilene(phys::PhysNetwork& net, const AbileneOptions& options) {
+  const auto& names = abilenePopNames();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    cpu::SchedulerConfig cpu_config;
+    if (options.planetlab_nodes) {
+      // New York is the 1.267 GHz P-III; the others are 1.4 GHz.
+      const double factor =
+          names[i] == "NewYork" ? kPiii1267Factor : kPiii1400Factor;
+      cpu_config = planetLabCpu(factor, options.seed + i, options.contention);
+    } else {
+      cpu_config = deterCpu(options.seed + i);
+    }
+    net.addNode(names[i],
+                packet::IpAddress(198, 32, 154, static_cast<std::uint8_t>(10 + i)),
+                cpu_config);
+  }
+  for (const auto& spec : abileneLinks()) {
+    phys::LinkConfig config;
+    config.bandwidth_bps = options.backbone_bps;
+    config.propagation = sim::fromMillis(spec.one_way_ms);
+    config.weight = static_cast<double>(spec.igp_weight);
+    net.addLink(*net.nodeByName(spec.a), *net.nodeByName(spec.b), config);
+  }
+}
+
+core::TopologySpec abileneMirrorSpec(const std::string& slice_name) {
+  core::TopologySpec spec;
+  spec.name = slice_name;
+  for (const auto& name : abilenePopNames()) {
+    spec.nodes.push_back(core::TopologyNodeSpec{name, name});
+  }
+  for (const auto& link : abileneLinks()) {
+    spec.links.push_back(core::TopologyLinkSpec{link.a, link.b, link.igp_weight});
+  }
+  return spec;
+}
+
+void buildDeter(phys::PhysNetwork& net, const DeterOptions& options) {
+  const char* names[3] = {"Src", "Fwdr", "Sink"};
+  for (int i = 0; i < 3; ++i) {
+    net.addNode(names[i],
+                packet::IpAddress(192, 168, 10, static_cast<std::uint8_t>(1 + i)),
+                deterCpu(options.seed + static_cast<std::uint64_t>(i)));
+  }
+  phys::LinkConfig config;
+  config.bandwidth_bps = options.link_bps;
+  config.propagation = sim::fromMillis(options.one_way_ms);
+  net.addLink(*net.nodeByName("Src"), *net.nodeByName("Fwdr"), config);
+  net.addLink(*net.nodeByName("Fwdr"), *net.nodeByName("Sink"), config);
+}
+
+core::TopologySpec deterChainSpec(const std::string& slice_name) {
+  core::TopologySpec spec;
+  spec.name = slice_name;
+  spec.nodes = {{"Src", "Src"}, {"Fwdr", "Fwdr"}, {"Sink", "Sink"}};
+  spec.links = {{"Src", "Fwdr", 1}, {"Fwdr", "Sink", 1}};
+  return spec;
+}
+
+}  // namespace vini::topo

@@ -1,0 +1,75 @@
+// The Abilene backbone (Figure 7) and the DETER microbenchmark setup
+// (Figure 3).
+//
+// Abilene: the eleven PoPs and fourteen backbone links of the 2006
+// Internet2 network, with one-way latencies approximating the real
+// fiber paths and IGP weights proportional to latency (as Abilene
+// configured them).  The PlanetLab node co-located at each PoP is
+// merged with the PoP in the physical model; its ~100 Mb/s access NIC
+// and P-III CPU live in the host/CPU configs.
+//
+// Checkable against the paper: Washington -> Seattle rides
+// DC-NY-Chicago-Indianapolis-KansasCity-Denver-Seattle (RTT ~70 ms plus
+// overlay overhead: the paper measures 76 ms); with Denver-KansasCity
+// failed, it falls over to the southern route through Atlanta, Houston,
+// Los Angeles and Sunnyvale (paper: 93 ms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/embedder.h"
+#include "phys/network.h"
+#include "tcpip/stack_manager.h"
+
+namespace vini::topo {
+
+struct AbileneLinkSpec {
+  const char* a;
+  const char* b;
+  double one_way_ms;
+  std::uint32_t igp_weight;
+};
+
+/// The eleven PoP names.
+const std::vector<std::string>& abilenePopNames();
+
+/// The fourteen backbone links.
+const std::vector<AbileneLinkSpec>& abileneLinks();
+
+struct AbileneOptions {
+  double backbone_bps = 2.5e9;
+  /// Seed for the physical network RNG.
+  std::uint64_t seed = 20060911;
+  /// Configure each PoP's co-located PlanetLab node CPU (P-III, shared)
+  /// and 100 Mb/s host NIC.  Disable for an idealized substrate.
+  bool planetlab_nodes = true;
+  /// Contention level on the PlanetLab nodes (0 = quiescent).
+  double contention = 0.0;
+};
+
+/// Build the Abilene physical network.  Node addresses are
+/// 198.32.154.<10+index> (the real Abilene PlanetLab nodes lived in
+/// 198.32.154.0/24).
+void buildAbilene(phys::PhysNetwork& net, const AbileneOptions& options = {});
+
+/// A virtual topology that mirrors Abilene one-to-one: each virtual
+/// node bound to its PoP, each virtual link with the real IGP weight
+/// (what the Section 5.2 experiment runs).
+core::TopologySpec abileneMirrorSpec(const std::string& slice_name = "iias");
+
+// ---------------------------------------------------------------------------
+// DETER (Figure 3): Src -- Fwdr -- Sink on dedicated Gig-E.
+
+struct DeterOptions {
+  double link_bps = 1e9;
+  double one_way_ms = 0.02;
+  std::uint64_t seed = 16;
+};
+
+void buildDeter(phys::PhysNetwork& net, const DeterOptions& options = {});
+
+/// The 3-node virtual chain over DETER (Figure 4).
+core::TopologySpec deterChainSpec(const std::string& slice_name = "iias");
+
+}  // namespace vini::topo

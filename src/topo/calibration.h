@@ -1,0 +1,95 @@
+// Calibration of the substrate models against the paper's measurements.
+//
+// All CPU costs in the system are expressed for the reference machine —
+// the DETER testbed's 2.8 GHz Xeon ("pc2800") — and scaled by each
+// node's speed factor.  The constants here are chosen so the *published*
+// micro-benchmarks come out in the right place:
+//
+//  * Click forwarder cost: the paper's strace analysis found poll +
+//    recvfrom + sendto + 3x gettimeofday at ~5 us/call per forwarded
+//    packet.  We charge 25 us fixed + 13 ns/byte (copies, checksum,
+//    classification).  A 1430-byte-payload data packet costs ~44 us and
+//    a bare ACK ~26 us, making the 3-node DETER TCP test CPU-bound near
+//    ~200 Mb/s at 100% CPU (Table 2: 195 Mb/s) while in-kernel
+//    forwarding rides the Gig-E wire at ~940 Mb/s and ~48% CPU.
+//  * P-III speed factors: the PlanetLab nodes are 1.4 GHz (Chicago,
+//    Washington) and 1.267 GHz (New York) Pentium-IIIs.  P-III IPC is
+//    considerably better than the P4 Xeon's, so the effective factors
+//    are ~1.35 and ~1.5, not the raw clock ratio.  This puts the New
+//    York forwarder's capacity near ~135 Mb/s, which — shared with a 25%
+//    reservation plus spare capacity, behind a 100 Mb/s access NIC —
+//    lands IIAS-on-PL-VINI throughput at the high 80s (Table 4: 86.2).
+//  * PlanetLab contention: ~4 other runnable slices on average (spread
+//    1.5), 6 ms timeslices.  Fair share is then ~20% — the CPU level
+//    the paper reports for the un-reserved run — and descheduling gaps
+//    average ~24 ms, which is what overflows Click's ~220 KB socket
+//    buffer at CBR rates above ~25 Mb/s (Figure 6a) but not below.
+#pragma once
+
+#include "click/element.h"
+#include "cpu/scheduler.h"
+#include "tcpip/host_stack.h"
+
+namespace vini::topo {
+
+/// Click user-space forwarding cost (reference machine).
+inline click::ClickCostModel clickCosts() {
+  click::ClickCostModel costs;
+  costs.per_packet_fixed = 25 * sim::kMicrosecond;
+  costs.per_byte_ns = 13.0;
+  return costs;
+}
+
+/// Click's UDP socket receive buffer (SO_RCVBUF as IIAS configures it).
+inline constexpr std::size_t kIiasSocketBuffer = 220 * 1024;
+
+/// Mean number of other runnable slices on a production PlanetLab node,
+/// and its spread (Section 5.1.2's environment).
+inline constexpr double kPlanetLabContention = 4.0;
+inline constexpr double kPlanetLabContentionSpread = 1.5;
+
+/// A dedicated DETER pc2800 (2.8 GHz Xeon): the reference machine.
+inline cpu::SchedulerConfig deterCpu(std::uint64_t seed = 101) {
+  cpu::SchedulerConfig config;
+  config.speed_factor = 1.0;
+  config.contention_mean = 0.0;
+  config.seed = seed;
+  return config;
+}
+
+/// A shared PlanetLab node.  `speed_factor` scales reference costs
+/// (1.35 for the 1.4 GHz P-IIIs, 1.5 for the 1.267 GHz New York node).
+inline cpu::SchedulerConfig planetLabCpu(double speed_factor,
+                                         std::uint64_t seed,
+                                         double contention = kPlanetLabContention) {
+  cpu::SchedulerConfig config;
+  config.speed_factor = speed_factor;
+  config.contention_mean = contention;
+  config.contention_stddev = kPlanetLabContentionSpread;
+  config.wakeup_delay_per_slice = 80 * sim::kMicrosecond;
+  config.stall_probability = 0.006;
+  config.seed = seed;
+  return config;
+}
+
+inline constexpr double kPiii1400Factor = 1.35;
+inline constexpr double kPiii1267Factor = 1.5;
+
+/// Host model for DETER machines: Gig-E NICs, fast kernels.
+inline tcpip::HostConfig deterHost() {
+  tcpip::HostConfig config;
+  config.nic_bps = 1e9;
+  return config;
+}
+
+/// Host model for PlanetLab nodes: 100 Mb/s access into the Abilene PoP.
+inline tcpip::HostConfig planetLabHost() {
+  tcpip::HostConfig config;
+  config.nic_bps = 100e6;
+  // Production hosts see occasional receive-path stalls even on a quiet
+  // path (Table 5's Network row tops out at 28.2 ms over a 24.4 ms min).
+  config.rx_spike_probability = 0.0004;
+  return config;
+}
+
+}  // namespace vini::topo

@@ -1,0 +1,88 @@
+#include "topo/experiment_spec.h"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace vini::topo {
+
+std::vector<ExperimentAction> parseExperimentScript(const std::string& text) {
+  static const std::set<std::string> known_verbs = {
+      "fail-link",      "restore-link",      "mark",
+      "fail-phys-link", "restore-phys-link",
+  };
+  std::vector<ExperimentAction> actions;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream words(line);
+    std::string word;
+    if (!(words >> word)) continue;  // blank line
+    if (word != "at") {
+      throw std::runtime_error("experiment script line " + std::to_string(lineno) +
+                               ": expected 'at'");
+    }
+    ExperimentAction action;
+    if (!(words >> action.at_seconds) || action.at_seconds < 0) {
+      throw std::runtime_error("experiment script line " + std::to_string(lineno) +
+                               ": bad time");
+    }
+    if (!(words >> action.verb) || known_verbs.count(action.verb) == 0) {
+      throw std::runtime_error("experiment script line " + std::to_string(lineno) +
+                               ": unknown verb '" + action.verb + "'");
+    }
+    while (words >> word) action.args.push_back(word);
+    const std::size_t want_args = action.verb == "mark" ? 1 : 2;
+    if (action.args.size() != want_args) {
+      throw std::runtime_error("experiment script line " + std::to_string(lineno) +
+                               ": verb " + action.verb + " wants " +
+                               std::to_string(want_args) + " args");
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
+void applyExperimentScript(const std::vector<ExperimentAction>& actions,
+                           core::EventSchedule& schedule,
+                           overlay::IiasNetwork* iias, phys::PhysNetwork* net) {
+  for (const auto& action : actions) {
+    const std::string label = action.verb + " " +
+                              (action.args.empty() ? "" : action.args[0]) +
+                              (action.args.size() > 1 ? " " + action.args[1] : "");
+    if (action.verb == "mark") {
+      schedule.atSeconds(action.at_seconds, label, [] {});
+      continue;
+    }
+    if (action.verb == "fail-link" || action.verb == "restore-link") {
+      if (!iias) throw std::runtime_error("script needs an IIAS network");
+      const bool fail = action.verb == "fail-link";
+      const std::string a = action.args[0];
+      const std::string b = action.args[1];
+      schedule.atSeconds(action.at_seconds, label, [iias, fail, a, b] {
+        if (fail) {
+          iias->failLink(a, b);
+        } else {
+          iias->restoreLink(a, b);
+        }
+      });
+      continue;
+    }
+    // Physical link verbs.
+    if (!net) throw std::runtime_error("script needs a physical network");
+    const bool fail = action.verb == "fail-phys-link";
+    const std::string a = action.args[0];
+    const std::string b = action.args[1];
+    schedule.atSeconds(action.at_seconds, label, [net, fail, a, b] {
+      phys::PhysLink* link = net->linkBetween(a, b);
+      if (!link) throw std::runtime_error("no physical link " + a + "-" + b);
+      net->setLinkState(*link, !fail);
+    });
+  }
+}
+
+}  // namespace vini::topo

@@ -1,0 +1,48 @@
+// ns-like experiment specification (Section 6.2).
+//
+// "We envision that VINI experiments would be specified using the same
+// type of syntax that is used to construct ns or Emulab experiments, so
+// that researchers can move an experiment from Emulab to VINI as
+// seamlessly as possible."
+//
+// The script is one action per line:
+//
+//   # seconds  verb            args
+//   at 10.0    fail-link       Denver KansasCity
+//   at 34.0    restore-link    Denver KansasCity
+//   at 20.0    fail-phys-link  Chicago NewYork
+//   at 25.0    restore-phys-link Chicago NewYork
+//   at 50.0    mark            convergence-checkpoint
+//
+// fail-link / restore-link act at the IIAS level (dropping packets in
+// Click on the virtual link — the Section 5.2 mechanism);
+// fail-phys-link / restore-phys-link act on the substrate (exercising
+// fate sharing and upcalls); mark records a labelled checkpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+#include "overlay/iias.h"
+#include "phys/network.h"
+
+namespace vini::topo {
+
+struct ExperimentAction {
+  double at_seconds = 0.0;
+  std::string verb;
+  std::vector<std::string> args;
+};
+
+/// Parse a script; throws std::runtime_error on malformed lines or
+/// unknown verbs.
+std::vector<ExperimentAction> parseExperimentScript(const std::string& text);
+
+/// Schedule the actions.  `iias` may be null if the script uses only
+/// physical verbs, and vice versa for `net`.
+void applyExperimentScript(const std::vector<ExperimentAction>& actions,
+                           core::EventSchedule& schedule,
+                           overlay::IiasNetwork* iias, phys::PhysNetwork* net);
+
+}  // namespace vini::topo

@@ -1,0 +1,94 @@
+#include "topo/failure_trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace vini::topo {
+
+std::vector<LinkEvent> generateFailureTrace(const phys::PhysNetwork& net,
+                                            double duration_seconds,
+                                            const FailureModel& model) {
+  sim::Random random(model.seed);
+  std::vector<LinkEvent> events;
+  for (const auto& link : net.links()) {
+    // Name the endpoints the way the schedule will look them up.
+    const std::string& name = link->name();
+    const auto dash = name.find('-');
+    const std::string a = name.substr(0, dash);
+    const std::string b = name.substr(dash + 1);
+    double t = 0;
+    while (true) {
+      t += random.exponential(model.mttf_seconds);
+      if (t >= duration_seconds) break;
+      events.push_back(LinkEvent{t, a, b, false});
+      t += random.exponential(model.mttr_seconds);
+      events.push_back(LinkEvent{t, a, b, true});  // repair may cross horizon
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const LinkEvent& x, const LinkEvent& y) {
+              return x.at_seconds < y.at_seconds;
+            });
+  return events;
+}
+
+std::string emitLinkTrace(const std::vector<LinkEvent>& events) {
+  std::ostringstream os;
+  for (const auto& event : events) {
+    os << "t=" << event.at_seconds << " link " << event.a << " " << event.b
+       << " " << (event.up ? "up" : "down") << "\n";
+  }
+  return os.str();
+}
+
+std::vector<LinkEvent> parseLinkTrace(const std::string& text) {
+  std::vector<LinkEvent> events;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream words(line);
+    std::string t_word, link_word, a, b, state;
+    if (!(words >> t_word >> link_word >> a >> b >> state) ||
+        t_word.rfind("t=", 0) != 0 || link_word != "link" ||
+        (state != "up" && state != "down")) {
+      throw std::runtime_error("bad trace line " + std::to_string(lineno) +
+                               ": " + line);
+    }
+    LinkEvent event;
+    try {
+      event.at_seconds = std::stod(t_word.substr(2));
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad time on trace line " +
+                               std::to_string(lineno));
+    }
+    event.a = a;
+    event.b = b;
+    event.up = state == "up";
+    events.push_back(event);
+  }
+  return events;
+}
+
+void applyLinkTrace(const std::vector<LinkEvent>& events,
+                    core::EventSchedule& schedule, phys::PhysNetwork& net) {
+  for (const auto& event : events) {
+    phys::PhysLink* link = net.linkBetween(event.a, event.b);
+    if (!link) {
+      throw std::runtime_error("trace references unknown link " + event.a +
+                               "-" + event.b);
+    }
+    const std::string label = std::string(event.up ? "repair " : "fail ") +
+                              event.a + "-" + event.b;
+    const bool up = event.up;
+    schedule.atSeconds(event.at_seconds, label,
+                       [link, up] { link->setUp(up); });
+  }
+}
+
+}  // namespace vini::topo

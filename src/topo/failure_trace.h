@@ -1,0 +1,59 @@
+// Failure traces for long-running deployment studies.
+//
+// Section 2 positions VINI for "long-running deployment studies" as well
+// as controlled experiments, and Section 6.2 wants experiments "driven
+// by 'real world' routing configurations and measurements ... and also
+// support playback of routing traces".  This module generates synthetic
+// link up/down traces (independent exponential time-to-failure and
+// time-to-repair per link, the standard availability model), serializes
+// them to a replayable text format, parses them back, and schedules them
+// against a physical network.
+//
+// Trace format, one event per line:
+//
+//   t=123.456 link Denver KansasCity down
+//   t=180.100 link Denver KansasCity up
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+#include "phys/network.h"
+
+namespace vini::topo {
+
+struct LinkEvent {
+  double at_seconds = 0;
+  std::string a;
+  std::string b;
+  bool up = false;
+};
+
+struct FailureModel {
+  /// Mean time to failure per link (exponential).
+  double mttf_seconds = 600.0;
+  /// Mean time to repair (exponential).
+  double mttr_seconds = 60.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generate an event trace covering [0, duration_seconds) for every link
+/// of `net`.  Events come back sorted by time; every failure that occurs
+/// before the horizon gets its repair event (possibly beyond the horizon).
+std::vector<LinkEvent> generateFailureTrace(const phys::PhysNetwork& net,
+                                            double duration_seconds,
+                                            const FailureModel& model);
+
+/// Serialize to / parse from the text format above.  parse throws
+/// std::runtime_error on malformed lines.
+std::string emitLinkTrace(const std::vector<LinkEvent>& events);
+std::vector<LinkEvent> parseLinkTrace(const std::string& text);
+
+/// Schedule the events against the physical network (fate sharing and
+/// upcalls then propagate into the slices riding the failed links).
+void applyLinkTrace(const std::vector<LinkEvent>& events,
+                    core::EventSchedule& schedule, phys::PhysNetwork& net);
+
+}  // namespace vini::topo

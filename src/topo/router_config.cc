@@ -1,0 +1,151 @@
+#include "topo/router_config.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace vini::topo {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (c == '{' || c == '}' || c == ';') {
+      flush();
+      tokens.push_back(std::string(1, c));
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace
+
+ParsedConfigs parseRouterConfigs(const std::string& text,
+                                 const std::string& slice_name) {
+  ParsedConfigs out;
+  out.topology.name = slice_name;
+
+  const auto tokens = tokenize(text);
+  std::size_t i = 0;
+  auto expect = [&](const std::string& what) {
+    if (i >= tokens.size() || tokens[i] != what) {
+      throw std::runtime_error("router config: expected '" + what + "' near token " +
+                               std::to_string(i));
+    }
+    ++i;
+  };
+  auto next = [&]() -> const std::string& {
+    if (i >= tokens.size()) {
+      throw std::runtime_error("router config: unexpected end of input");
+    }
+    return tokens[i++];
+  };
+
+  // router -> (neighbor -> cost)
+  std::map<std::string, std::map<std::string, std::uint32_t>> adjacency;
+
+  while (i < tokens.size()) {
+    expect("router");
+    const std::string router = next();
+    if (adjacency.count(router) != 0) {
+      throw std::runtime_error("router config: duplicate router " + router);
+    }
+    auto& neighbors = adjacency[router];
+    expect("{");
+    while (i < tokens.size() && tokens[i] != "}") {
+      expect("interface");
+      const std::string neighbor = next();
+      expect("cost");
+      std::uint32_t cost = 0;
+      try {
+        cost = static_cast<std::uint32_t>(std::stoul(next()));
+      } catch (const std::exception&) {
+        throw std::runtime_error("router config: bad cost for " + router + "->" +
+                                 neighbor);
+      }
+      expect(";");
+      if (!neighbors.emplace(neighbor, cost).second) {
+        out.faults.push_back(
+            {"duplicate interface " + router + " -> " + neighbor});
+      }
+    }
+    expect("}");
+  }
+
+  for (const auto& [router, neighbors] : adjacency) {
+    out.topology.nodes.push_back(core::TopologyNodeSpec{router, router});
+  }
+
+  // rcc-style checks: adjacency symmetry and cost agreement.
+  std::set<std::pair<std::string, std::string>> emitted;
+  for (const auto& [router, neighbors] : adjacency) {
+    for (const auto& [neighbor, cost] : neighbors) {
+      auto peer = adjacency.find(neighbor);
+      if (peer == adjacency.end() || peer->second.count(router) == 0) {
+        out.faults.push_back({"asymmetric adjacency: " + router + " lists " +
+                              neighbor + " but not vice versa"});
+        continue;
+      }
+      const std::uint32_t reverse = peer->second.at(router);
+      std::uint32_t use_cost = cost;
+      if (reverse != cost) {
+        out.faults.push_back({"cost mismatch on " + router + "-" + neighbor +
+                              ": " + std::to_string(cost) + " vs " +
+                              std::to_string(reverse)});
+        use_cost = std::min(cost, reverse);
+      }
+      const auto key = router < neighbor ? std::make_pair(router, neighbor)
+                                         : std::make_pair(neighbor, router);
+      if (emitted.insert(key).second) {
+        out.topology.links.push_back(
+            core::TopologyLinkSpec{key.first, key.second, use_cost});
+      }
+    }
+  }
+  return out;
+}
+
+std::string emitRouterConfigs(const core::TopologySpec& spec) {
+  // Collect per-router interface lists from the link list.
+  std::map<std::string, std::map<std::string, std::uint32_t>> adjacency;
+  for (const auto& node : spec.nodes) adjacency[node.name];
+  for (const auto& link : spec.links) {
+    adjacency[link.a][link.b] = link.igp_cost;
+    adjacency[link.b][link.a] = link.igp_cost;
+  }
+  std::ostringstream os;
+  os << "# generated router configuration (" << spec.name << ")\n";
+  for (const auto& [router, neighbors] : adjacency) {
+    os << "router " << router << " {\n";
+    for (const auto& [neighbor, cost] : neighbors) {
+      os << "  interface " << neighbor << " cost " << cost << ";\n";
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace vini::topo

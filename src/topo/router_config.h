@@ -1,0 +1,51 @@
+// rcc-style router-configuration parsing (Section 6.2).
+//
+// "PL-VINI's current machinery for mirroring the Abilene topology
+// automatically generates the necessary XORP and Click configurations
+// (and determines the appropriate co-located nodes at Abilene PoPs) for
+// a VINI experiment from the actual Abilene routing configuration,
+// exploiting the configuration-parsing functionality from previous work
+// on router configuration checking [rcc]."
+//
+// The format is a distilled router config, one block per router:
+//
+//   router Denver {
+//     interface KansasCity cost 500;
+//     interface Seattle cost 1100;
+//   }
+//
+// parseRouterConfigs() turns a set of such blocks into a TopologySpec
+// (virtual nodes bound to the same-named physical PoPs, links carrying
+// the configured IGP costs) and performs rcc-style static checks:
+// interfaces must be symmetric and costs must agree on both ends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/embedder.h"
+
+namespace vini::topo {
+
+struct ConfigFault {
+  std::string message;
+};
+
+struct ParsedConfigs {
+  core::TopologySpec topology;
+  /// rcc-style faults found during static analysis.  An asymmetric
+  /// adjacency or mismatched cost is a fault; the topology still parses
+  /// (faulted links use the lower cost) so experiments can study it.
+  std::vector<ConfigFault> faults;
+};
+
+/// Parse router configuration blocks.  Throws std::runtime_error on
+/// syntax errors; semantic problems are reported as faults.
+ParsedConfigs parseRouterConfigs(const std::string& text,
+                                 const std::string& slice_name = "iias");
+
+/// Emit configuration blocks for a topology (the inverse; used to
+/// generate a config corpus from the Abilene catalogue).
+std::string emitRouterConfigs(const core::TopologySpec& spec);
+
+}  // namespace vini::topo

@@ -1,0 +1,107 @@
+#include "topo/worlds.h"
+
+#include "topo/calibration.h"
+
+namespace vini::topo {
+
+World::World(tcpip::HostConfig host_default, phys::NetworkConfig net_config)
+    : net(queue, net_config), stacks(net, host_default), schedule(queue) {}
+
+tcpip::HostStack& World::stack(const std::string& node_name) {
+  phys::PhysNode* node = net.nodeByName(node_name);
+  if (!node) throw std::runtime_error("no physical node " + node_name);
+  return stacks.ensure(*node);
+}
+
+packet::IpAddress World::tapOf(const std::string& vnode_name) {
+  if (!iias) return {};
+  core::VirtualNode* vnode = iias->slice().nodeByName(vnode_name);
+  return vnode ? vnode->tapAddress() : packet::IpAddress{};
+}
+
+bool World::runUntilConverged(sim::Duration deadline) {
+  const sim::Time limit = queue.now() + deadline;
+  std::size_t stable_routes = 0;
+  int stable_rounds = 0;
+  while (queue.now() < limit) {
+    queue.runUntil(queue.now() + sim::kSecond);
+    if (!iias->allAdjacent()) {
+      stable_rounds = 0;
+      continue;
+    }
+    const std::size_t routes = iias->totalOspfRoutes();
+    if (routes == stable_routes && routes > 0) {
+      if (++stable_rounds >= 3) return true;
+    } else {
+      stable_routes = routes;
+      stable_rounds = 0;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+overlay::IiasConfig iiasConfig(const WorldOptions& options) {
+  overlay::IiasConfig config;
+  config.costs = clickCosts();
+  config.ospf.hello_interval = options.hello_interval;
+  config.ospf.dead_interval = options.dead_interval;
+  config.enable_rip = options.enable_rip;
+  config.socket_buffer = kIiasSocketBuffer;
+  return config;
+}
+
+core::ViniConfig viniConfig(const WorldOptions& options) {
+  core::ViniConfig config;
+  config.expose_underlay_failures = options.expose_underlay_failures;
+  return config;
+}
+
+}  // namespace
+
+std::unique_ptr<World> makeDeterWorld(const WorldOptions& options) {
+  phys::NetworkConfig net_config;
+  net_config.mask_failures = options.mask_underlay_failures;
+  net_config.seed = options.seed;
+  auto world = std::make_unique<World>(deterHost(), net_config);
+
+  DeterOptions deter;
+  deter.seed = options.seed + 100;
+  buildDeter(world->net, deter);
+
+  world->vini = std::make_unique<core::Vini>(world->net, viniConfig(options));
+  core::TopologyEmbedder embedder(*world->vini);
+  auto embedding = embedder.embed(deterChainSpec(), options.resources);
+  world->iias = std::make_unique<overlay::IiasNetwork>(
+      std::move(embedding), world->stacks, iiasConfig(options));
+  world->iias->start();
+  return world;
+}
+
+std::unique_ptr<World> makeAbileneSubstrate(const WorldOptions& options) {
+  phys::NetworkConfig net_config;
+  net_config.mask_failures = options.mask_underlay_failures;
+  net_config.seed = options.seed;
+  auto world = std::make_unique<World>(planetLabHost(), net_config);
+
+  AbileneOptions abilene;
+  abilene.seed = options.seed + 200;
+  abilene.contention = options.contention;
+  buildAbilene(world->net, abilene);
+
+  world->vini = std::make_unique<core::Vini>(world->net, viniConfig(options));
+  return world;
+}
+
+std::unique_ptr<World> makeAbileneWorld(const WorldOptions& options) {
+  auto world = makeAbileneSubstrate(options);
+  core::TopologyEmbedder embedder(*world->vini);
+  auto embedding = embedder.embed(abileneMirrorSpec(), options.resources);
+  world->iias = std::make_unique<overlay::IiasNetwork>(
+      std::move(embedding), world->stacks, iiasConfig(options));
+  world->iias->start();
+  return world;
+}
+
+}  // namespace vini::topo

@@ -1,0 +1,84 @@
+// Ready-made experiment worlds.
+//
+// A World bundles the full stack an experiment needs — event queue,
+// physical network, host stacks, the VINI layer, and an IIAS overlay —
+// wired the way the paper's two environments were:
+//
+//  * DETER (Section 5.1.1): three dedicated 2.8 GHz machines in a chain
+//    on Gig-E, no CPU contention;
+//  * PlanetLab-on-Abilene (Sections 5.1.2, 5.2): eleven shared P-III
+//    nodes co-located with the Abilene PoPs, 100 Mb/s access NICs,
+//    configurable contention, IIAS mirroring the real topology and IGP
+//    weights.
+//
+// Tests, benches, and examples all build on these.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/embedder.h"
+#include "core/schedule.h"
+#include "core/vini.h"
+#include "overlay/iias.h"
+#include "phys/network.h"
+#include "sim/event_queue.h"
+#include "tcpip/stack_manager.h"
+#include "topo/abilene.h"
+#include "topo/calibration.h"
+
+namespace vini::topo {
+
+struct WorldOptions {
+  /// Slice resources: zero/false = PlanetLab default share; the paper's
+  /// PL-VINI configuration is {0.25, true}.
+  core::ResourceSpec resources;
+  /// Contention on shared nodes (ignored for DETER).
+  double contention = kPlanetLabContention;
+  /// OSPF timers; the Section 5 experiments run hello = 5 s,
+  /// dead = 10 s.
+  sim::Duration hello_interval = 5 * sim::kSecond;
+  sim::Duration dead_interval = 10 * sim::kSecond;
+  bool enable_rip = false;
+  /// Underlay failure masking (plain-overlay mode, for the ablation).
+  bool mask_underlay_failures = false;
+  bool expose_underlay_failures = true;
+  std::uint64_t seed = 1;
+};
+
+class World {
+ public:
+  World(tcpip::HostConfig host_default, phys::NetworkConfig net_config);
+
+  sim::EventQueue queue;
+  phys::PhysNetwork net;
+  tcpip::StackManager stacks;
+  core::EventSchedule schedule;
+  std::unique_ptr<core::Vini> vini;
+  std::unique_ptr<overlay::IiasNetwork> iias;
+
+  /// Host stack of a physical node (created on demand).
+  tcpip::HostStack& stack(const std::string& node_name);
+
+  overlay::IiasRouter* router(const std::string& vnode_name) {
+    return iias ? iias->router(vnode_name) : nullptr;
+  }
+
+  /// tap0 address of a virtual node.
+  packet::IpAddress tapOf(const std::string& vnode_name);
+
+  /// Run until the overlay is adjacency-complete and the route count is
+  /// stable; returns false if `deadline` passes first.
+  bool runUntilConverged(sim::Duration deadline = 120 * sim::kSecond);
+};
+
+/// DETER chain: Src - Fwdr - Sink, IIAS on top (Figures 3 and 4).
+std::unique_ptr<World> makeDeterWorld(const WorldOptions& options = {});
+
+/// Abilene mirror: the Section 5.2 environment.
+std::unique_ptr<World> makeAbileneWorld(const WorldOptions& options = {});
+
+/// Abilene substrate only (no slice/overlay) — for multi-slice tests.
+std::unique_ptr<World> makeAbileneSubstrate(const WorldOptions& options = {});
+
+}  // namespace vini::topo

@@ -1,0 +1,293 @@
+#include "xorp/bgp.h"
+
+#include <algorithm>
+
+namespace vini::xorp {
+
+BgpProcess::BgpProcess(sim::EventQueue& queue, Rib* rib, BgpConfig config)
+    : queue_(queue), rib_(rib), config_(std::move(config)) {}
+
+BgpProcess::~BgpProcess() = default;
+
+void BgpProcess::connect(BgpProcess& a, BgpProcess& b, sim::Duration delay) {
+  a.peers_.push_back(Peer{&b, delay, nullptr, nullptr});
+  b.peers_.push_back(Peer{&a, delay, nullptr, nullptr});
+  a.sendFullTable(a.peers_.back());
+  b.sendFullTable(b.peers_.back());
+}
+
+void BgpProcess::disconnect(BgpProcess& peer) {
+  auto drop = [](BgpProcess& self, BgpProcess& other) {
+    self.peers_.erase(std::remove_if(self.peers_.begin(), self.peers_.end(),
+                                     [&](const Peer& p) { return p.remote == &other; }),
+                      self.peers_.end());
+    // Flush everything learned from the dead session.
+    std::vector<packet::Prefix> affected;
+    for (auto& [prefix, entries] : self.candidates_) {
+      const auto before = entries.size();
+      entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                   [&](const RouteEntry& e) {
+                                     return e.learned_from == &other;
+                                   }),
+                    entries.end());
+      if (entries.size() != before) affected.push_back(prefix);
+    }
+    for (const auto& prefix : affected) self.runDecision(prefix);
+  };
+  drop(*this, peer);
+  drop(peer, *this);
+}
+
+void BgpProcess::originate(const packet::Prefix& prefix) {
+  BgpRoute route;
+  route.prefix = prefix;
+  route.next_hop = packet::IpAddress(config_.router_id);
+  auto& entries = candidates_[prefix];
+  for (const auto& e : entries) {
+    if (e.learned_from == nullptr) return;  // already originated
+  }
+  entries.push_back(RouteEntry{route, nullptr});
+  runDecision(prefix);
+}
+
+void BgpProcess::withdrawOrigin(const packet::Prefix& prefix) {
+  auto it = candidates_.find(prefix);
+  if (it == candidates_.end()) return;
+  auto& entries = it->second;
+  const auto before = entries.size();
+  entries.erase(std::remove_if(entries.begin(), entries.end(),
+                               [](const RouteEntry& e) {
+                                 return e.learned_from == nullptr;
+                               }),
+                entries.end());
+  if (entries.size() != before) runDecision(prefix);
+}
+
+void BgpProcess::setExportFilter(const BgpProcess& peer, Filter filter) {
+  if (Peer* p = findPeer(&peer)) p->export_filter = std::move(filter);
+}
+
+void BgpProcess::setImportFilter(const BgpProcess& peer, Filter filter) {
+  if (Peer* p = findPeer(&peer)) p->import_filter = std::move(filter);
+}
+
+BgpProcess::Peer* BgpProcess::findPeer(const BgpProcess* p) {
+  for (auto& peer : peers_) {
+    if (peer.remote == p) return &peer;
+  }
+  return nullptr;
+}
+
+void BgpProcess::sendFullTable(Peer& peer) {
+  BgpUpdate update;
+  for (const auto& [prefix, route] : best_) update.announcements.push_back(route);
+  sendUpdate(peer, std::move(update));
+}
+
+void BgpProcess::sendUpdate(Peer& peer, BgpUpdate update) {
+  // Apply export policy and next-hop-self / AS-path prepending.
+  BgpUpdate out;
+  out.withdrawals = update.withdrawals;
+  for (BgpRoute route : update.announcements) {
+    if (peer.remote->config_.asn != config_.asn) {
+      route.as_path.insert(route.as_path.begin(), config_.asn);
+    }
+    route.next_hop = packet::IpAddress(config_.router_id);
+    if (peer.export_filter && !peer.export_filter(route)) continue;
+    out.announcements.push_back(std::move(route));
+  }
+  if (out.announcements.empty() && out.withdrawals.empty()) return;
+  ++stats_.updates_sent;
+  BgpProcess* remote = peer.remote;
+  BgpProcess* self = this;
+  queue_.scheduleAfter(peer.delay, [remote, self, out = std::move(out)] {
+    remote->receiveUpdate(self, out);
+  });
+}
+
+void BgpProcess::receiveUpdate(BgpProcess* from, const BgpUpdate& update) {
+  Peer* peer = findPeer(from);
+  if (!peer) return;  // session torn down while the update was in flight
+  ++stats_.updates_received;
+
+  for (BgpRoute route : update.announcements) {
+    ++stats_.announcements_received;
+    if (route.hasLoop(config_.asn)) {
+      ++stats_.loops_rejected;
+      continue;
+    }
+    if (peer->import_filter && !peer->import_filter(route)) continue;
+    auto& entries = candidates_[route.prefix];
+    bool replaced = false;
+    for (auto& e : entries) {
+      if (e.learned_from == from) {
+        e.route = route;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) entries.push_back(RouteEntry{route, from});
+    runDecision(route.prefix);
+  }
+
+  for (const auto& prefix : update.withdrawals) {
+    ++stats_.withdrawals_received;
+    auto it = candidates_.find(prefix);
+    if (it == candidates_.end()) continue;
+    auto& entries = it->second;
+    const auto before = entries.size();
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const RouteEntry& e) {
+                                   return e.learned_from == from;
+                                 }),
+                  entries.end());
+    if (entries.size() != before) runDecision(prefix);
+  }
+}
+
+void BgpProcess::runDecision(const packet::Prefix& prefix) {
+  const RouteEntry* best = nullptr;
+  auto it = candidates_.find(prefix);
+  if (it != candidates_.end()) {
+    for (const auto& e : it->second) {
+      if (!best) {
+        best = &e;
+        continue;
+      }
+      // Standard decision process (condensed).
+      if (e.route.local_pref != best->route.local_pref) {
+        if (e.route.local_pref > best->route.local_pref) best = &e;
+        continue;
+      }
+      if (e.route.as_path.size() != best->route.as_path.size()) {
+        if (e.route.as_path.size() < best->route.as_path.size()) best = &e;
+        continue;
+      }
+      const RouterId eid = e.learned_from ? e.learned_from->config_.router_id : 0;
+      const RouterId bid =
+          best->learned_from ? best->learned_from->config_.router_id : 0;
+      if (eid < bid) best = &e;
+    }
+  }
+
+  auto current = best_.find(prefix);
+  if (!best) {
+    if (current != best_.end()) {
+      best_.erase(current);
+      if (rib_) rib_->removeRoute(config_.name, prefix);
+      BgpUpdate withdraw;
+      withdraw.withdrawals.push_back(prefix);
+      for (auto& peer : peers_) sendUpdate(peer, withdraw);
+    }
+    return;
+  }
+
+  const bool changed =
+      current == best_.end() ||
+      current->second.next_hop != best->route.next_hop ||
+      current->second.as_path != best->route.as_path ||
+      current->second.local_pref != best->route.local_pref;
+  if (!changed) return;
+
+  best_[prefix] = best->route;
+  if (rib_) {
+    RibRoute rib_route;
+    rib_route.prefix = prefix;
+    rib_route.next_hop = best->route.next_hop;
+    const bool external = !best->learned_from ||
+                          best->learned_from->config_.asn != config_.asn;
+    rib_route.origin = external ? RouteOrigin::kEbgp : RouteOrigin::kIbgp;
+    rib_route.metric = static_cast<std::uint32_t>(best->route.as_path.size());
+    rib_route.protocol = config_.name;
+    rib_->addRoute(rib_route);
+  }
+  advertiseBest(prefix);
+}
+
+void BgpProcess::advertiseBest(const packet::Prefix& prefix) {
+  auto it = best_.find(prefix);
+  if (it == best_.end()) return;
+  // Find who taught us this route, to honor the no-reflect rule.
+  BgpProcess* learned_from = nullptr;
+  if (auto cit = candidates_.find(prefix); cit != candidates_.end()) {
+    for (const auto& e : cit->second) {
+      if (e.route.next_hop == it->second.next_hop &&
+          e.route.as_path == it->second.as_path) {
+        learned_from = e.learned_from;
+        break;
+      }
+    }
+  }
+  for (auto& peer : peers_) {
+    if (peer.remote == learned_from) continue;
+    BgpUpdate update;
+    update.announcements.push_back(it->second);
+    sendUpdate(peer, std::move(update));
+  }
+}
+
+std::optional<BgpRoute> BgpProcess::bestRoute(const packet::Prefix& prefix) const {
+  auto it = best_.find(prefix);
+  if (it == best_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<packet::Prefix> BgpProcess::knownPrefixes() const {
+  std::vector<packet::Prefix> out;
+  out.reserve(best_.size());
+  for (const auto& [prefix, route] : best_) out.push_back(prefix);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BgpMultiplexer
+
+BgpMultiplexer::BgpMultiplexer(sim::EventQueue& queue, BgpConfig mux_config,
+                               Config config)
+    : queue_(queue), config_(config) {
+  external_ = std::make_unique<BgpProcess>(queue_, nullptr, mux_config);
+}
+
+bool BgpMultiplexer::registerSlice(BgpProcess& slice,
+                                   const packet::Prefix& allocation) {
+  if (!config_.vini_block.covers(allocation)) return false;
+  for (const auto& [other, alloc] : allocations_) {
+    if (alloc.covers(allocation) || allocation.covers(alloc)) return false;
+  }
+  allocations_[&slice] = allocation;
+  buckets_[&slice] = Bucket{config_.burst, queue_.now()};
+
+  BgpProcess::connect(slice, *external_);
+  const BgpProcess* slice_ptr = &slice;
+  external_->setImportFilter(slice, [this, slice_ptr](BgpRoute& route) {
+    return allowFromSlice(slice_ptr, route);
+  });
+  return true;
+}
+
+bool BgpMultiplexer::allowFromSlice(const BgpProcess* slice, const BgpRoute& route) {
+  auto it = allocations_.find(slice);
+  if (it == allocations_.end() || !it->second.covers(route.prefix)) {
+    ++filtered_;
+    return false;
+  }
+  if (!takeToken(slice)) {
+    ++rate_limited_;
+    return false;
+  }
+  return true;
+}
+
+bool BgpMultiplexer::takeToken(const BgpProcess* slice) {
+  Bucket& bucket = buckets_[slice];
+  const sim::Time now = queue_.now();
+  bucket.tokens = std::min(
+      config_.burst,
+      bucket.tokens + config_.updates_per_second * sim::toSeconds(now - bucket.last));
+  bucket.last = now;
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+}  // namespace vini::xorp

@@ -1,0 +1,160 @@
+// BGP and the VINI BGP multiplexer.
+//
+// BgpProcess is a compact BGP speaker: peering sessions with message
+// delay, full-table exchange at session establishment, UPDATE/WITHDRAW
+// propagation with AS-path loop detection, the standard decision process
+// (local-pref, then AS-path length, then lowest peer id), and RIB
+// installation.
+//
+// BgpMultiplexer is the Section 6.1 contribution: external networks will
+// not maintain a session per experiment, so VINI interposes a
+// multiplexer that (a) shares one external session among all slices,
+// (b) filters each slice's announcements to its allocated sub-block of
+// VINI's address space, and (c) rate-limits the update stream each
+// experiment may push toward the real Internet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "xorp/messages.h"
+#include "xorp/rib.h"
+
+namespace vini::xorp {
+
+class BgpProcess;
+
+struct BgpConfig {
+  std::uint32_t asn = 0;
+  RouterId router_id = 0;
+  std::string name = "bgp";
+};
+
+struct BgpStats {
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_received = 0;
+  std::uint64_t announcements_received = 0;
+  std::uint64_t withdrawals_received = 0;
+  std::uint64_t loops_rejected = 0;
+};
+
+class BgpProcess {
+ public:
+  /// A policy filter: may modify the route; returns false to reject it.
+  using Filter = std::function<bool(BgpRoute&)>;
+
+  /// `rib` may be null for pure transit speakers (e.g. inside the mux).
+  BgpProcess(sim::EventQueue& queue, Rib* rib, BgpConfig config);
+  ~BgpProcess();
+
+  BgpProcess(const BgpProcess&) = delete;
+  BgpProcess& operator=(const BgpProcess&) = delete;
+
+  /// Establish a symmetric session between two speakers with one-way
+  /// message `delay`.  Both sides exchange their current best routes.
+  static void connect(BgpProcess& a, BgpProcess& b,
+                      sim::Duration delay = sim::kMillisecond);
+
+  /// Tear down the session with `peer`: both sides flush routes learned
+  /// from the other (models an experiment-induced session reset — the
+  /// stability hazard Section 3.4 worries about).
+  void disconnect(BgpProcess& peer);
+
+  /// Originate / stop originating a prefix from this AS.
+  void originate(const packet::Prefix& prefix);
+  void withdrawOrigin(const packet::Prefix& prefix);
+
+  /// Set an export (toward `peer`) or import (from `peer`) policy filter.
+  void setExportFilter(const BgpProcess& peer, Filter filter);
+  void setImportFilter(const BgpProcess& peer, Filter filter);
+
+  // -- Introspection -----------------------------------------------------------
+
+  std::optional<BgpRoute> bestRoute(const packet::Prefix& prefix) const;
+  std::vector<packet::Prefix> knownPrefixes() const;
+  std::size_t sessionCount() const { return peers_.size(); }
+  const BgpStats& stats() const { return stats_; }
+  const BgpConfig& config() const { return config_; }
+
+ private:
+  struct Peer {
+    BgpProcess* remote = nullptr;
+    sim::Duration delay = 0;
+    Filter export_filter;
+    Filter import_filter;
+  };
+  struct RouteEntry {
+    BgpRoute route;
+    BgpProcess* learned_from = nullptr;  ///< nullptr = locally originated
+  };
+
+  void sendUpdate(Peer& peer, BgpUpdate update);
+  void receiveUpdate(BgpProcess* from, const BgpUpdate& update);
+  void runDecision(const packet::Prefix& prefix);
+  void advertiseBest(const packet::Prefix& prefix);
+  void sendFullTable(Peer& peer);
+  Peer* findPeer(const BgpProcess* p);
+
+  sim::EventQueue& queue_;
+  Rib* rib_;
+  BgpConfig config_;
+  std::vector<Peer> peers_;
+  /// All candidate routes per prefix (Adj-RIB-In + local originations).
+  std::map<packet::Prefix, std::vector<RouteEntry>> candidates_;
+  /// Current best per prefix, as last advertised.
+  std::map<packet::Prefix, BgpRoute> best_;
+  BgpStats stats_;
+
+  friend class BgpMultiplexer;
+};
+
+/// Shares one external BGP session among many per-slice speakers.
+class BgpMultiplexer {
+ public:
+  struct Config {
+    /// VINI's allocated block; every slice allocation must fall inside.
+    packet::Prefix vini_block;
+    /// Maximum updates per second each slice may propagate externally.
+    double updates_per_second = 1.0;
+    double burst = 5.0;
+  };
+
+  BgpMultiplexer(sim::EventQueue& queue, BgpConfig mux_config, Config config);
+
+  /// The mux's single external-facing speaker; peer it with the
+  /// neighboring domain's router via BgpProcess::connect.
+  BgpProcess& externalSpeaker() { return *external_; }
+
+  /// Attach a slice's BGP speaker; its announcements are filtered to
+  /// `allocation` (must be inside the VINI block) and rate-limited.
+  /// Returns false if the allocation is invalid or overlaps another's.
+  bool registerSlice(BgpProcess& slice, const packet::Prefix& allocation);
+
+  std::uint64_t filteredAnnouncements() const { return filtered_; }
+  std::uint64_t rateLimited() const { return rate_limited_; }
+  std::size_t sliceCount() const { return allocations_.size(); }
+
+ private:
+  bool allowFromSlice(const BgpProcess* slice, const BgpRoute& route);
+  bool takeToken(const BgpProcess* slice);
+
+  sim::EventQueue& queue_;
+  Config config_;
+  std::unique_ptr<BgpProcess> external_;
+  std::map<const BgpProcess*, packet::Prefix> allocations_;
+  struct Bucket {
+    double tokens = 0;
+    sim::Time last = 0;
+  };
+  std::map<const BgpProcess*, Bucket> buckets_;
+  std::uint64_t filtered_ = 0;
+  std::uint64_t rate_limited_ = 0;
+};
+
+}  // namespace vini::xorp

@@ -1,0 +1,123 @@
+// Routing protocol messages.
+//
+// Control-plane messages are structured payloads (packet::AppPayload)
+// carried inside IP packets that traverse the overlay's virtual links —
+// so a failed virtual link really does silence hellos, exactly as in the
+// Section 5.2 experiment.  sizeBytes() reports honest wire sizes so that
+// links and the CPU model charge control traffic fairly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "packet/ip_address.h"
+#include "packet/packet.h"
+
+namespace vini::xorp {
+
+using RouterId = std::uint32_t;
+
+// ---------------------------------------------------------------------------
+// OSPF
+
+struct OspfHello final : packet::AppPayload {
+  RouterId router_id = 0;
+  std::uint32_t hello_interval_s = 0;
+  std::uint32_t dead_interval_s = 0;
+  /// Router IDs of neighbors seen on this interface (2-Way check).
+  std::vector<RouterId> seen_neighbors;
+
+  std::size_t sizeBytes() const override { return 44 + 4 * seen_neighbors.size(); }
+  std::string describe() const override { return "ospf-hello"; }
+};
+
+/// One point-to-point link advertised in a router LSA.
+struct LsaLink {
+  RouterId neighbor_id = 0;
+  packet::Prefix subnet;        ///< the /30 numbering this link
+  std::uint32_t cost = 1;
+};
+
+/// A router LSA: the links and stub prefixes one router advertises.
+struct RouterLsa {
+  RouterId origin = 0;
+  std::uint32_t seq = 0;
+  std::vector<LsaLink> links;
+  /// Stub prefixes (e.g. the node's tap0 host address) with their costs.
+  std::vector<std::pair<packet::Prefix, std::uint32_t>> stubs;
+
+  std::size_t sizeBytes() const {
+    return 24 + 12 * links.size() + 12 * stubs.size();
+  }
+  /// True if `other` is a newer instance of the same LSA.
+  bool newerThan(const RouterLsa& other) const { return seq > other.seq; }
+};
+
+struct OspfLsUpdate final : packet::AppPayload {
+  std::vector<RouterLsa> lsas;
+
+  std::size_t sizeBytes() const override {
+    std::size_t n = 28;
+    for (const auto& lsa : lsas) n += lsa.sizeBytes();
+    return n;
+  }
+  std::string describe() const override { return "ospf-lsupdate"; }
+};
+
+struct OspfLsAck final : packet::AppPayload {
+  std::vector<std::pair<RouterId, std::uint32_t>> acks;  ///< (origin, seq)
+
+  std::size_t sizeBytes() const override { return 24 + 8 * acks.size(); }
+  std::string describe() const override { return "ospf-lsack"; }
+};
+
+// ---------------------------------------------------------------------------
+// RIP
+
+struct RipRoute {
+  packet::Prefix prefix;
+  std::uint32_t metric = 1;  ///< 16 = infinity
+};
+
+struct RipUpdate final : packet::AppPayload {
+  std::vector<RipRoute> routes;
+
+  std::size_t sizeBytes() const override { return 4 + 20 * routes.size(); }
+  std::string describe() const override { return "rip-update"; }
+};
+
+inline constexpr std::uint32_t kRipInfinity = 16;
+inline constexpr std::uint16_t kRipPort = 520;
+
+// ---------------------------------------------------------------------------
+// BGP
+
+struct BgpRoute {
+  packet::Prefix prefix;
+  std::vector<std::uint32_t> as_path;
+  packet::IpAddress next_hop;
+  std::uint32_t local_pref = 100;
+
+  bool hasLoop(std::uint32_t asn) const {
+    for (auto hop : as_path) {
+      if (hop == asn) return true;
+    }
+    return false;
+  }
+};
+
+struct BgpUpdate {
+  std::vector<BgpRoute> announcements;
+  std::vector<packet::Prefix> withdrawals;
+
+  std::size_t sizeBytes() const {
+    std::size_t n = 23;
+    for (const auto& a : announcements) n += 9 + 4 * a.as_path.size();
+    n += 5 * withdrawals.size();
+    return n;
+  }
+};
+
+}  // namespace vini::xorp

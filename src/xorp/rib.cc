@@ -1,0 +1,149 @@
+#include "xorp/rib.h"
+
+#include <algorithm>
+
+namespace vini::xorp {
+
+void Rib::setFea(Fea* fea) {
+  fea_ = fea;
+  if (fea_) {
+    for (const auto& [prefix, route] : winners_) fea_->routeAdded(route);
+  }
+}
+
+void Rib::addRoute(const RibRoute& route) {
+  auto& cands = candidates_[route.prefix];
+  bool replaced = false;
+  for (auto& c : cands) {
+    if (c.protocol == route.protocol) {
+      c = route;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) cands.push_back(route);
+  reelect(route.prefix);
+}
+
+bool Rib::removeRoute(const std::string& protocol, const packet::Prefix& prefix) {
+  auto it = candidates_.find(prefix);
+  if (it == candidates_.end()) return false;
+  auto& cands = it->second;
+  const auto before = cands.size();
+  cands.erase(std::remove_if(cands.begin(), cands.end(),
+                             [&](const RibRoute& r) { return r.protocol == protocol; }),
+              cands.end());
+  if (cands.size() == before) return false;
+  if (cands.empty()) candidates_.erase(it);
+  reelect(prefix);
+  return true;
+}
+
+void Rib::removeAllFrom(const std::string& protocol) {
+  std::vector<packet::Prefix> affected;
+  for (auto& [prefix, cands] : candidates_) {
+    const auto before = cands.size();
+    cands.erase(std::remove_if(cands.begin(), cands.end(),
+                               [&](const RibRoute& r) { return r.protocol == protocol; }),
+                cands.end());
+    if (cands.size() != before) affected.push_back(prefix);
+  }
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    it = it->second.empty() ? candidates_.erase(it) : std::next(it);
+  }
+  for (const auto& prefix : affected) reelect(prefix);
+}
+
+int Rib::effectiveDistance(const RibRoute& route) const {
+  auto it = distance_overrides_.find(route.protocol);
+  if (it != distance_overrides_.end()) return it->second;
+  return static_cast<int>(route.origin);
+}
+
+void Rib::setProtocolDistance(const std::string& protocol,
+                              std::optional<int> distance) {
+  if (distance) {
+    distance_overrides_[protocol] = *distance;
+  } else {
+    distance_overrides_.erase(protocol);
+  }
+  // Atomic switchover: every prefix is re-elected in one pass.
+  std::vector<packet::Prefix> prefixes;
+  prefixes.reserve(candidates_.size());
+  for (const auto& [prefix, cands] : candidates_) prefixes.push_back(prefix);
+  for (const auto& prefix : prefixes) reelect(prefix);
+}
+
+const RibRoute* Rib::bestOf(const std::vector<RibRoute>& candidates) const {
+  const RibRoute* best = nullptr;
+  for (const auto& c : candidates) {
+    if (!best || effectiveDistance(c) < effectiveDistance(*best) ||
+        (effectiveDistance(c) == effectiveDistance(*best) &&
+         c.metric < best->metric)) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+void Rib::reelect(const packet::Prefix& prefix) {
+  const RibRoute* best = nullptr;
+  if (auto it = candidates_.find(prefix); it != candidates_.end()) {
+    best = bestOf(it->second);
+  }
+  auto win = winners_.find(prefix);
+  if (!best) {
+    if (win != winners_.end()) {
+      const RibRoute old = win->second;
+      winners_.erase(win);
+      if (fea_) fea_->routeRemoved(old);
+    }
+    return;
+  }
+  if (win != winners_.end()) {
+    const RibRoute& cur = win->second;
+    if (cur.next_hop == best->next_hop && cur.origin == best->origin &&
+        cur.metric == best->metric && cur.protocol == best->protocol) {
+      return;  // unchanged
+    }
+    const RibRoute old = cur;
+    win->second = *best;
+    if (fea_) {
+      fea_->routeRemoved(old);
+      fea_->routeAdded(*best);
+    }
+    return;
+  }
+  winners_[prefix] = *best;
+  if (fea_) fea_->routeAdded(*best);
+}
+
+std::optional<RibRoute> Rib::winner(const packet::Prefix& prefix) const {
+  auto it = winners_.find(prefix);
+  if (it == winners_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RibRoute> Rib::lookup(packet::IpAddress addr) const {
+  const RibRoute* best = nullptr;
+  for (const auto& [prefix, route] : winners_) {
+    if (!prefix.contains(addr)) continue;
+    if (!best || prefix.length() > best->prefix.length()) best = &route;
+  }
+  return best ? std::optional<RibRoute>(*best) : std::nullopt;
+}
+
+std::vector<RibRoute> Rib::winners() const {
+  std::vector<RibRoute> out;
+  out.reserve(winners_.size());
+  for (const auto& [prefix, route] : winners_) out.push_back(route);
+  return out;
+}
+
+std::size_t Rib::candidateCount() const {
+  std::size_t n = 0;
+  for (const auto& [prefix, cands] : candidates_) n += cands.size();
+  return n;
+}
+
+}  // namespace vini::xorp

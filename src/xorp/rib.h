@@ -1,0 +1,99 @@
+// The Routing Information Base.
+//
+// Each routing protocol (connected, static, OSPF, RIP, BGP) contributes
+// candidate routes; the RIB picks a winner per prefix by administrative
+// distance (then metric) and pushes changes to the Forwarding Engine
+// Abstraction — XORP's FEA, which in IIAS programs a Click FIB rather
+// than the kernel table ("supported forwarding engines include the Linux
+// kernel routing table and the Click modular software router (which is
+// why we chose XORP for IIAS)", Section 4.2.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/ip_address.h"
+
+namespace vini::xorp {
+
+/// Administrative distances, matching common router defaults.
+enum class RouteOrigin : int {
+  kConnected = 0,
+  kStatic = 1,
+  kEbgp = 20,
+  kOspf = 110,
+  kRip = 120,
+  kIbgp = 200,
+};
+
+struct RibRoute {
+  packet::Prefix prefix;
+  packet::IpAddress next_hop;  ///< zero = directly connected
+  RouteOrigin origin = RouteOrigin::kStatic;
+  std::uint32_t metric = 0;
+  std::string protocol;  ///< contributing protocol instance name
+};
+
+/// Forwarding Engine Abstraction: the RIB announces winning-route
+/// changes here.  Implementations program a Click FIB (IIAS) or a kernel
+/// routing table.
+class Fea {
+ public:
+  virtual ~Fea() = default;
+  virtual void routeAdded(const RibRoute& route) = 0;
+  virtual void routeRemoved(const RibRoute& route) = 0;
+};
+
+class Rib {
+ public:
+  /// Attach the forwarding engine; existing winners are replayed into it.
+  void setFea(Fea* fea);
+
+  /// Override the administrative distance of every route contributed by
+  /// `protocol`, re-electing all prefixes in one step.  This is the
+  /// Section 7 "atomic switchover" primitive: an operator runs two
+  /// routing protocols in parallel and flips which one controls the
+  /// forwarding tables ("controlling the forwarding tables ... in one
+  /// virtual network at any given time, while providing the capability
+  /// for atomic switchover").  Pass nullopt to restore the default.
+  void setProtocolDistance(const std::string& protocol,
+                           std::optional<int> distance);
+
+  /// Effective admin distance for a route (override-aware).
+  int effectiveDistance(const RibRoute& route) const;
+
+  /// Add or update a protocol's candidate route for a prefix.
+  void addRoute(const RibRoute& route);
+
+  /// Remove a protocol's candidate for `prefix`; returns true if found.
+  bool removeRoute(const std::string& protocol, const packet::Prefix& prefix);
+
+  /// Remove every candidate contributed by `protocol`.
+  void removeAllFrom(const std::string& protocol);
+
+  /// Current winning route for exactly `prefix`.
+  std::optional<RibRoute> winner(const packet::Prefix& prefix) const;
+
+  /// Longest-prefix-match over winning routes.
+  std::optional<RibRoute> lookup(packet::IpAddress addr) const;
+
+  /// All current winners.
+  std::vector<RibRoute> winners() const;
+
+  std::size_t candidateCount() const;
+
+ private:
+  void reelect(const packet::Prefix& prefix);
+  const RibRoute* bestOf(const std::vector<RibRoute>& candidates) const;
+
+  std::map<packet::Prefix, std::vector<RibRoute>> candidates_;
+  std::map<packet::Prefix, RibRoute> winners_;
+  std::map<std::string, int> distance_overrides_;
+  Fea* fea_ = nullptr;
+};
+
+}  // namespace vini::xorp

@@ -1,0 +1,146 @@
+#include "xorp/rip.h"
+
+#include <algorithm>
+
+namespace vini::xorp {
+
+RipProcess::RipProcess(sim::EventQueue& queue, Rib& rib, RipConfig config,
+                       cpu::Process* process, std::uint64_t seed)
+    : queue_(queue), rib_(rib), config_(config), process_(process), random_(seed) {}
+
+RipProcess::~RipProcess() { stop(); }
+
+void RipProcess::addInterface(Vif& vif) { interfaces_.push_back(&vif); }
+
+void RipProcess::addLocalPrefix(const packet::Prefix& prefix) {
+  Entry entry;
+  entry.metric = 1;
+  entry.learned_from = nullptr;
+  entry.last_heard = queue_.now();
+  table_[prefix] = entry;
+}
+
+void RipProcess::start() {
+  if (running_) return;
+  running_ = true;
+  update_timer_ = std::make_unique<sim::PeriodicTimer>(
+      queue_, config_.update_interval, [this] {
+        runCharged(config_.message_cost, [this] { sendUpdates(); });
+      });
+  expire_timer_ = std::make_unique<sim::PeriodicTimer>(
+      queue_, config_.update_interval, [this] { expireRoutes(); });
+  queue_.scheduleAfter(random_.uniformDuration(0, config_.update_interval / 4),
+                       [this] {
+                         if (!running_) return;
+                         runCharged(config_.message_cost, [this] { sendUpdates(); });
+                         update_timer_->start();
+                         expire_timer_->start();
+                       });
+}
+
+void RipProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (update_timer_) update_timer_->stop();
+  if (expire_timer_) expire_timer_->stop();
+  rib_.removeAllFrom("rip");
+}
+
+void RipProcess::runCharged(sim::Duration cost, std::function<void()> work) {
+  if (process_) {
+    process_->execute(cost, std::move(work));
+  } else {
+    work();
+  }
+}
+
+void RipProcess::sendUpdates() {
+  if (!running_) return;
+  for (Vif* vif : interfaces_) {
+    if (!vif->isUp()) continue;
+    auto update = std::make_shared<RipUpdate>();
+    for (const auto& [prefix, entry] : table_) {
+      RipRoute route;
+      route.prefix = prefix;
+      // Split horizon with poisoned reverse.
+      route.metric =
+          entry.learned_from == vif ? kRipInfinity : std::min(entry.metric, kRipInfinity);
+      update->routes.push_back(route);
+    }
+    packet::Packet p = packet::Packet::udp(vif->address(), vif->peerAddress(),
+                                           kRipPort, kRipPort, 0);
+    p.app = update;
+    ++stats_.updates_sent;
+    vif->send(std::move(p));
+  }
+}
+
+void RipProcess::receive(Vif& vif, const packet::Packet& p) {
+  if (!running_ || !p.app) return;
+  auto payload = std::dynamic_pointer_cast<const RipUpdate>(p.app);
+  if (!payload) return;
+  const packet::IpAddress from = p.ip.src;
+  Vif* vifp = &vif;  // the Vif outlives the deferred job; the parameter does not
+  runCharged(config_.message_cost, [this, payload, vifp, from] {
+    if (!running_) return;
+    ++stats_.updates_received;
+    for (const auto& route : payload->routes) {
+      const std::uint32_t metric = std::min(route.metric + 1, kRipInfinity);
+      auto it = table_.find(route.prefix);
+      const bool from_same_nbr =
+          it != table_.end() && it->second.learned_from == vifp;
+      if (it == table_.end() || metric < it->second.metric || from_same_nbr) {
+        if (metric >= kRipInfinity) {
+          // Route became unreachable.
+          if (from_same_nbr) {
+            rib_.removeRoute("rip", route.prefix);
+            table_.erase(it);
+          }
+          continue;
+        }
+        Entry entry;
+        entry.metric = metric;
+        entry.learned_from = vifp;
+        entry.next_hop = from;
+        entry.last_heard = queue_.now();
+        table_[route.prefix] = entry;
+        install(route.prefix, entry);
+      } else if (from_same_nbr) {
+        it->second.last_heard = queue_.now();
+      }
+    }
+  });
+}
+
+void RipProcess::install(const packet::Prefix& prefix, const Entry& entry) {
+  RibRoute route;
+  route.prefix = prefix;
+  route.next_hop = entry.next_hop;
+  route.origin = RouteOrigin::kRip;
+  route.metric = entry.metric;
+  route.protocol = "rip";
+  rib_.addRoute(route);
+}
+
+void RipProcess::expireRoutes() {
+  if (!running_) return;
+  const sim::Time now = queue_.now();
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.learned_from != nullptr &&
+        now - it->second.last_heard > config_.route_timeout) {
+      ++stats_.routes_timed_out;
+      rib_.removeRoute("rip", it->first);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<std::uint32_t> RipProcess::metricFor(const packet::Prefix& prefix) const {
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return std::nullopt;
+  return it->second.metric;
+}
+
+}  // namespace vini::xorp

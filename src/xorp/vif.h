@@ -1,0 +1,36 @@
+// Virtual interfaces as the routing software sees them.
+//
+// XORP "generally assumes that each link to a neighboring router is
+// associated with a physical interface" (Section 4.2.2); PL-VINI solves
+// this by giving the routing daemon UML network devices, one per virtual
+// link, numbered from a common /30 subnet.  Vif is that abstraction: a
+// named point-to-point interface with a local and peer address, through
+// which the daemon can send control packets.  The VINI layer provides
+// the concrete implementation backed by a UDP-tunnel virtual link.
+#pragma once
+
+#include <string>
+
+#include "packet/ip_address.h"
+#include "packet/packet.h"
+
+namespace vini::xorp {
+
+class Vif {
+ public:
+  virtual ~Vif() = default;
+
+  virtual const std::string& name() const = 0;
+  /// Local endpoint address (this router's side of the /30).
+  virtual packet::IpAddress address() const = 0;
+  /// Peer endpoint address (the neighboring virtual node's side).
+  virtual packet::IpAddress peerAddress() const = 0;
+  /// The /30 subnet numbering this point-to-point link.
+  virtual packet::Prefix subnet() const = 0;
+  /// Administrative + operational state.
+  virtual bool isUp() const = 0;
+  /// Send a packet out of this interface toward the peer.
+  virtual void send(packet::Packet p) = 0;
+};
+
+}  // namespace vini::xorp

@@ -1,0 +1,62 @@
+#include "xorp/xorp_instance.h"
+
+namespace vini::xorp {
+
+XorpInstance::XorpInstance(sim::EventQueue& queue, RouterId router_id,
+                           cpu::Process* process)
+    : queue_(queue), router_id_(router_id), process_(process) {}
+
+XorpInstance::~XorpInstance() = default;
+
+OspfProcess& XorpInstance::enableOspf(OspfConfig config) {
+  config.router_id = router_id_;
+  ospf_ = std::make_unique<OspfProcess>(queue_, rib_, config, process_,
+                                        1000 + router_id_);
+  return *ospf_;
+}
+
+RipProcess& XorpInstance::enableRip(RipConfig config) {
+  rip_ = std::make_unique<RipProcess>(queue_, rib_, config, process_,
+                                      2000 + router_id_);
+  return *rip_;
+}
+
+BgpProcess& XorpInstance::enableBgp(BgpConfig config) {
+  if (config.router_id == 0) config.router_id = router_id_;
+  bgp_ = std::make_unique<BgpProcess>(queue_, &rib_, config);
+  return *bgp_;
+}
+
+void XorpInstance::registerVif(Vif& vif, std::uint32_t ospf_cost, bool with_rip) {
+  vifs_.push_back(&vif);
+  RibRoute connected;
+  connected.prefix = vif.subnet();
+  connected.origin = RouteOrigin::kConnected;
+  connected.protocol = "connected";
+  rib_.addRoute(connected);
+  if (ospf_) ospf_->addInterface(vif, ospf_cost);
+  if (rip_ && with_rip) rip_->addInterface(vif);
+}
+
+void XorpInstance::start() {
+  if (ospf_) ospf_->start();
+  if (rip_) rip_->start();
+}
+
+void XorpInstance::stop() {
+  if (ospf_) ospf_->stop();
+  if (rip_) rip_->stop();
+}
+
+void XorpInstance::receiveControl(Vif& vif, const packet::Packet& p) {
+  if (p.ip.proto == packet::IpProto::kOspf) {
+    if (ospf_) ospf_->receive(vif, p);
+    return;
+  }
+  if (const auto* udp = p.udpHeader(); udp && udp->dst_port == kRipPort) {
+    if (rip_) rip_->receive(vif, p);
+    return;
+  }
+}
+
+}  // namespace vini::xorp

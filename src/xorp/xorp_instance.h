@@ -1,0 +1,68 @@
+// XorpInstance: one routing-daemon bundle per virtual node.
+//
+// Mirrors what "XORP, running unmodified in a UML kernel process" is in
+// PL-VINI: the RIB, the enabled protocol processes, and the dispatch of
+// control packets arriving from the virtual interfaces.  The FEA (set on
+// the RIB) is provided by the overlay layer, which programs the Click
+// FIB from RIB changes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cpu/scheduler.h"
+#include "sim/event_queue.h"
+#include "xorp/bgp.h"
+#include "xorp/ospf.h"
+#include "xorp/rib.h"
+#include "xorp/rip.h"
+#include "xorp/vif.h"
+
+namespace vini::xorp {
+
+class XorpInstance {
+ public:
+  /// `process` is the CPU context the daemon's work is charged to (may
+  /// be null on dedicated hardware).
+  XorpInstance(sim::EventQueue& queue, RouterId router_id,
+               cpu::Process* process = nullptr);
+  ~XorpInstance();
+
+  XorpInstance(const XorpInstance&) = delete;
+  XorpInstance& operator=(const XorpInstance&) = delete;
+
+  RouterId routerId() const { return router_id_; }
+  Rib& rib() { return rib_; }
+
+  OspfProcess& enableOspf(OspfConfig config = {});
+  RipProcess& enableRip(RipConfig config = {});
+  BgpProcess& enableBgp(BgpConfig config = {});
+
+  OspfProcess* ospf() { return ospf_.get(); }
+  RipProcess* rip() { return rip_.get(); }
+  BgpProcess* bgp() { return bgp_.get(); }
+
+  /// Register a virtual interface: adds its /30 as a connected route and
+  /// attaches it to the enabled IGPs (`ospf_cost` applies if OSPF is on).
+  void registerVif(Vif& vif, std::uint32_t ospf_cost = 1, bool with_rip = false);
+
+  /// Start all enabled protocols.
+  void start();
+  void stop();
+
+  /// Entry point for control-plane packets from a virtual interface.
+  /// Dispatches by protocol: IP proto 89 -> OSPF, UDP/520 -> RIP.
+  void receiveControl(Vif& vif, const packet::Packet& p);
+
+ private:
+  sim::EventQueue& queue_;
+  RouterId router_id_;
+  cpu::Process* process_;
+  Rib rib_;
+  std::unique_ptr<OspfProcess> ospf_;
+  std::unique_ptr<RipProcess> rip_;
+  std::unique_ptr<BgpProcess> bgp_;
+  std::vector<Vif*> vifs_;
+};
+
+}  // namespace vini::xorp

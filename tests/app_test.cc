@@ -1,0 +1,401 @@
+// Application-layer tests: iperf (TCP and UDP), ping modes, the web
+// pair, cross-traffic generation, and the tcpdump capture.
+#include <gtest/gtest.h>
+
+#include "app/iperf.h"
+#include "app/ping.h"
+#include "app/ron.h"
+#include "app/traceroute.h"
+#include "app/traffic.h"
+#include "app/web.h"
+#include "phys/network.h"
+#include "tcpip/stack_manager.h"
+
+namespace vini::app {
+namespace {
+
+using packet::IpAddress;
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct Pair {
+  sim::EventQueue queue;
+  phys::PhysNetwork net{queue};
+  tcpip::StackManager stacks{net};
+  tcpip::HostStack* a = nullptr;
+  tcpip::HostStack* b = nullptr;
+  phys::PhysLink* link = nullptr;
+
+  explicit Pair(double bw = 100e6, sim::Duration delay = 5 * kMillisecond,
+                double loss = 0.0) {
+    auto& na = net.addNode("a", IpAddress(1, 0, 0, 1));
+    auto& nb = net.addNode("b", IpAddress(1, 0, 0, 2));
+    phys::LinkConfig config;
+    config.bandwidth_bps = bw;
+    config.propagation = delay;
+    config.loss_rate = loss;
+    link = &net.addLink(na, nb, config);
+    a = &stacks.ensure(na);
+    b = &stacks.ensure(nb);
+  }
+};
+
+TEST(IperfTcp, ServerReportsGoodput) {
+  Pair world;
+  tcpip::TcpConfig tcp;
+  tcp.recv_buffer = 64 * 1024;  // 4 x 64 KB comfortably covers the BDP
+  auto result = runIperfTcp(world.queue, *world.a, *world.b, world.b->address(),
+                            5001, 4, 5 * kSecond, tcp);
+  // 100 Mb/s wire, 10 ms RTT: should approach line rate.
+  EXPECT_GT(result.mbps, 80.0);
+  EXPECT_LT(result.mbps, 100.0);
+  EXPECT_EQ(result.retransmits, 0u);
+}
+
+TEST(IperfTcp, MoreStreamsFillHighBdpPipe) {
+  // One 16 KB-window stream cannot fill 100 Mb/s at 40 ms RTT; twenty can
+  // do much better (the reason the paper's tests run 20 streams).
+  Pair world(100e6, 20 * kMillisecond);
+  const double one = runIperfTcp(world.queue, *world.a, *world.b,
+                                 world.b->address(), 5001, 1, 5 * kSecond)
+                         .mbps;
+  Pair world2(100e6, 20 * kMillisecond);
+  const double twenty = runIperfTcp(world2.queue, *world2.a, *world2.b,
+                                    world2.b->address(), 5001, 20, 5 * kSecond)
+                            .mbps;
+  EXPECT_LT(one, 6.0);
+  EXPECT_GT(twenty, 10 * one);
+}
+
+TEST(IperfUdp, CbrRateIsAccurate) {
+  Pair world;
+  IperfUdpServer server(*world.b, 5002);
+  IperfUdpClient client(*world.a, world.b->address(), 5002, 20e6, 1430);
+  client.start(5 * kSecond);
+  world.queue.runUntil(world.queue.now() + 6 * kSecond);
+  const double mbps =
+      static_cast<double>(server.bytesReceived()) * 8 / 5.0 / 1e6;
+  EXPECT_NEAR(mbps, 20.0, 1.0);
+  EXPECT_EQ(server.lossFraction(), 0.0);
+}
+
+TEST(IperfUdp, DetectsLossViaSequenceGaps) {
+  Pair world(100e6, 5 * kMillisecond, 0.05);
+  IperfUdpServer server(*world.b, 5002);
+  IperfUdpClient client(*world.a, world.b->address(), 5002, 10e6, 1430);
+  client.start(10 * kSecond);
+  world.queue.runUntil(world.queue.now() + 11 * kSecond);
+  EXPECT_NEAR(server.lossFraction(), 0.05, 0.02);
+  EXPECT_LT(server.packetsReceived(), client.packetsSent());
+}
+
+TEST(IperfUdp, JitterReflectsPathVariability) {
+  // A clean path has tiny jitter; competing cross traffic on the same
+  // link inflates it.
+  Pair quiet;
+  IperfUdpServer qserver(*quiet.b, 5002);
+  IperfUdpClient qclient(*quiet.a, quiet.b->address(), 5002, 5e6, 1430);
+  qclient.start(5 * kSecond);
+  quiet.queue.runUntil(quiet.queue.now() + 6 * kSecond);
+
+  Pair busy;
+  IperfUdpServer bserver(*busy.b, 5002);
+  CrossTrafficSource::Options cross;
+  cross.mean_rate_bps = 60e6;
+  cross.burstiness = 5.0;
+  CrossTrafficSource noise(*busy.a, busy.b->address(), cross);
+  noise.start();
+  IperfUdpClient bclient(*busy.a, busy.b->address(), 5002, 5e6, 1430);
+  bclient.start(5 * kSecond);
+  busy.queue.runUntil(busy.queue.now() + 6 * kSecond);
+
+  EXPECT_GT(bserver.jitterMs(), 3 * qserver.jitterMs());
+}
+
+TEST(Pinger, FloodModeCompletesAndMeasures) {
+  Pair world;
+  Pinger::Options options;
+  options.count = 500;
+  Pinger pinger(*world.a, world.b->address(), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world.queue.runUntil(world.queue.now() + 60 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger.report().transmitted, 500u);
+  EXPECT_EQ(pinger.report().received, 500u);
+  EXPECT_NEAR(pinger.report().rtt_ms.mean(), 10.3, 1.0);
+  EXPECT_EQ(pinger.report().lossPercent(), 0.0);
+}
+
+TEST(Pinger, IntervalModePacesOnePerInterval) {
+  Pair world;
+  Pinger::Options options;
+  options.count = 10;
+  options.flood = false;
+  options.interval = kSecond;
+  Pinger pinger(*world.a, world.b->address(), options);
+  sim::Time first = -1;
+  sim::Time last = -1;
+  pinger.on_reply = [&](std::uint64_t, sim::Duration) {
+    if (first < 0) first = world.queue.now();
+    last = world.queue.now();
+  };
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world.queue.runUntil(world.queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  // Ten probes, one per second: ~9 s between first and last reply.
+  EXPECT_NEAR(sim::toSeconds(last - first), 9.0, 0.5);
+}
+
+TEST(Pinger, CountsLossOnLossyPath) {
+  Pair world(100e6, 5 * kMillisecond, 0.10);
+  Pinger::Options options;
+  options.count = 1000;
+  Pinger pinger(*world.a, world.b->address(), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world.queue.runUntil(world.queue.now() + 120 * kSecond);
+  ASSERT_TRUE(done);
+  // Request or reply can die: loss ~ 1 - 0.9^2 = 19%.
+  EXPECT_NEAR(pinger.report().lossPercent(), 19.0, 5.0);
+}
+
+TEST(Web, FetchRoundTrip) {
+  Pair world;
+  WebServer server(*world.b, 80, 25'000);
+  WebClient client(*world.a);
+  bool done = false;
+  std::size_t bytes = 0;
+  client.fetch(world.b->address(), 80, {}, [&](const WebClient::FetchResult& r) {
+    done = true;
+    bytes = r.bytes;
+    EXPECT_TRUE(r.ok);
+    EXPECT_GT(r.elapsed, 0);
+  });
+  world.queue.runUntil(world.queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(bytes, 25'000u);
+  EXPECT_EQ(server.requestsServed(), 1u);
+}
+
+TEST(Web, ConcurrentFetches) {
+  Pair world;
+  WebServer server(*world.b, 80, 10'000);
+  WebClient client(*world.a);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    client.fetch(world.b->address(), 80, {},
+                 [&](const WebClient::FetchResult& r) {
+                   if (r.ok && r.bytes == 10'000) ++done;
+                 });
+  }
+  world.queue.runUntil(world.queue.now() + 60 * kSecond);
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(server.requestsServed(), 5u);
+}
+
+TEST(CrossTraffic, LongRunRateApproximatesMean) {
+  Pair world(1e9);
+  std::uint64_t received_bytes = 0;
+  world.b->openUdp(9).setReceiveHandler(
+      [&](packet::Packet p) { received_bytes += p.payload_bytes; });
+  CrossTrafficSource::Options options;
+  options.mean_rate_bps = 20e6;
+  CrossTrafficSource source(*world.a, world.b->address(), options);
+  source.start();
+  world.queue.runUntil(world.queue.now() + 30 * kSecond);
+  source.stop();
+  const double mbps = static_cast<double>(received_bytes) * 8 / 30.0 / 1e6;
+  EXPECT_NEAR(mbps, 20.0, 8.0);  // bursty: wide tolerance
+  EXPECT_GT(source.packetsSent(), 0u);
+}
+
+TEST(CrossTraffic, IsBursty) {
+  // Per-100ms byte counts should swing far more than a CBR stream's.
+  Pair world(1e9);
+  std::vector<double> buckets;
+  std::uint64_t bucket_bytes = 0;
+  world.b->openUdp(9).setReceiveHandler(
+      [&](packet::Packet p) { bucket_bytes += p.payload_bytes; });
+  CrossTrafficSource::Options options;
+  options.mean_rate_bps = 20e6;
+  options.burstiness = 5.0;
+  CrossTrafficSource source(*world.a, world.b->address(), options);
+  source.start();
+  for (int i = 0; i < 100; ++i) {
+    world.queue.runUntil(world.queue.now() + 100 * kMillisecond);
+    buckets.push_back(static_cast<double>(bucket_bytes));
+    bucket_bytes = 0;
+  }
+  sim::SampleStats stats;
+  for (double b : buckets) stats.add(b);
+  ASSERT_GT(stats.mean(), 0.0);
+  // Coefficient of variation well above a CBR stream's (~0).
+  EXPECT_GT(stats.stddev() / stats.mean(), 0.5);
+}
+
+TEST(Tcpdump, CapturesAndGreps) {
+  Pair world;
+  Tcpdump dump(*world.b);
+  world.b->openUdp(7777).setReceiveHandler([](packet::Packet) {});
+  world.a->openUdp(1).sendTo(world.b->address(), 7777, 64);
+  packet::PacketMeta meta;
+  meta.app_send_time = world.queue.now();
+  world.a->sendIcmpEcho(world.b->address(), 5, 1, 56, meta);
+  world.queue.run();
+  EXPECT_GE(dump.captured(), 3u);  // udp in, icmp in, icmp reply out
+  EXPECT_FALSE(dump.grep("udp").empty());
+  EXPECT_FALSE(dump.grep("icmp").empty());
+  EXPECT_TRUE(dump.grep("tcp").empty());
+  const auto udp_entries = dump.grep("udp 1>7777");
+  ASSERT_EQ(udp_entries.size(), 1u);
+  EXPECT_FALSE(udp_entries[0].tx);
+}
+
+TEST(Ron, ProbesKeepLossNearZeroOnHealthyMesh) {
+  // Triangle a-b, a-c, c-b.
+  sim::EventQueue queue;
+  phys::PhysNetwork net(queue);
+  auto& na = net.addNode("a", IpAddress(1, 0, 0, 1));
+  auto& nb = net.addNode("b", IpAddress(1, 0, 0, 2));
+  auto& nc = net.addNode("c", IpAddress(1, 0, 0, 3));
+  net.addLink(na, nb);
+  net.addLink(na, nc);
+  net.addLink(nc, nb);
+  tcpip::StackManager stacks(net);
+  RonNode ra(stacks.ensure(na), na.address());
+  RonNode rb(stacks.ensure(nb), nb.address());
+  RonNode rc(stacks.ensure(nc), nc.address());
+  for (RonNode* n : {&ra, &rb, &rc}) {
+    n->addPeer(na.address());
+    n->addPeer(nb.address());
+    n->addPeer(nc.address());
+    n->start();
+  }
+  queue.runUntil(queue.now() + 10 * kSecond);
+  EXPECT_LT(ra.lossTo(nb.address()), 0.05);
+  EXPECT_LT(ra.lossTo(nc.address()), 0.05);
+  EXPECT_TRUE(ra.currentDetour(nb.address()).isZero());
+  EXPECT_GT(ra.stats().probes_answered, 8u);
+  // Data goes direct and arrives.
+  ra.sendData(nb.address(), 100);
+  queue.runUntil(queue.now() + kSecond);
+  EXPECT_EQ(ra.stats().data_sent_direct, 1u);
+  EXPECT_EQ(rb.stats().data_received, 1u);
+}
+
+TEST(Ron, DetoursAroundABlackholedDirectPath) {
+  // Same triangle; the direct a-b fiber dies, and (expose mode) the
+  // underlay keeps routing into it.  RON's probes notice and data takes
+  // the one-hop detour through c — the Section 1 scenario, now with an
+  // injectable failure.
+  sim::EventQueue queue;
+  phys::PhysNetwork net(queue);
+  auto& na = net.addNode("a", IpAddress(1, 0, 0, 1));
+  auto& nb = net.addNode("b", IpAddress(1, 0, 0, 2));
+  auto& nc = net.addNode("c", IpAddress(1, 0, 0, 3));
+  phys::PhysLink& direct = net.addLink(na, nb);
+  net.addLink(na, nc);
+  net.addLink(nc, nb);
+  tcpip::StackManager stacks(net);
+  RonNode ra(stacks.ensure(na), na.address());
+  RonNode rb(stacks.ensure(nb), nb.address());
+  RonNode rc(stacks.ensure(nc), nc.address());
+  for (RonNode* n : {&ra, &rb, &rc}) {
+    n->addPeer(na.address());
+    n->addPeer(nb.address());
+    n->addPeer(nc.address());
+    n->start();
+  }
+  queue.runUntil(queue.now() + 5 * kSecond);
+  ASSERT_TRUE(ra.currentDetour(nb.address()).isZero());
+
+  direct.setUp(false);
+  queue.runUntil(queue.now() + 10 * kSecond);
+  // Probes over the dead path are all lost; the estimate saturates.
+  EXPECT_GT(ra.lossTo(nb.address()), 0.8);
+  EXPECT_EQ(ra.currentDetour(nb.address()), nc.address());
+
+  const auto before = rb.stats().data_received;
+  for (int i = 0; i < 5; ++i) ra.sendData(nb.address(), 100);
+  queue.runUntil(queue.now() + kSecond);
+  EXPECT_EQ(ra.stats().data_sent_detour, 5u);
+  EXPECT_EQ(rc.stats().data_forwarded, 5u);
+  EXPECT_EQ(rb.stats().data_received - before, 5u);
+
+  // Repair: probes recover, traffic returns to the direct path.
+  direct.setUp(true);
+  queue.runUntil(queue.now() + 15 * kSecond);
+  EXPECT_LT(ra.lossTo(nb.address()), 0.2);
+  EXPECT_TRUE(ra.currentDetour(nb.address()).isZero());
+}
+
+struct Chain3 {
+  sim::EventQueue queue;
+  phys::PhysNetwork net{queue};
+  tcpip::StackManager stacks{net};
+  tcpip::HostStack *a, *b, *c;
+
+  Chain3() {
+    auto& na = net.addNode("a", IpAddress(1, 0, 0, 1));
+    auto& nb = net.addNode("b", IpAddress(1, 0, 0, 2));
+    auto& nc = net.addNode("c", IpAddress(1, 0, 0, 3));
+    net.addLink(na, nb);
+    net.addLink(nb, nc);
+    a = &stacks.ensure(na);
+    b = &stacks.ensure(nb);
+    c = &stacks.ensure(nc);
+  }
+};
+
+TEST(Traceroute, RevealsUnderlayPath) {
+  Chain3 world;
+  Traceroute::Options options;
+  options.max_hops = 8;
+  Traceroute trace(*world.a, world.c->address(), options);
+  bool done = false;
+  trace.start([&] { done = true; });
+  world.queue.runUntil(world.queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(trace.reachedDestination());
+  ASSERT_EQ(trace.hops().size(), 2u);
+  ASSERT_TRUE(trace.hops()[0].router.has_value());
+  EXPECT_EQ(*trace.hops()[0].router, world.b->address());  // time exceeded
+  ASSERT_TRUE(trace.hops()[1].router.has_value());
+  EXPECT_EQ(*trace.hops()[1].router, world.c->address());  // port unreachable
+  EXPECT_GT(trace.hops()[0].rtt, 0);
+  EXPECT_LT(trace.hops()[0].rtt, trace.hops()[1].rtt + sim::kMillisecond);
+}
+
+TEST(Traceroute, TimesOutAcrossDeadLink) {
+  Chain3 world;
+  world.net.linkBetween("b", "c")->setUp(false);
+  Traceroute::Options options;
+  options.max_hops = 3;
+  options.probe_timeout = 200 * kMillisecond;
+  Traceroute trace(*world.a, world.c->address(), options);
+  bool done = false;
+  trace.start([&] { done = true; });
+  world.queue.runUntil(world.queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(trace.reachedDestination());
+  ASSERT_EQ(trace.hops().size(), 3u);
+  EXPECT_TRUE(trace.hops()[0].router.has_value());   // b still answers
+  EXPECT_FALSE(trace.hops()[1].router.has_value());  // * * *
+  EXPECT_FALSE(trace.hops()[2].router.has_value());
+}
+
+TEST(Tcpdump, RingBufferBounded) {
+  Pair world;
+  Tcpdump dump(*world.b, 10);
+  world.b->openUdp(7777).setReceiveHandler([](packet::Packet) {});
+  auto& sender = world.a->openUdp(1);
+  for (int i = 0; i < 50; ++i) sender.sendTo(world.b->address(), 7777, 8);
+  world.queue.run();
+  EXPECT_EQ(dump.entries().size(), 10u);
+  EXPECT_EQ(dump.captured(), 50u);
+}
+
+}  // namespace
+}  // namespace vini::app

@@ -1,0 +1,256 @@
+// BGP tests: session establishment, propagation, loop prevention, the
+// decision process, withdrawal — and the Section 6.1 BGP multiplexer
+// (prefix filtering, rate limiting, session sharing).
+#include <gtest/gtest.h>
+
+#include "xorp/bgp.h"
+
+namespace vini::xorp {
+namespace {
+
+using packet::IpAddress;
+using packet::Prefix;
+using sim::kSecond;
+
+BgpConfig speaker(std::uint32_t asn, RouterId id, const std::string& name) {
+  BgpConfig config;
+  config.asn = asn;
+  config.router_id = id;
+  config.name = name;
+  return config;
+}
+
+TEST(Bgp, OriginationPropagatesToPeer) {
+  sim::EventQueue q;
+  Rib rib_a, rib_b;
+  BgpProcess a(q, &rib_a, speaker(100, 1, "a"));
+  BgpProcess b(q, &rib_b, speaker(200, 2, "b"));
+  BgpProcess::connect(a, b);
+  a.originate(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(kSecond);
+
+  auto route = b.bestRoute(Prefix::mustParse("198.32.0.0/16"));
+  ASSERT_TRUE(route.has_value());
+  ASSERT_EQ(route->as_path.size(), 1u);
+  EXPECT_EQ(route->as_path[0], 100u);
+  // Installed in b's RIB as an eBGP route.
+  auto rib_route = rib_b.lookup(IpAddress(198, 32, 1, 1));
+  ASSERT_TRUE(rib_route.has_value());
+  EXPECT_EQ(rib_route->origin, RouteOrigin::kEbgp);
+}
+
+TEST(Bgp, TransitPropagationPrependsAsPath) {
+  sim::EventQueue q;
+  BgpProcess a(q, nullptr, speaker(100, 1, "a"));
+  BgpProcess b(q, nullptr, speaker(200, 2, "b"));
+  BgpProcess c(q, nullptr, speaker(300, 3, "c"));
+  BgpProcess::connect(a, b);
+  BgpProcess::connect(b, c);
+  a.originate(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(kSecond);
+  auto route = c.bestRoute(Prefix::mustParse("198.32.0.0/16"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->as_path, (std::vector<std::uint32_t>{200, 100}));
+}
+
+TEST(Bgp, LoopDetectionRejectsOwnAs) {
+  sim::EventQueue q;
+  BgpProcess a(q, nullptr, speaker(100, 1, "a"));
+  BgpProcess b(q, nullptr, speaker(200, 2, "b"));
+  BgpProcess c(q, nullptr, speaker(300, 3, "c"));
+  // Triangle: a-b, b-c fast; c-a slow, so c first learns the prefix via
+  // b and advertises that path to a — which must reject it (AS 100 is
+  // already in the path).
+  BgpProcess::connect(a, b, sim::kMillisecond);
+  BgpProcess::connect(b, c, sim::kMillisecond);
+  BgpProcess::connect(c, a, 50 * sim::kMillisecond);
+  a.originate(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(10 * kSecond);
+  // Convergence (not an update storm), and the loop counter fired.
+  EXPECT_GT(a.stats().loops_rejected, 0u);
+  EXPECT_TRUE(b.bestRoute(Prefix::mustParse("198.32.0.0/16")).has_value());
+  EXPECT_TRUE(c.bestRoute(Prefix::mustParse("198.32.0.0/16")).has_value());
+}
+
+TEST(Bgp, ShorterAsPathWins) {
+  sim::EventQueue q;
+  BgpProcess origin(q, nullptr, speaker(100, 1, "origin"));
+  BgpProcess transit(q, nullptr, speaker(150, 5, "transit"));
+  BgpProcess chooser(q, nullptr, speaker(200, 2, "chooser"));
+  // chooser hears the prefix directly from origin and via transit.
+  BgpProcess::connect(origin, chooser);
+  BgpProcess::connect(origin, transit);
+  BgpProcess::connect(transit, chooser);
+  origin.originate(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(10 * kSecond);
+  auto best = chooser.bestRoute(Prefix::mustParse("198.32.0.0/16"));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->as_path.size(), 1u);  // direct path
+}
+
+TEST(Bgp, HigherLocalPrefBeatsShorterPath) {
+  sim::EventQueue q;
+  BgpProcess origin(q, nullptr, speaker(100, 1, "origin"));
+  BgpProcess transit(q, nullptr, speaker(150, 5, "transit"));
+  BgpProcess chooser(q, nullptr, speaker(200, 2, "chooser"));
+  BgpProcess::connect(origin, chooser);
+  BgpProcess::connect(origin, transit);
+  BgpProcess::connect(transit, chooser);
+  // Prefer everything learned from `transit`.
+  chooser.setImportFilter(transit, [](BgpRoute& route) {
+    route.local_pref = 200;
+    return true;
+  });
+  origin.originate(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(10 * kSecond);
+  auto best = chooser.bestRoute(Prefix::mustParse("198.32.0.0/16"));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->as_path.size(), 2u);  // the longer, preferred path
+  EXPECT_EQ(best->local_pref, 200u);
+}
+
+TEST(Bgp, WithdrawalPropagates) {
+  sim::EventQueue q;
+  BgpProcess a(q, nullptr, speaker(100, 1, "a"));
+  BgpProcess b(q, nullptr, speaker(200, 2, "b"));
+  BgpProcess c(q, nullptr, speaker(300, 3, "c"));
+  BgpProcess::connect(a, b);
+  BgpProcess::connect(b, c);
+  a.originate(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(kSecond);
+  ASSERT_TRUE(c.bestRoute(Prefix::mustParse("198.32.0.0/16")).has_value());
+  a.withdrawOrigin(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(q.now() + kSecond);
+  EXPECT_FALSE(b.bestRoute(Prefix::mustParse("198.32.0.0/16")).has_value());
+  EXPECT_FALSE(c.bestRoute(Prefix::mustParse("198.32.0.0/16")).has_value());
+}
+
+TEST(Bgp, DisconnectFlushesLearnedRoutes) {
+  sim::EventQueue q;
+  Rib rib_b;
+  BgpProcess a(q, nullptr, speaker(100, 1, "a"));
+  BgpProcess b(q, &rib_b, speaker(200, 2, "b"));
+  BgpProcess::connect(a, b);
+  a.originate(Prefix::mustParse("198.32.0.0/16"));
+  q.runUntil(kSecond);
+  ASSERT_TRUE(rib_b.lookup(IpAddress(198, 32, 0, 1)).has_value());
+  b.disconnect(a);
+  q.runUntil(q.now() + kSecond);
+  EXPECT_FALSE(b.bestRoute(Prefix::mustParse("198.32.0.0/16")).has_value());
+  EXPECT_FALSE(rib_b.lookup(IpAddress(198, 32, 0, 1)).has_value());
+  EXPECT_EQ(b.sessionCount(), 0u);
+}
+
+TEST(Bgp, LateConnectReceivesFullTable) {
+  sim::EventQueue q;
+  BgpProcess a(q, nullptr, speaker(100, 1, "a"));
+  BgpProcess b(q, nullptr, speaker(200, 2, "b"));
+  a.originate(Prefix::mustParse("198.32.0.0/16"));
+  a.originate(Prefix::mustParse("198.33.0.0/16"));
+  q.runUntil(kSecond);
+  BgpProcess::connect(a, b);
+  q.runUntil(q.now() + kSecond);
+  EXPECT_EQ(b.knownPrefixes().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// BgpMultiplexer (Section 6.1)
+
+struct MuxWorld {
+  sim::EventQueue q;
+  BgpMultiplexer::Config config;
+  std::unique_ptr<BgpMultiplexer> mux;
+  std::unique_ptr<BgpProcess> external;  // the neighboring domain
+  std::unique_ptr<BgpProcess> slice1;
+  std::unique_ptr<BgpProcess> slice2;
+
+  MuxWorld(double updates_per_second = 100.0) {
+    config.vini_block = Prefix::mustParse("198.32.0.0/16");
+    config.updates_per_second = updates_per_second;
+    config.burst = 3.0;
+    mux = std::make_unique<BgpMultiplexer>(q, speaker(42, 99, "mux"), config);
+    external = std::make_unique<BgpProcess>(q, nullptr, speaker(7018, 50, "att"));
+    BgpProcess::connect(mux->externalSpeaker(), *external);
+    slice1 = std::make_unique<BgpProcess>(q, nullptr, speaker(42, 101, "slice1"));
+    slice2 = std::make_unique<BgpProcess>(q, nullptr, speaker(42, 102, "slice2"));
+  }
+};
+
+TEST(BgpMux, SlicesShareOneExternalSession) {
+  MuxWorld world;
+  EXPECT_TRUE(world.mux->registerSlice(*world.slice1,
+                                       Prefix::mustParse("198.32.1.0/24")));
+  EXPECT_TRUE(world.mux->registerSlice(*world.slice2,
+                                       Prefix::mustParse("198.32.2.0/24")));
+  // The external speaker still has exactly one session (to the mux).
+  EXPECT_EQ(world.external->sessionCount(), 1u);
+  EXPECT_EQ(world.mux->sliceCount(), 2u);
+
+  world.slice1->originate(Prefix::mustParse("198.32.1.0/24"));
+  world.slice2->originate(Prefix::mustParse("198.32.2.0/24"));
+  world.q.runUntil(kSecond);
+  EXPECT_TRUE(world.external
+                  ->bestRoute(Prefix::mustParse("198.32.1.0/24"))
+                  .has_value());
+  EXPECT_TRUE(world.external
+                  ->bestRoute(Prefix::mustParse("198.32.2.0/24"))
+                  .has_value());
+}
+
+TEST(BgpMux, FiltersAnnouncementsOutsideAllocation) {
+  MuxWorld world;
+  ASSERT_TRUE(world.mux->registerSlice(*world.slice1,
+                                       Prefix::mustParse("198.32.1.0/24")));
+  // Slice 1 tries to announce someone else's space (a hijack) and space
+  // outside VINI entirely.
+  world.slice1->originate(Prefix::mustParse("198.32.2.0/24"));
+  world.slice1->originate(Prefix::mustParse("8.8.8.0/24"));
+  world.q.runUntil(kSecond);
+  EXPECT_FALSE(world.external
+                   ->bestRoute(Prefix::mustParse("198.32.2.0/24"))
+                   .has_value());
+  EXPECT_FALSE(world.external->bestRoute(Prefix::mustParse("8.8.8.0/24"))
+                   .has_value());
+  EXPECT_GE(world.mux->filteredAnnouncements(), 2u);
+}
+
+TEST(BgpMux, RejectsOverlappingAllocations) {
+  MuxWorld world;
+  ASSERT_TRUE(world.mux->registerSlice(*world.slice1,
+                                       Prefix::mustParse("198.32.1.0/24")));
+  EXPECT_FALSE(world.mux->registerSlice(*world.slice2,
+                                        Prefix::mustParse("198.32.1.128/25")));
+  EXPECT_FALSE(world.mux->registerSlice(*world.slice2,
+                                        Prefix::mustParse("10.0.0.0/24")));
+  EXPECT_TRUE(world.mux->registerSlice(*world.slice2,
+                                       Prefix::mustParse("198.32.2.0/24")));
+}
+
+TEST(BgpMux, RateLimitsUpdateStorms) {
+  MuxWorld world(/*updates_per_second=*/1.0);
+  ASSERT_TRUE(world.mux->registerSlice(*world.slice1,
+                                       Prefix::mustParse("198.32.1.0/24")));
+  // An unstable experiment flaps its prefix rapidly.
+  for (int i = 0; i < 30; ++i) {
+    world.slice1->originate(Prefix::mustParse("198.32.1.0/24"));
+    world.q.runUntil(world.q.now() + 100 * sim::kMillisecond);
+    world.slice1->withdrawOrigin(Prefix::mustParse("198.32.1.0/24"));
+    world.q.runUntil(world.q.now() + 100 * sim::kMillisecond);
+  }
+  EXPECT_GT(world.mux->rateLimited(), 0u);
+}
+
+TEST(BgpMux, ExternalRoutesReachAllSlices) {
+  MuxWorld world;
+  ASSERT_TRUE(world.mux->registerSlice(*world.slice1,
+                                       Prefix::mustParse("198.32.1.0/24")));
+  ASSERT_TRUE(world.mux->registerSlice(*world.slice2,
+                                       Prefix::mustParse("198.32.2.0/24")));
+  world.external->originate(Prefix::mustParse("12.0.0.0/8"));
+  world.q.runUntil(kSecond);
+  EXPECT_TRUE(world.slice1->bestRoute(Prefix::mustParse("12.0.0.0/8")).has_value());
+  EXPECT_TRUE(world.slice2->bestRoute(Prefix::mustParse("12.0.0.0/8")).has_value());
+}
+
+}  // namespace
+}  // namespace vini::xorp

@@ -1,0 +1,242 @@
+// End-to-end integration: the Section 5.2 Abilene experiment in
+// miniature (fail Denver-KansasCity, watch OSPF reroute and RTTs move),
+// TCP across the event (Figure 9's anatomy), simultaneous slices, and
+// the exposed-vs-masked underlay ablation.
+#include <gtest/gtest.h>
+
+#include "app/iperf.h"
+#include "app/ping.h"
+#include "topo/worlds.h"
+
+namespace vini {
+namespace {
+
+using sim::kSecond;
+using topo::WorldOptions;
+
+WorldOptions quiescent() {
+  WorldOptions options;
+  options.contention = 0.0;
+  return options;
+}
+
+TEST(AbileneFailover, OspfReroutesAndRttsFollowThePaper) {
+  auto world = topo::makeAbileneWorld(quiescent());
+  ASSERT_TRUE(world->runUntilConverged(120 * kSecond));
+  const sim::Time t0 = world->queue.now();
+
+  sim::TimeSeries rtts("rtt_ms");
+  app::Pinger::Options popt;
+  popt.count = 55;
+  popt.flood = false;
+  popt.interval = kSecond;
+  popt.source = world->tapOf("Washington");
+  app::Pinger pinger(world->stack("Washington"), world->tapOf("Seattle"), popt);
+  pinger.on_reply = [&](std::uint64_t, sim::Duration rtt) {
+    rtts.add(world->queue.now() - t0, sim::toMillis(rtt));
+  };
+
+  world->schedule.at(t0 + 10 * kSecond, "fail", [&] {
+    world->iias->failLink("Denver", "KansasCity");
+  });
+  world->schedule.at(t0 + 34 * kSecond, "restore", [&] {
+    world->iias->restoreLink("Denver", "KansasCity");
+  });
+  pinger.start();
+  world->queue.runUntil(t0 + 60 * kSecond);
+
+  // Phase 1 (before failure): the northern path, ~71-76 ms.
+  const auto before = rtts.statsBetween(0, 10 * kSecond);
+  ASSERT_GT(before.count(), 5u);
+  EXPECT_NEAR(before.mean(), 72.0, 5.0);
+
+  // Phase 2: outage while the dead interval runs (~7 s of losses), then
+  // the southern path at ~90 ms.
+  const auto southern = rtts.statsBetween(22 * kSecond, 32 * kSecond);
+  ASSERT_GT(southern.count(), 5u);
+  EXPECT_NEAR(southern.mean(), 91.0, 5.0);
+  EXPECT_GT(southern.mean(), before.mean() + 10.0);
+
+  // Phase 3 (well after restore): back on the northern path.
+  const auto after = rtts.statsBetween(45 * kSecond, 60 * kSecond);
+  ASSERT_GT(after.count(), 5u);
+  EXPECT_NEAR(after.mean(), before.mean(), 2.0);
+
+  // The outage lost some probes (the paper's Figure 8 gap).
+  EXPECT_LT(pinger.report().received, pinger.report().transmitted);
+}
+
+TEST(AbileneFailover, TcpStallsAndRestartsAcrossTheEvent) {
+  auto world = topo::makeAbileneWorld(quiescent());
+  ASSERT_TRUE(world->runUntilConverged(120 * kSecond));
+  const sim::Time t0 = world->queue.now();
+
+  // iperf DC -> Seattle with the default 16 KB window (Figure 9 setup).
+  tcpip::TcpConfig tcp;
+  tcp.recv_buffer = 16 * 1024;
+  app::IperfTcpServer server(world->stack("Seattle"), 5001, tcp);
+  sim::TimeSeries arrivals("bytes");
+  std::uint64_t total = 0;
+  server.setSegmentTrace([&](const packet::Packet& p) {
+    total += p.payload_bytes;
+    arrivals.add(world->queue.now() - t0, static_cast<double>(total));
+  });
+  app::IperfTcpClient client(world->stack("Washington"), world->tapOf("Seattle"),
+                             5001, 1, tcp, world->tapOf("Washington"));
+  client.start(50 * kSecond);
+
+  world->schedule.at(t0 + 10 * kSecond, "fail", [&] {
+    world->iias->failLink("Denver", "KansasCity");
+  });
+  world->schedule.at(t0 + 34 * kSecond, "restore", [&] {
+    world->iias->restoreLink("Denver", "KansasCity");
+  });
+  world->queue.runUntil(t0 + 50 * kSecond);
+
+  // Progress before the failure.
+  const auto phase1 = arrivals.statsBetween(2 * kSecond, 10 * kSecond);
+  ASSERT_GT(phase1.count(), 50u);
+  // Stall during the outage: almost nothing arrives in (12 s, 17 s).
+  const auto stall = arrivals.statsBetween(12 * kSecond, 17 * kSecond);
+  EXPECT_LT(stall.count(), 10u);
+  // Transfer resumes after OSPF finds the southern route (~t=17-20 s)
+  // and continues to the end.
+  const auto resumed = arrivals.statsBetween(20 * kSecond, 30 * kSecond);
+  EXPECT_GT(resumed.count(), 50u);
+  // Overall goodput in the right band (window-limited ~2-3 Mb/s minus
+  // the ~8 s outage).
+  const double mbps = static_cast<double>(total) * 8 / 50.0 / 1e6;
+  EXPECT_GT(mbps, 1.0);
+  EXPECT_LT(mbps, 4.0);
+  // The retransmission machinery was exercised.
+  EXPECT_GT(client.retransmits(), 0u);
+}
+
+TEST(SimultaneousSlices, TwoExperimentsRunIndependentTopologies) {
+  // One substrate, two slices: a full Abilene mirror and a 3-node
+  // triangle, running simultaneously (Section 3.4).
+  auto world = topo::makeAbileneSubstrate(quiescent());
+  core::TopologyEmbedder embedder(*world->vini);
+
+  overlay::IiasConfig config;
+  config.costs = topo::clickCosts();
+  config.ospf.hello_interval = 5 * kSecond;
+  config.ospf.dead_interval = 10 * kSecond;
+  config.socket_buffer = topo::kIiasSocketBuffer;
+
+  auto mirror = embedder.embed(topo::abileneMirrorSpec("mirror"));
+  overlay::IiasNetwork iias1(std::move(mirror), world->stacks, config);
+
+  core::TopologySpec triangle;
+  triangle.name = "triangle";
+  triangle.nodes = {{"x", "Seattle"}, {"y", "Houston"}, {"z", "Washington"}};
+  triangle.links = {{"x", "y", 1}, {"y", "z", 1}, {"x", "z", 1}};
+  auto tri = embedder.embed(triangle);
+  overlay::IiasNetwork iias2(std::move(tri), world->stacks, config);
+
+  iias1.start();
+  iias2.start();
+  for (int i = 0; i < 90 && !(iias1.allAdjacent() && iias2.allAdjacent()); ++i) {
+    world->queue.runUntil(world->queue.now() + kSecond);
+  }
+  ASSERT_TRUE(iias1.allAdjacent());
+  ASSERT_TRUE(iias2.allAdjacent());
+
+  // Distinct address spaces and ports.
+  EXPECT_NE(iias1.slice().overlayPrefix(), iias2.slice().overlayPrefix());
+  EXPECT_NE(iias1.slice().tunnelPort(), iias2.slice().tunnelPort());
+
+  // Failing a virtual link in slice 2 does not disturb slice 1.
+  iias2.failLink("x", "z");
+  world->queue.runUntil(world->queue.now() + 20 * kSecond);
+  EXPECT_TRUE(iias1.allAdjacent());
+  EXPECT_FALSE(iias2.allAdjacent());
+
+  // Slice 1 still forwards end to end.
+  app::Pinger::Options popt;
+  popt.count = 10;
+  popt.source = iias1.slice().nodeByName("Washington")->tapAddress();
+  app::Pinger pinger(world->stack("Washington"),
+                     iias1.slice().nodeByName("Seattle")->tapAddress(), popt);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 20 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger.report().received, 10u);
+
+  // And slice 2's triangle rerouted around its failed edge.
+  app::Pinger::Options popt2;
+  popt2.count = 10;
+  popt2.source = iias2.slice().nodeByName("x")->tapAddress();
+  app::Pinger pinger2(world->stack("Seattle"),
+                      iias2.slice().nodeByName("z")->tapAddress(), popt2);
+  done = false;
+  pinger2.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 20 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger2.report().received, 10u);
+}
+
+TEST(FateSharing, PhysicalFailureTakesDownOspfAdjacencyAndUpcalls) {
+  auto world = topo::makeAbileneWorld(quiescent());
+  ASSERT_TRUE(world->runUntilConverged(120 * kSecond));
+
+  std::vector<core::UpcallEvent> events;
+  world->vini->upcalls().subscribe(world->iias->slice().id(),
+                                   [&](const core::UpcallEvent& e) {
+                                     events.push_back(e);
+                                   });
+
+  phys::PhysLink* dk = world->net.linkBetween("Denver", "KansasCity");
+  ASSERT_NE(dk, nullptr);
+  dk->setUp(false);
+  world->queue.runUntil(world->queue.now() + 15 * kSecond);
+
+  // The slice was notified and its virtual link shares fate.
+  ASSERT_FALSE(events.empty());
+  EXPECT_FALSE(world->iias->slice().linkBetween("Denver", "KansasCity")->isUp());
+  // The routing system reconverged: Washington reaches Seattle southern.
+  auto* wash = world->router("Washington");
+  auto route = wash->xorp().rib().lookup(world->tapOf("Seattle"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_GT(route->metric, 3485u);
+}
+
+TEST(FateSharing, MaskedUnderlaySilentlyReroutesInsteadOfFailing) {
+  // The plain-overlay ablation: underlay masks failures, VINI exposure
+  // off.  The virtual link stays "up" and the overlay's OSPF never
+  // notices; the underlay reroutes beneath it.
+  WorldOptions options = quiescent();
+  options.mask_underlay_failures = true;
+  options.expose_underlay_failures = false;
+  auto world = topo::makeAbileneWorld(options);
+  ASSERT_TRUE(world->runUntilConverged(120 * kSecond));
+
+  phys::PhysLink* dk = world->net.linkBetween("Denver", "KansasCity");
+  dk->setUp(false);
+  world->queue.runUntil(world->queue.now() + 20 * kSecond);
+
+  // No OSPF reaction at all: adjacency intact, route metric unchanged.
+  EXPECT_TRUE(world->iias->allAdjacent());
+  EXPECT_TRUE(world->iias->slice().linkBetween("Denver", "KansasCity")->isUp());
+  auto route =
+      world->router("Washington")->xorp().rib().lookup(world->tapOf("Seattle"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->metric, 3485u);
+
+  // But the experimenter's RTT silently changed — the artifact the paper
+  // warns about (the tunnel Denver-KC now detours through the underlay).
+  app::Pinger::Options popt;
+  popt.count = 20;
+  popt.source = world->tapOf("Washington");
+  app::Pinger pinger(world->stack("Washington"), world->tapOf("Seattle"), popt);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_GT(pinger.report().received, 15u);
+  EXPECT_GT(pinger.report().rtt_ms.mean(), 75.0);  // silently inflated
+}
+
+}  // namespace
+}  // namespace vini

@@ -1,0 +1,153 @@
+// The life of a packet (Figure 2): an opted-in client reaches an
+// external web server through the overlay — OpenVPN ingress, IIAS
+// forwarding, NAPT egress, and the return path.
+#include <gtest/gtest.h>
+
+#include "app/ping.h"
+#include "app/web.h"
+#include "overlay/openvpn.h"
+#include "topo/worlds.h"
+
+namespace vini {
+namespace {
+
+using packet::IpAddress;
+using packet::Prefix;
+using sim::kSecond;
+
+/// DETER chain with an end-host client hanging off Src and a web server
+/// ("CNN") hanging off Sink.
+struct Fig2World {
+  std::unique_ptr<topo::World> world;
+  tcpip::HostStack* client_stack = nullptr;
+  tcpip::HostStack* cnn_stack = nullptr;
+  std::unique_ptr<overlay::OpenVpnServer> vpn_server;
+  std::unique_ptr<overlay::OpenVpnClient> vpn_client;
+
+  Fig2World() {
+    world = topo::makeDeterWorld();
+    auto& net = world->net;
+    auto& client_node = net.addNode("Client", IpAddress(128, 112, 93, 81));
+    auto& cnn_node = net.addNode("CNN", IpAddress(64, 236, 16, 20));
+    net.addLink(client_node, *net.nodeByName("Src"));
+    net.addLink(*net.nodeByName("Sink"), cnn_node);
+    client_stack = &world->stacks.ensure(client_node);
+    cnn_stack = &world->stacks.ensure(cnn_node);
+
+    // Roles: Src is the ingress (OpenVPN server), Sink is the egress.
+    world->router("Sink")->setExternalEgress();
+    vpn_server = std::make_unique<overlay::OpenVpnServer>(
+        *world->router("Src"), Prefix::mustParse("10.1.250.0/24"));
+
+    EXPECT_TRUE(world->runUntilConverged(60 * kSecond));
+
+    vpn_client = std::make_unique<overlay::OpenVpnClient>(*client_stack, "cl1");
+    EXPECT_TRUE(vpn_client->connect(*vpn_server));
+  }
+};
+
+TEST(LifeOfAPacket, ClientFetchesExternalPageThroughOverlay) {
+  Fig2World fig2;
+  app::WebServer cnn(*fig2.cnn_stack, 80, 50'000);
+  app::WebClient firefox(*fig2.client_stack);
+
+  bool done = false;
+  app::WebClient::FetchResult result;
+  firefox.fetch(fig2.cnn_stack->address(), 80, fig2.vpn_client->overlayAddress(),
+                [&](const app::WebClient::FetchResult& r) {
+                  done = true;
+                  result = r;
+                });
+  fig2.world->queue.runUntil(fig2.world->queue.now() + 120 * kSecond);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.bytes, 50'000u);
+  EXPECT_EQ(cnn.requestsServed(), 1u);
+
+  // The overlay actually carried the traffic.
+  EXPECT_GT(fig2.vpn_server->ingressPackets(), 0u);
+  EXPECT_GT(fig2.vpn_server->egressPackets(), 0u);
+  EXPECT_GT(fig2.world->router("Sink")->napt().translatedOut(), 0u);
+  EXPECT_GT(fig2.world->router("Sink")->napt().translatedBack(), 0u);
+}
+
+TEST(LifeOfAPacket, CnnSeesTheEgressAddressNotTheClient) {
+  Fig2World fig2;
+  // Observe the source address arriving at CNN's kernel.
+  IpAddress seen_src;
+  fig2.cnn_stack->setRxTrace([&](const packet::Packet& p) {
+    if (p.isTcp()) seen_src = p.ip.src;
+  });
+  app::WebServer cnn(*fig2.cnn_stack, 80, 1000);
+  app::WebClient firefox(*fig2.client_stack);
+  bool done = false;
+  firefox.fetch(fig2.cnn_stack->address(), 80, fig2.vpn_client->overlayAddress(),
+                [&](const app::WebClient::FetchResult&) { done = true; });
+  fig2.world->queue.runUntil(fig2.world->queue.now() + 60 * kSecond);
+  ASSERT_TRUE(done);
+  // NAPT rewrote the private 10.x source to the egress node's public
+  // address, so return traffic flows back through VINI (Section 3.3).
+  EXPECT_EQ(seen_src, fig2.world->stack("Sink").address());
+}
+
+TEST(LifeOfAPacket, PingThroughOverlayToExternalHost) {
+  Fig2World fig2;
+  app::Pinger::Options options;
+  options.count = 20;
+  options.source = fig2.vpn_client->overlayAddress();
+  app::Pinger pinger(*fig2.client_stack, fig2.cnn_stack->address(), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  fig2.world->queue.runUntil(fig2.world->queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger.report().received, 20u);
+}
+
+TEST(LifeOfAPacket, OverlayToOverlayClientTraffic) {
+  // Two opted-in clients can reach each other's overlay addresses.
+  Fig2World fig2;
+  auto& net = fig2.world->net;
+  auto& client2_node = net.addNode("Client2", IpAddress(128, 112, 93, 82));
+  net.addLink(client2_node, *net.nodeByName("Src"));
+  auto& client2_stack = fig2.world->stacks.ensure(client2_node);
+  overlay::OpenVpnClient client2(client2_stack, "cl2");
+  ASSERT_TRUE(client2.connect(*fig2.vpn_server));
+  EXPECT_NE(client2.overlayAddress(), fig2.vpn_client->overlayAddress());
+
+  app::Pinger::Options options;
+  options.count = 10;
+  options.source = fig2.vpn_client->overlayAddress();
+  app::Pinger pinger(*fig2.client_stack, client2.overlayAddress(), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  fig2.world->queue.runUntil(fig2.world->queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger.report().received, 10u);
+}
+
+TEST(OpenVpn, ReconnectKeepsLease) {
+  Fig2World fig2;
+  const IpAddress first = fig2.vpn_client->overlayAddress();
+  overlay::OpenVpnClient again(*fig2.client_stack, "cl1b");
+  ASSERT_TRUE(again.connect(*fig2.vpn_server));
+  EXPECT_EQ(again.overlayAddress(), first);  // same source host: same lease
+  EXPECT_EQ(fig2.vpn_server->sessionCount(), 1u);
+}
+
+TEST(OpenVpn, PingToOverlayRouterTapFromClient) {
+  // An opted-in client can reach the virtual routers' own addresses.
+  Fig2World fig2;
+  app::Pinger::Options options;
+  options.count = 5;
+  options.source = fig2.vpn_client->overlayAddress();
+  app::Pinger pinger(*fig2.client_stack, fig2.world->tapOf("Sink"), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  fig2.world->queue.runUntil(fig2.world->queue.now() + 30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger.report().received, 5u);
+}
+
+}  // namespace
+}  // namespace vini

@@ -1,0 +1,487 @@
+// OSPF tests in isolation (synthetic point-to-point interfaces, no
+// overlay): adjacency FSM, LSA flooding and acknowledgment, SPF routing
+// with metrics, failure detection through the dead interval, and
+// recovery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+
+#include "xorp/ospf.h"
+#include "xorp/rib.h"
+
+namespace vini::xorp {
+namespace {
+
+using packet::IpAddress;
+using packet::Prefix;
+using sim::kMillisecond;
+using sim::kSecond;
+
+/// A synthetic point-to-point interface pair with configurable one-way
+/// delay, loss, and up/down state.
+class TestVif final : public Vif {
+ public:
+  TestVif(sim::EventQueue& queue, std::string name, IpAddress addr,
+          IpAddress peer, Prefix subnet)
+      : queue_(queue), name_(std::move(name)), addr_(addr), peer_addr_(peer),
+        subnet_(subnet) {}
+
+  const std::string& name() const override { return name_; }
+  IpAddress address() const override { return addr_; }
+  IpAddress peerAddress() const override { return peer_addr_; }
+  Prefix subnet() const override { return subnet_; }
+  bool isUp() const override { return up_; }
+
+  void send(packet::Packet p) override {
+    if (!up_ || !peer_ || !peer_->up_) return;  // dead link eats packets
+    ++sent_;
+    TestVif* peer = peer_;
+    queue_.scheduleAfter(delay_, [peer, p = std::move(p)]() mutable {
+      if (peer->up_ && peer->deliver_) peer->deliver_(*peer, std::move(p));
+    });
+  }
+
+  void setUp(bool up) { up_ = up; }
+  void setDelay(sim::Duration delay) { delay_ = delay; }
+  void setDeliver(std::function<void(Vif&, packet::Packet)> fn) {
+    deliver_ = std::move(fn);
+  }
+  std::uint64_t packetsSent() const { return sent_; }
+
+  TestVif* peer_ = nullptr;
+
+ private:
+  sim::EventQueue& queue_;
+  std::string name_;
+  IpAddress addr_;
+  IpAddress peer_addr_;
+  Prefix subnet_;
+  bool up_ = true;
+  sim::Duration delay_ = kMillisecond;
+  std::function<void(Vif&, packet::Packet)> deliver_;
+  std::uint64_t sent_ = 0;
+};
+
+/// N routers with synthetic links; hello 5 s / dead 10 s by default
+/// (the Section 5.2 configuration).
+struct Harness {
+  sim::EventQueue queue;
+  std::vector<std::unique_ptr<Rib>> ribs;
+  std::vector<std::unique_ptr<OspfProcess>> routers;
+  std::vector<std::unique_ptr<TestVif>> vifs;
+  int next_subnet = 0;
+
+  explicit Harness(int n, sim::Duration hello = 5 * kSecond,
+                   sim::Duration dead = 10 * kSecond) {
+    for (int i = 0; i < n; ++i) {
+      ribs.push_back(std::make_unique<Rib>());
+      OspfConfig config;
+      config.router_id = static_cast<RouterId>(i + 1);
+      config.hello_interval = hello;
+      config.dead_interval = dead;
+      routers.push_back(std::make_unique<OspfProcess>(
+          queue, *ribs.back(), config, nullptr, 100 + i));
+      // Every router advertises a loopback-style stub.
+      routers.back()->addStubPrefix(
+          Prefix(IpAddress(10, 0, static_cast<std::uint8_t>(i + 1), 1), 32), 0);
+    }
+  }
+
+  /// Connect routers i and j with the given OSPF cost; returns the pair.
+  std::pair<TestVif*, TestVif*> connect(int i, int j, std::uint32_t cost = 1) {
+    const int k = next_subnet++;
+    const Prefix subnet(IpAddress(10, 200, static_cast<std::uint8_t>(k), 0), 30);
+    auto a = std::make_unique<TestVif>(
+        queue, "vif" + std::to_string(i) + std::to_string(j), subnet.hostAt(1),
+        subnet.hostAt(2), subnet);
+    auto b = std::make_unique<TestVif>(
+        queue, "vif" + std::to_string(j) + std::to_string(i), subnet.hostAt(2),
+        subnet.hostAt(1), subnet);
+    a->peer_ = b.get();
+    b->peer_ = a.get();
+    OspfProcess* ri = routers[static_cast<std::size_t>(i)].get();
+    OspfProcess* rj = routers[static_cast<std::size_t>(j)].get();
+    a->setDeliver([ri](Vif& vif, packet::Packet p) { ri->receive(vif, p); });
+    b->setDeliver([rj](Vif& vif, packet::Packet p) { rj->receive(vif, p); });
+    ri->addInterface(*a, cost);
+    rj->addInterface(*b, cost);
+    TestVif* pa = a.get();
+    TestVif* pb = b.get();
+    vifs.push_back(std::move(a));
+    vifs.push_back(std::move(b));
+    return {pa, pb};
+  }
+
+  void startAll() {
+    for (auto& r : routers) r->start();
+  }
+
+  std::optional<RibRoute> routeOf(int i, const std::string& prefix) {
+    return ribs[static_cast<std::size_t>(i)]->lookup(
+        Prefix::mustParse(prefix).address());
+  }
+};
+
+TEST(Ospf, TwoRoutersBecomeAdjacent) {
+  Harness h(2);
+  auto [a, b] = h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(20 * kSecond);
+  EXPECT_EQ(h.routers[0]->neighborState(*a), NeighborState::kFull);
+  EXPECT_EQ(h.routers[1]->neighborState(*b), NeighborState::kFull);
+  EXPECT_EQ(h.routers[0]->neighborId(*a), 2u);
+  EXPECT_EQ(h.routers[1]->neighborId(*b), 1u);
+  EXPECT_EQ(h.routers[0]->lsdbSize(), 2u);
+}
+
+TEST(Ospf, StubPrefixesReachTheOtherEnd) {
+  Harness h(2);
+  auto pair = h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(20 * kSecond);
+  auto route = h.routeOf(0, "10.0.2.1/32");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hop, pair.first->peerAddress());
+  EXPECT_EQ(route->origin, RouteOrigin::kOspf);
+}
+
+TEST(Ospf, ChainFloodsLsasEndToEnd) {
+  Harness h(4);
+  h.connect(0, 1);
+  h.connect(1, 2);
+  h.connect(2, 3);
+  h.startAll();
+  h.queue.runUntil(40 * kSecond);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.routers[static_cast<std::size_t>(i)]->lsdbSize(), 4u)
+        << "router " << i;
+  }
+  // Router 0 can reach router 3's stub, three hops away.
+  EXPECT_TRUE(h.routeOf(0, "10.0.4.1/32").has_value());
+}
+
+TEST(Ospf, PicksLowerCostPath) {
+  // 0-1 direct cost 10; 0-2-1 with costs 2+3 = 5: the detour wins.
+  Harness h(3);
+  h.connect(0, 1, 10);
+  auto via2 = h.connect(0, 2, 2);
+  h.connect(2, 1, 3);
+  h.startAll();
+  h.queue.runUntil(40 * kSecond);
+  auto route = h.routeOf(0, "10.0.2.1/32");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->next_hop, via2.first->peerAddress());
+  EXPECT_EQ(route->metric, 5u);
+}
+
+TEST(Ospf, DeadIntervalDetectsSilentNeighbor) {
+  Harness h(2);
+  auto [a, b] = h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(20 * kSecond);
+  ASSERT_EQ(h.routers[0]->neighborState(*a), NeighborState::kFull);
+
+  // Silence the link; detection within [dead, dead + hello].
+  a->setUp(false);
+  b->setUp(false);
+  h.queue.runUntil(h.queue.now() + 16 * kSecond);
+  EXPECT_EQ(h.routers[0]->neighborState(*a), NeighborState::kDown);
+  EXPECT_GE(h.routers[0]->stats().neighbors_lost, 1u);
+  // Routes through the dead adjacency are withdrawn.
+  EXPECT_FALSE(h.routeOf(0, "10.0.2.1/32").has_value());
+}
+
+TEST(Ospf, ReroutesAroundFailedLinkInTriangle) {
+  Harness h(3);
+  auto direct = h.connect(0, 1, 1);
+  h.connect(0, 2, 5);
+  h.connect(2, 1, 5);
+  h.startAll();
+  h.queue.runUntil(30 * kSecond);
+  auto route = h.routeOf(0, "10.0.2.1/32");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->metric, 1u);
+
+  direct.first->setUp(false);
+  direct.second->setUp(false);
+  h.queue.runUntil(h.queue.now() + 20 * kSecond);
+  route = h.routeOf(0, "10.0.2.1/32");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->metric, 10u);  // around via router 2
+
+  // Restoration falls back to the direct path.
+  direct.first->setUp(true);
+  direct.second->setUp(true);
+  h.queue.runUntil(h.queue.now() + 20 * kSecond);
+  route = h.routeOf(0, "10.0.2.1/32");
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->metric, 1u);
+}
+
+TEST(Ospf, DetectionTimeMatchesDeadInterval) {
+  Harness h(2);
+  auto [a, b] = h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(20 * kSecond);
+  const sim::Time fail_at = h.queue.now();
+  a->setUp(false);
+  b->setUp(false);
+  // Poll for the down transition.
+  sim::Time detected_at = -1;
+  while (h.queue.now() < fail_at + 30 * kSecond) {
+    h.queue.runUntil(h.queue.now() + 100 * kMillisecond);
+    if (h.routers[0]->neighborState(*a) == NeighborState::kDown) {
+      detected_at = h.queue.now();
+      break;
+    }
+  }
+  ASSERT_GT(detected_at, 0);
+  const double elapsed = sim::toSeconds(detected_at - fail_at);
+  // Dead interval 10 s, hellos every 5 s: detection between ~5 and ~10.5 s
+  // after the failure (depending on the last hello's phase).
+  EXPECT_GE(elapsed, 4.9);
+  EXPECT_LE(elapsed, 10.6);
+}
+
+TEST(Ospf, SequenceNumbersPreventStaleLsaRegression) {
+  Harness h(3);
+  h.connect(0, 1);
+  h.connect(1, 2);
+  h.startAll();
+  h.queue.runUntil(30 * kSecond);
+  const auto fresh = h.routers[2]->lsdbEntry(1);
+  ASSERT_TRUE(fresh.has_value());
+
+  // Replay a stale LSA (lower seq) into router 2 via its interface.
+  RouterLsa stale = *fresh;
+  stale.seq = 0;
+  stale.links.clear();  // claims router 1 has no links
+  auto update = std::make_shared<OspfLsUpdate>();
+  update->lsas = {stale};
+  packet::Packet p;
+  p.ip.proto = packet::IpProto::kOspf;
+  p.app = update;
+  // Find router 2's vif (the second of the pair connecting 1 and 2).
+  TestVif* vif_r2 = h.vifs[3].get();
+  h.routers[2]->receive(*vif_r2, p);
+  h.queue.runUntil(h.queue.now() + kSecond);
+  // The fresh copy survives.
+  EXPECT_EQ(h.routers[2]->lsdbEntry(1)->seq, fresh->seq);
+  EXPECT_FALSE(h.routers[2]->lsdbEntry(1)->links.empty());
+}
+
+TEST(Ospf, StopWithdrawsRoutesAndStopsHellos) {
+  Harness h(2);
+  auto [a, b] = h.connect(0, 1);
+  (void)b;
+  h.startAll();
+  h.queue.runUntil(20 * kSecond);
+  ASSERT_TRUE(h.routeOf(0, "10.0.2.1/32").has_value());
+  h.routers[0]->stop();
+  EXPECT_FALSE(h.routeOf(0, "10.0.2.1/32").has_value());
+  const auto sent_before = a->packetsSent();
+  h.queue.runUntil(h.queue.now() + 30 * kSecond);
+  EXPECT_EQ(a->packetsSent(), sent_before);
+}
+
+TEST(Ospf, HellosKeepFlowingInSteadyState) {
+  Harness h(2);
+  auto [a, b] = h.connect(0, 1);
+  (void)b;
+  h.startAll();
+  h.queue.runUntil(60 * kSecond);
+  // ~12 hellos in 60 s at 5 s intervals (plus flooding traffic).
+  EXPECT_GE(h.routers[0]->stats().hellos_sent, 10u);
+  EXPECT_GE(h.routers[0]->stats().hellos_received, 10u);
+  EXPECT_EQ(h.routers[0]->neighborState(*a), NeighborState::kFull);
+}
+
+TEST(Ospf, SpfRunsAreDamped) {
+  Harness h(4);
+  h.connect(0, 1);
+  h.connect(1, 2);
+  h.connect(2, 3);
+  h.connect(3, 0);
+  h.startAll();
+  h.queue.runUntil(60 * kSecond);
+  // Convergence requires only a bounded number of SPF runs, not one per
+  // received LSA (the spf_delay hold-down batches them).
+  EXPECT_LE(h.routers[0]->stats().spf_runs, 25u);
+  EXPECT_GE(h.routers[0]->stats().spf_runs, 2u);
+}
+
+TEST(Ospf, EqualCostPathsChooseDeterministically) {
+  Harness h(4);
+  h.connect(0, 1, 5);
+  h.connect(0, 2, 5);
+  h.connect(1, 3, 5);
+  h.connect(2, 3, 5);
+  h.startAll();
+  h.queue.runUntil(40 * kSecond);
+  auto first = h.routeOf(0, "10.0.4.1/32");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->metric, 10u);
+  // Re-running the experiment from scratch picks the same path.
+  Harness h2(4);
+  h2.connect(0, 1, 5);
+  h2.connect(0, 2, 5);
+  h2.connect(1, 3, 5);
+  h2.connect(2, 3, 5);
+  h2.startAll();
+  h2.queue.runUntil(40 * kSecond);
+  auto second = h2.routeOf(0, "10.0.4.1/32");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->next_hop, second->next_hop);
+}
+
+class RingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSweep, RingOfNConvergesFully) {
+  const int n = GetParam();
+  Harness h(n);
+  for (int i = 0; i < n; ++i) h.connect(i, (i + 1) % n);
+  h.startAll();
+  h.queue.runUntil(60 * kSecond);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(h.routers[static_cast<std::size_t>(i)]->lsdbSize(),
+              static_cast<std::size_t>(n));
+    EXPECT_EQ(h.routers[static_cast<std::size_t>(i)]->fullNeighborCount(), 2u);
+    // Every other router's stub is reachable.
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      EXPECT_TRUE(h.ribs[static_cast<std::size_t>(i)]
+                      ->lookup(IpAddress(10, 0, static_cast<std::uint8_t>(j + 1), 1))
+                      .has_value())
+          << i << " -> " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, RingSweep, ::testing::Values(3, 5, 8, 11));
+
+TEST(Ospf, WorkIsChargedToAnAttachedCpuProcess) {
+  // Section 4.1.2's hazard: the routing daemon is a user-space process
+  // competing for CPU.  With a process attached, hellos/LSAs/SPF consume
+  // accounted CPU time and adjacency still forms under contention.
+  sim::EventQueue queue;
+  cpu::SchedulerConfig sched_config;
+  sched_config.contention_mean = 4.0;
+  sched_config.seed = 31;
+  cpu::Scheduler scheduler(queue, sched_config);
+  cpu::Process& daemon0 = scheduler.createProcess({});
+  cpu::Process& daemon1 = scheduler.createProcess({});
+
+  Rib rib0, rib1;
+  OspfConfig config;
+  config.router_id = 1;
+  config.hello_interval = 5 * kSecond;
+  config.dead_interval = 10 * kSecond;
+  OspfProcess r0(queue, rib0, config, &daemon0, 100);
+  config.router_id = 2;
+  OspfProcess r1(queue, rib1, config, &daemon1, 101);
+  r0.addStubPrefix(Prefix::mustParse("10.0.1.1/32"));
+  r1.addStubPrefix(Prefix::mustParse("10.0.2.1/32"));
+
+  const Prefix subnet(IpAddress(10, 200, 0, 0), 30);
+  TestVif a(queue, "a", subnet.hostAt(1), subnet.hostAt(2), subnet);
+  TestVif b(queue, "b", subnet.hostAt(2), subnet.hostAt(1), subnet);
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.setDeliver([&](Vif& vif, packet::Packet p) { r0.receive(vif, p); });
+  b.setDeliver([&](Vif& vif, packet::Packet p) { r1.receive(vif, p); });
+  r0.addInterface(a, 1);
+  r1.addInterface(b, 1);
+  r0.start();
+  r1.start();
+  queue.runUntil(30 * kSecond);
+
+  EXPECT_EQ(r0.neighborState(a), NeighborState::kFull);
+  EXPECT_TRUE(rib0.lookup(IpAddress(10, 0, 2, 1)).has_value());
+  // The daemons actually burned CPU for their protocol work.
+  EXPECT_GT(daemon0.consumedCpu(), 0);
+  EXPECT_GT(daemon1.consumedCpu(), 0);
+}
+
+// Property: on random connected topologies with random costs, every
+// router's converged route metrics equal an independent Dijkstra run
+// over the ground-truth graph.
+class RandomTopologySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopologySweep, ConvergedMetricsMatchReferenceDijkstra) {
+  std::mt19937_64 rng(GetParam());
+  const int n = 4 + static_cast<int>(rng() % 6);  // 4..9 routers
+  Harness h(n);
+
+  // Random spanning tree (guarantees connectivity) plus extra edges.
+  struct Edge {
+    int a;
+    int b;
+    std::uint32_t cost;
+  };
+  std::vector<Edge> edges;
+  std::set<std::pair<int, int>> used;
+  for (int i = 1; i < n; ++i) {
+    const int j = static_cast<int>(rng() % static_cast<std::uint64_t>(i));
+    const auto cost = static_cast<std::uint32_t>(1 + rng() % 100);
+    edges.push_back({j, i, cost});
+    used.insert({j, i});
+  }
+  const int extra = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+  for (int e = 0; e < extra; ++e) {
+    const int a = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    const int b = static_cast<int>(rng() % static_cast<std::uint64_t>(n));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (!used.insert({key.first, key.second}).second) continue;
+    edges.push_back({a, b, static_cast<std::uint32_t>(1 + rng() % 100)});
+  }
+  for (const auto& edge : edges) h.connect(edge.a, edge.b, edge.cost);
+
+  h.startAll();
+  h.queue.runUntil(90 * kSecond);
+
+  // Reference all-pairs shortest paths (Floyd-Warshall).
+  const std::uint32_t inf = 1u << 30;
+  std::vector<std::vector<std::uint32_t>> dist(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(n), inf));
+  for (int i = 0; i < n; ++i) dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+  for (const auto& edge : edges) {
+    auto& dab = dist[static_cast<std::size_t>(edge.a)][static_cast<std::size_t>(edge.b)];
+    auto& dba = dist[static_cast<std::size_t>(edge.b)][static_cast<std::size_t>(edge.a)];
+    dab = std::min(dab, edge.cost);
+    dba = std::min(dba, edge.cost);
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const auto via = dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] +
+                         dist[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+        auto& dij = dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        if (via < dij) dij = via;
+      }
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      auto route = h.ribs[static_cast<std::size_t>(i)]->lookup(
+          IpAddress(10, 0, static_cast<std::uint8_t>(j + 1), 1));
+      ASSERT_TRUE(route.has_value()) << "seed " << GetParam() << ": " << i
+                                     << " cannot reach " << j;
+      EXPECT_EQ(route->metric,
+                dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])
+          << "seed " << GetParam() << ": " << i << " -> " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologySweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace vini::xorp

@@ -1,0 +1,235 @@
+// IIAS overlay tests: the full Click + XORP + tunnels assembly on the
+// DETER chain and on Abilene.
+#include <gtest/gtest.h>
+
+#include "app/iperf.h"
+#include "app/traceroute.h"
+#include "app/ping.h"
+#include "topo/worlds.h"
+
+namespace vini {
+namespace {
+
+using topo::WorldOptions;
+
+TEST(IiasDeter, OspfConvergesOnChain) {
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+
+  // Every router should know every tap /32 and every /30.
+  for (const auto& router : world->iias->routers()) {
+    auto& rib = router->xorp().rib();
+    for (const char* name : {"Src", "Fwdr", "Sink"}) {
+      if (router->vnode().name() == name) continue;  // self: local delivery
+      const auto tap = world->tapOf(name);
+      ASSERT_TRUE(rib.lookup(tap).has_value())
+          << router->vnode().name() << " missing route to " << name;
+    }
+  }
+}
+
+TEST(IiasDeter, PingAcrossOverlay) {
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+
+  app::Pinger::Options options;
+  options.count = 100;
+  options.source = world->tapOf("Src");
+  app::Pinger pinger(world->stack("Src"), world->tapOf("Sink"), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 30 * sim::kSecond);
+
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger.report().transmitted, 100u);
+  EXPECT_EQ(pinger.report().received, 100u);
+  // Two Gig-E hops plus user-space forwarding: sub-millisecond RTTs.
+  EXPECT_GT(pinger.report().rtt_ms.mean(), 0.1);
+  EXPECT_LT(pinger.report().rtt_ms.mean(), 3.0);
+}
+
+TEST(IiasDeter, PingToVirtualInterfaceAddress) {
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+
+  // Ping the far end of the Fwdr-Sink /30 from Src: exercises routing
+  // to link subnets, not just tap addresses.
+  core::VirtualLink* link = world->iias->slice().linkBetween("Fwdr", "Sink");
+  ASSERT_NE(link, nullptr);
+  const auto target = link->interfaceB().address();
+
+  app::Pinger::Options options;
+  options.count = 10;
+  options.source = world->tapOf("Src");
+  app::Pinger pinger(world->stack("Src"), target, options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 10 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(pinger.report().received, 10u);
+}
+
+TEST(IiasDeter, TcpThroughputThroughOverlay) {
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+
+  tcpip::TcpConfig tcp;
+  tcp.recv_buffer = 64 * 1024;
+  auto result = app::runIperfTcp(world->queue, world->stack("Src"),
+                                 world->stack("Sink"), world->tapOf("Sink"),
+                                 5001, 4, 5 * sim::kSecond, tcp,
+                                 world->tapOf("Src"));
+  // User-space forwarding is CPU-bound far below the Gig-E wire, but
+  // should still move serious traffic (Table 2 band: ~200 Mb/s).
+  EXPECT_GT(result.mbps, 100.0);
+  EXPECT_LT(result.mbps, 400.0);
+}
+
+TEST(IiasDeter, FailLinkStopsTraffic) {
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+
+  world->iias->failLink("Src", "Fwdr");
+
+  app::Pinger::Options options;
+  options.count = 20;
+  options.source = world->tapOf("Src");
+  app::Pinger pinger(world->stack("Src"), world->tapOf("Sink"), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 20 * sim::kSecond);
+  ASSERT_TRUE(done);
+  // A chain has no alternate path: everything is lost.
+  EXPECT_EQ(pinger.report().received, 0u);
+
+  // Restoring brings connectivity back (after re-adjacency).
+  world->iias->restoreLink("Src", "Fwdr");
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+  app::Pinger pinger2(world->stack("Src"), world->tapOf("Sink"), options);
+  done = false;
+  pinger2.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 20 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_GT(pinger2.report().received, 15u);
+}
+
+TEST(IiasDeter, VnetAttributesTunnelTrafficToTheSlice) {
+  // Section 4.1.1's VNET role: the host tracks each slice's traffic.
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+  const int slice_id = world->iias->slice().id();
+  // Even with no application traffic, the routing protocol's tunnel
+  // packets were attributed.
+  const auto& fwdr = world->stack("Fwdr").sliceTraffic(slice_id);
+  EXPECT_GT(fwdr.tx_packets, 0u);
+  EXPECT_GT(fwdr.rx_packets, 0u);
+
+  const auto tx_before = fwdr.tx_bytes;
+  app::Pinger::Options options;
+  options.count = 50;
+  options.source = world->tapOf("Src");
+  app::Pinger pinger(world->stack("Src"), world->tapOf("Sink"), options);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 20 * sim::kSecond);
+  ASSERT_TRUE(done);
+  // The forwarder relayed the slice's ping traffic: both counters moved.
+  EXPECT_GT(fwdr.tx_bytes, tx_before + 50u * 84u);
+}
+
+TEST(IiasDeter, TracerouteRevealsVirtualTopology) {
+  // The Figure 5 exercise, inside the overlay: probing from Src's tap to
+  // Sink's tap reveals the *virtual* forwarder, identified by its
+  // overlay (tap) address.
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * sim::kSecond));
+
+  app::Traceroute::Options options;
+  options.max_hops = 6;
+  options.source = world->tapOf("Src");
+  app::Traceroute trace(world->stack("Src"), world->tapOf("Sink"), options);
+  bool done = false;
+  trace.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 30 * sim::kSecond);
+
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(trace.reachedDestination());
+  ASSERT_EQ(trace.hops().size(), 2u);
+  ASSERT_TRUE(trace.hops()[0].router.has_value());
+  EXPECT_EQ(*trace.hops()[0].router, world->tapOf("Fwdr"));
+  ASSERT_TRUE(trace.hops()[1].router.has_value());
+  EXPECT_EQ(*trace.hops()[1].router, world->tapOf("Sink"));
+}
+
+TEST(IiasAbilene, ConvergesAndRoutesShortestPath) {
+  WorldOptions options;
+  options.contention = 0.0;  // quiescent nodes for a deterministic check
+  auto world = topo::makeAbileneWorld(options);
+  ASSERT_TRUE(world->runUntilConverged(120 * sim::kSecond));
+
+  // Washington -> Seattle should ride the northern path: the Washington
+  // router's next hop for Seattle's tap must be its NewYork interface.
+  auto* washington = world->router("Washington");
+  ASSERT_NE(washington, nullptr);
+  auto route = washington->xorp().rib().lookup(world->tapOf("Seattle"));
+  ASSERT_TRUE(route.has_value());
+  core::VirtualLink* to_ny =
+      world->iias->slice().linkBetween("NewYork", "Washington");
+  ASSERT_NE(to_ny, nullptr);
+  core::VirtualNode* wash_node = world->iias->slice().nodeByName("Washington");
+  auto* vif = wash_node->interfaceOnLink(*to_ny);
+  ASSERT_NE(vif, nullptr);
+  EXPECT_EQ(route->next_hop, vif->peerAddress());
+}
+
+TEST(IiasAbilene, TracerouteWalksTheNorthernPath) {
+  topo::WorldOptions options;
+  options.contention = 0.0;
+  auto world = topo::makeAbileneWorld(options);
+  ASSERT_TRUE(world->runUntilConverged(120 * sim::kSecond));
+
+  app::Traceroute::Options topt;
+  topt.max_hops = 10;
+  topt.source = world->tapOf("Washington");
+  app::Traceroute trace(world->stack("Washington"), world->tapOf("Seattle"), topt);
+  bool done = false;
+  trace.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 60 * sim::kSecond);
+
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(trace.reachedDestination());
+  // DC - NY - Chicago - Indianapolis - KC - Denver - Seattle.
+  const char* expected[] = {"NewYork", "Chicago",    "Indianapolis",
+                            "KansasCity", "Denver", "Seattle"};
+  ASSERT_EQ(trace.hops().size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(trace.hops()[i].router.has_value()) << "hop " << i;
+    EXPECT_EQ(*trace.hops()[i].router, world->tapOf(expected[i])) << "hop " << i;
+  }
+  // RTTs grow along the path.
+  EXPECT_LT(trace.hops()[0].rtt, trace.hops()[5].rtt);
+}
+
+TEST(IiasAbilene, PingWashingtonToSeattleBaselineRtt) {
+  WorldOptions options;
+  options.contention = 0.0;
+  auto world = topo::makeAbileneWorld(options);
+  ASSERT_TRUE(world->runUntilConverged(120 * sim::kSecond));
+
+  app::Pinger::Options popt;
+  popt.count = 50;
+  popt.source = world->tapOf("Washington");
+  app::Pinger pinger(world->stack("Washington"), world->tapOf("Seattle"), popt);
+  bool done = false;
+  pinger.start([&] { done = true; });
+  world->queue.runUntil(world->queue.now() + 60 * sim::kSecond);
+  ASSERT_TRUE(done);
+  ASSERT_GT(pinger.report().received, 45u);
+  // Paper: ~76 ms RTT on the northern path (69.7 ms propagation plus
+  // overlay forwarding overhead).
+  EXPECT_GT(pinger.report().rtt_ms.mean(), 69.0);
+  EXPECT_LT(pinger.report().rtt_ms.mean(), 85.0);
+}
+
+}  // namespace
+}  // namespace vini

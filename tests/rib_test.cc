@@ -1,0 +1,152 @@
+// RIB tests: per-prefix best-route election by administrative distance
+// and metric, FEA change propagation.
+#include <gtest/gtest.h>
+
+#include "xorp/rib.h"
+
+namespace vini::xorp {
+namespace {
+
+using packet::IpAddress;
+using packet::Prefix;
+
+struct RecordingFea final : Fea {
+  std::vector<std::pair<std::string, RibRoute>> events;
+  void routeAdded(const RibRoute& route) override {
+    events.emplace_back("add", route);
+  }
+  void routeRemoved(const RibRoute& route) override {
+    events.emplace_back("del", route);
+  }
+};
+
+RibRoute route(const std::string& proto, RouteOrigin origin,
+               const std::string& prefix, std::uint32_t metric = 0,
+               IpAddress nh = {}) {
+  RibRoute r;
+  r.prefix = Prefix::mustParse(prefix);
+  r.protocol = proto;
+  r.origin = origin;
+  r.metric = metric;
+  r.next_hop = nh;
+  return r;
+}
+
+TEST(Rib, LowerAdminDistanceWins) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8", 100,
+                     IpAddress(1, 1, 1, 1)));
+  rib.addRoute(route("connected", RouteOrigin::kConnected, "10.0.0.0/8", 0));
+  auto winner = rib.winner(Prefix::mustParse("10.0.0.0/8"));
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(winner->protocol, "connected");
+}
+
+TEST(Rib, SameOriginLowerMetricWins) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8", 100,
+                     IpAddress(1, 1, 1, 1)));
+  RibRoute better = route("ospf2", RouteOrigin::kOspf, "10.0.0.0/8", 50,
+                          IpAddress(2, 2, 2, 2));
+  rib.addRoute(better);
+  EXPECT_EQ(rib.winner(Prefix::mustParse("10.0.0.0/8"))->next_hop,
+            IpAddress(2, 2, 2, 2));
+}
+
+TEST(Rib, RemovingWinnerPromotesRunnerUp) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8", 10,
+                     IpAddress(1, 1, 1, 1)));
+  rib.addRoute(route("rip", RouteOrigin::kRip, "10.0.0.0/8", 2,
+                     IpAddress(2, 2, 2, 2)));
+  EXPECT_EQ(rib.winner(Prefix::mustParse("10.0.0.0/8"))->protocol, "ospf");
+  EXPECT_TRUE(rib.removeRoute("ospf", Prefix::mustParse("10.0.0.0/8")));
+  EXPECT_EQ(rib.winner(Prefix::mustParse("10.0.0.0/8"))->protocol, "rip");
+}
+
+TEST(Rib, RemoveLastRouteClearsWinner) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8"));
+  rib.removeRoute("ospf", Prefix::mustParse("10.0.0.0/8"));
+  EXPECT_FALSE(rib.winner(Prefix::mustParse("10.0.0.0/8")).has_value());
+  EXPECT_EQ(rib.candidateCount(), 0u);
+}
+
+TEST(Rib, RemoveUnknownReturnsFalse) {
+  Rib rib;
+  EXPECT_FALSE(rib.removeRoute("ospf", Prefix::mustParse("10.0.0.0/8")));
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8"));
+  EXPECT_FALSE(rib.removeRoute("rip", Prefix::mustParse("10.0.0.0/8")));
+}
+
+TEST(Rib, SameProtocolUpdateReplacesCandidate) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8", 10,
+                     IpAddress(1, 1, 1, 1)));
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8", 10,
+                     IpAddress(3, 3, 3, 3)));
+  EXPECT_EQ(rib.candidateCount(), 1u);
+  EXPECT_EQ(rib.winner(Prefix::mustParse("10.0.0.0/8"))->next_hop,
+            IpAddress(3, 3, 3, 3));
+}
+
+TEST(Rib, LookupIsLongestPrefixOverWinners) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8", 1,
+                     IpAddress(1, 1, 1, 1)));
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.1.0.0/16", 1,
+                     IpAddress(2, 2, 2, 2)));
+  EXPECT_EQ(rib.lookup(IpAddress(10, 1, 5, 5))->next_hop, IpAddress(2, 2, 2, 2));
+  EXPECT_EQ(rib.lookup(IpAddress(10, 9, 5, 5))->next_hop, IpAddress(1, 1, 1, 1));
+  EXPECT_FALSE(rib.lookup(IpAddress(11, 0, 0, 1)).has_value());
+}
+
+TEST(Rib, FeaSeesAddRemoveAndChange) {
+  Rib rib;
+  RecordingFea fea;
+  rib.setFea(&fea);
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8", 10,
+                     IpAddress(1, 1, 1, 1)));
+  ASSERT_EQ(fea.events.size(), 1u);
+  EXPECT_EQ(fea.events[0].first, "add");
+
+  // A better route: the FEA sees remove-then-add.
+  rib.addRoute(route("connected", RouteOrigin::kConnected, "10.0.0.0/8"));
+  ASSERT_EQ(fea.events.size(), 3u);
+  EXPECT_EQ(fea.events[1].first, "del");
+  EXPECT_EQ(fea.events[2].first, "add");
+  EXPECT_EQ(fea.events[2].second.protocol, "connected");
+
+  // An unchanged re-add produces no FEA traffic.
+  rib.addRoute(route("connected", RouteOrigin::kConnected, "10.0.0.0/8"));
+  EXPECT_EQ(fea.events.size(), 3u);
+
+  rib.removeRoute("connected", Prefix::mustParse("10.0.0.0/8"));
+  // The OSPF candidate takes over.
+  ASSERT_EQ(fea.events.size(), 5u);
+  EXPECT_EQ(fea.events.back().first, "add");
+  EXPECT_EQ(fea.events.back().second.protocol, "ospf");
+}
+
+TEST(Rib, SettingFeaReplaysExistingWinners) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8"));
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "192.168.0.0/16"));
+  RecordingFea fea;
+  rib.setFea(&fea);
+  EXPECT_EQ(fea.events.size(), 2u);
+}
+
+TEST(Rib, RemoveAllFromFlushesProtocol) {
+  Rib rib;
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.0.0.0/8"));
+  rib.addRoute(route("ospf", RouteOrigin::kOspf, "10.1.0.0/16"));
+  rib.addRoute(route("rip", RouteOrigin::kRip, "10.1.0.0/16"));
+  rib.removeAllFrom("ospf");
+  EXPECT_FALSE(rib.winner(Prefix::mustParse("10.0.0.0/8")).has_value());
+  EXPECT_EQ(rib.winner(Prefix::mustParse("10.1.0.0/16"))->protocol, "rip");
+  EXPECT_EQ(rib.winners().size(), 1u);
+}
+
+}  // namespace
+}  // namespace vini::xorp

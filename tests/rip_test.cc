@@ -1,0 +1,188 @@
+// RIP tests: distance-vector propagation, split horizon, metric
+// accumulation, timeout, and infinity handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "xorp/rip.h"
+
+namespace vini::xorp {
+namespace {
+
+using packet::IpAddress;
+using packet::Prefix;
+using sim::kSecond;
+
+/// Synthetic vif pair (same pattern as the OSPF test harness).
+class TestVif final : public Vif {
+ public:
+  TestVif(sim::EventQueue& queue, std::string name, IpAddress addr,
+          IpAddress peer, Prefix subnet)
+      : queue_(queue), name_(std::move(name)), addr_(addr), peer_addr_(peer),
+        subnet_(subnet) {}
+
+  const std::string& name() const override { return name_; }
+  IpAddress address() const override { return addr_; }
+  IpAddress peerAddress() const override { return peer_addr_; }
+  Prefix subnet() const override { return subnet_; }
+  bool isUp() const override { return up_; }
+  void send(packet::Packet p) override {
+    if (!up_ || !peer_ || !peer_->up_) return;
+    TestVif* peer = peer_;
+    queue_.scheduleAfter(sim::kMillisecond, [peer, p = std::move(p)]() mutable {
+      if (peer->up_ && peer->deliver_) peer->deliver_(*peer, std::move(p));
+    });
+  }
+  void setUp(bool up) { up_ = up; }
+  void setDeliver(std::function<void(Vif&, packet::Packet)> fn) {
+    deliver_ = std::move(fn);
+  }
+  TestVif* peer_ = nullptr;
+
+ private:
+  sim::EventQueue& queue_;
+  std::string name_;
+  IpAddress addr_;
+  IpAddress peer_addr_;
+  Prefix subnet_;
+  bool up_ = true;
+  std::function<void(Vif&, packet::Packet)> deliver_;
+};
+
+struct Harness {
+  sim::EventQueue queue;
+  std::vector<std::unique_ptr<Rib>> ribs;
+  std::vector<std::unique_ptr<RipProcess>> routers;
+  std::vector<std::unique_ptr<TestVif>> vifs;
+  int next_subnet = 0;
+
+  explicit Harness(int n, RipConfig config = fastConfig()) {
+    for (int i = 0; i < n; ++i) {
+      ribs.push_back(std::make_unique<Rib>());
+      routers.push_back(std::make_unique<RipProcess>(queue, *ribs.back(), config,
+                                                     nullptr, 300 + i));
+      routers.back()->addLocalPrefix(
+          Prefix(IpAddress(10, 0, static_cast<std::uint8_t>(i + 1), 0), 24));
+    }
+  }
+
+  static RipConfig fastConfig() {
+    RipConfig config;
+    config.update_interval = 5 * kSecond;
+    config.route_timeout = 20 * kSecond;
+    return config;
+  }
+
+  std::pair<TestVif*, TestVif*> connect(int i, int j) {
+    const int k = next_subnet++;
+    const Prefix subnet(IpAddress(10, 200, static_cast<std::uint8_t>(k), 0), 30);
+    auto a = std::make_unique<TestVif>(queue, "a", subnet.hostAt(1),
+                                       subnet.hostAt(2), subnet);
+    auto b = std::make_unique<TestVif>(queue, "b", subnet.hostAt(2),
+                                       subnet.hostAt(1), subnet);
+    a->peer_ = b.get();
+    b->peer_ = a.get();
+    RipProcess* ri = routers[static_cast<std::size_t>(i)].get();
+    RipProcess* rj = routers[static_cast<std::size_t>(j)].get();
+    a->setDeliver([ri](Vif& vif, packet::Packet p) { ri->receive(vif, p); });
+    b->setDeliver([rj](Vif& vif, packet::Packet p) { rj->receive(vif, p); });
+    ri->addInterface(*a);
+    rj->addInterface(*b);
+    auto pa = a.get();
+    auto pb = b.get();
+    vifs.push_back(std::move(a));
+    vifs.push_back(std::move(b));
+    return {pa, pb};
+  }
+
+  void startAll() {
+    for (auto& r : routers) r->start();
+  }
+};
+
+TEST(Rip, PropagatesRoutesAcrossOneHop) {
+  Harness h(2);
+  h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(15 * kSecond);
+  auto route = h.ribs[0]->lookup(IpAddress(10, 0, 2, 5));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->origin, RouteOrigin::kRip);
+  EXPECT_EQ(route->metric, 2u);  // neighbor's local metric 1, plus one hop
+}
+
+TEST(Rip, MetricAccumulatesAlongChain) {
+  Harness h(4);
+  h.connect(0, 1);
+  h.connect(1, 2);
+  h.connect(2, 3);
+  h.startAll();
+  h.queue.runUntil(60 * kSecond);
+  auto route = h.ribs[0]->lookup(IpAddress(10, 0, 4, 5));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->metric, 4u);
+}
+
+TEST(Rip, PrefersShorterHopCount) {
+  // 0-1 direct, and 0-2-1: the direct one-hop path must win.
+  Harness h(3);
+  auto direct = h.connect(0, 1);
+  h.connect(0, 2);
+  h.connect(2, 1);
+  h.startAll();
+  h.queue.runUntil(60 * kSecond);
+  auto route = h.ribs[0]->lookup(IpAddress(10, 0, 2, 5));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->metric, 2u);
+  EXPECT_EQ(route->next_hop, direct.first->peerAddress());
+}
+
+TEST(Rip, RouteTimesOutWhenNeighborSilent) {
+  Harness h(2);
+  auto [a, b] = h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(15 * kSecond);
+  ASSERT_TRUE(h.ribs[0]->lookup(IpAddress(10, 0, 2, 5)).has_value());
+  a->setUp(false);
+  b->setUp(false);
+  h.queue.runUntil(h.queue.now() + 40 * kSecond);
+  EXPECT_FALSE(h.ribs[0]->lookup(IpAddress(10, 0, 2, 5)).has_value());
+  EXPECT_GE(h.routers[0]->stats().routes_timed_out, 1u);
+}
+
+TEST(Rip, SplitHorizonPoisonsReverse) {
+  // Router 0 learns 10.0.2/24 from router 1; updates 0 sends back to 1
+  // must carry metric 16 for that prefix.  Observable effect: router 1
+  // never routes its own prefix via router 0.
+  Harness h(2);
+  h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(60 * kSecond);
+  auto route = h.ribs[1]->lookup(IpAddress(10, 0, 2, 5));
+  // Router 1's own prefix is local-only: no RIP route installed for it.
+  EXPECT_FALSE(route.has_value());
+  EXPECT_EQ(h.routers[1]->metricFor(Prefix::mustParse("10.0.2.0/24")), 1u);
+}
+
+TEST(Rip, StopFlushesRibEntries) {
+  Harness h(2);
+  h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(15 * kSecond);
+  ASSERT_TRUE(h.ribs[0]->lookup(IpAddress(10, 0, 2, 5)).has_value());
+  h.routers[0]->stop();
+  EXPECT_FALSE(h.ribs[0]->lookup(IpAddress(10, 0, 2, 5)).has_value());
+}
+
+TEST(Rip, UpdatesAreCounted) {
+  Harness h(2);
+  h.connect(0, 1);
+  h.startAll();
+  h.queue.runUntil(31 * kSecond);
+  // ~6 update rounds at 5 s.
+  EXPECT_GE(h.routers[0]->stats().updates_sent, 5u);
+  EXPECT_GE(h.routers[0]->stats().updates_received, 5u);
+}
+
+}  // namespace
+}  // namespace vini::xorp

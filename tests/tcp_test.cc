@@ -1,0 +1,456 @@
+// TCP tests: handshake, transfer integrity, flow control, congestion
+// control, loss recovery (fast retransmit and RTO), slow-start restart,
+// and teardown — the mechanisms behind Figure 9 and the iperf rows.
+#include <gtest/gtest.h>
+
+#include "phys/network.h"
+#include "tcpip/host_stack.h"
+#include "tcpip/stack_manager.h"
+#include "tcpip/tcp.h"
+
+namespace vini::tcpip {
+namespace {
+
+using packet::IpAddress;
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct Pair {
+  sim::EventQueue queue;
+  phys::PhysNetwork net{queue};
+  StackManager stacks{net};
+  HostStack* client = nullptr;
+  HostStack* server = nullptr;
+  phys::PhysLink* link = nullptr;
+
+  explicit Pair(phys::LinkConfig config = {}) {
+    auto& a = net.addNode("client", IpAddress(1, 0, 0, 1));
+    auto& b = net.addNode("server", IpAddress(1, 0, 0, 2));
+    link = &net.addLink(a, b, config);
+    client = &stacks.ensure(a);
+    server = &stacks.ensure(b);
+  }
+};
+
+phys::LinkConfig wanLink(double bw_bps = 100e6,
+                         sim::Duration one_way = 10 * kMillisecond,
+                         double loss = 0.0) {
+  phys::LinkConfig config;
+  config.bandwidth_bps = bw_bps;
+  config.propagation = one_way;
+  config.loss_rate = loss;
+  return config;
+}
+
+struct Server {
+  std::unique_ptr<TcpListener> listener;
+  std::vector<std::shared_ptr<TcpConnection>> accepted;
+  std::uint64_t bytes = 0;
+  bool saw_eof = false;
+  /// Installed on connections as they are accepted (tcpdump hook).
+  std::function<void(const packet::Packet&)> trace;
+
+  Server(HostStack& stack, std::uint16_t port, TcpConfig config = {}) {
+    listener = std::make_unique<TcpListener>(
+        stack, port, config, [this](std::shared_ptr<TcpConnection> conn) {
+          conn->on_receive = [this, raw = conn.get()](std::size_t n) {
+            bytes += n;
+            if (n == 0) {
+              saw_eof = true;
+              raw->close();
+            }
+          };
+          if (trace) conn->on_segment = trace;
+          accepted.push_back(std::move(conn));
+        });
+  }
+};
+
+TEST(Tcp, HandshakeEstablishesBothEnds) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  bool connected = false;
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  conn->on_connected = [&] { connected = true; };
+  world.queue.runUntil(kSecond);
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(conn->state(), TcpState::kEstablished);
+  ASSERT_EQ(server.accepted.size(), 1u);
+  EXPECT_EQ(server.accepted[0]->state(), TcpState::kEstablished);
+}
+
+TEST(Tcp, TransfersExactByteCount) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  conn->on_connected = [&] { conn->send(100'000); };
+  world.queue.runUntil(30 * kSecond);
+  EXPECT_EQ(server.bytes, 100'000u);
+  EXPECT_EQ(conn->stats().bytes_acked, 100'000u);
+}
+
+TEST(Tcp, CloseDeliversEofAndReachesClosed) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  bool closed = false;
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  conn->on_connected = [&] {
+    conn->send(5000);
+    conn->close();
+  };
+  conn->on_closed = [&] { closed = true; };
+  world.queue.runUntil(30 * kSecond);
+  EXPECT_EQ(server.bytes, 5000u);
+  EXPECT_TRUE(server.saw_eof);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+}
+
+TEST(Tcp, ReceiverWindowLimitsThroughput) {
+  // 16 KB window over a 40 ms RTT caps goodput near 16 KB / 40 ms
+  // = 3.2 Mb/s — the Figure 9 situation ("TCP's throughput is limited
+  // to roughly 3 Mb/s").
+  Pair world(wanLink(1e9, 20 * kMillisecond));
+  TcpConfig config;
+  config.recv_buffer = 16 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(4'000'000); };
+  world.queue.runUntil(11 * kSecond);
+  const double mbps = static_cast<double>(server.bytes) * 8 / 10.0 / 1e6;
+  EXPECT_GT(mbps, 2.2);
+  EXPECT_LT(mbps, 3.6);
+}
+
+TEST(Tcp, BiggerWindowProportionallyFaster) {
+  Pair world(wanLink(1e9, 20 * kMillisecond));
+  TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(40'000'000); };
+  world.queue.runUntil(11 * kSecond);
+  const double mbps = static_cast<double>(server.bytes) * 8 / 10.0 / 1e6;
+  EXPECT_GT(mbps, 9.0);
+  EXPECT_LT(mbps, 14.0);
+}
+
+TEST(Tcp, RecoversFromRandomLoss) {
+  Pair world(wanLink(100e6, 5 * kMillisecond, 0.02));
+  TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(2'000'000); };
+  world.queue.runUntil(120 * kSecond);
+  EXPECT_EQ(server.bytes, 2'000'000u);
+  EXPECT_GT(conn->stats().retransmits, 0u);
+}
+
+TEST(Tcp, FastRetransmitUsedBeforeRtoOnIsolatedLoss) {
+  Pair world(wanLink(100e6, 5 * kMillisecond, 0.005));
+  TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(5'000'000); };
+  world.queue.runUntil(120 * kSecond);
+  EXPECT_EQ(server.bytes, 5'000'000u);
+  // With light loss and a deep window, dup-ACK recovery should do the
+  // bulk of the repair work.
+  EXPECT_GT(conn->stats().fast_retransmits, 0u);
+  EXPECT_GT(conn->stats().fast_retransmits, conn->stats().timeouts);
+}
+
+TEST(Tcp, RtoFiresWhenPathGoesSilent) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  conn->on_connected = [&] { conn->send(50'000'000); };  // outlasts the outage
+  world.queue.runUntil(2 * kSecond);
+  const auto before = server.bytes;
+  EXPECT_GT(before, 0u);
+  world.link->setUp(false);
+  world.queue.runUntil(world.queue.now() + 10 * kSecond);
+  EXPECT_GT(conn->stats().timeouts, 0u);
+  const auto during = server.bytes;
+  // Restore: transfer resumes after a backoff retry succeeds.
+  world.link->setUp(true);
+  world.queue.runUntil(world.queue.now() + 20 * kSecond);
+  EXPECT_GT(server.bytes, during + 100'000u);
+}
+
+TEST(Tcp, RtoBacksOffExponentially) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  conn->on_connected = [&] { conn->send(50'000'000); };
+  world.queue.runUntil(2 * kSecond);
+  world.link->setUp(false);
+  world.queue.runUntil(world.queue.now() + 30 * kSecond);
+  const auto timeouts_30s = conn->stats().timeouts;
+  // Backoff means far fewer than 30s / min_rto firings.
+  EXPECT_LE(timeouts_30s, 9u);
+  EXPECT_GE(timeouts_30s, 4u);
+}
+
+TEST(Tcp, ConnectionAbortsAfterMaxRetransmits) {
+  Pair world(wanLink());
+  TcpConfig config;
+  config.max_retransmits = 4;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  bool closed = false;
+  conn->on_closed = [&] { closed = true; };
+  conn->on_connected = [&] { conn->send(50'000'000); };
+  world.queue.runUntil(2 * kSecond);
+  world.link->setUp(false);
+  world.queue.runUntil(world.queue.now() + 120 * kSecond);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+}
+
+TEST(Tcp, SynRetransmitsWhenServerUnreachable) {
+  Pair world(wanLink());
+  world.link->setUp(false);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  world.queue.runUntil(10 * kSecond);
+  EXPECT_EQ(conn->state(), TcpState::kSynSent);
+  EXPECT_GT(conn->stats().retransmits, 1u);
+  // Link comes back: handshake completes on a retry.
+  Server server(*world.server, 80);
+  world.link->setUp(true);
+  world.queue.runUntil(world.queue.now() + 60 * kSecond);
+  EXPECT_EQ(conn->state(), TcpState::kEstablished);
+}
+
+TEST(Tcp, SlowStartRestartAfterIdle) {
+  Pair world(wanLink(1e9, 20 * kMillisecond));
+  TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(1'000'000); };
+  world.queue.runUntil(20 * kSecond);
+  ASSERT_EQ(server.bytes, 1'000'000u);
+  const std::size_t cwnd_after_transfer = conn->stats().cwnd;
+  EXPECT_GT(cwnd_after_transfer, 4 * config.mss);
+  // Idle for 10 seconds, then send again: cwnd must have collapsed to
+  // the restart window (RFC 2861) — this is Figure 9(b)'s slow-start
+  // restart after OSPF finds the new route.
+  world.queue.runUntil(world.queue.now() + 10 * kSecond);
+  conn->send(10 * config.mss);
+  world.queue.runUntil(world.queue.now() + 30 * kMillisecond);
+  EXPECT_LE(conn->stats().cwnd,
+            config.initial_cwnd_segments * config.mss + config.mss);
+}
+
+TEST(Tcp, NoSlowStartRestartWhenDisabled) {
+  Pair world(wanLink(1e9, 20 * kMillisecond));
+  TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  config.slow_start_restart = false;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(1'000'000); };
+  world.queue.runUntil(20 * kSecond);
+  const std::size_t cwnd_after_transfer = conn->stats().cwnd;
+  world.queue.runUntil(world.queue.now() + 10 * kSecond);
+  conn->send(10 * config.mss);
+  world.queue.runUntil(world.queue.now() + 30 * kMillisecond);
+  EXPECT_GE(conn->stats().cwnd, cwnd_after_transfer);
+}
+
+TEST(Tcp, SrttTracksPathRtt) {
+  Pair world(wanLink(100e6, 25 * kMillisecond));
+  Server server(*world.server, 80);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  conn->on_connected = [&] { conn->send(200'000); };
+  world.queue.runUntil(30 * kSecond);
+  EXPECT_NEAR(sim::toMillis(conn->stats().srtt), 50.0, 10.0);
+}
+
+TEST(Tcp, DelayedAckRoughlyHalvesAckCount) {
+  Pair world(wanLink(100e6, 5 * kMillisecond));
+  TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(1'000'000); };
+  world.queue.runUntil(60 * kSecond);
+  ASSERT_EQ(server.bytes, 1'000'000u);
+  const auto data_segments = conn->stats().segments_sent;
+  const auto acks = server.accepted[0]->stats().segments_sent;
+  EXPECT_LT(acks, data_segments * 3 / 4);
+  EXPECT_GT(acks, data_segments / 4);
+}
+
+TEST(Tcp, SegmentTraceSeesMonotoneInOrderStream) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  std::vector<std::uint32_t> seqs;
+  server.trace = [&](const packet::Packet& p) {
+    if (p.payload_bytes > 0) seqs.push_back(p.tcpHeader()->seq);
+  };
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  conn->on_connected = [&] { conn->send(50'000); };
+  world.queue.runUntil(30 * kSecond);
+  ASSERT_GT(seqs.size(), 10u);
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    EXPECT_GE(static_cast<std::int32_t>(seqs[i] - seqs[i - 1]), 0);
+  }
+}
+
+TEST(Tcp, AbortSendsRstAndTearsDownPeer) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  world.queue.runUntil(kSecond);
+  ASSERT_EQ(server.accepted.size(), 1u);
+  conn->abort();
+  world.queue.runUntil(world.queue.now() + kSecond);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+  EXPECT_EQ(server.accepted[0]->state(), TcpState::kClosed);
+}
+
+TEST(Tcp, SimultaneousTransfersDoNotInterfere) {
+  Pair world(wanLink());
+  Server s1(*world.server, 81);
+  Server s2(*world.server, 82);
+  auto c1 = TcpConnection::connect(*world.client, world.server->address(), 81);
+  auto c2 = TcpConnection::connect(*world.client, world.server->address(), 82);
+  c1->on_connected = [&] { c1->send(70'000); };
+  c2->on_connected = [&] { c2->send(90'000); };
+  world.queue.runUntil(60 * kSecond);
+  EXPECT_EQ(s1.bytes, 70'000u);
+  EXPECT_EQ(s2.bytes, 90'000u);
+}
+
+TEST(Tcp, SimultaneousCloseReachesClosedOnBothSides) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80);
+  world.queue.runUntil(kSecond);
+  ASSERT_EQ(server.accepted.size(), 1u);
+  // Close both ends at the same instant: FINs cross in flight.
+  conn->close();
+  server.accepted[0]->close();
+  world.queue.runUntil(world.queue.now() + 30 * kSecond);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+  EXPECT_EQ(server.accepted[0]->state(), TcpState::kClosed);
+}
+
+TEST(Tcp, PassiveCloserPassesThroughTimeWait) {
+  Pair world(wanLink());
+  TcpConfig config;
+  config.time_wait = 2 * kSecond;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] {
+    conn->send(1000);
+    conn->close();
+  };
+  // Run just past the handshake + data + FIN exchange (well inside the
+  // 2 s TIME_WAIT).
+  world.queue.runUntil(kSecond);
+  // The active closer lingers in TIME_WAIT for the configured period...
+  EXPECT_EQ(conn->state(), TcpState::kTimeWait);
+  world.queue.runUntil(world.queue.now() + 3 * kSecond);
+  EXPECT_EQ(conn->state(), TcpState::kClosed);
+}
+
+TEST(Tcp, RecoversWhenReceiverWindowReopens) {
+  // A receiver that stops reading... our model's application always
+  // reads, so emulate a zero window by making the receive buffer tiny
+  // relative to one segment: the advertised window still paces the
+  // sender, and the transfer completes without deadlock.
+  Pair world(wanLink());
+  TcpConfig config;
+  config.recv_buffer = 2048;  // barely over one MSS
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(50'000); };
+  world.queue.runUntil(120 * kSecond);
+  EXPECT_EQ(server.bytes, 50'000u);
+}
+
+TEST(Tcp, ListenerIgnoresStrayNonSynSegments) {
+  Pair world(wanLink());
+  Server server(*world.server, 80);
+  // A bare ACK to the listening port (no connection) must not crash or
+  // spawn a connection.
+  packet::TcpHeader h;
+  h.src_port = 9999;
+  h.dst_port = 80;
+  h.flags.ack = true;
+  world.client->sendPacket(
+      packet::Packet::tcp(world.client->address(), world.server->address(), h, 0));
+  world.queue.runUntil(kSecond);
+  EXPECT_TRUE(server.accepted.empty());
+}
+
+TEST(Tcp, SequenceArithmeticSurvivesWrap) {
+  // Force the ISS region near the 2^32 wrap by transferring enough that
+  // seq + len wraps is impractical; instead verify the helpers through
+  // the public path: a transfer larger than 16 MB with a deep window
+  // exercises sequence comparisons far from the origin.
+  Pair world(wanLink(1e9, kMillisecond));
+  TcpConfig config;
+  config.recv_buffer = 64 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(16'000'000); };
+  world.queue.runUntil(120 * kSecond);
+  EXPECT_EQ(server.bytes, 16'000'000u);
+}
+
+class LossSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossSweep, TransferCompletesUnderLoss) {
+  const double loss = GetParam();
+  Pair world(wanLink(100e6, 5 * kMillisecond, loss));
+  TcpConfig config;
+  config.recv_buffer = 32 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(500'000); };
+  world.queue.runUntil(300 * kSecond);
+  EXPECT_EQ(server.bytes, 500'000u) << "loss=" << loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossSweep,
+                         ::testing::Values(0.0, 0.01, 0.03, 0.08));
+
+class RttSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RttSweep, WindowLimitedThroughputScalesInverselyWithRtt) {
+  const int one_way_ms = GetParam();
+  Pair world(wanLink(1e9, one_way_ms * kMillisecond));
+  TcpConfig config;
+  config.recv_buffer = 16 * 1024;
+  Server server(*world.server, 80, config);
+  auto conn = TcpConnection::connect(*world.client, world.server->address(), 80,
+                                     config);
+  conn->on_connected = [&] { conn->send(50'000'000); };
+  world.queue.runUntil(21 * kSecond);
+  const double mbps = static_cast<double>(server.bytes) * 8 / 20.0 / 1e6;
+  const double expected = 16384.0 * 8 / (2.0 * one_way_ms / 1000.0) / 1e6;
+  EXPECT_NEAR(mbps, expected, expected * 0.35) << "rtt=" << 2 * one_way_ms;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, RttSweep, ::testing::Values(5, 10, 20, 40));
+
+}  // namespace
+}  // namespace vini::tcpip

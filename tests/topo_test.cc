@@ -1,0 +1,312 @@
+// Topology catalogue, rcc-style config parsing, and the ns-like
+// experiment-specification machinery (Section 6.2).
+#include <gtest/gtest.h>
+
+#include "topo/abilene.h"
+#include "topo/experiment_spec.h"
+#include "topo/failure_trace.h"
+#include "topo/router_config.h"
+#include "topo/worlds.h"
+
+namespace vini::topo {
+namespace {
+
+using sim::kSecond;
+
+TEST(Abilene, HasElevenPopsAndFourteenLinks) {
+  EXPECT_EQ(abilenePopNames().size(), 11u);
+  EXPECT_EQ(abileneLinks().size(), 14u);
+  sim::EventQueue queue;
+  phys::PhysNetwork net(queue);
+  buildAbilene(net);
+  EXPECT_EQ(net.nodeCount(), 11u);
+  EXPECT_EQ(net.linkCount(), 14u);
+}
+
+TEST(Abilene, EveryLinkReferencesRealPops) {
+  std::set<std::string> names(abilenePopNames().begin(), abilenePopNames().end());
+  for (const auto& link : abileneLinks()) {
+    EXPECT_TRUE(names.count(link.a)) << link.a;
+    EXPECT_TRUE(names.count(link.b)) << link.b;
+    EXPECT_GT(link.one_way_ms, 0.0);
+    EXPECT_GT(link.igp_weight, 0u);
+  }
+}
+
+TEST(Abilene, NorthernPathIsShortestWashingtonToSeattle) {
+  sim::EventQueue queue;
+  phys::PhysNetwork net(queue);
+  buildAbilene(net);
+  auto path = net.pathBetween(net.nodeByName("Washington")->id(),
+                              net.nodeByName("Seattle")->id());
+  // DC - NY - Chicago - Indianapolis - KC - Denver - Seattle: 6 links.
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path[0]->name(), "NewYork-Washington");
+  EXPECT_EQ(path[4]->name(), "Denver-KansasCity");
+  EXPECT_EQ(path[5]->name(), "Seattle-Denver");
+}
+
+TEST(Abilene, MirrorSpecBindsEachPopOneToOne) {
+  const auto spec = abileneMirrorSpec("x");
+  EXPECT_EQ(spec.nodes.size(), 11u);
+  EXPECT_EQ(spec.links.size(), 14u);
+  for (const auto& node : spec.nodes) {
+    EXPECT_EQ(node.name, node.phys_name);
+  }
+}
+
+TEST(Deter, BuildsChain) {
+  sim::EventQueue queue;
+  phys::PhysNetwork net(queue);
+  buildDeter(net);
+  EXPECT_EQ(net.nodeCount(), 3u);
+  EXPECT_EQ(net.linkCount(), 2u);
+  EXPECT_NE(net.linkBetween("Src", "Fwdr"), nullptr);
+  EXPECT_NE(net.linkBetween("Fwdr", "Sink"), nullptr);
+  EXPECT_EQ(net.linkBetween("Src", "Sink"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Router configs (rcc)
+
+TEST(RouterConfig, ParsesWellFormedConfig) {
+  const auto parsed = parseRouterConfigs(R"(
+    # Abilene extract
+    router Denver {
+      interface KansasCity cost 500;
+      interface Seattle cost 1100;
+    }
+    router KansasCity { interface Denver cost 500; }
+    router Seattle { interface Denver cost 1100; }
+  )");
+  EXPECT_TRUE(parsed.faults.empty());
+  EXPECT_EQ(parsed.topology.nodes.size(), 3u);
+  ASSERT_EQ(parsed.topology.links.size(), 2u);
+  for (const auto& link : parsed.topology.links) {
+    if (link.a == "Denver" && link.b == "KansasCity") {
+      EXPECT_EQ(link.igp_cost, 500u);
+    }
+  }
+}
+
+TEST(RouterConfig, DetectsAsymmetricAdjacency) {
+  const auto parsed = parseRouterConfigs(R"(
+    router A { interface B cost 10; }
+    router B { }
+  )");
+  ASSERT_EQ(parsed.faults.size(), 1u);
+  EXPECT_NE(parsed.faults[0].message.find("asymmetric"), std::string::npos);
+  EXPECT_TRUE(parsed.topology.links.empty());
+}
+
+TEST(RouterConfig, DetectsCostMismatchAndUsesLower) {
+  const auto parsed = parseRouterConfigs(R"(
+    router A { interface B cost 10; }
+    router B { interface A cost 99; }
+  )");
+  ASSERT_EQ(parsed.faults.size(), 2u);  // reported from both directions
+  ASSERT_EQ(parsed.topology.links.size(), 1u);
+  EXPECT_EQ(parsed.topology.links[0].igp_cost, 10u);
+}
+
+TEST(RouterConfig, SyntaxErrorsThrow) {
+  EXPECT_THROW(parseRouterConfigs("router A {"), std::runtime_error);
+  EXPECT_THROW(parseRouterConfigs("router A { interface B; }"), std::runtime_error);
+  EXPECT_THROW(parseRouterConfigs("router A { interface B cost x; }"),
+               std::runtime_error);
+  EXPECT_THROW(parseRouterConfigs("router A {} router A {}"), std::runtime_error);
+}
+
+TEST(RouterConfig, EmitParseRoundTripsAbilene) {
+  const auto spec = abileneMirrorSpec();
+  const std::string text = emitRouterConfigs(spec);
+  const auto parsed = parseRouterConfigs(text);
+  EXPECT_TRUE(parsed.faults.empty());
+  EXPECT_EQ(parsed.topology.nodes.size(), spec.nodes.size());
+  EXPECT_EQ(parsed.topology.links.size(), spec.links.size());
+  // Costs survive the round trip.
+  std::map<std::pair<std::string, std::string>, std::uint32_t> want;
+  for (const auto& link : spec.links) {
+    auto key = link.a < link.b ? std::make_pair(link.a, link.b)
+                               : std::make_pair(link.b, link.a);
+    want[key] = link.igp_cost;
+  }
+  for (const auto& link : parsed.topology.links) {
+    auto key = link.a < link.b ? std::make_pair(link.a, link.b)
+                               : std::make_pair(link.b, link.a);
+    EXPECT_EQ(link.igp_cost, want.at(key));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment scripts
+
+TEST(ExperimentScript, ParsesActions) {
+  const auto actions = parseExperimentScript(R"(
+    # the Section 5.2 experiment
+    at 10.0 fail-link Denver KansasCity
+    at 34.0 restore-link Denver KansasCity
+    at 50.0 mark end-of-run
+  )");
+  ASSERT_EQ(actions.size(), 3u);
+  EXPECT_DOUBLE_EQ(actions[0].at_seconds, 10.0);
+  EXPECT_EQ(actions[0].verb, "fail-link");
+  EXPECT_EQ(actions[0].args, (std::vector<std::string>{"Denver", "KansasCity"}));
+  EXPECT_EQ(actions[2].verb, "mark");
+}
+
+TEST(ExperimentScript, RejectsMalformedLines) {
+  EXPECT_THROW(parseExperimentScript("fail-link A B"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at x fail-link A B"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at 5 explode A B"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at 5 fail-link A"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at -1 mark x"), std::runtime_error);
+}
+
+TEST(ExperimentScript, DrivesIiasFailures) {
+  WorldOptions options;
+  options.contention = 0.0;
+  auto world = makeDeterWorld(options);
+  ASSERT_TRUE(world->runUntilConverged(60 * kSecond));
+  const auto actions = parseExperimentScript(
+      "at 100.0 fail-link Src Fwdr\n"
+      "at 140.0 restore-link Src Fwdr\n"
+      "at 150.0 mark done\n");
+  applyExperimentScript(actions, world->schedule, world->iias.get(), &world->net);
+
+  world->queue.runUntil(120 * kSecond);
+  // After the scripted failure the adjacency dies.
+  EXPECT_FALSE(world->iias->allAdjacent());
+  world->queue.runUntil(170 * kSecond);
+  EXPECT_TRUE(world->iias->allAdjacent());
+  ASSERT_EQ(world->schedule.log().size(), 3u);
+  EXPECT_EQ(world->schedule.log()[2].label, "mark done");
+}
+
+TEST(ExperimentScript, DrivesPhysicalFailures) {
+  WorldOptions options;
+  options.contention = 0.0;
+  auto world = makeDeterWorld(options);
+  ASSERT_TRUE(world->runUntilConverged(60 * kSecond));
+  const auto actions = parseExperimentScript(
+      "at 100.0 fail-phys-link Src Fwdr\n"
+      "at 140.0 restore-phys-link Src Fwdr\n");
+  applyExperimentScript(actions, world->schedule, world->iias.get(), &world->net);
+  world->queue.runUntil(101 * kSecond);
+  // Fate sharing: the virtual link over that physical link went down.
+  EXPECT_FALSE(world->iias->slice().linkBetween("Src", "Fwdr")->isUp());
+  world->queue.runUntil(141 * kSecond);
+  EXPECT_TRUE(world->iias->slice().linkBetween("Src", "Fwdr")->isUp());
+}
+
+// ---------------------------------------------------------------------------
+// Failure traces
+
+TEST(FailureTrace, GeneratedEventsAreSortedAndPaired) {
+  sim::EventQueue queue;
+  phys::PhysNetwork net(queue);
+  buildAbilene(net);
+  FailureModel model;
+  model.mttf_seconds = 300;
+  model.mttr_seconds = 30;
+  model.seed = 5;
+  const auto events = generateFailureTrace(net, 3600.0, model);
+  ASSERT_FALSE(events.empty());
+  // Sorted by time.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at_seconds, events[i].at_seconds);
+  }
+  // Per link: strict alternation down/up starting with down.
+  std::map<std::pair<std::string, std::string>, bool> down;
+  int downs = 0;
+  int ups = 0;
+  for (const auto& event : events) {
+    auto key = std::make_pair(event.a, event.b);
+    if (event.up) {
+      ++ups;
+      EXPECT_TRUE(down[key]) << event.a << "-" << event.b;
+      down[key] = false;
+    } else {
+      ++downs;
+      EXPECT_FALSE(down[key]) << event.a << "-" << event.b;
+      down[key] = true;
+    }
+  }
+  // Every failure has its repair (repairs may land past the horizon).
+  EXPECT_EQ(downs, ups);
+}
+
+TEST(FailureTrace, EmitParseRoundTrip) {
+  std::vector<LinkEvent> events = {
+      {10.5, "Denver", "KansasCity", false},
+      {55.25, "Denver", "KansasCity", true},
+      {100.0, "Seattle", "Sunnyvale", false},
+  };
+  const auto parsed = parseLinkTrace(emitLinkTrace(events));
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].at_seconds, events[i].at_seconds);
+    EXPECT_EQ(parsed[i].a, events[i].a);
+    EXPECT_EQ(parsed[i].b, events[i].b);
+    EXPECT_EQ(parsed[i].up, events[i].up);
+  }
+}
+
+TEST(FailureTrace, ParseRejectsMalformed) {
+  EXPECT_THROW(parseLinkTrace("t=x link A B down"), std::runtime_error);
+  EXPECT_THROW(parseLinkTrace("10 link A B down"), std::runtime_error);
+  EXPECT_THROW(parseLinkTrace("t=10 edge A B down"), std::runtime_error);
+  EXPECT_THROW(parseLinkTrace("t=10 link A B sideways"), std::runtime_error);
+  EXPECT_TRUE(parseLinkTrace("# comment\n\n").empty());
+}
+
+TEST(FailureTrace, ApplyDrivesPhysicalLinks) {
+  sim::EventQueue queue;
+  phys::PhysNetwork net(queue);
+  buildAbilene(net);
+  core::EventSchedule schedule(queue);
+  const auto events = parseLinkTrace(
+      "t=5 link Denver KansasCity down\nt=9 link Denver KansasCity up\n");
+  applyLinkTrace(events, schedule, net);
+  phys::PhysLink* link = net.linkBetween("Denver", "KansasCity");
+  queue.runUntil(6 * sim::kSecond);
+  EXPECT_FALSE(link->isUp());
+  queue.runUntil(10 * sim::kSecond);
+  EXPECT_TRUE(link->isUp());
+  EXPECT_THROW(applyLinkTrace(parseLinkTrace("t=1 link No Where down\n"),
+                              schedule, net),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Worlds
+
+TEST(Worlds, AbileneMirrorEmbedsElevenRouters) {
+  WorldOptions options;
+  options.contention = 0.0;
+  auto world = makeAbileneWorld(options);
+  EXPECT_EQ(world->iias->routers().size(), 11u);
+  EXPECT_TRUE(world->runUntilConverged(120 * kSecond));
+  // The slice mirrors the substrate: each virtual link pinned to exactly
+  // the physical link between its endpoints' PoPs.
+  for (const auto& link : world->iias->slice().links()) {
+    EXPECT_EQ(link->underlayPath().size(), 1u);
+  }
+}
+
+TEST(Worlds, ConvergedRoutersKnowAllTaps) {
+  WorldOptions options;
+  options.contention = 0.0;
+  auto world = makeAbileneWorld(options);
+  ASSERT_TRUE(world->runUntilConverged(120 * kSecond));
+  for (const auto& router : world->iias->routers()) {
+    for (const auto& name : abilenePopNames()) {
+      if (router->vnode().name() == name) continue;
+      EXPECT_TRUE(router->xorp().rib().lookup(world->tapOf(name)).has_value())
+          << router->vnode().name() << " -> " << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vini::topo

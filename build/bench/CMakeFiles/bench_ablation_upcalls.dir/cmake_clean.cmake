@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_upcalls.dir/bench_ablation_upcalls.cc.o"
+  "CMakeFiles/bench_ablation_upcalls.dir/bench_ablation_upcalls.cc.o.d"
+  "bench_ablation_upcalls"
+  "bench_ablation_upcalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_upcalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

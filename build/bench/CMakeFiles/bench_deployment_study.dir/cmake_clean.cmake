@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deployment_study.dir/bench_deployment_study.cc.o"
+  "CMakeFiles/bench_deployment_study.dir/bench_deployment_study.cc.o.d"
+  "bench_deployment_study"
+  "bench_deployment_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deployment_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_deter_tcp.dir/bench_table2_deter_tcp.cc.o"
+  "CMakeFiles/bench_table2_deter_tcp.dir/bench_table2_deter_tcp.cc.o.d"
+  "bench_table2_deter_tcp"
+  "bench_table2_deter_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_deter_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

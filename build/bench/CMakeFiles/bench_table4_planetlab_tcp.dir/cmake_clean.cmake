@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_planetlab_tcp.dir/bench_table4_planetlab_tcp.cc.o"
+  "CMakeFiles/bench_table4_planetlab_tcp.dir/bench_table4_planetlab_tcp.cc.o.d"
+  "bench_table4_planetlab_tcp"
+  "bench_table4_planetlab_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_planetlab_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_planetlab_ping.dir/bench_table5_planetlab_ping.cc.o"
+  "CMakeFiles/bench_table5_planetlab_ping.dir/bench_table5_planetlab_ping.cc.o.d"
+  "bench_table5_planetlab_ping"
+  "bench_table5_planetlab_ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_planetlab_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_jitter.dir/bench_table6_jitter.cc.o"
+  "CMakeFiles/bench_table6_jitter.dir/bench_table6_jitter.cc.o.d"
+  "bench_table6_jitter"
+  "bench_table6_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

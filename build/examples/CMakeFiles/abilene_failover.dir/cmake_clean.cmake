@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abilene_failover.dir/abilene_failover.cpp.o"
+  "CMakeFiles/abilene_failover.dir/abilene_failover.cpp.o.d"
+  "abilene_failover"
+  "abilene_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abilene_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

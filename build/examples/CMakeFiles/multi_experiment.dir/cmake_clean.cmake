@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_experiment.dir/multi_experiment.cpp.o"
+  "CMakeFiles/multi_experiment.dir/multi_experiment.cpp.o.d"
+  "multi_experiment"
+  "multi_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

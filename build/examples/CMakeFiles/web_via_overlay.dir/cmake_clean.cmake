@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_via_overlay.dir/web_via_overlay.cpp.o"
+  "CMakeFiles/web_via_overlay.dir/web_via_overlay.cpp.o.d"
+  "web_via_overlay"
+  "web_via_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_via_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/iperf.cc" "src/app/CMakeFiles/vini_app.dir/iperf.cc.o" "gcc" "src/app/CMakeFiles/vini_app.dir/iperf.cc.o.d"
+  "/root/repo/src/app/ping.cc" "src/app/CMakeFiles/vini_app.dir/ping.cc.o" "gcc" "src/app/CMakeFiles/vini_app.dir/ping.cc.o.d"
+  "/root/repo/src/app/ron.cc" "src/app/CMakeFiles/vini_app.dir/ron.cc.o" "gcc" "src/app/CMakeFiles/vini_app.dir/ron.cc.o.d"
+  "/root/repo/src/app/traceroute.cc" "src/app/CMakeFiles/vini_app.dir/traceroute.cc.o" "gcc" "src/app/CMakeFiles/vini_app.dir/traceroute.cc.o.d"
+  "/root/repo/src/app/traffic.cc" "src/app/CMakeFiles/vini_app.dir/traffic.cc.o" "gcc" "src/app/CMakeFiles/vini_app.dir/traffic.cc.o.d"
+  "/root/repo/src/app/web.cc" "src/app/CMakeFiles/vini_app.dir/web.cc.o" "gcc" "src/app/CMakeFiles/vini_app.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcpip/CMakeFiles/vini_tcpip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/vini_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/vini_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vini_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

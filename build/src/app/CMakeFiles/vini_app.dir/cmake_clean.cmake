@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_app.dir/iperf.cc.o"
+  "CMakeFiles/vini_app.dir/iperf.cc.o.d"
+  "CMakeFiles/vini_app.dir/ping.cc.o"
+  "CMakeFiles/vini_app.dir/ping.cc.o.d"
+  "CMakeFiles/vini_app.dir/ron.cc.o"
+  "CMakeFiles/vini_app.dir/ron.cc.o.d"
+  "CMakeFiles/vini_app.dir/traceroute.cc.o"
+  "CMakeFiles/vini_app.dir/traceroute.cc.o.d"
+  "CMakeFiles/vini_app.dir/traffic.cc.o"
+  "CMakeFiles/vini_app.dir/traffic.cc.o.d"
+  "CMakeFiles/vini_app.dir/web.cc.o"
+  "CMakeFiles/vini_app.dir/web.cc.o.d"
+  "libvini_app.a"
+  "libvini_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_click.dir/element.cc.o"
+  "CMakeFiles/vini_click.dir/element.cc.o.d"
+  "CMakeFiles/vini_click.dir/elements.cc.o"
+  "CMakeFiles/vini_click.dir/elements.cc.o.d"
+  "CMakeFiles/vini_click.dir/fib.cc.o"
+  "CMakeFiles/vini_click.dir/fib.cc.o.d"
+  "CMakeFiles/vini_click.dir/flat_label.cc.o"
+  "CMakeFiles/vini_click.dir/flat_label.cc.o.d"
+  "CMakeFiles/vini_click.dir/graph.cc.o"
+  "CMakeFiles/vini_click.dir/graph.cc.o.d"
+  "libvini_click.a"
+  "libvini_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

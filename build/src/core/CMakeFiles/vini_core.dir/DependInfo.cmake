@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedder.cc" "src/core/CMakeFiles/vini_core.dir/embedder.cc.o" "gcc" "src/core/CMakeFiles/vini_core.dir/embedder.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/vini_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/vini_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/slice.cc" "src/core/CMakeFiles/vini_core.dir/slice.cc.o" "gcc" "src/core/CMakeFiles/vini_core.dir/slice.cc.o.d"
+  "/root/repo/src/core/vini.cc" "src/core/CMakeFiles/vini_core.dir/vini.cc.o" "gcc" "src/core/CMakeFiles/vini_core.dir/vini.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/vini_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/vini_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorp/CMakeFiles/vini_xorp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vini_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

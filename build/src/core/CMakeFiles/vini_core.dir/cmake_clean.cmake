@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_core.dir/embedder.cc.o"
+  "CMakeFiles/vini_core.dir/embedder.cc.o.d"
+  "CMakeFiles/vini_core.dir/schedule.cc.o"
+  "CMakeFiles/vini_core.dir/schedule.cc.o.d"
+  "CMakeFiles/vini_core.dir/slice.cc.o"
+  "CMakeFiles/vini_core.dir/slice.cc.o.d"
+  "CMakeFiles/vini_core.dir/vini.cc.o"
+  "CMakeFiles/vini_core.dir/vini.cc.o.d"
+  "libvini_core.a"
+  "libvini_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvini_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_cpu.dir/scheduler.cc.o"
+  "CMakeFiles/vini_cpu.dir/scheduler.cc.o.d"
+  "libvini_cpu.a"
+  "libvini_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

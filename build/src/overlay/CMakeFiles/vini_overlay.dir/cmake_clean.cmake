@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_overlay.dir/iias.cc.o"
+  "CMakeFiles/vini_overlay.dir/iias.cc.o.d"
+  "CMakeFiles/vini_overlay.dir/iias_router.cc.o"
+  "CMakeFiles/vini_overlay.dir/iias_router.cc.o.d"
+  "CMakeFiles/vini_overlay.dir/openvpn.cc.o"
+  "CMakeFiles/vini_overlay.dir/openvpn.cc.o.d"
+  "libvini_overlay.a"
+  "libvini_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

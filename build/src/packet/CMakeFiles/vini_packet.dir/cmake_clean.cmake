@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_packet.dir/checksum.cc.o"
+  "CMakeFiles/vini_packet.dir/checksum.cc.o.d"
+  "CMakeFiles/vini_packet.dir/headers.cc.o"
+  "CMakeFiles/vini_packet.dir/headers.cc.o.d"
+  "CMakeFiles/vini_packet.dir/ip_address.cc.o"
+  "CMakeFiles/vini_packet.dir/ip_address.cc.o.d"
+  "CMakeFiles/vini_packet.dir/packet.cc.o"
+  "CMakeFiles/vini_packet.dir/packet.cc.o.d"
+  "libvini_packet.a"
+  "libvini_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

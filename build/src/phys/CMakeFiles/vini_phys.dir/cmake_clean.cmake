@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_phys.dir/link.cc.o"
+  "CMakeFiles/vini_phys.dir/link.cc.o.d"
+  "CMakeFiles/vini_phys.dir/network.cc.o"
+  "CMakeFiles/vini_phys.dir/network.cc.o.d"
+  "CMakeFiles/vini_phys.dir/node.cc.o"
+  "CMakeFiles/vini_phys.dir/node.cc.o.d"
+  "libvini_phys.a"
+  "libvini_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vini_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vini_sim.dir/log.cc.o"
+  "CMakeFiles/vini_sim.dir/log.cc.o.d"
+  "CMakeFiles/vini_sim.dir/stats.cc.o"
+  "CMakeFiles/vini_sim.dir/stats.cc.o.d"
+  "libvini_sim.a"
+  "libvini_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpip/host_stack.cc" "src/tcpip/CMakeFiles/vini_tcpip.dir/host_stack.cc.o" "gcc" "src/tcpip/CMakeFiles/vini_tcpip.dir/host_stack.cc.o.d"
+  "/root/repo/src/tcpip/routing_table.cc" "src/tcpip/CMakeFiles/vini_tcpip.dir/routing_table.cc.o" "gcc" "src/tcpip/CMakeFiles/vini_tcpip.dir/routing_table.cc.o.d"
+  "/root/repo/src/tcpip/tcp.cc" "src/tcpip/CMakeFiles/vini_tcpip.dir/tcp.cc.o" "gcc" "src/tcpip/CMakeFiles/vini_tcpip.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/vini_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/vini_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vini_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

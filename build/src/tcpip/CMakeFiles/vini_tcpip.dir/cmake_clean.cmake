@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_tcpip.dir/host_stack.cc.o"
+  "CMakeFiles/vini_tcpip.dir/host_stack.cc.o.d"
+  "CMakeFiles/vini_tcpip.dir/routing_table.cc.o"
+  "CMakeFiles/vini_tcpip.dir/routing_table.cc.o.d"
+  "CMakeFiles/vini_tcpip.dir/tcp.cc.o"
+  "CMakeFiles/vini_tcpip.dir/tcp.cc.o.d"
+  "libvini_tcpip.a"
+  "libvini_tcpip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_tcpip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

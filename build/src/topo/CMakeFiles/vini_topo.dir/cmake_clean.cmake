@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_topo.dir/abilene.cc.o"
+  "CMakeFiles/vini_topo.dir/abilene.cc.o.d"
+  "CMakeFiles/vini_topo.dir/experiment_spec.cc.o"
+  "CMakeFiles/vini_topo.dir/experiment_spec.cc.o.d"
+  "CMakeFiles/vini_topo.dir/failure_trace.cc.o"
+  "CMakeFiles/vini_topo.dir/failure_trace.cc.o.d"
+  "CMakeFiles/vini_topo.dir/router_config.cc.o"
+  "CMakeFiles/vini_topo.dir/router_config.cc.o.d"
+  "CMakeFiles/vini_topo.dir/worlds.cc.o"
+  "CMakeFiles/vini_topo.dir/worlds.cc.o.d"
+  "libvini_topo.a"
+  "libvini_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xorp/bgp.cc" "src/xorp/CMakeFiles/vini_xorp.dir/bgp.cc.o" "gcc" "src/xorp/CMakeFiles/vini_xorp.dir/bgp.cc.o.d"
+  "/root/repo/src/xorp/ospf.cc" "src/xorp/CMakeFiles/vini_xorp.dir/ospf.cc.o" "gcc" "src/xorp/CMakeFiles/vini_xorp.dir/ospf.cc.o.d"
+  "/root/repo/src/xorp/rib.cc" "src/xorp/CMakeFiles/vini_xorp.dir/rib.cc.o" "gcc" "src/xorp/CMakeFiles/vini_xorp.dir/rib.cc.o.d"
+  "/root/repo/src/xorp/rip.cc" "src/xorp/CMakeFiles/vini_xorp.dir/rip.cc.o" "gcc" "src/xorp/CMakeFiles/vini_xorp.dir/rip.cc.o.d"
+  "/root/repo/src/xorp/xorp_instance.cc" "src/xorp/CMakeFiles/vini_xorp.dir/xorp_instance.cc.o" "gcc" "src/xorp/CMakeFiles/vini_xorp.dir/xorp_instance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/vini_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vini_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

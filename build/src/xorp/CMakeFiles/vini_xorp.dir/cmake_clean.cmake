@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vini_xorp.dir/bgp.cc.o"
+  "CMakeFiles/vini_xorp.dir/bgp.cc.o.d"
+  "CMakeFiles/vini_xorp.dir/ospf.cc.o"
+  "CMakeFiles/vini_xorp.dir/ospf.cc.o.d"
+  "CMakeFiles/vini_xorp.dir/rib.cc.o"
+  "CMakeFiles/vini_xorp.dir/rib.cc.o.d"
+  "CMakeFiles/vini_xorp.dir/rip.cc.o"
+  "CMakeFiles/vini_xorp.dir/rip.cc.o.d"
+  "CMakeFiles/vini_xorp.dir/xorp_instance.cc.o"
+  "CMakeFiles/vini_xorp.dir/xorp_instance.cc.o.d"
+  "libvini_xorp.a"
+  "libvini_xorp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vini_xorp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vini_xorp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_test.dir/click_test.cc.o"
+  "CMakeFiles/click_test.dir/click_test.cc.o.d"
+  "click_test"
+  "click_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openvpn_test.dir/openvpn_test.cc.o"
+  "CMakeFiles/openvpn_test.dir/openvpn_test.cc.o.d"
+  "openvpn_test"
+  "openvpn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openvpn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ospf_test.dir/ospf_test.cc.o"
+  "CMakeFiles/ospf_test.dir/ospf_test.cc.o.d"
+  "ospf_test"
+  "ospf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ospf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rib_test.cc" "tests/CMakeFiles/rib_test.dir/rib_test.cc.o" "gcc" "tests/CMakeFiles/rib_test.dir/rib_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/vini_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/vini_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/vini_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vini_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorp/CMakeFiles/vini_xorp.dir/DependInfo.cmake"
+  "/root/repo/build/src/click/CMakeFiles/vini_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpip/CMakeFiles/vini_tcpip.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/vini_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vini_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/vini_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vini_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

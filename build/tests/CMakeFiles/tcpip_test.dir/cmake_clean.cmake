@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcpip_test.dir/tcpip_test.cc.o"
+  "CMakeFiles/tcpip_test.dir/tcpip_test.cc.o.d"
+  "tcpip_test"
+  "tcpip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcpip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

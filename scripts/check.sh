@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# The vini-verify gate: strict build + spec lint + clang-tidy +
+# sanitized test suites, as one command.  CI runs exactly this script;
+# locally it is also reachable as `cmake --build build --target check`.
+#
+# Stages:
+#   1. strict build: -Wall -Wextra -Werror, runtime audits compiled in
+#   2. vini_lint over every spec shipped under examples/specs/
+#   3. full ctest suite on the strict build
+#   4. clang-tidy over src/ and tools/ (skipped when not installed)
+#   5. full ctest suite under AddressSanitizer and UBSan builds
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+FAILED=0
+
+stage() { echo; echo "==== $* ===="; }
+
+# --- 1. Strict build (warnings are errors, audits on) -----------------------
+stage "build (VINI_WERROR=ON VINI_AUDIT=ON)"
+cmake -B build-check -S . \
+  -DVINI_WERROR=ON -DVINI_AUDIT=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+cmake --build build-check -j "$JOBS"
+
+# --- 2. Lint every shipped spec ----------------------------------------------
+stage "vini_lint examples/specs"
+./build-check/tools/vini_lint \
+  examples/specs/abilene.conf \
+  examples/specs/denver_failover.exp \
+  examples/specs/maintenance.trace
+./build-check/tools/vini_lint examples/specs/deter.conf
+
+# --- 3. Test suite with audits compiled in -----------------------------------
+stage "ctest (audited build)"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+# --- 4. clang-tidy -----------------------------------------------------------
+stage "clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  # Lint the sources of the libraries and tools; headers ride along via
+  # HeaderFilterRegex in .clang-tidy.
+  mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
+  clang-tidy -p build-check --quiet "${TIDY_SOURCES[@]}" || FAILED=1
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+# --- 5. Sanitized test suites ------------------------------------------------
+for SAN in address undefined; do
+  stage "ctest (VINI_SANITIZE=$SAN)"
+  cmake -B "build-$SAN" -S . \
+    -DVINI_SANITIZE="$SAN" -DVINI_AUDIT=ON > /dev/null
+  cmake --build "build-$SAN" -j "$JOBS"
+  ctest --test-dir "build-$SAN" --output-on-failure -j "$JOBS" || FAILED=1
+done
+
+echo
+if [ "$FAILED" -ne 0 ]; then
+  echo "vini-verify gate: FAILED"
+  exit 1
+fi
+echo "vini-verify gate: OK"

@@ -57,8 +57,11 @@ void IperfTcpClient::start(sim::Duration duration, std::function<void()> done) {
   for (int i = 0; i < stream_count_; ++i) {
     auto conn =
         tcpip::TcpConnection::connect(stack_, server_, port_, config_, local_addr_);
-    auto raw = conn;
-    conn->on_connected = [this, raw] { pump(raw); };
+    // Weak capture: on_connected lives inside the connection, so a strong
+    // reference here would be a self-cycle.
+    conn->on_connected = [this, weak = std::weak_ptr<tcpip::TcpConnection>(conn)] {
+      if (auto c = weak.lock()) pump(c);
+    };
     connections_.push_back(std::move(conn));
   }
   stack_.queue().scheduleAfter(duration,

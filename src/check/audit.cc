@@ -1,0 +1,45 @@
+#include "check/audit.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+
+namespace vini::check {
+
+namespace {
+
+void defaultSink(const Diagnostic& d) {
+  std::cerr << "[vini-audit] " << formatDiagnostic(d) << std::endl;
+  if (d.severity == Severity::kError) std::abort();
+}
+
+AuditSink& currentSink() {
+  static AuditSink sink;  // empty = default
+  return sink;
+}
+
+}  // namespace
+
+AuditSink setAuditSink(AuditSink sink) {
+  AuditSink previous = std::move(currentSink());
+  currentSink() = std::move(sink);
+  return previous;
+}
+
+void auditReport(Diagnostic d) {
+  if (currentSink()) {
+    currentSink()(d);
+  } else {
+    defaultSink(d);
+  }
+}
+
+ScopedAuditCollector::ScopedAuditCollector() {
+  previous_ = setAuditSink([this](const Diagnostic& d) {
+    report_.add(d.severity, d.code, d.location, d.message);
+  });
+}
+
+ScopedAuditCollector::~ScopedAuditCollector() { setAuditSink(std::move(previous_)); }
+
+}  // namespace vini::check

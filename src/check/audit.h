@@ -1,0 +1,71 @@
+// Runtime invariant audits.
+//
+// Deterministic replication is only as good as the invariants the engine
+// actually maintains; audits make them mechanical.  When the build is
+// configured with -DVINI_AUDIT=ON (the default for Debug builds), hot
+// paths in sim/event_queue, phys/link, and cpu/scheduler verify their
+// core invariants and report violations through the same Diagnostic
+// machinery the spec linter uses:
+//
+//   V100  event executed with a timestamp earlier than now()
+//         (simulation time must be monotonic)
+//   V101  cancel() of an event that already fired or was already
+//         cancelled (warning; callers should track their handles)
+//   V102  channel byte accounting out of sync with the queued packets
+//   V103  CPU reservations on one node exceed the whole machine
+//
+// The default sink prints the diagnostic to stderr and aborts on
+// kError severity (a violated engine invariant means the run is
+// garbage); tests install a collecting sink to seed violations and
+// observe the findings instead.
+//
+// Call sites compile to nothing when VINI_AUDIT is off — wrap them as
+//   VINI_AUDIT_CHECK(cond, makeDiagnostic(...));
+#pragma once
+
+#include <functional>
+
+#include "check/diagnostic.h"
+
+namespace vini::check {
+
+using AuditSink = std::function<void(const Diagnostic&)>;
+
+/// Install a sink for audit findings; pass nullptr to restore the
+/// default (stderr + abort on error).  Returns the previous sink.
+AuditSink setAuditSink(AuditSink sink);
+
+/// Report one audit finding to the current sink.
+void auditReport(Diagnostic d);
+
+/// RAII helper for tests: collects findings for its lifetime.
+class ScopedAuditCollector {
+ public:
+  ScopedAuditCollector();
+  ~ScopedAuditCollector();
+
+  ScopedAuditCollector(const ScopedAuditCollector&) = delete;
+  ScopedAuditCollector& operator=(const ScopedAuditCollector&) = delete;
+
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+  AuditSink previous_;
+};
+
+}  // namespace vini::check
+
+#if defined(VINI_AUDIT)
+#define VINI_AUDIT_ENABLED 1
+// `diag` is only evaluated when the condition fails.
+#define VINI_AUDIT_CHECK(cond, diag)            \
+  do {                                          \
+    if (!(cond)) ::vini::check::auditReport(diag); \
+  } while (0)
+#else
+#define VINI_AUDIT_ENABLED 0
+#define VINI_AUDIT_CHECK(cond, diag) \
+  do {                               \
+  } while (0)
+#endif

@@ -1,0 +1,361 @@
+#include "check/checkers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vini::check {
+
+namespace {
+
+/// Canonical undirected link key.
+std::pair<std::string, std::string> linkKey(const std::string& a,
+                                            const std::string& b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+std::string describeLink(const std::string& a, const std::string& b) {
+  return a + "-" + b;
+}
+
+/// Node and link name sets of a topology, for reference resolution.
+struct TopologyIndex {
+  std::set<std::string> nodes;
+  std::set<std::pair<std::string, std::string>> links;
+
+  explicit TopologyIndex(const core::TopologySpec& spec) {
+    for (const auto& node : spec.nodes) nodes.insert(node.name);
+    for (const auto& link : spec.links) links.insert(linkKey(link.a, link.b));
+  }
+
+  bool hasLink(const std::string& a, const std::string& b) const {
+    return links.count(linkKey(a, b)) != 0;
+  }
+};
+
+}  // namespace
+
+void checkTopologySpec(const core::TopologySpec& spec, Report& report,
+                       const phys::PhysNetwork* net) {
+  const std::string topo = "topology '" + spec.name + "'";
+
+  // V001: duplicate node names (later checks use the first occurrence).
+  std::set<std::string> names;
+  for (const auto& node : spec.nodes) {
+    if (!names.insert(node.name).second) {
+      report.error("V001", topo + " node " + node.name,
+                   "duplicate virtual node name '" + node.name + "'");
+    }
+  }
+
+  // V007: unsatisfiable physical bindings.  A slice gets at most one
+  // virtual node per physical node (core::Slice::addNode enforces this
+  // at admission), and an explicit binding must name a real node.
+  std::map<std::string, std::string> phys_users;  // phys -> first vnode
+  for (const auto& node : spec.nodes) {
+    if (node.phys_name.empty()) continue;
+    auto [it, inserted] = phys_users.emplace(node.phys_name, node.name);
+    if (!inserted && it->second != node.name) {
+      report.error("V007", topo + " node " + node.name,
+                   "virtual nodes '" + it->second + "' and '" + node.name +
+                       "' are both bound to physical node '" + node.phys_name +
+                       "'");
+    }
+    if (net != nullptr && !net->hasNode(node.phys_name)) {
+      report.error("V007", topo + " node " + node.name,
+                   "binding references unknown physical node '" +
+                       node.phys_name + "'");
+    }
+  }
+
+  // Per-link checks.
+  std::set<std::pair<std::string, std::string>> seen_links;
+  for (const auto& link : spec.links) {
+    const std::string where = topo + " link " + describeLink(link.a, link.b);
+    // V002: unknown endpoints.
+    for (const std::string& end : {link.a, link.b}) {
+      if (names.count(end) == 0) {
+        report.error("V002", where,
+                     "link endpoint '" + end + "' is not a declared node");
+      }
+    }
+    // V003: self-links.
+    if (link.a == link.b) {
+      report.error("V003", where, "link connects node '" + link.a +
+                                      "' to itself");
+      continue;  // a self-link is not a duplicate of anything else
+    }
+    // V004: duplicate links (either direction).
+    if (!seen_links.insert(linkKey(link.a, link.b)).second) {
+      report.error("V004", where,
+                   "duplicate link between '" + link.a + "' and '" + link.b +
+                       "'");
+    }
+    // V006: zero IGP cost breaks shortest-path semantics.
+    if (link.igp_cost == 0) {
+      report.error("V006", where, "link has zero IGP cost");
+    }
+  }
+
+  // V005: connectivity (over well-formed links only).  A partitioned
+  // virtual topology means part of the experiment can never converge.
+  if (names.size() > 1) {
+    std::map<std::string, std::vector<std::string>> adjacency;
+    for (const auto& link : spec.links) {
+      if (link.a == link.b) continue;
+      if (names.count(link.a) == 0 || names.count(link.b) == 0) continue;
+      adjacency[link.a].push_back(link.b);
+      adjacency[link.b].push_back(link.a);
+    }
+    std::set<std::string> reached;
+    std::vector<std::string> frontier = {*names.begin()};
+    reached.insert(*names.begin());
+    while (!frontier.empty()) {
+      const std::string at = std::move(frontier.back());
+      frontier.pop_back();
+      for (const auto& next : adjacency[at]) {
+        if (reached.insert(next).second) frontier.push_back(next);
+      }
+    }
+    if (reached.size() < names.size()) {
+      report.error("V005", topo,
+                   "topology is not connected: only " +
+                       std::to_string(reached.size()) + " of " +
+                       std::to_string(names.size()) +
+                       " nodes reachable from '" + *names.begin() + "'");
+    }
+  }
+}
+
+void checkExperimentScript(const std::vector<topo::ExperimentAction>& actions,
+                           const ScriptContext& context, Report& report) {
+  // Actions execute in time order regardless of file order; ordering
+  // checks (V013) follow execution order, ties broken by file order.
+  std::vector<std::size_t> order(actions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return actions[x].at_seconds < actions[y].at_seconds;
+                   });
+
+  std::unique_ptr<TopologyIndex> index;
+  if (context.topology != nullptr) {
+    index = std::make_unique<TopologyIndex>(*context.topology);
+  }
+
+  // Per-layer link fail state, keyed by canonical endpoint pair.
+  std::set<std::pair<std::string, std::string>> failed_virtual;
+  std::set<std::pair<std::string, std::string>> failed_phys;
+
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    const topo::ExperimentAction& action = actions[order[position]];
+    std::ostringstream where_os;
+    where_os << "script action " << (order[position] + 1) << " ('"
+             << action.verb << "' at " << action.at_seconds << "s)";
+    const std::string where = where_os.str();
+
+    // V011 / V012: the schedulable window.
+    if (action.at_seconds < context.start_seconds) {
+      report.error("V011", where,
+                   "action is scheduled before the experiment start (" +
+                       std::to_string(context.start_seconds) + "s)");
+    }
+    if (context.horizon_seconds > 0 &&
+        action.at_seconds > context.horizon_seconds) {
+      report.error("V012", where,
+                   "action is scheduled past the horizon (" +
+                       std::to_string(context.horizon_seconds) + "s)");
+    }
+
+    if (action.verb == "mark") continue;
+
+    const bool virtual_verb =
+        action.verb == "fail-link" || action.verb == "restore-link";
+    const bool fails = action.verb == "fail-link" ||
+                       action.verb == "fail-phys-link";
+
+    // V014: the verb's layer must exist in this experiment.
+    if (virtual_verb && !context.has_iias) {
+      report.error("V014", where,
+                   "virtual-link verb but the experiment has no IIAS overlay");
+    }
+    if (!virtual_verb && !context.has_phys) {
+      report.error("V014", where,
+                   "physical-link verb but the experiment has no substrate");
+    }
+
+    if (action.args.size() != 2) continue;  // parser enforces; be safe
+    const std::string& a = action.args[0];
+    const std::string& b = action.args[1];
+
+    // V010: the named link must exist.
+    if (index != nullptr && !index->hasLink(a, b)) {
+      const bool unknown_node =
+          index->nodes.count(a) == 0 || index->nodes.count(b) == 0;
+      report.error("V010", where,
+                   unknown_node
+                       ? "action references unknown node in '" +
+                             describeLink(a, b) + "'"
+                       : "no link between '" + a + "' and '" + b + "'");
+      continue;  // state tracking for a nonexistent link is noise
+    }
+
+    // V013: fail/restore pairing per layer.
+    auto& failed = virtual_verb ? failed_virtual : failed_phys;
+    const auto key = linkKey(a, b);
+    if (fails) {
+      if (!failed.insert(key).second) {
+        report.error("V013", where,
+                     "link " + describeLink(a, b) +
+                         " is failed twice without an intervening restore");
+      }
+    } else {
+      if (failed.erase(key) == 0) {
+        report.error("V013", where,
+                     "restore of link " + describeLink(a, b) +
+                         " which was never failed");
+      }
+    }
+  }
+}
+
+void checkLinkTrace(const std::vector<topo::LinkEvent>& events, Report& report,
+                    const core::TopologySpec* topology) {
+  std::unique_ptr<TopologyIndex> index;
+  if (topology != nullptr) index = std::make_unique<TopologyIndex>(*topology);
+
+  double last_time = 0.0;
+  bool first = true;
+  // Links start up; the trace format encodes transitions only.
+  std::set<std::pair<std::string, std::string>> down;
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const topo::LinkEvent& event = events[i];
+    std::ostringstream where_os;
+    where_os << "trace event " << (i + 1) << " (t=" << event.at_seconds << " "
+             << describeLink(event.a, event.b) << " "
+             << (event.up ? "up" : "down") << ")";
+    const std::string where = where_os.str();
+
+    // V020: replayable traces must be time-sorted.
+    if (!first && event.at_seconds < last_time) {
+      report.error("V020", where,
+                   "timestamp moves backwards (previous event at " +
+                       std::to_string(last_time) + "s)");
+    }
+    first = false;
+    last_time = std::max(last_time, event.at_seconds);
+
+    // V021: the link must exist.
+    if (index != nullptr && !index->hasLink(event.a, event.b)) {
+      report.error("V021", where,
+                   "trace references unknown link " +
+                       describeLink(event.a, event.b));
+      continue;
+    }
+
+    // V022: state transitions must alternate.
+    const auto key = linkKey(event.a, event.b);
+    if (!event.up) {
+      if (!down.insert(key).second) {
+        report.error("V022", where,
+                     "link " + describeLink(event.a, event.b) +
+                         " goes down while already down");
+      }
+    } else {
+      if (down.erase(key) == 0) {
+        report.warning("V022", where,
+                       "link " + describeLink(event.a, event.b) +
+                           " comes up while already up");
+      }
+    }
+  }
+}
+
+void checkLinkConfig(const phys::LinkConfig& config, const std::string& where,
+                     Report& report) {
+  // V031: parameters that make the transmission model meaningless.
+  if (!(config.bandwidth_bps > 0.0)) {
+    report.error("V031", where,
+                 "nonpositive bandwidth " + std::to_string(config.bandwidth_bps) +
+                     " b/s");
+  }
+  if (config.queue_bytes == 0) {
+    report.error("V031", where, "zero-byte output queue drops every packet");
+  }
+  if (config.loss_rate < 0.0 || config.loss_rate > 1.0 ||
+      std::isnan(config.loss_rate)) {
+    report.error("V031", where,
+                 "loss rate " + std::to_string(config.loss_rate) +
+                     " outside [0, 1]");
+  }
+  // V032: time cannot run backwards on the wire.
+  if (config.propagation < 0) {
+    report.error("V032", where,
+                 "negative propagation delay " +
+                     std::to_string(config.propagation) + " ns");
+  }
+}
+
+void checkSchedulerConfig(const cpu::SchedulerConfig& config,
+                          const std::string& where, Report& report) {
+  // V033: parameters the scheduling model divides or ticks by.
+  if (config.timeslice <= 0) {
+    report.error("V033", where,
+                 "nonpositive timeslice " + std::to_string(config.timeslice) +
+                     " ns");
+  }
+  if (!(config.speed_factor > 0.0)) {
+    report.error("V033", where,
+                 "nonpositive speed factor " +
+                     std::to_string(config.speed_factor));
+  }
+  if (config.contention_mean > 0.0 && config.contention_resample <= 0) {
+    report.error("V033", where,
+                 "contended node needs a positive contention resample period");
+  }
+}
+
+void checkCpuReservations(const std::vector<SliceDemand>& demands,
+                          Report& report, double max_per_node) {
+  // Sum each physical node's admitted reservation across every demand.
+  // Virtual nodes without an explicit binding are placed by the
+  // embedder, so only explicit bindings can be pre-checked.
+  std::map<std::string, double> reserved;
+  std::map<std::string, std::vector<std::string>> holders;
+  for (const auto& demand : demands) {
+    if (demand.topology == nullptr) continue;
+    if (demand.resources.cpu_reservation <= 0.0) continue;
+    for (const auto& node : demand.topology->nodes) {
+      if (node.phys_name.empty()) continue;
+      reserved[node.phys_name] += demand.resources.cpu_reservation;
+      holders[node.phys_name].push_back(demand.topology->name);
+    }
+  }
+  for (const auto& [phys, total] : reserved) {
+    if (total > max_per_node + 1e-9) {
+      std::ostringstream os;
+      os << "CPU reservations sum to " << total << " (limit " << max_per_node
+         << ") across slices:";
+      for (const auto& slice : holders[phys]) os << " " << slice;
+      report.error("V030", "physical node " + phys, os.str());
+    }
+  }
+}
+
+void checkPhysNetworkConfigs(const phys::PhysNetwork& net, Report& report) {
+  for (const auto& link : net.links()) {
+    checkLinkConfig(link->config(), "physical link " + link->name(), report);
+  }
+  for (const auto& node : net.nodes()) {
+    checkSchedulerConfig(node->scheduler().config(),
+                         "physical node " + node->name(), report);
+  }
+}
+
+}  // namespace vini::check

@@ -1,0 +1,119 @@
+// Static checkers over everything users author (the vini-verify linter).
+//
+// The paper's promise is *controlled* experimentation: a misconfigured
+// topology, an overcommitted CPU reservation, or a malformed failure
+// trace silently breaks that promise long before any VINI mechanism is
+// exercised.  These checkers validate every spec up front — the same
+// admission-control discipline a real testbed controller applies —
+// and report findings through check::Report with stable codes.
+//
+// Check-code catalogue (V0xx = static checks; see audit.h for V1xx):
+//
+//   Topology specs (checkTopologySpec)
+//     V001  duplicate virtual node name
+//     V002  link endpoint references an unknown node
+//     V003  self-link (both endpoints the same node)
+//     V004  duplicate link (same endpoints, either direction)
+//     V005  topology is not connected
+//     V006  link with zero IGP cost (breaks shortest-path routing)
+//     V007  unsatisfiable physical binding (two virtual nodes bound to
+//           one physical node, or a binding to an unknown physical node)
+//
+//   Experiment scripts (checkExperimentScript)
+//     V010  action references an unknown node/link
+//     V011  action scheduled before the experiment start
+//     V012  action scheduled past the horizon
+//     V013  fail/restore ordering violation (restore before fail, or
+//           double-fail without an intervening restore)
+//     V014  verb targets a layer the experiment does not have
+//           (virtual verbs with no IIAS overlay, phys verbs with no
+//           substrate)
+//
+//   Failure traces (checkLinkTrace)
+//     V020  non-monotonic timestamps
+//     V021  event references an unknown link
+//     V022  down event for an already-down link (error) / up event for
+//           an already-up link (warning)
+//
+//   Node / link / scheduler configs
+//     V030  CPU reservations admitted on one node sum past the machine
+//     V031  invalid link parameter (nonpositive bandwidth, zero queue,
+//           loss rate outside [0, 1])
+//     V032  negative link propagation delay
+//     V033  nonpositive scheduler parameter (timeslice, speed factor,
+//           contention resample period)
+//
+//   Parsing (reported by vini_lint when a file fails to parse)
+//     V098  rcc-style router-config fault (asymmetric adjacency or
+//           cost mismatch; warning — the topology still parses)
+//     V099  file failed to parse at all
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/diagnostic.h"
+#include "core/embedder.h"
+#include "core/slice.h"
+#include "cpu/scheduler.h"
+#include "phys/link.h"
+#include "phys/network.h"
+#include "topo/experiment_spec.h"
+#include "topo/failure_trace.h"
+
+namespace vini::check {
+
+/// Validate a virtual topology spec (V001-V007).  When `net` is given,
+/// physical bindings are also resolved against it.
+void checkTopologySpec(const core::TopologySpec& spec, Report& report,
+                       const phys::PhysNetwork* net = nullptr);
+
+/// What the script will run against; controls reference resolution.
+struct ScriptContext {
+  /// Node/link names actions may reference (virtual and — for the
+  /// paper's one-to-one mirrors — physical).  Null disables V010.
+  const core::TopologySpec* topology = nullptr;
+  /// Experiment has an IIAS overlay (fail-link / restore-link targets).
+  bool has_iias = true;
+  /// Experiment has a physical substrate (fail-phys-link targets).
+  bool has_phys = true;
+  /// Simulation time the script is admitted at.
+  double start_seconds = 0.0;
+  /// Experiment horizon; <= 0 disables V012.
+  double horizon_seconds = 0.0;
+};
+
+/// Validate an experiment script (V010-V014).
+void checkExperimentScript(const std::vector<topo::ExperimentAction>& actions,
+                           const ScriptContext& context, Report& report);
+
+/// Validate a failure trace (V020-V022).  `topology` resolves link
+/// references; null disables V021.
+void checkLinkTrace(const std::vector<topo::LinkEvent>& events, Report& report,
+                    const core::TopologySpec* topology = nullptr);
+
+/// Validate one link configuration (V031, V032).
+void checkLinkConfig(const phys::LinkConfig& config, const std::string& where,
+                     Report& report);
+
+/// Validate one node scheduler configuration (V033).
+void checkSchedulerConfig(const cpu::SchedulerConfig& config,
+                          const std::string& where, Report& report);
+
+/// One slice's demand on the substrate: its topology plus resources.
+struct SliceDemand {
+  const core::TopologySpec* topology = nullptr;
+  core::ResourceSpec resources;
+};
+
+/// Admission pre-check: sum CPU reservations per physical node across
+/// all demands (V030).  `max_per_node` mirrors
+/// core::ViniConfig::max_node_reservation.
+void checkCpuReservations(const std::vector<SliceDemand>& demands,
+                          Report& report, double max_per_node = 1.0);
+
+/// Audit a live physical network's link and scheduler configs
+/// (V031-V033) — catches programmatically built misconfigurations.
+void checkPhysNetworkConfigs(const phys::PhysNetwork& net, Report& report);
+
+}  // namespace vini::check

@@ -1,0 +1,59 @@
+#include "check/diagnostic.h"
+
+#include <sstream>
+
+namespace vini::check {
+
+const char* severityName(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string formatDiagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << severityName(d.severity) << " " << d.code;
+  if (!d.location.empty()) os << " [" << d.location << "]";
+  os << ": " << d.message;
+  return os.str();
+}
+
+void Report::add(Severity severity, std::string code, std::string location,
+                 std::string message) {
+  diagnostics_.push_back(Diagnostic{severity, std::move(code),
+                                    std::move(location), std::move(message)});
+}
+
+bool Report::hasErrors() const {
+  for (const auto& d : diagnostics_) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::size_t Report::countErrors() const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+bool Report::hasCode(const std::string& code) const {
+  for (const auto& d : diagnostics_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string Report::format() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) os << formatDiagnostic(d) << "\n";
+  return os.str();
+}
+
+}  // namespace vini::check

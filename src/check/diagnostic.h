@@ -1,0 +1,75 @@
+// Structured diagnostics for static and runtime checking.
+//
+// Every problem the vini-verify layer can detect — a malformed topology
+// spec, an experiment action past the horizon, a runtime invariant
+// violation caught by a VINI_AUDIT assertion — is reported as a
+// Diagnostic with a *stable* check code (V001, V020, ...).  Stable codes
+// let tests pin exact findings, let CI gate on error counts, and give
+// the README catalogue something durable to document.
+//
+// Code ranges:
+//   V0xx  static checks over authored specs (topologies, scripts,
+//         traces, node/link/scheduler configs)
+//   V1xx  runtime invariant audits (compiled in under VINI_AUDIT)
+//
+// This header is dependency-free on purpose: the lowest layers of the
+// substrate (sim, phys, cpu) report audit findings through it, so it
+// must not pull in any of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vini::check {
+
+enum class Severity {
+  kWarning,  ///< suspicious but admissible; does not fail the gate
+  kError,    ///< the spec/run is invalid; lint exits nonzero
+};
+
+const char* severityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Stable check code, e.g. "V003".  Never renumbered once shipped.
+  std::string code;
+  /// Where: "topology 'iias' link Denver-Denver", "script line 4",
+  /// "trace event 12", "node Chicago", ...
+  std::string location;
+  /// What and why, in one sentence.
+  std::string message;
+};
+
+/// "error V003 [topology 'iias' link Denver-Denver]: ..."
+std::string formatDiagnostic(const Diagnostic& d);
+
+/// An accumulating list of findings, shared by all checkers.
+class Report {
+ public:
+  void add(Severity severity, std::string code, std::string location,
+           std::string message);
+  void error(std::string code, std::string location, std::string message) {
+    add(Severity::kError, std::move(code), std::move(location), std::move(message));
+  }
+  void warning(std::string code, std::string location, std::string message) {
+    add(Severity::kWarning, std::move(code), std::move(location), std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  std::size_t size() const { return diagnostics_.size(); }
+
+  bool hasErrors() const;
+  std::size_t countErrors() const;
+
+  /// True if any diagnostic carries the given check code.
+  bool hasCode(const std::string& code) const;
+
+  /// One formatted diagnostic per line.
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace vini::check

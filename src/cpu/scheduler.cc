@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "check/audit.h"
 
 namespace vini::cpu {
 
@@ -92,6 +95,21 @@ Scheduler::Scheduler(sim::EventQueue& queue, SchedulerConfig config)
 
 Process& Scheduler::createProcess(ProcessConfig config) {
   processes_.push_back(std::make_unique<Process>(*this, std::move(config)));
+#if VINI_AUDIT_ENABLED
+  // V103: CPU-share conservation — guaranteed minima on one node must
+  // never exceed the whole machine, or the guarantees are fiction.
+  // core::Vini::admitNode enforces this for slices; the audit catches
+  // processes created behind its back.
+  double reserved = 0.0;
+  for (const auto& p : processes_) reserved += p->config().cpu_reservation;
+  VINI_AUDIT_CHECK(
+      reserved <= 1.0 + 1e-9,
+      (check::Diagnostic{check::Severity::kError, "V103",
+                         "process " + processes_.back()->config().name,
+                         "CPU reservations on this node sum to " +
+                             std::to_string(reserved) +
+                             ", exceeding the whole machine"}));
+#endif
   return *processes_.back();
 }
 
@@ -104,7 +122,16 @@ double Scheduler::achievableShare(const ProcessConfig& p) const {
   const double effective_contention =
       p.realtime ? config_.rt_contention_discount * contention_ : contention_;
   const double fair = 1.0 / (1.0 + effective_contention);
-  return std::clamp(std::max(p.cpu_reservation, fair), 0.01, 1.0);
+  const double share = std::clamp(std::max(p.cpu_reservation, fair), 0.01, 1.0);
+  // V103: a share outside (0, 1] would make gap sizing divide by zero
+  // or grant more than the machine.
+  VINI_AUDIT_CHECK(share > 0.0 && share <= 1.0,
+                   (check::Diagnostic{check::Severity::kError, "V103",
+                                      "process " + p.name,
+                                      "achievable CPU share " +
+                                          std::to_string(share) +
+                                          " outside (0, 1]"}));
+  return share;
 }
 
 sim::Duration Scheduler::quantum(const ProcessConfig& p) const {

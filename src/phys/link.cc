@@ -1,8 +1,35 @@
 #include "phys/link.h"
 
+#include <string>
 #include <utility>
 
+#include "check/audit.h"
+
 namespace vini::phys {
+
+namespace {
+
+#if VINI_AUDIT_ENABLED
+// V102: the running byte counter must equal the sum of the packets
+// actually queued — a mismatch means drop-tail accounting drifted and
+// every subsequent queue-full decision is wrong.  O(queue) per call,
+// audit builds only.
+void auditByteAccounting(const std::deque<packet::Packet>& tx_queue,
+                         std::size_t queued_bytes) {
+  std::size_t sum = 0;
+  for (const auto& p : tx_queue) sum += p.wireBytes();
+  VINI_AUDIT_CHECK(
+      sum == queued_bytes,
+      (check::Diagnostic{check::Severity::kError, "V102", "phys channel",
+                         "queued_bytes counter " + std::to_string(queued_bytes) +
+                             " != " + std::to_string(sum) +
+                             " bytes actually queued"}));
+}
+#else
+void auditByteAccounting(const std::deque<packet::Packet>&, std::size_t) {}
+#endif
+
+}  // namespace
 
 Channel::Channel(sim::EventQueue& queue, sim::Random& random,
                  const LinkConfig& config, const bool& link_up)
@@ -20,19 +47,33 @@ void Channel::transmit(packet::Packet p) {
   }
   queued_bytes_ += wire;
   tx_queue_.push_back(std::move(p));
+  auditByteAccounting(tx_queue_, queued_bytes_);
   if (!transmitting_) startNextTransmission();
 }
 
 void Channel::startNextTransmission() {
   if (tx_queue_.empty()) {
     transmitting_ = false;
+    VINI_AUDIT_CHECK(
+        queued_bytes_ == 0,
+        (check::Diagnostic{check::Severity::kError, "V102", "phys channel",
+                           "empty transmit queue but " +
+                               std::to_string(queued_bytes_) +
+                               " bytes still accounted"}));
     return;
   }
   transmitting_ = true;
   packet::Packet p = std::move(tx_queue_.front());
   tx_queue_.pop_front();
   const std::size_t wire = p.wireBytes();
+  VINI_AUDIT_CHECK(
+      wire <= queued_bytes_,
+      (check::Diagnostic{check::Severity::kError, "V102", "phys channel",
+                         "byte accounting underflow: dequeued " +
+                             std::to_string(wire) + " bytes with only " +
+                             std::to_string(queued_bytes_) + " accounted"}));
   queued_bytes_ -= wire;
+  auditByteAccounting(tx_queue_, queued_bytes_);
 
   const auto serialization = static_cast<sim::Duration>(
       static_cast<double>(wire) * 8.0 / config_.bandwidth_bps *

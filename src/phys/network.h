@@ -60,6 +60,9 @@ class PhysNetwork {
 
   PhysNode* nodeById(NodeId id);
   PhysNode* nodeByName(const std::string& name);
+  bool hasNode(const std::string& name) const {
+    return name_to_node_.count(name) != 0;
+  }
   NodeId nodeForAddress(packet::IpAddress addr) const;  ///< -1 if unknown
   PhysLink* linkById(int id);
   PhysLink* linkBetween(NodeId a, NodeId b);

@@ -1,34 +1,65 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
+
+#include "check/audit.h"
 
 namespace vini::sim {
 
 EventId EventQueue::schedule(Time when, Callback cb) {
   if (when < now_) when = now_;
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(cb)});
+  heap_.push_back(Entry{when, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_ids_.insert(id);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
   // Only events still awaiting execution can be cancelled.
-  if (pending_ids_.erase(id) == 0) return false;
+  if (pending_ids_.erase(id) == 0) {
+    // V101: cancelling an event that already fired (or was already
+    // cancelled) is deterministic — it returns false — but usually
+    // means the caller lost track of its handle.
+    VINI_AUDIT_CHECK(
+        id == 0 || id >= next_id_,
+        (check::Diagnostic{check::Severity::kWarning, "V101",
+                           "event " + std::to_string(id),
+                           "cancel() of an event that already fired or was "
+                           "already cancelled"}));
+    return false;
+  }
   // Lazy cancellation: mark the id and skip it when popped.
   cancelled_.insert(id);
   return true;
 }
 
+EventQueue::Entry EventQueue::popEntry() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
 bool EventQueue::step() {
   while (!heap_.empty()) {
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+    Entry e = popEntry();
     if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
     }
     pending_ids_.erase(e.id);
+    // V100: simulation time is monotonic — schedule() clamps to now(),
+    // so an earlier-than-now pop means the heap ordering broke.
+    VINI_AUDIT_CHECK(
+        e.when >= now_,
+        (check::Diagnostic{check::Severity::kError, "V100",
+                           "event " + std::to_string(e.id),
+                           "event timestamp " + std::to_string(e.when) +
+                               " is earlier than now() " +
+                               std::to_string(now_)}));
     now_ = e.when;
     ++executed_;
     e.cb();
@@ -39,10 +70,10 @@ bool EventQueue::step() {
 
 void EventQueue::runUntil(Time deadline) {
   while (!heap_.empty()) {
-    const Entry& top = heap_.top();
+    const Entry& top = heap_.front();
     if (cancelled_.count(top.id) != 0) {
       cancelled_.erase(top.id);
-      heap_.pop();
+      popEntry();
       continue;
     }
     if (top.when > deadline) break;

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -78,10 +77,18 @@ class EventQueue {
     }
   };
 
+  /// Pop the earliest entry off the heap (moves it out; well-defined,
+  /// unlike moving from std::priority_queue::top()).
+  Entry popEntry();
+
   Time now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // A std::make_heap/push_heap/pop_heap-managed binary heap.  We manage
+  // it by hand instead of using std::priority_queue so entries can be
+  // *moved* out on pop: priority_queue::top() returns a const reference,
+  // and the const_cast-then-move idiom it forces is UB-adjacent.
+  std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;
 };

@@ -147,8 +147,9 @@ void HostStack::sendIcmpEcho(packet::IpAddress dst, std::uint16_t ident,
 }
 
 void HostStack::registerTcpConnection(const TcpKey& key,
-                                      std::function<void(packet::Packet)> handler) {
-  tcp_connections_[key] = std::move(handler);
+                                      std::function<void(packet::Packet)> handler,
+                                      std::shared_ptr<void> owner) {
+  tcp_connections_[key] = TcpDemuxEntry{std::move(owner), std::move(handler)};
 }
 
 void HostStack::unregisterTcpConnection(const TcpKey& key) {
@@ -278,7 +279,11 @@ void HostStack::deliverLocal(packet::Packet p) {
   if (const auto* tcp = p.tcpHeader()) {
     const TcpKey key{tcp->dst_port, p.ip.src.value(), tcp->src_port};
     if (auto it = tcp_connections_.find(key); it != tcp_connections_.end()) {
-      it->second(std::move(p));
+      // Copy out of the map: the handler may unregister itself while it
+      // runs, and the owner reference must outlive that erase.
+      auto owner = it->second.owner;
+      auto handler = it->second.handler;
+      handler(std::move(p));
       return;
     }
     if (auto it = tcp_listeners_.find(tcp->dst_port); it != tcp_listeners_.end()) {

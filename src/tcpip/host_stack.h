@@ -230,8 +230,11 @@ class HostStack {
 
   // -- TCP demux (used by tcpip::Tcp*) ----------------------------------------
 
+  /// `owner` keeps the connection alive while its demux entry exists;
+  /// it is opaque so this header stays below tcpip/tcp.h in the layering.
   void registerTcpConnection(const TcpKey& key,
-                             std::function<void(packet::Packet)> handler);
+                             std::function<void(packet::Packet)> handler,
+                             std::shared_ptr<void> owner = nullptr);
   void unregisterTcpConnection(const TcpKey& key);
   void registerTcpListener(std::uint16_t port,
                            std::function<void(packet::Packet)> handler);
@@ -285,7 +288,13 @@ class HostStack {
            std::function<void(packet::Packet)>>
       port_captures_;
   std::map<int, SliceTraffic> slice_traffic_;
-  std::map<TcpKey, std::function<void(packet::Packet)>> tcp_connections_;
+  // The entry owns the connection: erasing it (unregisterTcpConnection,
+  // or stack destruction) ends the connection's registered lifetime.
+  struct TcpDemuxEntry {
+    std::shared_ptr<void> owner;
+    std::function<void(packet::Packet)> handler;
+  };
+  std::map<TcpKey, TcpDemuxEntry> tcp_connections_;
   std::unordered_map<std::uint16_t, std::function<void(packet::Packet)>> tcp_listeners_;
   std::uint16_t next_ephemeral_ = 32768;
   // Per-outgoing-link NIC state (one interface per link, full duplex).

@@ -106,11 +106,14 @@ std::shared_ptr<TcpConnection> TcpConnection::acceptFrom(HostStack& stack,
 
 void TcpConnection::registerDemux() {
   const TcpKey key{local_port_, remote_addr_.value(), remote_port_};
-  self_ = shared_from_this();
-  auto weak = std::weak_ptr<TcpConnection>(self_);
-  stack_.registerTcpConnection(key, [weak](packet::Packet p) {
-    if (auto conn = weak.lock()) conn->onPacket(std::move(p));
-  });
+  auto self = shared_from_this();
+  auto weak = std::weak_ptr<TcpConnection>(self);
+  stack_.registerTcpConnection(
+      key,
+      [weak](packet::Packet p) {
+        if (auto conn = weak.lock()) conn->onPacket(std::move(p));
+      },
+      std::move(self));
   demux_registered_ = true;
 }
 
@@ -642,6 +645,9 @@ void TcpConnection::enterTimeWait() {
 
 void TcpConnection::becomeClosed() {
   if (state_ == TcpState::kClosed) return;
+  // The demux entry holds the owning reference; keep `this` alive until
+  // the closed callback below has run.
+  auto keep_alive = weak_from_this().lock();
   state_ = TcpState::kClosed;
   rto_timer_->cancel();
   delack_timer_->cancel();
@@ -652,8 +658,7 @@ void TcpConnection::becomeClosed() {
     demux_registered_ = false;
   }
   if (on_closed) on_closed();
-  self_.reset();  // may destroy `this`; nothing after this line
-}
+}  // keep_alive may destroy `this` here
 
 // ---------------------------------------------------------------------------
 // Listener

@@ -196,8 +196,6 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::unique_ptr<sim::OneShotTimer> rto_timer_;
   std::unique_ptr<sim::OneShotTimer> delack_timer_;
   std::unique_ptr<sim::OneShotTimer> time_wait_timer_;
-  // Keeps the connection alive while registered with the stack.
-  std::shared_ptr<TcpConnection> self_;
 };
 
 /// Passive listener: accepts connections on a port.

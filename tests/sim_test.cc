@@ -59,6 +59,35 @@ TEST(EventQueue, CancelUnknownIdReturnsFalse) {
   EXPECT_FALSE(q.cancel(12345));
 }
 
+TEST(EventQueue, CancelAfterFireReturnsFalseDeterministically) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(10, [&] { ++fired; });
+  q.run();
+  EXPECT_EQ(fired, 1);
+  // An id that already fired can never be cancelled, no matter how
+  // often the caller retries.
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  // The queue is still fully usable afterwards.
+  const EventId next = q.schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(next));
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, InterleavedCancelKeepsOrderDeterministic) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(10, [&] { order.push_back(2); });
+  q.schedule(20, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(a));
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+  EXPECT_EQ(q.pendingCount(), 0u);
+}
+
 TEST(EventQueue, RunUntilStopsAtDeadline) {
   EventQueue q;
   int count = 0;
@@ -300,6 +329,7 @@ TEST(Determinism, SameSeedSameSchedule) {
     };
     q.scheduleAfter(0, [tick] { (*tick)(); });
     q.run();
+    *tick = nullptr;  // the stored lambda captures `tick`; break the cycle
     return *fired;
   };
   EXPECT_EQ(run(5), run(5));

@@ -163,6 +163,27 @@ TEST(ExperimentScript, RejectsMalformedLines) {
   EXPECT_THROW(parseExperimentScript("at -1 mark x"), std::runtime_error);
 }
 
+TEST(ExperimentScript, RejectsMissingOrExtraArguments) {
+  // A time with no verb at all.
+  EXPECT_THROW(parseExperimentScript("at 5"), std::runtime_error);
+  // mark wants exactly one label.
+  EXPECT_THROW(parseExperimentScript("at 5 mark"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at 5 mark a b"), std::runtime_error);
+  // Link verbs want exactly two endpoints.
+  EXPECT_THROW(parseExperimentScript("at 5 restore-link A"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at 5 fail-phys-link A B C"),
+               std::runtime_error);
+  // Bad lines are rejected even when later lines are fine.
+  EXPECT_THROW(parseExperimentScript("at 5 bogus A B\nat 6 mark ok\n"),
+               std::runtime_error);
+}
+
+TEST(ExperimentScript, RejectsNonNumericTimes) {
+  EXPECT_THROW(parseExperimentScript("at ten mark x"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at 1.2.3 mark x"), std::runtime_error);
+  EXPECT_THROW(parseExperimentScript("at nan.0 mark x"), std::runtime_error);
+}
+
 TEST(ExperimentScript, DrivesIiasFailures) {
   WorldOptions options;
   options.contention = 0.0;
@@ -258,6 +279,19 @@ TEST(FailureTrace, ParseRejectsMalformed) {
   EXPECT_THROW(parseLinkTrace("t=10 edge A B down"), std::runtime_error);
   EXPECT_THROW(parseLinkTrace("t=10 link A B sideways"), std::runtime_error);
   EXPECT_TRUE(parseLinkTrace("# comment\n\n").empty());
+}
+
+TEST(FailureTrace, ParseRejectsMissingFields) {
+  // Truncated lines: missing state, endpoint, or everything after t=.
+  EXPECT_THROW(parseLinkTrace("t=10 link A B"), std::runtime_error);
+  EXPECT_THROW(parseLinkTrace("t=10 link A"), std::runtime_error);
+  EXPECT_THROW(parseLinkTrace("t=10"), std::runtime_error);
+  // Non-numeric time survives the t= prefix but fails conversion.
+  EXPECT_THROW(parseLinkTrace("t=soon link A B down"), std::runtime_error);
+  // Garbage after a valid prefix on a later line is still caught.
+  EXPECT_THROW(
+      parseLinkTrace("t=10 link A B down\nt=20 link A B upward\n"),
+      std::runtime_error);
 }
 
 TEST(FailureTrace, ApplyDrivesPhysicalLinks) {

@@ -9,8 +9,11 @@
 // Paper narrative: ~76 ms RTT on the northern path; ~7 s outage while
 // the dead interval expires; a brief transient path; then ~93 ms via
 // Atlanta/Houston/LA/Sunnyvale; after the restore, back to ~76 ms.
+#include <cstdlib>
+
 #include "app/ping.h"
 #include "bench_common.h"
+#include "obs/obs.h"
 #include "topo/worlds.h"
 
 using namespace vini;
@@ -18,6 +21,10 @@ using namespace vini;
 int main() {
   bench::header("Figure 8: OSPF route convergence observed with ping",
                 "Figure 8");
+  // Loss and probe totals are read from the app.ping registry counters;
+  // the OSPF activity summary comes from the xorp.ospf counters.
+  obs::ScopedObs scope;
+  const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
   topo::WorldOptions options;
   options.resources.cpu_reservation = 0.25;
   options.resources.realtime = true;
@@ -32,7 +39,7 @@ int main() {
 
   sim::TimeSeries rtts("rtt_ms");
   app::Pinger::Options popt;
-  popt.count = 110;
+  popt.count = smoke ? 30 : 110;
   popt.flood = false;
   popt.interval = sim::kSecond / 2;
   popt.source = world->tapOf("Washington");
@@ -48,7 +55,7 @@ int main() {
     world->iias->restoreLink("Denver", "KansasCity");
   });
   pinger.start();
-  world->queue.runUntil(t0 + 58 * sim::kSecond);
+  world->queue.runUntil(t0 + (smoke ? 16 : 58) * sim::kSecond);
 
   std::printf("\n  t(s)   RTT(ms)     [fail @10s, restore @34s]\n");
   for (const auto& point : rtts.points()) {
@@ -61,10 +68,21 @@ int main() {
   const auto after = rtts.statsBetween(46 * sim::kSecond, 58 * sim::kSecond);
   std::printf("\nphase means: before %.1f ms | southern %.1f ms | after %.1f ms\n",
               before.mean(), southern.mean(), after.mean());
+  const std::uint64_t tx =
+      scope.metrics().counterValue("app.ping", "Washington", "tx_probes");
+  const std::uint64_t rx =
+      scope.metrics().counterValue("app.ping", "Washington", "rx_replies");
   std::printf("lost probes during outage: %llu of %llu\n",
-              static_cast<unsigned long long>(pinger.report().transmitted -
-                                              pinger.report().received),
-              static_cast<unsigned long long>(pinger.report().transmitted));
+              static_cast<unsigned long long>(tx - rx),
+              static_cast<unsigned long long>(tx));
+  std::printf("ospf activity: %llu spf runs, %llu updates sent, "
+              "%llu neighbors lost\n",
+              static_cast<unsigned long long>(
+                  scope.metrics().sumCounters("xorp.ospf", "spf_runs")),
+              static_cast<unsigned long long>(
+                  scope.metrics().sumCounters("xorp.ospf", "updates_sent")),
+              static_cast<unsigned long long>(
+                  scope.metrics().sumCounters("xorp.ospf", "neighbors_lost")));
   bench::note(
       "paper: 76 ms northern path; fail at 10 s; OSPF finds the southern\n"
       "route (93 ms) ~7 s later; after the restore at 34 s the route falls\n"

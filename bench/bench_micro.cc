@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "click/fib.h"
+#include "obs/obs.h"
 #include "packet/checksum.h"
 #include "packet/packet.h"
 #include "sim/event_queue.h"
@@ -144,6 +145,68 @@ void BM_RibChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 512);
 }
 BENCHMARK(BM_RibChurn);
+
+// -- Observability overhead ---------------------------------------------------
+// These quantify the cost the instrumentation adds to hot paths, so a
+// regression in the "zero-cost when disabled, one branch when enabled"
+// promise shows up as a bench delta.
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  vini::obs::Obs obs;
+  vini::obs::Counter* c =
+      &obs.metrics.counter("bench", "node", "hot_counter");
+  for (auto _ : state) {
+    VINI_OBS_INC(c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  vini::obs::Obs obs;
+  vini::obs::Histogram* h = &obs.metrics.histogram(
+      "bench", "node", "rtt_ms", {1.0, 5.0, 10.0, 50.0, 100.0});
+  double x = 0.0;
+  for (auto _ : state) {
+    VINI_OBS_OBSERVE(h, x);
+    x += 0.37;
+    if (x > 120.0) x = 0.0;
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsTracerRecord(benchmark::State& state) {
+  vini::obs::PacketTracer tracer;
+  vini::obs::TraceRecord rec;
+  rec.event = vini::obs::TraceEvent::kEnqueue;
+  rec.bytes = 1538;
+  for (auto _ : state) {
+    rec.t += 100;
+    tracer.record(rec);
+  }
+  benchmark::DoNotOptimize(tracer.totalRecorded());
+}
+BENCHMARK(BM_ObsTracerRecord);
+
+void BM_EventQueueProfiled(benchmark::State& state) {
+  // Same workload as BM_EventQueueScheduleRun, with the wall-clock
+  // profiler attached — the delta is the profiling tax per event.
+  for (auto _ : state) {
+    vini::sim::EventQueue q;
+    vini::obs::EventLoopProfiler profiler;
+    profiler.attach(q);
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      q.schedule(i * 100, "bench", [&sink] { ++sink; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+    benchmark::DoNotOptimize(profiler.totalEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueProfiled);
 
 }  // namespace
 

@@ -4,11 +4,18 @@
 # locally it is also reachable as `cmake --build build --target check`.
 #
 # Stages:
-#   1. strict build: -Wall -Wextra -Werror, runtime audits compiled in
+#   1. strict build: -Wall -Wextra -Werror, runtime audits compiled in,
+#      observability layer on (-DVINI_OBS=ON)
 #   2. vini_lint over every spec shipped under examples/specs/
 #   3. full ctest suite on the strict build
-#   4. clang-tidy over src/ and tools/ (skipped when not installed)
-#   5. full ctest suite under AddressSanitizer and UBSan builds
+#   4. vini_trace --self-test (VTRC binary format round trip)
+#   5. smoke-run the obs-ported benches (VINI_SMOKE=1): fig6, fig8, and
+#      the BM_Obs micro-benchmarks.  These run with a live metrics
+#      registry, so any metric registered twice with conflicting types
+#      aborts the bench (std::logic_error) and fails the gate.  They run
+#      from the build dir so their CSVs never clobber tracked artifacts.
+#   6. clang-tidy over src/ and tools/ (skipped when not installed)
+#   7. full ctest suite under AddressSanitizer and UBSan builds
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,10 +24,10 @@ FAILED=0
 
 stage() { echo; echo "==== $* ===="; }
 
-# --- 1. Strict build (warnings are errors, audits on) -----------------------
-stage "build (VINI_WERROR=ON VINI_AUDIT=ON)"
+# --- 1. Strict build (warnings are errors, audits + obs on) -----------------
+stage "build (VINI_WERROR=ON VINI_AUDIT=ON VINI_OBS=ON)"
 cmake -B build-check -S . \
-  -DVINI_WERROR=ON -DVINI_AUDIT=ON \
+  -DVINI_WERROR=ON -DVINI_AUDIT=ON -DVINI_OBS=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 cmake --build build-check -j "$JOBS"
 
@@ -36,7 +43,20 @@ stage "vini_lint examples/specs"
 stage "ctest (audited build)"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-# --- 4. clang-tidy -----------------------------------------------------------
+# --- 4. Trace-format self-test -----------------------------------------------
+stage "vini_trace --self-test"
+./build-check/tools/vini_trace --self-test
+
+# --- 5. Smoke-run the obs-ported benches -------------------------------------
+# A type-conflicting metric registration throws std::logic_error at
+# startup, so the smoke runs double as the registration-consistency gate.
+stage "bench smoke (VINI_SMOKE=1)"
+(cd build-check && VINI_SMOKE=1 ./bench/bench_fig6_udp_loss > /dev/null)
+(cd build-check && VINI_SMOKE=1 ./bench/bench_fig8_ospf_convergence > /dev/null)
+(cd build-check && ./bench/bench_micro --benchmark_filter='BM_Obs.*' \
+  > /dev/null 2>&1)
+
+# --- 6. clang-tidy -----------------------------------------------------------
 stage "clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   # Lint the sources of the libraries and tools; headers ride along via
@@ -47,7 +67,7 @@ else
   echo "clang-tidy not installed; skipping (config: .clang-tidy)"
 fi
 
-# --- 5. Sanitized test suites ------------------------------------------------
+# --- 7. Sanitized test suites ------------------------------------------------
 for SAN in address undefined; do
   stage "ctest (VINI_SANITIZE=$SAN)"
   cmake -B "build-$SAN" -S . \

@@ -114,9 +114,16 @@ IperfTcpResult runIperfTcp(sim::EventQueue& queue, tcpip::HostStack& client_stac
 
 IperfUdpServer::IperfUdpServer(tcpip::HostStack& stack, std::uint16_t port)
     : stack_(stack), port_(port) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    const std::string& node = stack_.node().name();
+    m_rx_packets_ = &ctx->metrics.counter("app.iperf", node, "udp_rx_packets");
+    m_rx_bytes_ = &ctx->metrics.counter("app.iperf", node, "udp_rx_bytes");
+  }
   stack_.openUdp(port).setReceiveHandler([this](packet::Packet p) {
     ++packets_;
     bytes_ += p.payload_bytes;
+    VINI_OBS_INC(m_rx_packets_);
+    VINI_OBS_ADD(m_rx_bytes_, p.payload_bytes);
     if (p.meta.app_seq > highest_seq_) highest_seq_ = p.meta.app_seq;
     if (p.meta.app_send_time >= 0) {
       jitter_.onPacket(p.meta.app_send_time, stack_.queue().now());
@@ -152,6 +159,10 @@ IperfUdpClient::IperfUdpClient(tcpip::HostStack& stack, packet::IpAddress server
       port_(port),
       rate_bps_(rate_bps),
       payload_(payload_bytes) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    m_tx_packets_ = &ctx->metrics.counter("app.iperf", stack_.node().name(),
+                                          "udp_tx_packets");
+  }
   if (!local_addr.isZero()) socket_.bindAddress(local_addr);
   const double pps = rate_bps_ / (static_cast<double>(payload_) * 8.0);
   interval_ = static_cast<sim::Duration>(static_cast<double>(sim::kSecond) / pps);
@@ -178,8 +189,9 @@ void IperfUdpClient::sendOne() {
   packet::PacketMeta meta;
   meta.app_send_time = stack_.queue().now();
   meta.app_seq = ++sent_;  // iperf numbers datagrams from 1
+  VINI_OBS_INC(m_tx_packets_);
   socket_.sendTo(server_, port_, payload_, meta);
-  stack_.queue().scheduleAfter(interval_, [this, alive = alive_] {
+  stack_.queue().scheduleAfter(interval_, "app.iperf", [this, alive = alive_] {
     if (*alive) sendOne();
   });
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/stats.h"
 #include "tcpip/host_stack.h"
 #include "tcpip/tcp.h"
@@ -119,6 +120,8 @@ class IperfUdpServer {
   std::uint64_t bytes_ = 0;
   std::uint64_t highest_seq_ = 0;
   sim::JitterEstimator jitter_;
+  obs::Counter* m_rx_packets_ = nullptr;
+  obs::Counter* m_rx_bytes_ = nullptr;
 };
 
 class IperfUdpClient {
@@ -147,6 +150,7 @@ class IperfUdpClient {
   sim::Time end_time_ = 0;
   bool running_ = false;
   std::function<void()> done_;
+  obs::Counter* m_tx_packets_ = nullptr;
 };
 
 }  // namespace vini::app

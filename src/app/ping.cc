@@ -11,6 +11,14 @@ std::uint16_t nextIdent() {
 
 Pinger::Pinger(tcpip::HostStack& stack, packet::IpAddress target, Options options)
     : stack_(stack), target_(target), options_(options), ident_(nextIdent()) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    const std::string& node = stack_.node().name();
+    m_tx_ = &ctx->metrics.counter("app.ping", node, "tx_probes");
+    m_rx_ = &ctx->metrics.counter("app.ping", node, "rx_replies");
+    m_rtt_ms_ = &ctx->metrics.histogram(
+        "app.ping", node, "rtt_ms",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 75.0, 100.0, 150.0, 250.0, 500.0});
+  }
   timeout_timer_ = std::make_unique<sim::OneShotTimer>(stack_.queue(),
                                                        [this] { onTimeout(); });
   stack_.setIcmpReplyHandler(ident_, [this](packet::Packet p) { onReply(p); });
@@ -44,6 +52,7 @@ void Pinger::sendNext() {
   stack_.sendIcmpEcho(target_, ident_, static_cast<std::uint16_t>(seq),
                       options_.payload_bytes, meta, options_.source);
   ++report_.transmitted;
+  VINI_OBS_INC(m_tx_);
   awaiting_ = true;
   awaited_seq_ = seq;
   timeout_timer_->armAfter(options_.flood ? options_.flood_timeout
@@ -58,6 +67,8 @@ void Pinger::onReply(const packet::Packet& reply) {
   const sim::Duration rtt = stack_.queue().now() - reply.meta.app_send_time;
   ++report_.received;
   report_.rtt_ms.add(sim::toMillis(rtt));
+  VINI_OBS_INC(m_rx_);
+  VINI_OBS_OBSERVE(m_rtt_ms_, sim::toMillis(rtt));
   if (on_reply) on_reply(reply.meta.app_seq, rtt);
   if (options_.flood && awaiting_ && reply.meta.app_seq == awaited_seq_) {
     awaiting_ = false;
@@ -79,7 +90,7 @@ void Pinger::finish() {
   // Allow a grace period for in-flight replies before reporting: a
   // flood ping at 10 ms spacing keeps several probes airborne on a
   // 70 ms-RTT path.
-  stack_.queue().scheduleAfter(500 * sim::kMillisecond, [this] {
+  stack_.queue().scheduleAfter(500 * sim::kMillisecond, "app.ping", [this] {
     collecting_ = false;
     if (done_) {
       auto done = std::move(done_);

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/stats.h"
 #include "tcpip/host_stack.h"
@@ -75,6 +76,9 @@ class Pinger {
   PingReport report_;
   std::unique_ptr<sim::OneShotTimer> timeout_timer_;
   std::function<void()> done_;
+  obs::Counter* m_tx_ = nullptr;
+  obs::Counter* m_rx_ = nullptr;
+  obs::Histogram* m_rtt_ms_ = nullptr;
 };
 
 }  // namespace vini::app

@@ -33,6 +33,12 @@ FromSocket::FromSocket(ClickContext& context, std::uint16_t port)
   tcpip::UdpSocket& socket = context_.stack->openUdp(port_);
   socket.setBuffered();
   socket.setNotify([this](const packet::Packet& p) { onQueued(p); });
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    // One counter per node: co-resident slices' tunnel endpoints share it
+    // (registration of an existing (key, type) returns the same metric).
+    m_rx_packets_ = &ctx->metrics.counter(
+        "click.FromSocket", context_.stack->node().name(), "rx_packets");
+  }
 }
 
 void FromSocket::onQueued(const packet::Packet& p) {
@@ -47,6 +53,7 @@ void FromSocket::onQueued(const packet::Packet& p) {
     auto p = socket->readPacket();
     if (!p) return;
     ++received_;
+    VINI_OBS_INC(m_rx_packets_);
     if (!p->inner) {
       ++non_tunnel_drops_;
       return;
@@ -68,19 +75,27 @@ ToSocket::ToSocket(ClickContext& context, std::uint16_t local_port)
   if (!context_.stack->udpSocket(local_port_)) {
     context_.stack->openUdp(local_port_);
   }
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    const std::string& node = context_.stack->node().name();
+    m_tx_packets_ = &ctx->metrics.counter("click.ToSocket", node, "tx_packets");
+    m_unroutable_ = &ctx->metrics.counter("click.ToSocket", node, "unroutable");
+  }
 }
 
 void ToSocket::push(int, packet::Packet p) {
   if (p.meta.encap_dst.isZero()) {
     ++unroutable_;
+    VINI_OBS_INC(m_unroutable_);
     return;
   }
   tcpip::UdpSocket* socket = context_.stack->udpSocket(local_port_);
   if (!socket) {
     ++unroutable_;
+    VINI_OBS_INC(m_unroutable_);
     return;
   }
   ++sent_;
+  VINI_OBS_INC(m_tx_packets_);
   const auto dst = p.meta.encap_dst;
   const std::uint16_t dport = p.meta.encap_port != 0 ? p.meta.encap_port : local_port_;
   p.meta.slice_id = context_.slice_id;  // VNET attribution of tunnel traffic
@@ -304,6 +319,10 @@ Shaper::Shaper(ClickContext& context, double rate_bps, std::size_t bucket_bytes,
       tokens_(static_cast<double>(bucket_bytes)),
       queue_capacity_(queue_bytes) {
   last_refill_ = context_.queue->now();
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    m_drops_ = &ctx->metrics.counter("click.Shaper",
+                                     context_.stack->node().name(), "drops");
+  }
 }
 
 void Shaper::refill() {
@@ -317,6 +336,7 @@ void Shaper::push(int, packet::Packet p) {
   const std::size_t size = p.wireBytes();
   if (queued_bytes_ + size > queue_capacity_) {
     ++drops_;
+    VINI_OBS_INC(m_drops_);
     return;
   }
   queued_bytes_ += size;
@@ -341,7 +361,7 @@ void Shaper::drain() {
                                                  static_cast<double>(sim::kSecond));
     drain_scheduled_ = true;
     context_.queue->scheduleAfter(std::max<sim::Duration>(wait, sim::kMicrosecond),
-                                  [this] {
+                                  "click.Shaper", [this] {
                                     drain_scheduled_ = false;
                                     drain();
                                   });

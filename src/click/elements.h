@@ -19,6 +19,7 @@
 
 #include "click/element.h"
 #include "click/fib.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 
 namespace vini::click {
@@ -44,6 +45,7 @@ class FromSocket final : public Element {
   std::uint16_t port_;
   std::uint64_t received_ = 0;
   std::uint64_t non_tunnel_drops_ = 0;
+  obs::Counter* m_rx_packets_ = nullptr;
 };
 
 /// Tunnel transmit endpoint: encapsulates the packet toward the
@@ -62,6 +64,8 @@ class ToSocket final : public Element {
   std::uint16_t local_port_;
   std::uint64_t sent_ = 0;
   std::uint64_t unroutable_ = 0;
+  obs::Counter* m_tx_packets_ = nullptr;
+  obs::Counter* m_unroutable_ = nullptr;
 };
 
 /// Reads packets the kernel routes to a TUN/TAP device (applications on
@@ -272,6 +276,7 @@ class Shaper final : public Element {
   std::size_t queued_bytes_ = 0;
   std::uint64_t drops_ = 0;
   bool drain_scheduled_ = false;
+  obs::Counter* m_drops_ = nullptr;
 };
 
 /// Failure injection: drops packets whose tunnel destination (or, if

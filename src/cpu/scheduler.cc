@@ -14,6 +14,13 @@ namespace vini::cpu {
 Process::Process(Scheduler& sched, ProcessConfig config)
     : sched_(sched), config_(std::move(config)) {
   accounting_start_ = sched_.queue().now();
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    obs::MetricsRegistry& m = ctx->metrics;
+    const std::string& node = sched_.config().node_name;
+    m_jobs_ = &m.counter("cpu.process", node, config_.name + "/jobs");
+    m_cpu_ns_ = &m.counter("cpu.process", node, config_.name + "/cpu_ns");
+    m_wakeups_ = &m.counter("cpu.process", node, config_.name + "/wakeups");
+  }
 }
 
 Process::~Process() = default;
@@ -22,6 +29,7 @@ void Process::execute(sim::Duration reference_cpu_cost, std::function<void()> do
   const auto scaled = static_cast<sim::Duration>(
       static_cast<double>(reference_cpu_cost) * sched_.config().speed_factor);
   jobs_.push_back(Job{std::max<sim::Duration>(scaled, 0), std::move(done)});
+  VINI_OBS_INC(m_jobs_);
   if (!running_) {
     running_ = true;
     wakeup();
@@ -33,7 +41,8 @@ void Process::wakeup() {
   // fresh quantum.
   const sim::Duration latency = sched_.sampleWakeupLatency(config_);
   quantum_left_ = sched_.quantum(config_);
-  sched_.queue().scheduleAfter(latency, [this] { runSlice(); });
+  VINI_OBS_INC(m_wakeups_);
+  sched_.queue().scheduleAfter(latency, "cpu.scheduler", [this] { runSlice(); });
 }
 
 void Process::runSlice() {
@@ -47,8 +56,9 @@ void Process::runSlice() {
   quantum_left_ -= chunk;
   job.remaining -= chunk;
   const bool job_done = job.remaining == 0;
+  VINI_OBS_ADD(m_cpu_ns_, static_cast<std::uint64_t>(chunk));
 
-  sched_.queue().scheduleAfter(chunk, [this, job_done] {
+  sched_.queue().scheduleAfter(chunk, "cpu.scheduler", [this, job_done] {
     if (job_done) {
       auto done = std::move(jobs_.front().done);
       jobs_.pop_front();
@@ -65,7 +75,7 @@ void Process::runSlice() {
     // Quantum exhausted with work pending: descheduled for a gap.
     const sim::Duration gap = sched_.sampleGap(config_);
     quantum_left_ = sched_.quantum(config_);
-    sched_.queue().scheduleAfter(gap, [this] { runSlice(); });
+    sched_.queue().scheduleAfter(gap, "cpu.scheduler", [this] { runSlice(); });
   });
 }
 
@@ -84,7 +94,11 @@ void Process::resetAccounting() {
 // Scheduler
 
 Scheduler::Scheduler(sim::EventQueue& queue, SchedulerConfig config)
-    : queue_(queue), config_(config), random_(config.seed) {
+    : queue_(queue), config_(std::move(config)), random_(config_.seed) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    m_stalls_ = &ctx->metrics.counter("cpu.scheduler", config_.node_name,
+                                      "stalls");
+  }
   contention_ = std::max(0.0, config_.contention_mean);
   if (config_.contention_mean > 0.0 && config_.contention_resample > 0) {
     resample_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -159,6 +173,7 @@ sim::Duration Scheduler::sampleWakeupLatency(const ProcessConfig& p) {
         contention_ * static_cast<double>(config_.timeslice) * 1.2);
     latency += random_.uniformDuration(config_.stall_min,
                                        std::max(config_.stall_min, stall_cap));
+    VINI_OBS_INC(m_stalls_);
   }
   return latency;
 }

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -76,6 +77,10 @@ struct SchedulerConfig {
   double rt_contention_discount = 0.15;
 
   std::uint64_t seed = 1;
+
+  /// Owning node's name, used to key this scheduler's (and its
+  /// processes') metrics in the observability registry.
+  std::string node_name = "node";
 };
 
 /// Per-process scheduling parameters (one process ~ one slice's daemon).
@@ -142,6 +147,10 @@ class Process {
   sim::Duration quantum_left_ = 0;
   sim::Duration consumed_ = 0;
   sim::Time accounting_start_ = 0;
+  // Observability handles (null when no obs context is installed).
+  obs::Counter* m_jobs_ = nullptr;
+  obs::Counter* m_cpu_ns_ = nullptr;
+  obs::Counter* m_wakeups_ = nullptr;
 };
 
 /// Per-node CPU scheduler; owns the contention process and the RNG.
@@ -181,6 +190,7 @@ class Scheduler {
   double contention_ = 0.0;
   std::vector<std::unique_ptr<Process>> processes_;
   std::unique_ptr<sim::PeriodicTimer> resample_timer_;
+  obs::Counter* m_stalls_ = nullptr;
 };
 
 }  // namespace vini::cpu

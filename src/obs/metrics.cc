@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vini::obs {
+
+const char* metricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+namespace {
+
+MetricType typeOf(const std::variant<Counter, Gauge, Histogram>& m) {
+  if (std::holds_alternative<Counter>(m)) return MetricType::kCounter;
+  if (std::holds_alternative<Gauge>(m)) return MetricType::kGauge;
+  return MetricType::kHistogram;
+}
+
+}  // namespace
+
+template <typename T>
+T& MetricsRegistry::registerAs(const std::string& component,
+                               const std::string& node,
+                               const std::string& name, T initial) {
+  MetricKey key{component, node, name};
+  auto [it, inserted] = metrics_.try_emplace(key, std::move(initial));
+  if (!inserted && !std::holds_alternative<T>(it->second)) {
+    throw std::logic_error("obs: metric " + key.str() +
+                           " re-registered with different type (was " +
+                           metricTypeName(typeOf(it->second)) + ")");
+  }
+  return std::get<T>(it->second);
+}
+
+Counter& MetricsRegistry::counter(const std::string& component,
+                                  const std::string& node,
+                                  const std::string& name) {
+  return registerAs(component, node, name, Counter{});
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& component,
+                              const std::string& node,
+                              const std::string& name) {
+  return registerAs(component, node, name, Gauge{});
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& component,
+                                      const std::string& node,
+                                      const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  return registerAs(component, node, name,
+                    Histogram{std::move(upper_bounds)});
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::find(
+    const std::string& component, const std::string& node,
+    const std::string& name) const {
+  const auto it = metrics_.find(MetricKey{component, node, name});
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& component,
+                                            const std::string& node,
+                                            const std::string& name) const {
+  const Metric* m = find(component, node, name);
+  return m ? std::get_if<Counter>(m) : nullptr;
+}
+
+const Gauge* MetricsRegistry::findGauge(const std::string& component,
+                                        const std::string& node,
+                                        const std::string& name) const {
+  const Metric* m = find(component, node, name);
+  return m ? std::get_if<Gauge>(m) : nullptr;
+}
+
+const Histogram* MetricsRegistry::findHistogram(const std::string& component,
+                                                const std::string& node,
+                                                const std::string& name) const {
+  const Metric* m = find(component, node, name);
+  return m ? std::get_if<Histogram>(m) : nullptr;
+}
+
+std::uint64_t MetricsRegistry::counterValue(const std::string& component,
+                                            const std::string& node,
+                                            const std::string& name) const {
+  const Counter* c = findCounter(component, node, name);
+  return c ? c->value() : 0;
+}
+
+std::uint64_t MetricsRegistry::sumCounters(const std::string& component,
+                                           const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, metric] : metrics_) {
+    if (key.component != component || key.name != name) continue;
+    if (const Counter* c = std::get_if<Counter>(&metric)) total += c->value();
+  }
+  return total;
+}
+
+void MetricsRegistry::forEach(
+    const std::function<void(const MetricKey&, MetricType)>& visit) const {
+  for (const auto& [key, metric] : metrics_) visit(key, typeOf(metric));
+}
+
+void MetricsRegistry::writeCsv(std::ostream& os) const {
+  os << "component,node,name,type,value\n";
+  for (const auto& [key, metric] : metrics_) {
+    if (const Counter* c = std::get_if<Counter>(&metric)) {
+      os << key.component << "," << key.node << "," << key.name << ",counter,"
+         << c->value() << "\n";
+    } else if (const Gauge* g = std::get_if<Gauge>(&metric)) {
+      os << key.component << "," << key.node << "," << key.name << ",gauge,"
+         << g->value() << "\n";
+    } else if (const Histogram* h = std::get_if<Histogram>(&metric)) {
+      os << key.component << "," << key.node << "," << key.name
+         << ",histogram_count," << h->count() << "\n";
+      os << key.component << "," << key.node << "," << key.name
+         << ",histogram_sum," << h->sum() << "\n";
+      for (std::size_t i = 0; i < h->bucketCount(); ++i) {
+        os << key.component << "," << key.node << "," << key.name
+           << ",histogram_bucket";
+        if (i < h->bounds().size()) {
+          os << "_le_" << h->upperBound(i);
+        } else {
+          os << "_overflow";
+        }
+        os << "," << h->bucketValue(i) << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace vini::obs

@@ -1,0 +1,152 @@
+// The metrics registry.
+//
+// One audited source of truth for every number an experiment reads:
+// counters (monotonic event counts), gauges (instantaneous levels), and
+// fixed-bucket histograms, keyed by (component, node, name).  Components
+// register their metrics once at construction and keep the returned
+// handle; hot paths bump the handle through the VINI_OBS_* macros in
+// obs/obs.h, which compile to nothing when the build disables
+// instrumentation (-DVINI_OBS=OFF).
+//
+// Iteration order is deterministic — keys are sorted — so a CSV dump of
+// the registry is byte-stable across runs and registration orders.
+// Registering the same key twice with the same type returns the existing
+// metric (several sockets on one node share a drop counter); registering
+// it with a *different* type throws, and the CI gate treats that as a
+// hard failure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vini::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* metricTypeName(MetricType type);
+
+/// Registry key: which subsystem, which instance, which quantity.
+/// Examples: ("phys.link", "Denver-KansasCity/ab", "queue_drops"),
+/// ("app.iperf", "Washington", "udp_rx_packets").
+struct MetricKey {
+  std::string component;
+  std::string node;
+  std::string name;
+  auto operator<=>(const MetricKey&) const = default;
+
+  std::string str() const { return component + "/" + node + "/" + name; }
+};
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// An instantaneous level (queue depth, bytes outstanding).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A fixed-bucket histogram: bucket i counts observations <= bound i,
+/// with an implicit overflow bucket above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  std::size_t bucketCount() const { return buckets_.size(); }
+  /// Count in bucket `i`; the final bucket is the overflow bucket.
+  std::uint64_t bucketValue(std::size_t i) const { return buckets_[i]; }
+  /// Upper bound of bucket `i` (undefined for the overflow bucket).
+  double upperBound(std::size_t i) const { return bounds_[i]; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;          // ascending
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Register (or look up) a metric.  Throws std::logic_error if the key
+  /// already exists with a different type — the CI gate relies on this
+  /// surfacing as a hard failure.
+  Counter& counter(const std::string& component, const std::string& node,
+                   const std::string& name);
+  Gauge& gauge(const std::string& component, const std::string& node,
+               const std::string& name);
+  /// `upper_bounds` is used on first registration only.
+  Histogram& histogram(const std::string& component, const std::string& node,
+                       const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  // -- Read side (nullptr / 0 when the metric was never registered) ---------
+
+  const Counter* findCounter(const std::string& component,
+                             const std::string& node,
+                             const std::string& name) const;
+  const Gauge* findGauge(const std::string& component, const std::string& node,
+                         const std::string& name) const;
+  const Histogram* findHistogram(const std::string& component,
+                                 const std::string& node,
+                                 const std::string& name) const;
+
+  /// Convenience for benches: counter value, or 0 if never registered.
+  std::uint64_t counterValue(const std::string& component,
+                             const std::string& node,
+                             const std::string& name) const;
+
+  /// Sum of every counter matching (component, name) across all nodes.
+  std::uint64_t sumCounters(const std::string& component,
+                            const std::string& name) const;
+
+  std::size_t size() const { return metrics_.size(); }
+
+  /// Visit every metric in deterministic (sorted-key) order.
+  void forEach(
+      const std::function<void(const MetricKey&, MetricType)>& visit) const;
+
+  /// "component,node,name,type,value" rows (histograms emit one row per
+  /// bucket plus count/sum), sorted by key — byte-stable across runs.
+  void writeCsv(std::ostream& os) const;
+
+ private:
+  using Metric = std::variant<Counter, Gauge, Histogram>;
+
+  template <typename T>
+  T& registerAs(const std::string& component, const std::string& node,
+                const std::string& name, T initial);
+  const Metric* find(const std::string& component, const std::string& node,
+                     const std::string& name) const;
+
+  // std::map: node-based (stable handle addresses) and key-sorted
+  // (deterministic iteration).
+  std::map<MetricKey, Metric> metrics_;
+};
+
+}  // namespace vini::obs

@@ -1,0 +1,21 @@
+#include "obs/obs.h"
+
+namespace vini::obs {
+
+namespace {
+Obs* g_current = nullptr;
+}  // namespace
+
+Obs* current() { return g_current; }
+
+ScopedObs::ScopedObs(std::size_t trace_capacity)
+    : obs_(trace_capacity), previous_(g_current) {
+  g_current = &obs_;
+}
+
+ScopedObs::~ScopedObs() {
+  obs_.profiler.detach();
+  g_current = previous_;
+}
+
+}  // namespace vini::obs

@@ -1,0 +1,40 @@
+#include "obs/profiler.h"
+
+namespace vini::obs {
+
+void EventLoopProfiler::attach(sim::EventQueue& queue) {
+  detach();
+  queue_ = &queue;
+  queue_->setProfiler(
+      [this](const char* tag, std::int64_t wall_ns) { onEvent(tag, wall_ns); });
+}
+
+void EventLoopProfiler::detach() {
+  if (queue_ != nullptr) {
+    queue_->setProfiler(nullptr);
+    queue_ = nullptr;
+  }
+}
+
+void EventLoopProfiler::onEvent(const char* tag, std::int64_t wall_ns) {
+  HandlerStat& s = stats_[tag != nullptr ? tag : "untagged"];
+  ++s.events;
+  s.wall_ns += wall_ns;
+  ++total_events_;
+  total_wall_ns_ += wall_ns;
+}
+
+void EventLoopProfiler::writeCsv(std::ostream& os) const {
+  os << "tag,events,wall_ns\n";
+  for (const auto& [tag, s] : stats_) {
+    os << tag << "," << s.events << "," << s.wall_ns << "\n";
+  }
+}
+
+void EventLoopProfiler::clear() {
+  stats_.clear();
+  total_events_ = 0;
+  total_wall_ns_ = 0;
+}
+
+}  // namespace vini::obs

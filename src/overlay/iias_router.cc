@@ -30,6 +30,7 @@ IiasRouter::IiasRouter(core::VirtualNode& vnode, tcpip::HostStack& stack,
   tap_route.prefix = slice.overlayPrefix();
   tap_route.device = tap_;
   tap_route.metric = 10;
+  tap_route.proto = "connected";
   stack_.routingTable().addRoute(tap_route);
 
   buildGraph();

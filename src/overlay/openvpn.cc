@@ -86,11 +86,13 @@ bool OpenVpnClient::connect(OpenVpnServer& server) {
   all.prefix = packet::Prefix::defaultRoute();
   all.device = tun_;
   all.metric = 5;  // beats the underlay default route (metric 100)
+  all.proto = "openvpn";
   stack_.routingTable().addRoute(all);
   tcpip::Route server_host;
   server_host.prefix = packet::Prefix(server_addr_, 32);
   server_host.device = &stack_.underlayDevice();
   server_host.metric = 1;
+  server_host.proto = "openvpn";
   stack_.routingTable().addRoute(server_host);
   return true;
 }

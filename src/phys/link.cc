@@ -31,21 +31,65 @@ void auditByteAccounting(const std::deque<packet::Packet>&, std::size_t) {}
 
 }  // namespace
 
+namespace {
+
+obs::TraceRecord channelRecord(obs::TraceEvent ev, sim::Time t,
+                               const packet::Packet& p, std::int16_t link) {
+  obs::TraceRecord rec;
+  rec.t = t;
+  rec.event = ev;
+  rec.link = link;
+  rec.src = p.ip.src.value();
+  rec.dst = p.ip.dst.value();
+  rec.flow = p.meta.flow_id;
+  rec.seq = p.meta.app_seq;
+  rec.bytes = static_cast<std::uint32_t>(p.wireBytes());
+  return rec;
+}
+
+}  // namespace
+
 Channel::Channel(sim::EventQueue& queue, sim::Random& random,
-                 const LinkConfig& config, const bool& link_up)
-    : queue_(queue), random_(random), config_(config), link_up_(link_up) {}
+                 const LinkConfig& config, const bool& link_up,
+                 std::string label)
+    : queue_(queue),
+      random_(random),
+      config_(config),
+      link_up_(link_up),
+      label_(std::move(label)) {
+  if (label_.empty()) return;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    obs::MetricsRegistry& m = ctx->metrics;
+    m_tx_packets_ = &m.counter("phys.link", label_, "tx_packets");
+    m_tx_bytes_ = &m.counter("phys.link", label_, "tx_bytes");
+    m_queue_drops_ = &m.counter("phys.link", label_, "queue_drops");
+    m_loss_drops_ = &m.counter("phys.link", label_, "loss_drops");
+    m_down_drops_ = &m.counter("phys.link", label_, "down_drops");
+    m_queued_bytes_ = &m.gauge("phys.link", label_, "queued_bytes");
+    trace_link_ = ctx->tracer.internLink(label_);
+  }
+}
 
 void Channel::transmit(packet::Packet p) {
   if (!link_up_) {
     ++stats_.down_drops;
+    VINI_OBS_INC(m_down_drops_);
+    VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kDownDrop, queue_.now(), p,
+                                 trace_link_));
     return;
   }
   const std::size_t wire = p.wireBytes();
   if (queued_bytes_ + wire > config_.queue_bytes) {
     ++stats_.queue_drops;
+    VINI_OBS_INC(m_queue_drops_);
+    VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kQueueDrop, queue_.now(), p,
+                                 trace_link_));
     return;
   }
   queued_bytes_ += wire;
+  VINI_OBS_GAUGE_SET(m_queued_bytes_, static_cast<double>(queued_bytes_));
+  VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kEnqueue, queue_.now(), p,
+                               trace_link_));
   tx_queue_.push_back(std::move(p));
   auditByteAccounting(tx_queue_, queued_bytes_);
   if (!transmitting_) startNextTransmission();
@@ -73,31 +117,49 @@ void Channel::startNextTransmission() {
                              std::to_string(wire) + " bytes with only " +
                              std::to_string(queued_bytes_) + " accounted"}));
   queued_bytes_ -= wire;
+  VINI_OBS_GAUGE_SET(m_queued_bytes_, static_cast<double>(queued_bytes_));
   auditByteAccounting(tx_queue_, queued_bytes_);
 
-  const auto serialization = static_cast<sim::Duration>(
-      static_cast<double>(wire) * 8.0 / config_.bandwidth_bps *
-      static_cast<double>(sim::kSecond));
+  // Integer ceiling: a frame holds the wire for at least its bit time.
+  // The old float product truncated up to 1 ns/frame, letting
+  // back-to-back frames overlap on a saturated link.
+  const sim::Duration serialization =
+      sim::serializationDelay(wire, config_.bandwidth_bps);
+  VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kSerializeStart, queue_.now(),
+                               p, trace_link_));
 
-  queue_.scheduleAfter(serialization, [this, p = std::move(p)]() mutable {
+  queue_.scheduleAfter(serialization, "phys.link",
+                       [this, p = std::move(p)]() mutable {
     ++stats_.tx_packets;
     stats_.tx_bytes += p.wireBytes();
+    VINI_OBS_INC(m_tx_packets_);
+    VINI_OBS_ADD(m_tx_bytes_, p.wireBytes());
     // The wire is free again; start the next frame.
     const bool lost = !link_up_ ||
                       (config_.loss_rate > 0.0 && random_.chance(config_.loss_rate));
     if (lost) {
       if (!link_up_) {
         ++stats_.down_drops;
+        VINI_OBS_INC(m_down_drops_);
+        VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kDownDrop, queue_.now(),
+                                     p, trace_link_));
       } else {
         ++stats_.loss_drops;
+        VINI_OBS_INC(m_loss_drops_);
+        VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kLossDrop, queue_.now(),
+                                     p, trace_link_));
       }
     } else {
-      queue_.scheduleAfter(config_.propagation,
+      queue_.scheduleAfter(config_.propagation, "phys.link",
                            [this, p = std::move(p)]() mutable {
                              // A link that died mid-flight eats the packet:
                              // physical fate sharing.
                              if (!link_up_) {
                                ++stats_.down_drops;
+                               VINI_OBS_INC(m_down_drops_);
+                               VINI_OBS_TRACE(channelRecord(
+                                 obs::TraceEvent::kDownDrop, queue_.now(), p,
+                                 trace_link_));
                                return;
                              }
                              if (deliver_) deliver_(std::move(p));
@@ -113,8 +175,8 @@ PhysLink::PhysLink(int id, std::string name, NodeId a, NodeId b,
       name_(std::move(name)),
       a_(a),
       b_(b),
-      ab_(queue, random, config, up_),
-      ba_(queue, random, config, up_) {}
+      ab_(queue, random, config, up_, name_ + "/ab"),
+      ba_(queue, random, config, up_, name_ + "/ba") {}
 
 void PhysLink::setUp(bool up) {
   if (up == up_) return;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "packet/packet.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
@@ -45,8 +46,11 @@ class Channel {
  public:
   using DeliverFn = std::function<void(packet::Packet)>;
 
+  /// `label` identifies this direction for observability ("Denver-
+  /// KansasCity/ab"); when non-empty and an obs context is installed,
+  /// the channel registers its counters and emits trace events under it.
   Channel(sim::EventQueue& queue, sim::Random& random, const LinkConfig& config,
-          const bool& link_up);
+          const bool& link_up, std::string label = {});
 
   /// Enqueue a packet for transmission; it is delivered to the receiver's
   /// handler after queueing + serialization + propagation, unless dropped.
@@ -71,6 +75,17 @@ class Channel {
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
   ChannelStats stats_;
+
+  // Observability handles, cached at construction (null when no obs
+  // context was installed or the channel is unlabelled).
+  std::string label_;
+  std::int16_t trace_link_ = -1;
+  obs::Counter* m_tx_packets_ = nullptr;
+  obs::Counter* m_tx_bytes_ = nullptr;
+  obs::Counter* m_queue_drops_ = nullptr;
+  obs::Counter* m_loss_drops_ = nullptr;
+  obs::Counter* m_down_drops_ = nullptr;
+  obs::Gauge* m_queued_bytes_ = nullptr;
 };
 
 /// A full-duplex physical link between nodes `a` and `b`.

@@ -25,10 +25,7 @@ class PhysNode {
   using PacketHandler = std::function<void(packet::Packet, PhysLink&)>;
 
   PhysNode(NodeId id, std::string name, sim::EventQueue& queue,
-           cpu::SchedulerConfig cpu_config)
-      : id_(id),
-        name_(std::move(name)),
-        scheduler_(std::make_unique<cpu::Scheduler>(queue, cpu_config)) {}
+           cpu::SchedulerConfig cpu_config);
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }

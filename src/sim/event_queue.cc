@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -8,10 +9,10 @@
 
 namespace vini::sim {
 
-EventId EventQueue::schedule(Time when, Callback cb) {
+EventId EventQueue::schedule(Time when, const char* tag, Callback cb) {
   if (when < now_) when = now_;
   const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(cb)});
+  heap_.push_back(Entry{when, id, tag, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_ids_.insert(id);
   return id;
@@ -62,7 +63,19 @@ bool EventQueue::step() {
                                std::to_string(now_)}));
     now_ = e.when;
     ++executed_;
-    e.cb();
+    if (profiler_) {
+      // Wall clock is read only on the profiled path: an unprofiled
+      // step() pays a single branch.
+      const auto start = std::chrono::steady_clock::now();
+      e.cb();
+      const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      // The callback may have detached the profiler; re-check.
+      if (profiler_) profiler_(e.tag, wall);
+    } else {
+      e.cb();
+    }
     return true;
   }
   return false;

@@ -37,11 +37,23 @@ class EventQueue {
 
   /// Schedule `cb` to run at absolute time `when` (clamped to now()).
   /// Returns a handle that can be passed to cancel().
-  EventId schedule(Time when, Callback cb);
+  EventId schedule(Time when, Callback cb) {
+    return schedule(when, nullptr, std::move(cb));
+  }
+
+  /// As above, tagging the event with a static component label
+  /// ("phys.link", "xorp.ospf", ...) that the event-loop profiler
+  /// attributes handler time to.  `tag` must outlive the event — pass a
+  /// string literal.
+  EventId schedule(Time when, const char* tag, Callback cb);
 
   /// Schedule `cb` to run `delay` after the current time.
   EventId scheduleAfter(Duration delay, Callback cb) {
-    return schedule(now_ + (delay > 0 ? delay : 0), std::move(cb));
+    return schedule(now_ + (delay > 0 ? delay : 0), nullptr, std::move(cb));
+  }
+
+  EventId scheduleAfter(Duration delay, const char* tag, Callback cb) {
+    return schedule(now_ + (delay > 0 ? delay : 0), tag, std::move(cb));
   }
 
   /// Cancel a previously scheduled event.  Returns true if the event was
@@ -64,10 +76,19 @@ class EventQueue {
   /// Total number of events executed since construction.
   std::uint64_t executedCount() const { return executed_; }
 
+  /// Wall-clock profiling hook: called after each executed event with
+  /// the event's tag (nullptr for untagged) and the handler's wall time
+  /// in nanoseconds.  The clock is read only while a hook is installed;
+  /// pass nullptr to uninstall.  The hook observes only — simulated
+  /// time and event order are unaffected.
+  using ProfileHook = std::function<void(const char* tag, std::int64_t wall_ns)>;
+  void setProfiler(ProfileHook hook) { profiler_ = std::move(hook); }
+
  private:
   struct Entry {
     Time when = 0;
     EventId id = 0;
+    const char* tag = nullptr;
     Callback cb;
   };
   struct Later {
@@ -91,6 +112,7 @@ class EventQueue {
   std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;
+  ProfileHook profiler_;
 };
 
 /// A repeating timer built on EventQueue; cancels cleanly on destruction.

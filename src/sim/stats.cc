@@ -13,23 +13,24 @@ void SampleStats::add(double x) {
   }
   ++n_;
   sum_ += x;
-  sum_sq_ += x * x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
 }
 
 void SampleStats::clear() { *this = SampleStats{}; }
 
 double SampleStats::stddev() const {
   if (n_ < 2) return 0.0;
-  const double n = static_cast<double>(n_);
-  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  const double var = m2_ / (static_cast<double>(n_) - 1.0);
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
 double SampleStats::mdev() const {
+  // ping(8) semantics: population deviation, sqrt(E[x^2] - E[x]^2) ==
+  // sqrt(m2/n) — Welford just computes it without the cancellation.
   if (n_ == 0) return 0.0;
-  const double n = static_cast<double>(n_);
-  const double m = sum_ / n;
-  const double var = sum_sq_ / n - m * m;
+  const double var = m2_ / static_cast<double>(n_);
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 

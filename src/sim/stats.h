@@ -37,9 +37,15 @@ class SampleStats {
   double mdev() const;
 
  private:
+  // Deviations accumulate via Welford's recurrence (mean_, m2_) rather
+  // than a raw sum of squares: for samples with mean >> deviation (RTTs
+  // recorded as absolute nanoseconds), sum_sq - sum^2/n cancels
+  // catastrophically and can even go negative.  sum_ is kept alongside
+  // so mean() still reports sum/n, identical to the old code.
   std::size_t n_ = 0;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
 };

@@ -5,6 +5,7 @@
 // lets -1 serve as an explicit "no deadline" sentinel where needed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace vini::sim {
@@ -42,6 +43,20 @@ constexpr Duration fromMillis(double ms) {
 /// Convert fractional microseconds to a duration.
 constexpr Duration fromMicros(double us) {
   return fromSeconds(us / 1e6);
+}
+
+/// Time to clock `bytes` onto a wire of `bandwidth_bps`, as an integer
+/// ceiling: a frame occupies the wire for *at least* its bit time, never
+/// less.  Computing this in floating point and truncating (the pre-obs
+/// code path) undercounts by up to 1 ns per frame, which lets
+/// back-to-back frames overlap on a saturated link.  The intermediate
+/// product (bits * kSecond) overflows int64 for frames past ~1 KB, so it
+/// is carried in 128 bits.
+constexpr Duration serializationDelay(std::size_t bytes, double bandwidth_bps) {
+  const auto bps = static_cast<std::int64_t>(bandwidth_bps);
+  if (bps <= 0) return 0;
+  const auto bits = static_cast<__int128>(bytes) * 8;
+  return static_cast<Duration>((bits * kSecond + bps - 1) / bps);
 }
 
 }  // namespace vini::sim

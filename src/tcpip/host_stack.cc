@@ -38,6 +38,7 @@ void UdpSocket::deliver(packet::Packet p) {
     const std::size_t bytes = p.ipPacketBytes();
     if (rx_queued_bytes_ + bytes > buffer_capacity_) {
       ++buffer_drops_;
+      stack_.noteSocketBufferDrop(p);
       return;
     }
     rx_queued_bytes_ += bytes;
@@ -81,6 +82,24 @@ void UdpSocket::sendAppTo(packet::IpAddress dst, std::uint16_t dport,
 // ---------------------------------------------------------------------------
 // HostStack
 
+namespace {
+
+obs::TraceRecord hostRecord(obs::TraceEvent ev, sim::Time t,
+                            const packet::Packet& p, std::int16_t node) {
+  obs::TraceRecord rec;
+  rec.t = t;
+  rec.event = ev;
+  rec.node = node;
+  rec.src = p.ip.src.value();
+  rec.dst = p.ip.dst.value();
+  rec.flow = p.meta.flow_id;
+  rec.seq = p.meta.app_seq;
+  rec.bytes = static_cast<std::uint32_t>(p.ipPacketBytes());
+  return rec;
+}
+
+}  // namespace
+
 HostStack::HostStack(phys::PhysNode& node, phys::PhysNetwork& net,
                      HostConfig config)
     : node_(node), net_(net), config_(config) {
@@ -91,6 +110,24 @@ HostStack::HostStack(phys::PhysNode& node, phys::PhysNetwork& net,
   node_.setPacketHandler(
       [this](packet::Packet p, phys::PhysLink&) { onWirePacket(std::move(p)); });
   kernel_accounting_start_ = queue().now();
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    obs::MetricsRegistry& m = ctx->metrics;
+    const std::string& n = node_.name();
+    m_rx_packets_ = &m.counter("tcpip.host", n, "rx_packets");
+    m_delivered_ = &m.counter("tcpip.host", n, "delivered");
+    m_forwarded_ = &m.counter("tcpip.host", n, "forwarded");
+    m_dropped_no_route_ = &m.counter("tcpip.host", n, "dropped_no_route");
+    m_dropped_ttl_ = &m.counter("tcpip.host", n, "dropped_ttl");
+    m_dropped_no_listener_ = &m.counter("tcpip.host", n, "dropped_no_listener");
+    m_socket_buffer_drops_ = &m.counter("tcpip.host", n, "socket_buffer_drops");
+    trace_node_ = ctx->tracer.internNode(n);
+  }
+}
+
+void HostStack::noteSocketBufferDrop(const packet::Packet& p) {
+  VINI_OBS_INC(m_socket_buffer_drops_);
+  VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kSocketDrop, queue().now(), p,
+                            trace_node_));
 }
 
 HostStack::~HostStack() = default;
@@ -194,7 +231,9 @@ void HostStack::onWirePacket(packet::Packet p) {
                                                 config_.rx_spike_max);
   }
   last_rx_delivery_ = deliver_at;
-  queue().schedule(deliver_at, [this, p = std::move(p)]() mutable {
+  VINI_OBS_INC(m_rx_packets_);
+  VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kIngress, now, p, trace_node_));
+  queue().schedule(deliver_at, "tcpip.host", [this, p = std::move(p)]() mutable {
     if (rx_trace_) rx_trace_(p);
     processPacket(std::move(p), /*from_wire=*/true);
   });
@@ -213,6 +252,7 @@ void HostStack::processPacket(packet::Packet p, bool from_wire) {
   }
   if (!config_.ip_forward) {
     ++stats_.dropped_no_route;
+    VINI_OBS_INC(m_dropped_no_route_);
     return;
   }
   (void)from_wire;
@@ -230,6 +270,9 @@ void HostStack::clearPortCapture(packet::IpProto proto, std::uint16_t port) {
 
 void HostStack::deliverLocal(packet::Packet p) {
   ++stats_.delivered;
+  VINI_OBS_INC(m_delivered_);
+  VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kDeliver, queue().now(), p,
+                            trace_node_));
   if (p.meta.slice_id >= 0) {
     SliceTraffic& traffic = slice_traffic_[p.meta.slice_id];
     ++traffic.rx_packets;
@@ -271,6 +314,7 @@ void HostStack::deliverLocal(packet::Packet p) {
       it->second->deliver(std::move(p));
     } else {
       ++stats_.dropped_no_listener;
+      VINI_OBS_INC(m_dropped_no_listener_);
       sendIcmpError(packet::IcmpHeader::kDestUnreachable,
                     packet::IcmpHeader::kCodePortUnreachable, p);
     }
@@ -291,11 +335,13 @@ void HostStack::deliverLocal(packet::Packet p) {
       return;
     }
     ++stats_.dropped_no_listener;
+    VINI_OBS_INC(m_dropped_no_listener_);
     return;
   }
   // Other protocols (e.g. raw OSPF over IP) have no local consumer at the
   // kernel level; the overlay carries its routing traffic inside UDP.
   ++stats_.dropped_no_listener;
+  VINI_OBS_INC(m_dropped_no_listener_);
 }
 
 void HostStack::sendIcmpError(std::uint8_t type, std::uint8_t code,
@@ -319,12 +365,14 @@ void HostStack::sendIcmpError(std::uint8_t type, std::uint8_t code,
 void HostStack::forwardPacket(packet::Packet p) {
   if (p.ip.ttl <= 1) {
     ++stats_.dropped_ttl;
+    VINI_OBS_INC(m_dropped_ttl_);
     sendIcmpError(packet::IcmpHeader::kTimeExceeded,
                   packet::IcmpHeader::kCodeTtlExpired, p);
     return;
   }
   p.ip.ttl -= 1;
   ++stats_.forwarded;
+  VINI_OBS_INC(m_forwarded_);
 
   // Kernel forwarding is serial work in the hot path: model a busy-until
   // so a saturated forwarder becomes the bottleneck, and account the CPU.
@@ -335,7 +383,7 @@ void HostStack::forwardPacket(packet::Packet p) {
   const sim::Time start = std::max(now, kernel_busy_until_);
   kernel_busy_until_ = start + cost;
   kernel_cpu_ += cost;
-  queue().scheduleAfter(kernel_busy_until_ - now,
+  queue().scheduleAfter(kernel_busy_until_ - now, "tcpip.host",
                         [this, p = std::move(p)]() mutable { routeAndTransmit(std::move(p)); });
 }
 
@@ -343,7 +391,7 @@ void HostStack::sendPacket(packet::Packet p) {
   if (p.meta.app_send_time < 0) p.meta.app_send_time = queue().now();
   if (isLocalAddress(p.ip.dst)) {
     // Loopback delivery.
-    queue().scheduleAfter(1 * sim::kMicrosecond,
+    queue().scheduleAfter(1 * sim::kMicrosecond, "tcpip.host",
                           [this, p = std::move(p)]() mutable { deliverLocal(std::move(p)); });
     return;
   }
@@ -354,8 +402,11 @@ void HostStack::routeAndTransmit(packet::Packet p) {
   const Route* route = rt_.lookup(p.ip.dst);
   if (!route || !route->device) {
     ++stats_.dropped_no_route;
+    VINI_OBS_INC(m_dropped_no_route_);
     return;
   }
+  VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kForwardDecision, queue().now(),
+                            p, trace_node_));
   if (tx_trace_) tx_trace_(p);
   route->device->transmit(std::move(p));
 }
@@ -364,6 +415,7 @@ void HostStack::transmitUnderlay(packet::Packet p) {
   phys::PhysLink* link = net_.nextLinkFor(node_.id(), p.ip.dst);
   if (!link) {
     ++stats_.dropped_no_route;
+    VINI_OBS_INC(m_dropped_no_route_);
     return;
   }
   if (p.meta.slice_id >= 0) {
@@ -373,10 +425,11 @@ void HostStack::transmitUnderlay(packet::Packet p) {
   }
   // Serialize through the access NIC (this is what limits a PlanetLab
   // node to ~100 Mb/s regardless of the backbone capacity), then the
-  // transmit-path latency, then onto the wire.
-  const auto serialization = static_cast<sim::Duration>(
-      static_cast<double>(p.wireBytes()) * 8.0 / config_.nic_bps *
-      static_cast<double>(sim::kSecond));
+  // transmit-path latency, then onto the wire.  Integer ceiling for the
+  // same reason as Channel: the float product truncated up to 1 ns per
+  // frame, letting back-to-back frames creep together.
+  const sim::Duration serialization =
+      sim::serializationDelay(p.wireBytes(), config_.nic_bps);
   const sim::Time now = queue().now();
   sim::Time& busy = nic_busy_until_[link->id()];
   const bool back_to_back = busy > now;
@@ -392,7 +445,7 @@ void HostStack::transmitUnderlay(packet::Packet p) {
   sim::Time& last_wire = last_tx_wire_[link->id()];
   if (wire_at < last_wire) wire_at = last_wire;  // keep FIFO
   last_wire = wire_at;
-  queue().schedule(wire_at, [this, link, p = std::move(p)]() mutable {
+  queue().schedule(wire_at, "tcpip.host", [this, link, p = std::move(p)]() mutable {
     link->channelFrom(node_.id()).transmit(std::move(p));
   });
 }

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "packet/packet.h"
 #include "phys/network.h"
 #include "tcpip/device.h"
@@ -266,6 +267,11 @@ class HostStack {
   void resetKernelAccounting();
   double kernelUtilization() const;
 
+  /// Called by UdpSocket when a buffered socket's receive buffer
+  /// overflows — the Fig. 6(a) drop — so the stack can account it in
+  /// the metrics registry and the packet trace.
+  void noteSocketBufferDrop(const packet::Packet& p);
+
  private:
   void onWirePacket(packet::Packet p);
   void processPacket(packet::Packet p, bool from_wire);
@@ -310,6 +316,16 @@ class HostStack {
   // ICMP error rate limiter (token bucket, kernel-style).
   double icmp_error_tokens_ = 100.0;
   sim::Time icmp_error_refill_at_ = 0;
+  // Observability handles, cached at construction (null when no obs
+  // context is installed).
+  std::int16_t trace_node_ = -1;
+  obs::Counter* m_rx_packets_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_forwarded_ = nullptr;
+  obs::Counter* m_dropped_no_route_ = nullptr;
+  obs::Counter* m_dropped_ttl_ = nullptr;
+  obs::Counter* m_dropped_no_listener_ = nullptr;
+  obs::Counter* m_socket_buffer_drops_ = nullptr;
 };
 
 }  // namespace vini::tcpip

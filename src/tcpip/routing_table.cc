@@ -4,7 +4,7 @@ namespace vini::tcpip {
 
 void RoutingTable::addRoute(const Route& route) {
   for (auto& r : routes_) {
-    if (r.prefix == route.prefix && r.metric == route.metric) {
+    if (r.prefix == route.prefix && r.proto == route.proto) {
       r = route;
       return;
     }

@@ -22,11 +22,19 @@ struct Route {
   /// Optional next-hop gateway; zero means directly connected.
   packet::IpAddress gateway;
   int metric = 0;
+  /// Which protocol/source installed the route ("static", "connected",
+  /// "ospf", ...).  Last field so existing positional initializers keep
+  /// working.
+  std::string proto = "static";
 };
 
 class RoutingTable {
  public:
-  /// Insert or replace the route for `prefix`.
+  /// Insert or replace the route for (prefix, proto): a protocol
+  /// re-announcing a prefix replaces its own previous entry even when
+  /// the metric changed.  Keying the replacement on (prefix, metric) —
+  /// the old behaviour — accumulated stale duplicates whenever a cost
+  /// changed, and lookup() could still pick the dead one.
   void addRoute(const Route& route);
 
   /// Remove the route for exactly this prefix; returns true if removed.

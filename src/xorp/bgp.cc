@@ -5,7 +5,16 @@
 namespace vini::xorp {
 
 BgpProcess::BgpProcess(sim::EventQueue& queue, Rib* rib, BgpConfig config)
-    : queue_(queue), rib_(rib), config_(std::move(config)) {}
+    : queue_(queue), rib_(rib), config_(std::move(config)) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    m_updates_sent_ =
+        &ctx->metrics.counter("xorp.bgp", config_.name, "updates_sent");
+    m_updates_received_ =
+        &ctx->metrics.counter("xorp.bgp", config_.name, "updates_received");
+    m_loops_rejected_ =
+        &ctx->metrics.counter("xorp.bgp", config_.name, "loops_rejected");
+  }
+}
 
 BgpProcess::~BgpProcess() = default;
 
@@ -98,9 +107,11 @@ void BgpProcess::sendUpdate(Peer& peer, BgpUpdate update) {
   }
   if (out.announcements.empty() && out.withdrawals.empty()) return;
   ++stats_.updates_sent;
+  VINI_OBS_INC(m_updates_sent_);
   BgpProcess* remote = peer.remote;
   BgpProcess* self = this;
-  queue_.scheduleAfter(peer.delay, [remote, self, out = std::move(out)] {
+  queue_.scheduleAfter(peer.delay, "xorp.bgp",
+                       [remote, self, out = std::move(out)] {
     remote->receiveUpdate(self, out);
   });
 }
@@ -109,11 +120,13 @@ void BgpProcess::receiveUpdate(BgpProcess* from, const BgpUpdate& update) {
   Peer* peer = findPeer(from);
   if (!peer) return;  // session torn down while the update was in flight
   ++stats_.updates_received;
+  VINI_OBS_INC(m_updates_received_);
 
   for (BgpRoute route : update.announcements) {
     ++stats_.announcements_received;
     if (route.hasLoop(config_.asn)) {
       ++stats_.loops_rejected;
+      VINI_OBS_INC(m_loops_rejected_);
       continue;
     }
     if (peer->import_filter && !peer->import_filter(route)) continue;

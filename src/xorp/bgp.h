@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "xorp/messages.h"
 #include "xorp/rib.h"
@@ -110,6 +111,11 @@ class BgpProcess {
   /// Current best per prefix, as last advertised.
   std::map<packet::Prefix, BgpRoute> best_;
   BgpStats stats_;
+  // Observability handles, registered at construction (null when no obs
+  // context is installed).
+  obs::Counter* m_updates_sent_ = nullptr;
+  obs::Counter* m_updates_received_ = nullptr;
+  obs::Counter* m_loops_rejected_ = nullptr;
 
   friend class BgpMultiplexer;
 };

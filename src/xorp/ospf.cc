@@ -37,6 +37,18 @@ void OspfProcess::addStubPrefix(const packet::Prefix& prefix, std::uint32_t cost
 void OspfProcess::start() {
   if (running_) return;
   running_ = true;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    const std::string node = packet::IpAddress(config_.router_id).str();
+    m_hellos_sent_ = &ctx->metrics.counter("xorp.ospf", node, "hellos_sent");
+    m_updates_sent_ = &ctx->metrics.counter("xorp.ospf", node, "updates_sent");
+    m_updates_received_ =
+        &ctx->metrics.counter("xorp.ospf", node, "updates_received");
+    m_spf_runs_ = &ctx->metrics.counter("xorp.ospf", node, "spf_runs");
+    m_retransmissions_ =
+        &ctx->metrics.counter("xorp.ospf", node, "retransmissions");
+    m_neighbors_lost_ =
+        &ctx->metrics.counter("xorp.ospf", node, "neighbors_lost");
+  }
   originateOwnLsa();
   hello_timer_ = std::make_unique<sim::PeriodicTimer>(
       queue_, config_.hello_interval, [this] {
@@ -46,7 +58,7 @@ void OspfProcess::start() {
       queue_, config_.rxmt_interval, [this] { retransmitUnacked(); });
   // Stagger the first hello so co-started routers do not fire in lockstep.
   queue_.scheduleAfter(random_.uniformDuration(0, config_.hello_interval),
-                       [this] {
+                       "xorp.ospf", [this] {
                          if (!running_) return;
                          runCharged(config_.hello_cost, [this] { sendHellos(); });
                          hello_timer_->start();
@@ -101,6 +113,7 @@ void OspfProcess::sendHellos() {
       hello->seen_neighbors.push_back(iface->neighbor_id);
     }
     ++stats_.hellos_sent;
+    VINI_OBS_INC(m_hellos_sent_);
     sendOn(*iface, std::move(hello));
   }
 }
@@ -183,6 +196,7 @@ void OspfProcess::notifyInterfaceDown(const Vif& vif) {
 void OspfProcess::onNeighborDead(Interface& iface) {
   if (iface.state == NeighborState::kDown) return;
   ++stats_.neighbors_lost;
+  VINI_OBS_INC(m_neighbors_lost_);
   iface.state = NeighborState::kDown;
   iface.unacked.clear();
   originateOwnLsa();
@@ -238,6 +252,7 @@ void OspfProcess::sendUpdateTo(Interface& iface, std::vector<RouterLsa> lsas,
     }
   }
   ++stats_.updates_sent;
+  VINI_OBS_INC(m_updates_sent_);
   sendOn(iface, std::move(update));
 }
 
@@ -250,6 +265,7 @@ void OspfProcess::sendAckTo(Interface& iface, const std::vector<RouterLsa>& lsas
 
 void OspfProcess::handleUpdate(Interface& iface, const OspfLsUpdate& update) {
   ++stats_.updates_received;
+  VINI_OBS_INC(m_updates_received_);
   for (const auto& lsa : update.lsas) {
     if (lsa.origin == config_.router_id) {
       // A stale copy of our own LSA is circulating (e.g. we restarted):
@@ -289,9 +305,11 @@ void OspfProcess::retransmitUnacked() {
     }
     if (!due.empty()) {
       stats_.retransmissions += due.size();
+      VINI_OBS_ADD(m_retransmissions_, due.size());
       auto update = std::make_shared<OspfLsUpdate>();
       update->lsas = std::move(due);
       ++stats_.updates_sent;
+      VINI_OBS_INC(m_updates_sent_);
       sendOn(*iface, std::move(update));
     }
   }
@@ -300,7 +318,7 @@ void OspfProcess::retransmitUnacked() {
 void OspfProcess::scheduleSpf() {
   if (spf_scheduled_ || !running_) return;
   spf_scheduled_ = true;
-  queue_.scheduleAfter(config_.spf_delay, [this] {
+  queue_.scheduleAfter(config_.spf_delay, "xorp.ospf", [this] {
     spf_scheduled_ = false;
     if (!running_) return;
     const sim::Duration cost =
@@ -313,6 +331,7 @@ void OspfProcess::scheduleSpf() {
 void OspfProcess::runSpf() {
   if (!running_) return;
   ++stats_.spf_runs;
+  VINI_OBS_INC(m_spf_runs_);
 
   // Dijkstra over the LSDB with the two-way connectivity check.
   const RouterId self = config_.router_id;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cpu/scheduler.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "xorp/messages.h"
@@ -153,6 +154,14 @@ class OspfProcess {
   std::unique_ptr<sim::PeriodicTimer> hello_timer_;
   std::unique_ptr<sim::PeriodicTimer> rxmt_timer_;
   OspfStats stats_;
+  // Observability handles, registered at start() (null when no obs
+  // context is installed).
+  obs::Counter* m_hellos_sent_ = nullptr;
+  obs::Counter* m_updates_sent_ = nullptr;
+  obs::Counter* m_updates_received_ = nullptr;
+  obs::Counter* m_spf_runs_ = nullptr;
+  obs::Counter* m_retransmissions_ = nullptr;
+  obs::Counter* m_neighbors_lost_ = nullptr;
 };
 
 }  // namespace vini::xorp

@@ -23,6 +23,16 @@ void RipProcess::addLocalPrefix(const packet::Prefix& prefix) {
 void RipProcess::start() {
   if (running_) return;
   running_ = true;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    // RIP speakers have no router id; key by the first interface address.
+    const std::string node =
+        interfaces_.empty() ? "rip" : interfaces_.front()->address().str();
+    m_updates_sent_ = &ctx->metrics.counter("xorp.rip", node, "updates_sent");
+    m_updates_received_ =
+        &ctx->metrics.counter("xorp.rip", node, "updates_received");
+    m_routes_timed_out_ =
+        &ctx->metrics.counter("xorp.rip", node, "routes_timed_out");
+  }
   update_timer_ = std::make_unique<sim::PeriodicTimer>(
       queue_, config_.update_interval, [this] {
         runCharged(config_.message_cost, [this] { sendUpdates(); });
@@ -71,6 +81,7 @@ void RipProcess::sendUpdates() {
                                            kRipPort, kRipPort, 0);
     p.app = update;
     ++stats_.updates_sent;
+    VINI_OBS_INC(m_updates_sent_);
     vif->send(std::move(p));
   }
 }
@@ -84,6 +95,7 @@ void RipProcess::receive(Vif& vif, const packet::Packet& p) {
   runCharged(config_.message_cost, [this, payload, vifp, from] {
     if (!running_) return;
     ++stats_.updates_received;
+    VINI_OBS_INC(m_updates_received_);
     for (const auto& route : payload->routes) {
       const std::uint32_t metric = std::min(route.metric + 1, kRipInfinity);
       auto it = table_.find(route.prefix);
@@ -129,6 +141,7 @@ void RipProcess::expireRoutes() {
     if (it->second.learned_from != nullptr &&
         now - it->second.last_heard > config_.route_timeout) {
       ++stats_.routes_timed_out;
+      VINI_OBS_INC(m_routes_timed_out_);
       rib_.removeRoute("rip", it->first);
       it = table_.erase(it);
     } else {

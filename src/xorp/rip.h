@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cpu/scheduler.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "xorp/messages.h"
@@ -81,6 +82,11 @@ class RipProcess {
   std::unique_ptr<sim::PeriodicTimer> update_timer_;
   std::unique_ptr<sim::PeriodicTimer> expire_timer_;
   RipStats stats_;
+  // Observability handles, registered at start() (null when no obs
+  // context is installed).
+  obs::Counter* m_updates_sent_ = nullptr;
+  obs::Counter* m_updates_received_ = nullptr;
+  obs::Counter* m_routes_timed_out_ = nullptr;
 };
 
 }  // namespace vini::xorp

@@ -14,6 +14,8 @@
 #      registry, so any metric registered twice with conflicting types
 #      aborts the bench (std::logic_error) and fails the gate.  They run
 #      from the build dir so their CSVs never clobber tracked artifacts.
+#   5b. vini_chaos smoke: a seeded fault campaign must pass its
+#      invariant audits and print byte-identical reports across two runs
 #   6. clang-tidy over src/ and tools/ (skipped when not installed)
 #   7. full ctest suite under AddressSanitizer and UBSan builds
 set -euo pipefail
@@ -36,7 +38,8 @@ stage "vini_lint examples/specs"
 ./build-check/tools/vini_lint \
   examples/specs/abilene.conf \
   examples/specs/denver_failover.exp \
-  examples/specs/maintenance.trace
+  examples/specs/maintenance.trace \
+  examples/specs/chaos.trace
 ./build-check/tools/vini_lint examples/specs/deter.conf
 
 # --- 3. Test suite with audits compiled in -----------------------------------
@@ -55,6 +58,16 @@ stage "bench smoke (VINI_SMOKE=1)"
 (cd build-check && VINI_SMOKE=1 ./bench/bench_fig8_ospf_convergence > /dev/null)
 (cd build-check && ./bench/bench_micro --benchmark_filter='BM_Obs.*' \
   > /dev/null 2>&1)
+
+# --- 5b. Chaos smoke ----------------------------------------------------------
+# A seeded fault campaign must pass its invariant audits (V120-V123)
+# AND be bit-reproducible: the same seed twice must print the same
+# bytes, or determinism regressed somewhere in the stack.
+stage "vini_chaos smoke (VINI_SMOKE=1, seed 1, twice)"
+(cd build-check && VINI_SMOKE=1 ./tools/vini_chaos --seed 1 > chaos-run-1.txt)
+(cd build-check && VINI_SMOKE=1 ./tools/vini_chaos --seed 1 > chaos-run-2.txt)
+diff build-check/chaos-run-1.txt build-check/chaos-run-2.txt || {
+  echo "vini_chaos: seed 1 is not bit-reproducible"; exit 1; }
 
 # --- 6. clang-tidy -----------------------------------------------------------
 stage "clang-tidy"

@@ -277,6 +277,184 @@ void checkLinkTrace(const std::vector<topo::LinkEvent>& events, Report& report,
   }
 }
 
+void checkFaultSchedule(const fault::FaultSchedule& schedule, Report& report,
+                        const core::TopologySpec* topology) {
+  std::unique_ptr<TopologyIndex> index;
+  if (topology != nullptr) index = std::make_unique<TopologyIndex>(*topology);
+
+  // V110: SRLG definitions must name real links.
+  for (const auto& [group, members] : schedule.srlgs) {
+    for (const auto& [a, b] : members) {
+      if (index != nullptr && !index->hasLink(a, b)) {
+        report.error("V110", "srlg " + group,
+                     "group member " + describeLink(a, b) +
+                         " is not a link in the topology");
+      }
+    }
+  }
+
+  double last_time = 0.0;
+  bool first = true;
+  // Per-class lifecycle state.  Everything starts healthy.
+  std::set<std::pair<std::string, std::string>> links_down;
+  std::set<std::pair<std::string, std::string>> links_degraded;
+  std::set<std::string> nodes_crashed;
+  std::set<std::string> srlgs_down;
+  std::set<std::pair<std::string, int>> procs_killed;
+
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const fault::FaultEvent& event = schedule.events[i];
+    std::ostringstream where_os;
+    where_os << "fault event " << (i + 1) << " (t=" << event.at_seconds << " "
+             << fault::faultKindName(event.kind);
+    switch (event.kind) {
+      case fault::FaultKind::kLinkDown:
+      case fault::FaultKind::kLinkUp:
+      case fault::FaultKind::kLinkDegrade:
+      case fault::FaultKind::kLinkRestore:
+        where_os << " " << describeLink(event.a, event.b);
+        break;
+      case fault::FaultKind::kProcKill:
+      case fault::FaultKind::kProcRestart:
+        where_os << " " << event.a << "/" << fault::procClassName(event.proc);
+        break;
+      default:
+        where_os << " " << event.a;
+        break;
+    }
+    where_os << ")";
+    const std::string where = where_os.str();
+
+    // V113: replayable schedules must be time-sorted.
+    if (!first && event.at_seconds < last_time) {
+      report.error("V113", where,
+                   "timestamp moves backwards (previous event at " +
+                       std::to_string(last_time) + "s)");
+    }
+    first = false;
+    last_time = std::max(last_time, event.at_seconds);
+
+    switch (event.kind) {
+      case fault::FaultKind::kLinkDown:
+      case fault::FaultKind::kLinkUp:
+      case fault::FaultKind::kLinkDegrade:
+      case fault::FaultKind::kLinkRestore: {
+        // V110: the link must exist.
+        if (index != nullptr && !index->hasLink(event.a, event.b)) {
+          report.error("V110", where,
+                       "event references unknown link " +
+                           describeLink(event.a, event.b));
+          continue;
+        }
+        const auto key = linkKey(event.a, event.b);
+        if (event.kind == fault::FaultKind::kLinkDown) {
+          // V112: down/up must alternate (mirrors V022 for plain traces).
+          if (!links_down.insert(key).second) {
+            report.error("V112", where,
+                         "link goes down while already down");
+          }
+        } else if (event.kind == fault::FaultKind::kLinkUp) {
+          if (links_down.erase(key) == 0) {
+            report.warning("V112", where, "link comes up while already up");
+          }
+        } else if (event.kind == fault::FaultKind::kLinkDegrade) {
+          // V111: degrade parameters must be meaningful.
+          const fault::DegradeSpec& d = event.degrade;
+          if (!d.loss_rate && !d.delay_seconds && !d.bandwidth_bps) {
+            report.error("V111", where,
+                         "degrade sets no parameters (nothing to apply)");
+          }
+          if (d.loss_rate && (*d.loss_rate < 0.0 || *d.loss_rate > 1.0 ||
+                              std::isnan(*d.loss_rate))) {
+            report.error("V111", where,
+                         "loss rate " + std::to_string(*d.loss_rate) +
+                             " outside [0, 1]");
+          }
+          if (d.bandwidth_bps && !(*d.bandwidth_bps > 0.0)) {
+            report.error("V111", where,
+                         "nonpositive bandwidth " +
+                             std::to_string(*d.bandwidth_bps) + " b/s");
+          }
+          if (d.delay_seconds && *d.delay_seconds < 0.0) {
+            report.error("V111", where,
+                         "negative delay " +
+                             std::to_string(*d.delay_seconds) + " s");
+          }
+          if (!links_degraded.insert(key).second) {
+            report.warning("V112", where,
+                           "link degraded while already degraded "
+                           "(previous quality is replaced)");
+          }
+        } else {  // kLinkRestore
+          if (links_degraded.erase(key) == 0) {
+            report.warning("V112", where,
+                           "restore of a link that was never degraded");
+          }
+        }
+        break;
+      }
+      case fault::FaultKind::kNodeCrash:
+      case fault::FaultKind::kNodeRestart: {
+        if (index != nullptr && index->nodes.count(event.a) == 0) {
+          report.error("V110", where,
+                       "event references unknown node " + event.a);
+          continue;
+        }
+        if (event.kind == fault::FaultKind::kNodeCrash) {
+          if (!nodes_crashed.insert(event.a).second) {
+            report.error("V112", where,
+                         "node crashes while already crashed");
+          }
+        } else if (nodes_crashed.erase(event.a) == 0) {
+          report.error("V112", where,
+                       "restart of a node that never crashed");
+        }
+        break;
+      }
+      case fault::FaultKind::kProcKill:
+      case fault::FaultKind::kProcRestart: {
+        if (index != nullptr && index->nodes.count(event.a) == 0) {
+          report.error("V110", where,
+                       "event references unknown node " + event.a);
+          continue;
+        }
+        const auto key =
+            std::make_pair(event.a, static_cast<int>(event.proc));
+        if (event.kind == fault::FaultKind::kProcKill) {
+          // A supervisor may restart the process off-trace between two
+          // kills, so a re-kill is only suspicious, not wrong.
+          if (!procs_killed.insert(key).second) {
+            report.warning("V112", where,
+                           "process killed while already killed "
+                           "(valid only under a supervisor)");
+          }
+        } else if (procs_killed.erase(key) == 0) {
+          report.error("V112", where,
+                       "restart of a process that was never killed");
+        }
+        break;
+      }
+      case fault::FaultKind::kSrlgDown:
+      case fault::FaultKind::kSrlgUp: {
+        if (schedule.srlgs.count(event.a) == 0) {
+          report.error("V110", where,
+                       "event references undefined SRLG " + event.a);
+          continue;
+        }
+        if (event.kind == fault::FaultKind::kSrlgDown) {
+          if (!srlgs_down.insert(event.a).second) {
+            report.error("V112", where,
+                         "SRLG goes down while already down");
+          }
+        } else if (srlgs_down.erase(event.a) == 0) {
+          report.warning("V112", where, "SRLG comes up while already up");
+        }
+        break;
+      }
+    }
+  }
+}
+
 void checkLinkConfig(const phys::LinkConfig& config, const std::string& where,
                      Report& report) {
   // V031: parameters that make the transmission model meaningless.

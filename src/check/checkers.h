@@ -35,6 +35,18 @@
 //     V022  down event for an already-down link (error) / up event for
 //           an already-up link (warning)
 //
+//   Fault schedules (checkFaultSchedule)
+//     V110  event references an unknown node, link, or SRLG (or an SRLG
+//           definition names an unknown link)
+//     V111  invalid degrade parameters (loss outside [0, 1], nonpositive
+//           bandwidth, negative delay, or no parameters at all)
+//     V112  lifecycle overlap (crash of an already-crashed node, restart
+//           of a node that never crashed, down of an already-down link
+//           or SRLG, restart of a never-killed process; re-kill of an
+//           already-killed process is a warning — the supervisor may
+//           have restarted it off-trace)
+//     V113  non-monotonic timestamps
+//
 //   Node / link / scheduler configs
 //     V030  CPU reservations admitted on one node sum past the machine
 //     V031  invalid link parameter (nonpositive bandwidth, zero queue,
@@ -56,6 +68,7 @@
 #include "core/embedder.h"
 #include "core/slice.h"
 #include "cpu/scheduler.h"
+#include "fault/fault.h"
 #include "phys/link.h"
 #include "phys/network.h"
 #include "topo/experiment_spec.h"
@@ -91,6 +104,12 @@ void checkExperimentScript(const std::vector<topo::ExperimentAction>& actions,
 /// references; null disables V021.
 void checkLinkTrace(const std::vector<topo::LinkEvent>& events, Report& report,
                     const core::TopologySpec* topology = nullptr);
+
+/// Validate a fault schedule (V110-V113).  `topology` resolves node and
+/// link references; null disables that part of V110 (SRLG references
+/// are still resolved against the schedule's own definitions).
+void checkFaultSchedule(const fault::FaultSchedule& schedule, Report& report,
+                        const core::TopologySpec* topology = nullptr);
 
 /// Validate one link configuration (V031, V032).
 void checkLinkConfig(const phys::LinkConfig& config, const std::string& where,

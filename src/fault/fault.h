@@ -1,0 +1,142 @@
+// Fault schedules: the general fault-injection grammar.
+//
+// Section 4 promises researchers they can "inject failures" and
+// Section 6.2 asks for playback of real-world event traces.  The link
+// up/down trace in topo/failure_trace.* covers only one fault class;
+// this module generalizes it into a *fault schedule* covering
+// everything a deployment actually suffers: whole-node crashes, routing
+// daemon kills (with supervised restart), degraded links (extra loss,
+// inflated delay, reduced bandwidth — runtime-mutable LinkConfig), and
+// correlated failures through shared-risk link groups (SRLGs: one
+// conduit cut takes every fiber in it down atomically).
+//
+// Trace format — a strict superset of the topo link trace.  Timeless
+// definition lines first (by convention), then one event per line:
+//
+//   srlg westcoast Seattle Sunnyvale         # add link to a named group
+//   srlg westcoast Seattle Denver
+//   t=10 link Denver KansasCity down
+//   t=40 link Denver KansasCity up
+//   t=15 link Chicago NewYork degrade loss=0.2 delay=0.05 bw=10000000
+//   t=45 link Chicago NewYork restore
+//   t=20 srlg westcoast down
+//   t=50 srlg westcoast up
+//   t=25 node Houston crash
+//   t=55 node Houston restart
+//   t=30 proc Atlanta ospf kill
+//   t=60 proc Atlanta ospf restart
+//
+// Parsing throws std::runtime_error naming the line number and the
+// offending text; static linting happens in check::checkFaultSchedule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topo/failure_trace.h"
+
+namespace vini::fault {
+
+enum class FaultKind {
+  kLinkDown,
+  kLinkUp,
+  kLinkDegrade,
+  kLinkRestore,
+  kNodeCrash,
+  kNodeRestart,
+  kProcKill,
+  kProcRestart,
+  kSrlgDown,
+  kSrlgUp,
+};
+
+enum class ProcClass { kOspf, kRip, kBgp };
+
+const char* faultKindName(FaultKind kind);  ///< "link down", "node crash", ...
+const char* procClassName(ProcClass proc);  ///< "ospf", "rip", "bgp"
+
+/// Quality parameters for a degraded link.  Unset fields keep the
+/// link's base value; at least one must be set for the event to lint.
+struct DegradeSpec {
+  std::optional<double> loss_rate;
+  std::optional<double> delay_seconds;
+  std::optional<double> bandwidth_bps;
+};
+
+struct FaultEvent {
+  double at_seconds = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  /// Link events: a/b are the endpoint node names.  Node and proc
+  /// events: a is the node name.  SRLG events: a is the group name.
+  std::string a;
+  std::string b;
+  ProcClass proc = ProcClass::kOspf;  ///< proc events only
+  DegradeSpec degrade;                ///< degrade events only
+};
+
+struct FaultSchedule {
+  /// Named shared-risk groups: group name -> member links (endpoint
+  /// name pairs).  A `srlg G down` event fails every member atomically.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>> srlgs;
+  std::vector<FaultEvent> events;
+
+  /// True when the schedule uses only plain link up/down events (and no
+  /// SRLGs) — i.e. it is expressible as a legacy topo link trace.
+  bool linkEventsOnly() const;
+  /// Convert to the legacy representation (requires linkEventsOnly()).
+  std::vector<topo::LinkEvent> asLinkEvents() const;
+};
+
+/// Serialize to / parse from the text format above.  parse throws
+/// std::runtime_error naming the line and offending text.
+std::string emitFaultSchedule(const FaultSchedule& schedule);
+FaultSchedule parseFaultSchedule(const std::string& text);
+
+// -- Seeded campaign generation ---------------------------------------------
+
+/// One fault class's availability model (independent exponential
+/// time-to-failure / time-to-repair, like topo::FailureModel).
+struct FaultClassModel {
+  bool enabled = true;
+  double mttf_seconds = 600.0;
+  /// Mean time to repair.  For the proc class, 0 means "no explicit
+  /// restart events": recovery is the Supervisor's job.
+  double mttr_seconds = 60.0;
+};
+
+struct CampaignModel {
+  /// Plain link up/down faults (reuses the topo availability model; its
+  /// seed field seeds the whole campaign).
+  topo::FailureModel link;
+  FaultClassModel degrade{true, 900.0, 120.0};
+  FaultClassModel node{true, 1200.0, 90.0};
+  FaultClassModel proc{true, 600.0, 0.0};
+  /// Quality applied by generated degrade events.
+  double degrade_loss = 0.2;
+  double degrade_delay_seconds = 0.05;
+  double degrade_bandwidth_bps = 10e6;
+};
+
+/// What the campaign may break.  Node names must not contain '-'.
+struct CampaignTargets {
+  std::vector<std::string> links;       ///< "A-B" link names
+  std::vector<std::string> nodes;       ///< crashable nodes
+  std::vector<std::string> proc_nodes;  ///< nodes running routing daemons
+  std::vector<ProcClass> proc_classes;  ///< daemon classes to kill
+};
+
+/// Generate a seeded fault campaign over [0, duration_seconds).  Each
+/// entity evolves through an explicit up/down state machine (the same
+/// horizon discipline as generateFailureTrace), so an entity never
+/// fails while already failed.  Events come back sorted by time;
+/// identical (targets, duration, model) always yields an identical
+/// schedule.
+FaultSchedule generateFaultCampaign(const CampaignTargets& targets,
+                                    double duration_seconds,
+                                    const CampaignModel& model);
+
+}  // namespace vini::fault

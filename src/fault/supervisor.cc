@@ -1,0 +1,124 @@
+#include "fault/supervisor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vini::fault {
+
+Supervisor::Supervisor(sim::EventQueue& queue, SupervisorConfig config)
+    : queue_(queue), config_(config), random_(config.seed) {}
+
+void Supervisor::manage(const std::string& id, std::function<void()> stop,
+                        std::function<void()> start) {
+  if (children_.count(id)) return;
+  Child child;
+  child.stop = std::move(stop);
+  child.start = std::move(start);
+  child.last_start = queue_.now();
+  children_.emplace(id, std::move(child));
+}
+
+Supervisor::Child& Supervisor::childOrThrow(const std::string& id) {
+  auto it = children_.find(id);
+  if (it == children_.end()) {
+    throw std::runtime_error("supervisor does not manage '" + id + "'");
+  }
+  return it->second;
+}
+
+sim::Duration Supervisor::backoffFor(Child& child) {
+  double delay = static_cast<double>(config_.initial_backoff);
+  for (int i = 1; i < child.attempts; ++i) delay *= config_.multiplier;
+  delay = std::min(delay, static_cast<double>(config_.max_backoff));
+  if (config_.jitter > 0) {
+    delay *= 1.0 + config_.jitter * (2.0 * random_.uniform01() - 1.0);
+  }
+  return static_cast<sim::Duration>(std::max(delay, 0.0));
+}
+
+void Supervisor::kill(const std::string& id) {
+  Child& child = childOrThrow(id);
+  if (!child.running) return;  // already dead; the restart is in flight
+  // A long stable run forgives past failures.
+  if (queue_.now() - child.last_start >= config_.stable_uptime) {
+    child.attempts = 0;
+  }
+  ++child.attempts;
+  child.killed_at = queue_.now();
+  child.running = false;
+  child.stop();
+  if (!child.held) scheduleRestart(id, child);
+}
+
+void Supervisor::hold(const std::string& id) {
+  Child& child = childOrThrow(id);
+  child.held = true;
+  if (child.pending != 0) {
+    queue_.cancel(child.pending);
+    child.pending = 0;
+  }
+  if (child.running) {
+    if (queue_.now() - child.last_start >= config_.stable_uptime) {
+      child.attempts = 0;
+    }
+    ++child.attempts;
+    child.killed_at = queue_.now();
+    child.running = false;
+    child.stop();
+  }
+}
+
+void Supervisor::release(const std::string& id) {
+  Child& child = childOrThrow(id);
+  if (!child.held) return;
+  child.held = false;
+  if (!child.running && child.pending == 0) scheduleRestart(id, child);
+}
+
+void Supervisor::restartNow(const std::string& id) {
+  Child& child = childOrThrow(id);
+  if (child.running || child.held) return;
+  if (child.pending != 0) {
+    queue_.cancel(child.pending);
+    child.pending = 0;
+  }
+  completeRestart(id);
+}
+
+void Supervisor::scheduleRestart(const std::string& id, Child& child) {
+  const sim::Duration delay = backoffFor(child);
+  child.pending = queue_.scheduleAfter(delay, "fault.supervisor",
+                                       [this, id] { completeRestart(id); });
+}
+
+void Supervisor::completeRestart(const std::string& id) {
+  Child& child = childOrThrow(id);
+  child.pending = 0;
+  if (child.running || child.held) return;
+  RestartRecord record;
+  record.id = id;
+  record.killed_at = child.killed_at;
+  record.restarted_at = queue_.now();
+  record.delay = queue_.now() - child.killed_at;
+  record.attempt = child.attempts;
+  child.start();
+  child.running = true;
+  child.last_start = queue_.now();
+  ++restarts_completed_;
+  log_.push_back(std::move(record));
+}
+
+bool Supervisor::isRunning(const std::string& id) const {
+  auto it = children_.find(id);
+  return it != children_.end() && it->second.running;
+}
+
+std::size_t Supervisor::pendingRestarts() const {
+  std::size_t n = 0;
+  for (const auto& [id, child] : children_) {
+    if (!child.running) ++n;
+  }
+  return n;
+}
+
+}  // namespace vini::fault

@@ -1,5 +1,7 @@
 #include "overlay/openvpn.h"
 
+#include <algorithm>
+
 namespace vini::overlay {
 
 // ---------------------------------------------------------------------------
@@ -32,7 +34,36 @@ packet::IpAddress OpenVpnServer::openSession(packet::IpAddress real_addr,
   return overlay;
 }
 
+void OpenVpnServer::handleControl(const packet::Packet& p,
+                                  const OpenVpnControl& msg) {
+  tcpip::UdpSocket* socket = router_.stack().udpSocket(kOpenVpnPort);
+  if (!socket) return;
+  const auto* udp = p.udpHeader();
+  if (!udp) return;
+  auto reply = std::make_shared<OpenVpnControl>();
+  reply->session_id = msg.session_id;
+  if (msg.kind == OpenVpnControl::kSessionRequest) {
+    reply->kind = OpenVpnControl::kSessionGrant;
+    reply->overlay_addr = openSession(p.ip.src, udp->src_port, msg.session_id);
+  } else if (msg.kind == OpenVpnControl::kKeepalive) {
+    // Only answer for a live session: a server that lost the session
+    // (or never had it) stays silent and the client reconnects.
+    if (by_source_.find(p.ip.src) == by_source_.end()) return;
+    reply->kind = OpenVpnControl::kKeepaliveAck;
+  } else {
+    return;
+  }
+  socket->sendAppTo(p.ip.src, udp->src_port, std::move(reply));
+}
+
 void OpenVpnServer::onDatagram(packet::Packet p) {
+  // Control channel: handshake and keepalives.
+  if (p.app) {
+    if (auto msg = std::dynamic_pointer_cast<const OpenVpnControl>(p.app)) {
+      handleControl(p, *msg);
+    }
+    return;
+  }
   // Data channel: an encapsulated IP packet from an opted-in client.
   if (!p.inner) return;
   auto it = by_source_.find(p.ip.src);
@@ -66,16 +97,15 @@ OpenVpnClient::OpenVpnClient(tcpip::HostStack& stack, std::string name)
 
 OpenVpnClient::~OpenVpnClient() = default;
 
-bool OpenVpnClient::connect(OpenVpnServer& server) {
-  server_addr_ = server.serverAddress();
+void OpenVpnClient::ensureSocket() {
+  if (socket_) return;
   socket_ = &stack_.openUdp(0);
   session_id_ = socket_->port();  // cheap unique id
-  overlay_addr_ =
-      server.openSession(stack_.address(), socket_->port(), session_id_);
-  if (overlay_addr_.isZero()) return false;
-
   socket_->setReceiveHandler([this](packet::Packet p) { onDatagram(std::move(p)); });
+}
 
+void OpenVpnClient::plumbTunnel() {
+  if (tun_) return;
   // "OpenVPN creates a TUN/TAP device on the client to intercept
   // outgoing packets from the operating system."
   tun_ = &stack_.createTunDevice("tun-" + name_, overlay_addr_);
@@ -94,7 +124,93 @@ bool OpenVpnClient::connect(OpenVpnServer& server) {
   server_host.metric = 1;
   server_host.proto = "openvpn";
   stack_.routingTable().addRoute(server_host);
+}
+
+bool OpenVpnClient::connect(OpenVpnServer& server) {
+  server_addr_ = server.serverAddress();
+  ensureSocket();
+  overlay_addr_ =
+      server.openSession(stack_.address(), socket_->port(), session_id_);
+  if (overlay_addr_.isZero()) return false;
+  plumbTunnel();
+  connected_ = true;
+  ever_connected_ = true;
   return true;
+}
+
+void OpenVpnClient::connectAsync(OpenVpnServer& server,
+                                 OpenVpnReconnectConfig config) {
+  server_addr_ = server.serverAddress();
+  config_ = config;
+  random_ = std::make_unique<sim::Random>(config.seed);
+  supervised_ = true;
+  ensureSocket();
+  sim::EventQueue& queue = stack_.queue();
+  handshake_timer_ = std::make_unique<sim::OneShotTimer>(queue, [this] {
+    // No grant in time: the request or the reply died on the way.
+    scheduleRetry();
+  });
+  retry_timer_ =
+      std::make_unique<sim::OneShotTimer>(queue, [this] { attemptHandshake(); });
+  dead_timer_ =
+      std::make_unique<sim::OneShotTimer>(queue, [this] { onPeerDead(); });
+  keepalive_timer_ = std::make_unique<sim::PeriodicTimer>(
+      queue, config_.keepalive_interval, [this] {
+        if (!socket_ || !connected_) return;
+        auto probe = std::make_shared<OpenVpnControl>();
+        probe->kind = OpenVpnControl::kKeepalive;
+        probe->session_id = session_id_;
+        socket_->sendAppTo(server_addr_, kOpenVpnPort, std::move(probe));
+      });
+  attemptHandshake();
+}
+
+void OpenVpnClient::attemptHandshake() {
+  if (!socket_ || connected_) return;
+  ++handshake_attempts_;
+  auto request = std::make_shared<OpenVpnControl>();
+  request->kind = OpenVpnControl::kSessionRequest;
+  request->session_id = session_id_;
+  socket_->sendAppTo(server_addr_, kOpenVpnPort, std::move(request));
+  handshake_timer_->armAfter(config_.handshake_timeout);
+}
+
+void OpenVpnClient::scheduleRetry() {
+  ++consecutive_failures_;
+  double delay = static_cast<double>(config_.initial_backoff);
+  for (int i = 1; i < consecutive_failures_; ++i) delay *= config_.multiplier;
+  delay = std::min(delay, static_cast<double>(config_.max_backoff));
+  if (config_.jitter > 0 && random_) {
+    delay *= 1.0 + config_.jitter * (2.0 * random_->uniform01() - 1.0);
+  }
+  retry_timer_->armAfter(static_cast<sim::Duration>(std::max(delay, 0.0)));
+}
+
+void OpenVpnClient::onSessionGrant(const OpenVpnControl& msg) {
+  handshake_timer_->cancel();
+  if (msg.overlay_addr.isZero()) {
+    // Refused (pool exhausted): keep retrying with backoff.
+    scheduleRetry();
+    return;
+  }
+  overlay_addr_ = msg.overlay_addr;
+  plumbTunnel();
+  connected_ = true;
+  consecutive_failures_ = 0;
+  if (ever_connected_) ++reconnects_;
+  ever_connected_ = true;
+  keepalive_timer_->start();
+  dead_timer_->armAfter(config_.peer_timeout);
+}
+
+void OpenVpnClient::onPeerDead() {
+  // The server went quiet: tear the session state down (routes stay —
+  // traffic blackholes into the tun until we re-attach, exactly like a
+  // real stranded VPN) and start the backoff'd reconnect loop.
+  connected_ = false;
+  keepalive_timer_->stop();
+  consecutive_failures_ = 0;
+  attemptHandshake();
 }
 
 void OpenVpnClient::onTunPacket(packet::Packet p) {
@@ -108,6 +224,16 @@ void OpenVpnClient::onTunPacket(packet::Packet p) {
 }
 
 void OpenVpnClient::onDatagram(packet::Packet p) {
+  if (p.app) {
+    if (auto msg = std::dynamic_pointer_cast<const OpenVpnControl>(p.app)) {
+      if (msg->kind == OpenVpnControl::kSessionGrant) {
+        if (!connected_) onSessionGrant(*msg);
+      } else if (msg->kind == OpenVpnControl::kKeepaliveAck) {
+        if (supervised_ && connected_) dead_timer_->armAfter(config_.peer_timeout);
+      }
+    }
+    return;
+  }
   if (!p.inner || !tun_) return;
   ++received_;
   tun_->inject(*p.inner);

@@ -8,6 +8,14 @@
 // process.  Return traffic toward the client pool is routed across the
 // overlay to the ingress node (the server advertises the pool into the
 // IGP) and tunneled back down to the right client.
+//
+// Two connection paths exist.  connect() is the original synchronous
+// handshake (fine when the server is known reachable).  connectAsync()
+// runs the handshake over the actual network with a timeout, keeps the
+// session alive with keepalives, detects a dead server via a peer
+// timeout, and reconnects with exponential backoff + jitter — so when
+// the ingress node crashes, opted-in hosts degrade gracefully and
+// re-attach once it returns instead of silently blackholing.
 #pragma once
 
 #include <cstdint>
@@ -16,11 +24,24 @@
 #include <string>
 
 #include "overlay/iias_router.h"
+#include "sim/random.h"
 #include "tcpip/host_stack.h"
 
 namespace vini::overlay {
 
 inline constexpr std::uint16_t kOpenVpnPort = 1194;
+
+/// Control-channel message (session handshake and liveness probing).
+struct OpenVpnControl final : packet::AppPayload {
+  enum Kind { kSessionRequest, kSessionGrant, kKeepalive, kKeepaliveAck };
+  Kind kind = kSessionRequest;
+  std::uint32_t session_id = 0;
+  /// kSessionGrant: the allocated overlay address (zero = refused).
+  packet::IpAddress overlay_addr;
+
+  std::size_t sizeBytes() const override { return 16; }
+  std::string describe() const override { return "openvpn-control"; }
+};
 
 class OpenVpnClient;
 
@@ -45,12 +66,13 @@ class OpenVpnServer {
 
   /// The control-channel handshake: allocate an overlay address for a
   /// client at (real_addr, real_port).  Returns zero when the pool is
-  /// exhausted.
+  /// exhausted.  A returning client keeps its lease.
   packet::IpAddress openSession(packet::IpAddress real_addr,
                                 std::uint16_t real_port,
                                 std::uint32_t session_id);
 
   void onDatagram(packet::Packet p);
+  void handleControl(const packet::Packet& p, const OpenVpnControl& msg);
 
   /// Click element that carries overlay packets back down to clients.
   class EgressElement final : public click::Element {
@@ -83,6 +105,20 @@ class OpenVpnServer {
   std::uint64_t ingress_packets_ = 0;
 };
 
+/// Retry/timeout/backoff policy for connectAsync().
+struct OpenVpnReconnectConfig {
+  sim::Duration handshake_timeout = 2 * sim::kSecond;
+  sim::Duration keepalive_interval = 5 * sim::kSecond;
+  /// No keepalive-ack for this long = the server (or the path) is dead.
+  sim::Duration peer_timeout = 15 * sim::kSecond;
+  sim::Duration initial_backoff = sim::kSecond;
+  double multiplier = 2.0;
+  sim::Duration max_backoff = 30 * sim::kSecond;
+  /// Relative jitter on each backoff delay, in [1 - jitter, 1 + jitter].
+  double jitter = 0.25;
+  std::uint64_t seed = 1;
+};
+
 class OpenVpnClient {
  public:
   /// Create a client on an end host's stack, pointed at a server.
@@ -98,15 +134,30 @@ class OpenVpnClient {
   /// underlay.  Returns false if the server refused (pool exhausted).
   bool connect(OpenVpnServer& server);
 
+  /// Network-driven handshake with supervision: retries with backoff
+  /// until the server answers, then keeps the session alive and
+  /// reconnects automatically if the server stops answering.
+  void connectAsync(OpenVpnServer& server, OpenVpnReconnectConfig config = {});
+
   /// The overlay address assigned by the server (zero before connect).
   packet::IpAddress overlayAddress() const { return overlay_addr_; }
-  bool connected() const { return !overlay_addr_.isZero(); }
+  bool connected() const { return connected_; }
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
+  /// Handshake requests sent (first connect and every retry).
+  std::uint64_t handshakeAttempts() const { return handshake_attempts_; }
+  /// Sessions re-established after a detected loss.
+  std::uint64_t reconnects() const { return reconnects_; }
 
  private:
   void onTunPacket(packet::Packet p);
   void onDatagram(packet::Packet p);
+  void attemptHandshake();
+  void onSessionGrant(const OpenVpnControl& msg);
+  void onPeerDead();
+  void scheduleRetry();
+  void plumbTunnel();
+  void ensureSocket();
 
   tcpip::HostStack& stack_;
   std::string name_;
@@ -117,6 +168,20 @@ class OpenVpnClient {
   std::uint32_t session_id_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+
+  // Supervised-session state (connectAsync).
+  OpenVpnReconnectConfig config_;
+  std::unique_ptr<sim::Random> random_;
+  bool supervised_ = false;
+  bool connected_ = false;
+  std::uint64_t handshake_attempts_ = 0;
+  std::uint64_t reconnects_ = 0;
+  bool ever_connected_ = false;
+  int consecutive_failures_ = 0;
+  std::unique_ptr<sim::OneShotTimer> handshake_timer_;
+  std::unique_ptr<sim::OneShotTimer> retry_timer_;
+  std::unique_ptr<sim::OneShotTimer> dead_timer_;
+  std::unique_ptr<sim::PeriodicTimer> keepalive_timer_;
 };
 
 }  // namespace vini::overlay

@@ -175,6 +175,7 @@ PhysLink::PhysLink(int id, std::string name, NodeId a, NodeId b,
       name_(std::move(name)),
       a_(a),
       b_(b),
+      base_config_(config),
       ab_(queue, random, config, up_, name_ + "/ab"),
       ba_(queue, random, config, up_, name_ + "/ba") {}
 
@@ -182,6 +183,21 @@ void PhysLink::setUp(bool up) {
   if (up == up_) return;
   up_ = up;
   for (auto& listener : listeners_) listener(*this, up_);
+}
+
+void PhysLink::applyConfig(LinkConfig config) {
+  // The routing weight stays authoritative from construction; a degrade
+  // must not silently reroute the underlay.
+  config.weight = base_config_.weight;
+  ab_.setConfig(config);
+  ba_.setConfig(config);
+  degraded_ = true;
+}
+
+void PhysLink::restoreConfig() {
+  ab_.setConfig(base_config_);
+  ba_.setConfig(base_config_);
+  degraded_ = false;
 }
 
 }  // namespace vini::phys

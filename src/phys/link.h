@@ -63,6 +63,10 @@ class Channel {
   std::size_t queuedBytes() const { return queued_bytes_; }
   const LinkConfig& config() const { return config_; }
 
+  /// Replace the live configuration.  Takes effect for packets not yet
+  /// serializing: frames already on the wire finish under the old rate.
+  void setConfig(const LinkConfig& config) { config_ = config; }
+
  private:
   void startNextTransmission();
 
@@ -115,6 +119,19 @@ class PhysLink {
   /// Fail or restore the link; notifies subscribers on change.
   void setUp(bool up);
 
+  // -- Runtime quality degradation (fault injection) -----------------------
+
+  /// The construction-time configuration, kept for restoreConfig().
+  const LinkConfig& baseConfig() const { return base_config_; }
+  /// Replace the live configuration of both directions (degraded link:
+  /// extra loss, inflated delay, reduced bandwidth).  The underlay
+  /// routing weight is never changed — a degraded link still carries
+  /// whatever the topology routes over it.
+  void applyConfig(LinkConfig config);
+  /// Return to the construction-time configuration.
+  void restoreConfig();
+  bool isDegraded() const { return degraded_; }
+
   /// Subscribe to up/down transitions (used by the VINI fate-sharing and
   /// upcall machinery).
   void subscribe(StateListener listener) {
@@ -127,6 +144,8 @@ class PhysLink {
   NodeId a_;
   NodeId b_;
   bool up_ = true;
+  bool degraded_ = false;
+  LinkConfig base_config_;
   Channel ab_;
   Channel ba_;
   std::vector<StateListener> listeners_;

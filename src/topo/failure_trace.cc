@@ -13,25 +13,34 @@ std::vector<LinkEvent> generateFailureTrace(const phys::PhysNetwork& net,
                                             const FailureModel& model) {
   sim::Random random(model.seed);
   std::vector<LinkEvent> events;
+  if (duration_seconds <= 0) return events;
   for (const auto& link : net.links()) {
     // Name the endpoints the way the schedule will look them up.
     const std::string& name = link->name();
     const auto dash = name.find('-');
     const std::string a = name.substr(0, dash);
     const std::string b = name.substr(dash + 1);
+    // Explicit up/down state machine: a link only fails while up and is
+    // only repaired while down, and per-link time advances strictly, so
+    // a trace can never fail an already-down link however the draws land.
     double t = 0;
+    bool up = true;
     while (true) {
-      t += random.exponential(model.mttf_seconds);
-      if (t >= duration_seconds) break;
-      events.push_back(LinkEvent{t, a, b, false});
-      t += random.exponential(model.mttr_seconds);
-      events.push_back(LinkEvent{t, a, b, true});  // repair may cross horizon
+      const double dwell =
+          random.exponential(up ? model.mttf_seconds : model.mttr_seconds);
+      t += std::max(dwell, 1e-9);
+      if (up && t >= duration_seconds) break;  // no failure past the horizon
+      up = !up;
+      events.push_back(LinkEvent{t, a, b, up});
+      if (up && t >= duration_seconds) break;  // final repair crossed it
     }
   }
-  std::sort(events.begin(), events.end(),
-            [](const LinkEvent& x, const LinkEvent& y) {
-              return x.at_seconds < y.at_seconds;
-            });
+  // Stable, time-only ordering: a link's own events keep their causal
+  // (down-before-up) order even at equal timestamps.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const LinkEvent& x, const LinkEvent& y) {
+                     return x.at_seconds < y.at_seconds;
+                   });
   return events;
 }
 
@@ -62,10 +71,12 @@ std::vector<LinkEvent> parseLinkTrace(const std::string& text) {
     }
     LinkEvent event;
     try {
-      event.at_seconds = std::stod(t_word.substr(2));
+      std::size_t used = 0;
+      event.at_seconds = std::stod(t_word.substr(2), &used);
+      if (used != t_word.size() - 2) throw std::invalid_argument(t_word);
     } catch (const std::exception&) {
-      throw std::runtime_error("bad time on trace line " +
-                               std::to_string(lineno));
+      throw std::runtime_error("bad time '" + t_word + "' on trace line " +
+                               std::to_string(lineno) + ": " + line);
     }
     event.a = a;
     event.b = b;

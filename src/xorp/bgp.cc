@@ -31,23 +31,55 @@ void BgpProcess::disconnect(BgpProcess& peer) {
                                      [&](const Peer& p) { return p.remote == &other; }),
                       self.peers_.end());
     // Flush everything learned from the dead session.
-    std::vector<packet::Prefix> affected;
-    for (auto& [prefix, entries] : self.candidates_) {
-      const auto before = entries.size();
-      entries.erase(std::remove_if(entries.begin(), entries.end(),
-                                   [&](const RouteEntry& e) {
-                                     return e.learned_from == &other;
-                                   }),
-                    entries.end());
-      if (entries.size() != before) affected.push_back(prefix);
-    }
-    for (const auto& prefix : affected) self.runDecision(prefix);
+    self.flushRoutesFrom(&other);
   };
   drop(*this, peer);
   drop(peer, *this);
 }
 
+void BgpProcess::flushRoutesFrom(BgpProcess* from) {
+  std::vector<packet::Prefix> affected;
+  for (auto& [prefix, entries] : candidates_) {
+    const auto before = entries.size();
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](const RouteEntry& e) {
+                                   return e.learned_from == from;
+                                 }),
+                  entries.end());
+    if (entries.size() != before) affected.push_back(prefix);
+  }
+  for (const auto& prefix : affected) runDecision(prefix);
+}
+
+void BgpProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Peers notice the session die and flush — the same path a session
+  // reset takes, but the peerings themselves stay configured so start()
+  // can bring them back.
+  for (auto& peer : peers_) peer.remote->flushRoutesFrom(this);
+  candidates_.clear();
+  best_.clear();
+  if (rib_) rib_->removeAllFrom(config_.name);
+}
+
+void BgpProcess::start() {
+  if (running_) return;
+  running_ = true;
+  for (const auto& prefix : origins_) originate(prefix);
+  // Re-establish every configured session: exchange full tables both ways.
+  for (auto& peer : peers_) {
+    sendFullTable(peer);
+    if (Peer* back = peer.remote->findPeer(this)) {
+      peer.remote->sendFullTable(*back);
+    }
+  }
+}
+
 void BgpProcess::originate(const packet::Prefix& prefix) {
+  if (std::find(origins_.begin(), origins_.end(), prefix) == origins_.end()) {
+    origins_.push_back(prefix);
+  }
   BgpRoute route;
   route.prefix = prefix;
   route.next_hop = packet::IpAddress(config_.router_id);
@@ -60,6 +92,8 @@ void BgpProcess::originate(const packet::Prefix& prefix) {
 }
 
 void BgpProcess::withdrawOrigin(const packet::Prefix& prefix) {
+  origins_.erase(std::remove(origins_.begin(), origins_.end(), prefix),
+                 origins_.end());
   auto it = candidates_.find(prefix);
   if (it == candidates_.end()) return;
   auto& entries = it->second;
@@ -94,6 +128,7 @@ void BgpProcess::sendFullTable(Peer& peer) {
 }
 
 void BgpProcess::sendUpdate(Peer& peer, BgpUpdate update) {
+  if (!running_) return;
   // Apply export policy and next-hop-self / AS-path prepending.
   BgpUpdate out;
   out.withdrawals = update.withdrawals;
@@ -117,6 +152,7 @@ void BgpProcess::sendUpdate(Peer& peer, BgpUpdate update) {
 }
 
 void BgpProcess::receiveUpdate(BgpProcess* from, const BgpUpdate& update) {
+  if (!running_) return;  // a dead daemon hears nothing
   Peer* peer = findPeer(from);
   if (!peer) return;  // session torn down while the update was in flight
   ++stats_.updates_received;

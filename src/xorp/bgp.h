@@ -71,6 +71,18 @@ class BgpProcess {
   void originate(const packet::Prefix& prefix);
   void withdrawOrigin(const packet::Prefix& prefix);
 
+  // -- Process lifecycle (fault injection) ---------------------------------
+  //
+  // A speaker is born running.  stop() models a daemon crash: peers flush
+  // everything learned from it (session death is detected instantly —
+  // there is no hold-timer model), its Adj-RIB-In, Loc-RIB, and RIB
+  // entries are discarded, and in-flight messages to it are dropped.
+  // start() re-originates the configured prefixes and re-synchronizes
+  // full tables with every configured peer, as a fresh session would.
+  void stop();
+  void start();
+  bool running() const { return running_; }
+
   /// Set an export (toward `peer`) or import (from `peer`) policy filter.
   void setExportFilter(const BgpProcess& peer, Filter filter);
   void setImportFilter(const BgpProcess& peer, Filter filter);
@@ -97,6 +109,9 @@ class BgpProcess {
 
   void sendUpdate(Peer& peer, BgpUpdate update);
   void receiveUpdate(BgpProcess* from, const BgpUpdate& update);
+  /// Drop every candidate learned from `from` and re-run the decision
+  /// process on the affected prefixes (session teardown / peer crash).
+  void flushRoutesFrom(BgpProcess* from);
   void runDecision(const packet::Prefix& prefix);
   void advertiseBest(const packet::Prefix& prefix);
   void sendFullTable(Peer& peer);
@@ -105,7 +120,10 @@ class BgpProcess {
   sim::EventQueue& queue_;
   Rib* rib_;
   BgpConfig config_;
+  bool running_ = true;
   std::vector<Peer> peers_;
+  /// Prefixes this AS is configured to originate; survive stop()/start().
+  std::vector<packet::Prefix> origins_;
   /// All candidate routes per prefix (Adj-RIB-In + local originations).
   std::map<packet::Prefix, std::vector<RouteEntry>> candidates_;
   /// Current best per prefix, as last advertised.

@@ -74,10 +74,27 @@ void OspfProcess::stop() {
   for (auto& iface : interfaces_) {
     iface->dead_timer->cancel();
     iface->state = NeighborState::kDown;
+    iface->neighbor_id = 0;
     iface->unacked.clear();
   }
   for (const auto& prefix : installed_) rib_.removeRoute(protocol_name_, prefix);
   installed_.clear();
+  // Full state loss: a killed daemon forgets its LSDB and its own
+  // sequence number.  On restart it re-floods from seq 1; neighbors
+  // still holding the stale higher-seq copy hand it back during database
+  // exchange and handleUpdate() outbids it (the restart path RFC 2328
+  // §13.4 describes).
+  lsdb_.clear();
+  own_seq_ = 0;
+}
+
+bool OspfProcess::timersQuiet() const {
+  if (hello_timer_ && hello_timer_->running()) return false;
+  if (rxmt_timer_ && rxmt_timer_->running()) return false;
+  for (const auto& iface : interfaces_) {
+    if (iface->dead_timer && iface->dead_timer->pending()) return false;
+  }
+  return true;
 }
 
 void OspfProcess::runCharged(sim::Duration cost, std::function<void()> work) {

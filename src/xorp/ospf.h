@@ -82,6 +82,9 @@ class OspfProcess {
   void start();
   void stop();
   bool running() const { return running_; }
+  /// True when no timer owned by this process can still fire — the
+  /// invariant a dead daemon must satisfy (chaos audit V123).
+  bool timersQuiet() const;
 
   /// Deliver an incoming OSPF packet that arrived on `vif`.
   void receive(Vif& vif, const packet::Packet& p);

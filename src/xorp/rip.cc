@@ -13,6 +13,9 @@ RipProcess::~RipProcess() { stop(); }
 void RipProcess::addInterface(Vif& vif) { interfaces_.push_back(&vif); }
 
 void RipProcess::addLocalPrefix(const packet::Prefix& prefix) {
+  if (std::find(locals_.begin(), locals_.end(), prefix) == locals_.end()) {
+    locals_.push_back(prefix);
+  }
   Entry entry;
   entry.metric = 1;
   entry.learned_from = nullptr;
@@ -23,6 +26,15 @@ void RipProcess::addLocalPrefix(const packet::Prefix& prefix) {
 void RipProcess::start() {
   if (running_) return;
   running_ = true;
+  // Re-originate local prefixes: after a kill/restart the table starts
+  // from scratch and holds only what this router itself advertises.
+  for (const auto& prefix : locals_) {
+    Entry entry;
+    entry.metric = 1;
+    entry.learned_from = nullptr;
+    entry.last_heard = queue_.now();
+    table_[prefix] = entry;
+  }
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     // RIP speakers have no router id; key by the first interface address.
     const std::string node =
@@ -54,6 +66,15 @@ void RipProcess::stop() {
   if (update_timer_) update_timer_->stop();
   if (expire_timer_) expire_timer_->stop();
   rib_.removeAllFrom("rip");
+  // Full state loss: learned routes are gone; neighbors must re-announce
+  // them after restart.  Local prefixes come back via start().
+  table_.clear();
+}
+
+bool RipProcess::timersQuiet() const {
+  if (update_timer_ && update_timer_->running()) return false;
+  if (expire_timer_ && expire_timer_->running()) return false;
+  return true;
 }
 
 void RipProcess::runCharged(sim::Duration cost, std::function<void()> work) {

@@ -50,6 +50,10 @@ class RipProcess {
 
   void start();
   void stop();
+  bool running() const { return running_; }
+  /// True when no timer owned by this process can still fire — the
+  /// invariant a dead daemon must satisfy (chaos audit V123).
+  bool timersQuiet() const;
 
   /// Deliver an incoming RIP packet (UDP port 520) from `vif`.
   void receive(Vif& vif, const packet::Packet& p);
@@ -77,6 +81,7 @@ class RipProcess {
   cpu::Process* process_;
   sim::Random random_;
   std::vector<Vif*> interfaces_;
+  std::vector<packet::Prefix> locals_;  ///< re-originated on every start()
   std::map<packet::Prefix, Entry> table_;
   bool running_ = false;
   std::unique_ptr<sim::PeriodicTimer> update_timer_;

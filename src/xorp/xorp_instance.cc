@@ -41,11 +41,13 @@ void XorpInstance::registerVif(Vif& vif, std::uint32_t ospf_cost, bool with_rip)
 void XorpInstance::start() {
   if (ospf_) ospf_->start();
   if (rip_) rip_->start();
+  if (bgp_) bgp_->start();
 }
 
 void XorpInstance::stop() {
   if (ospf_) ospf_->stop();
   if (rip_) rip_->stop();
+  if (bgp_) bgp_->stop();
 }
 
 void XorpInstance::receiveControl(Vif& vif, const packet::Packet& p) {

@@ -2,7 +2,8 @@
 //
 // Validates the three file formats users author — router configurations
 // (.conf, the rcc-style format of topo/router_config.h), experiment
-// scripts (.exp, topo/experiment_spec.h), and failure traces (.trace,
+// scripts (.exp, topo/experiment_spec.h), and fault schedules (.trace,
+// fault/fault.h — a strict superset of the legacy link up/down trace of
 // topo/failure_trace.h) — and exits nonzero if any error-severity
 // diagnostic is found, so it can gate CI.
 //
@@ -19,7 +20,8 @@
 //   --no-phys             the experiment has no substrate (V014)
 //   --quiet               print only the summary line
 //
-// See src/check/checkers.h for the full V0xx check-code catalogue.
+// See src/check/checkers.h for the full check-code catalogue (V0xx
+// static checks, V11x fault-schedule checks).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +32,7 @@
 
 #include "check/checkers.h"
 #include "check/diagnostic.h"
+#include "fault/fault.h"
 #include "topo/experiment_spec.h"
 #include "topo/failure_trace.h"
 #include "topo/router_config.h"
@@ -136,9 +139,16 @@ int main(int argc, char** argv) {
       }
     } else if (endsWith(path, ".trace")) {
       try {
-        const auto events = vini::topo::parseLinkTrace(*text);
-        vini::check::checkLinkTrace(events, report,
-                                    topology ? &*topology : nullptr);
+        // The fault grammar is a strict superset of the legacy link
+        // trace; plain up/down traces keep their V02x codes.
+        const auto schedule = vini::fault::parseFaultSchedule(*text);
+        if (schedule.linkEventsOnly()) {
+          vini::check::checkLinkTrace(schedule.asLinkEvents(), report,
+                                      topology ? &*topology : nullptr);
+        } else {
+          vini::check::checkFaultSchedule(schedule, report,
+                                          topology ? &*topology : nullptr);
+        }
       } catch (const std::exception& e) {
         report.error("V099", path, e.what());
       }

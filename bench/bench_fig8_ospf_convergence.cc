@@ -37,16 +37,23 @@ int main() {
   }
   const sim::Time t0 = world->queue.now();
 
-  sim::TimeSeries rtts("rtt_ms");
+  // The convergence curve comes from the metric sampler — the same
+  // series vini_timeline exports — not from an ad-hoc callback: the
+  // pinger publishes last_rtt_ms and the sampler snapshots it at every
+  // half-second boundary where a fresh reply arrived (kOnChange, so the
+  // outage appears as a gap, exactly like Figure 8's scatter).
+  scope.sampler().setPeriod(sim::kSecond / 2);
+  scope.sampler().setOrigin(t0);
+  scope.sampler().watch("app.ping", "Washington", "last_rtt_ms",
+                        obs::MetricSampler::Mode::kOnChange);
+  scope.sampler().attach(world->queue);
+
   app::Pinger::Options popt;
   popt.count = smoke ? 30 : 110;
   popt.flood = false;
   popt.interval = sim::kSecond / 2;
   popt.source = world->tapOf("Washington");
   app::Pinger pinger(world->stack("Washington"), world->tapOf("Seattle"), popt);
-  pinger.on_reply = [&](std::uint64_t, sim::Duration rtt) {
-    rtts.add(world->queue.now() - t0, sim::toMillis(rtt));
-  };
 
   world->schedule.at(t0 + 10 * sim::kSecond, "fail Denver-KansasCity", [&] {
     world->iias->failLink("Denver", "KansasCity");
@@ -56,6 +63,14 @@ int main() {
   });
   pinger.start();
   world->queue.runUntil(t0 + (smoke ? 16 : 58) * sim::kSecond);
+  scope.sampler().detach();
+
+  sim::TimeSeries rtts("rtt_ms");
+  const auto* sampled =
+      scope.sampler().find("app.ping", "Washington", "last_rtt_ms");
+  for (const auto& point : sampled->points) {
+    rtts.add(point.t - t0, point.value);
+  }
 
   std::printf("\n  t(s)   RTT(ms)     [fail @10s, restore @34s]\n");
   for (const auto& point : rtts.points()) {

@@ -7,8 +7,11 @@
 // flatlines when the link fails at t = 10 s and resumes when OSPF finds
 // the new route; (b) zooms into the resume and shows TCP slow-start
 // restart.  tcpdump at the receiver provides the arrival trace.
+#include <cstdlib>
+
 #include "app/iperf.h"
 #include "bench_common.h"
+#include "obs/obs.h"
 #include "topo/worlds.h"
 
 using namespace vini;
@@ -16,6 +19,10 @@ using namespace vini;
 int main() {
   bench::header("Figure 9: TCP throughput during OSPF routing convergence",
                 "Figure 9(a)/(b)");
+  // Both curves come from the metric sampler snapshotting the iperf
+  // server's registry metrics — the same series vini_timeline exports.
+  obs::ScopedObs scope;
+  const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
   topo::WorldOptions options;
   options.resources.cpu_reservation = 0.25;
   options.resources.realtime = true;
@@ -28,37 +35,54 @@ int main() {
   }
   const sim::Time t0 = world->queue.now();
 
+  // Figure 9(a): cumulative received bytes, sampled every tick so the
+  // outage shows as a flatline.  Figure 9(b): highest in-stream byte
+  // position, on-change so the slow-start restart steps are visible.
+  scope.sampler().setPeriod(sim::kSecond / 10);
+  scope.sampler().setOrigin(t0);
+  scope.sampler().watch("app.iperf", "Seattle", "tcp_rx_bytes",
+                        obs::MetricSampler::Mode::kEveryTick);
+  scope.sampler().watch("app.iperf", "Seattle", "tcp_stream_pos_bytes",
+                        obs::MetricSampler::Mode::kOnChange);
+  scope.sampler().attach(world->queue);
+
   tcpip::TcpConfig tcp;
   tcp.recv_buffer = 16 * 1024;  // iperf 1.7.0 default
   app::IperfTcpServer server(world->stack("Seattle"), 5001, tcp);
-  sim::TimeSeries arrivals("megabytes");        // Figure 9(a)
-  sim::TimeSeries stream_pos("stream_mbytes");  // Figure 9(b) detail
-  std::uint64_t total = 0;
-  server.setSegmentTrace([&](const packet::Packet& p) {
-    if (p.payload_bytes == 0) return;
-    total += p.payload_bytes;
-    const sim::Time t = world->queue.now() - t0;
-    arrivals.add(t, static_cast<double>(total) / 1e6);
-    // In-stream position of this segment (megabytes), like Figure 9(b).
-    const double pos = static_cast<double>(p.tcpHeader()->seq - 1) / 1e6;
-    stream_pos.add(t, pos);
-  });
   app::IperfTcpClient client(world->stack("Washington"), world->tapOf("Seattle"),
                              5001, 1, tcp, world->tapOf("Washington"));
-  client.start(50 * sim::kSecond);
+  const int transfer_seconds = smoke ? 18 : 50;
+  const int fail_second = smoke ? 5 : 10;
+  const int restore_second = smoke ? 12 : 34;
+  client.start(transfer_seconds * sim::kSecond);
 
-  world->schedule.at(t0 + 10 * sim::kSecond, "fail Denver-KansasCity", [&] {
-    world->iias->failLink("Denver", "KansasCity");
-  });
-  world->schedule.at(t0 + 34 * sim::kSecond, "restore Denver-KansasCity", [&] {
-    world->iias->restoreLink("Denver", "KansasCity");
-  });
-  world->queue.runUntil(t0 + 52 * sim::kSecond);
+  world->schedule.at(t0 + fail_second * sim::kSecond, "fail Denver-KansasCity",
+                     [&] { world->iias->failLink("Denver", "KansasCity"); });
+  world->schedule.at(t0 + restore_second * sim::kSecond,
+                     "restore Denver-KansasCity",
+                     [&] { world->iias->restoreLink("Denver", "KansasCity"); });
+  world->queue.runUntil(t0 + (transfer_seconds + 2) * sim::kSecond);
+  scope.sampler().detach();
+
+  sim::TimeSeries arrivals("megabytes");        // Figure 9(a)
+  sim::TimeSeries stream_pos("stream_mbytes");  // Figure 9(b) detail
+  for (const auto& point :
+       scope.sampler().find("app.iperf", "Seattle", "tcp_rx_bytes")->points) {
+    arrivals.add(point.t - t0, point.value / 1e6);
+  }
+  for (const auto& point : scope.sampler()
+           .find("app.iperf", "Seattle", "tcp_stream_pos_bytes")
+           ->points) {
+    stream_pos.add(point.t - t0, point.value / 1e6);
+  }
+  const std::uint64_t total =
+      scope.metrics().counterValue("app.iperf", "Seattle", "tcp_rx_bytes");
 
   // Print a 1-second-resolution version of Figure 9(a).
-  std::printf("\n  t(s)  MB transferred   [fail @10s, restore @34s]\n");
+  std::printf("\n  t(s)  MB transferred   [fail @%ds, restore @%ds]\n",
+              fail_second, restore_second);
   double last = 0;
-  for (int second = 1; second <= 50; ++second) {
+  for (int second = 1; second <= transfer_seconds; ++second) {
     const auto window = arrivals.statsBetween(0, second * sim::kSecond);
     const double mb = window.count() ? window.max() : last;
     std::printf("%6d %10.2f%s\n", second, mb,
@@ -70,10 +94,11 @@ int main() {
 
   // Detect the resume and verify the slow-start restart.
   const auto& stats = client.streams()[0]->stats();
-  std::printf("\ntotal: %.2f MB in 50 s (%.2f Mb/s), retransmits %llu, "
+  std::printf("\ntotal: %.2f MB in %d s (%.2f Mb/s), retransmits %llu, "
               "timeouts %llu\n",
-              static_cast<double>(total) / 1e6,
-              static_cast<double>(total) * 8 / 50e6,
+              static_cast<double>(total) / 1e6, transfer_seconds,
+              static_cast<double>(total) * 8 /
+                  (transfer_seconds * 1e6),
               static_cast<unsigned long long>(stats.retransmits),
               static_cast<unsigned long long>(stats.timeouts));
   bench::note(

@@ -16,6 +16,10 @@
 #      from the build dir so their CSVs never clobber tracked artifacts.
 #   5b. vini_chaos smoke: a seeded fault campaign must pass its
 #      invariant audits and print byte-identical reports across two runs
+#   5c. vini_timeline: self-test, a fixed-seed double export that must
+#      be byte-identical (spans, timeline, series, and the Chrome trace
+#      JSON), and a validate pass over the JSON (well-formedness plus
+#      per-track timestamp monotonicity)
 #   6. clang-tidy over src/ and tools/ (skipped when not installed)
 #   7. full ctest suite under AddressSanitizer and UBSan builds
 set -euo pipefail
@@ -68,6 +72,24 @@ stage "vini_chaos smoke (VINI_SMOKE=1, seed 1, twice)"
 (cd build-check && VINI_SMOKE=1 ./tools/vini_chaos --seed 1 > chaos-run-2.txt)
 diff build-check/chaos-run-1.txt build-check/chaos-run-2.txt || {
   echo "vini_chaos: seed 1 is not bit-reproducible"; exit 1; }
+
+# --- 5c. Timeline gate --------------------------------------------------------
+# The span/timeline/sampler stack must export deterministically: two
+# same-seed runs of the canned scenario produce byte-identical files,
+# and the Chrome trace JSON parses with monotonic per-track timestamps.
+stage "vini_timeline (self-test + fixed-seed double export + validate)"
+./build-check/tools/vini_timeline --self-test
+(cd build-check && VINI_SMOKE=1 ./tools/vini_timeline export --seed 811 \
+  --out timeline-run-1 > /dev/null)
+(cd build-check && VINI_SMOKE=1 ./tools/vini_timeline export --seed 811 \
+  --out timeline-run-2 > /dev/null)
+for EXT in json spans.csv timeline.csv series.csv; do
+  diff "build-check/timeline-run-1.$EXT" "build-check/timeline-run-2.$EXT" || {
+    echo "vini_timeline: seed 811 export ($EXT) is not bit-reproducible"
+    exit 1
+  }
+done
+./build-check/tools/vini_timeline validate build-check/timeline-run-1.json
 
 # --- 6. clang-tidy -----------------------------------------------------------
 stage "clang-tidy"

@@ -8,17 +8,30 @@ namespace vini::app {
 IperfTcpServer::IperfTcpServer(tcpip::HostStack& stack, std::uint16_t port,
                                tcpip::TcpConfig config)
     : stack_(stack) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    const std::string& node = stack_.node().name();
+    // The fig9 convergence curves sample these: cumulative received
+    // bytes (9a) and the highest in-stream byte position seen (9b).
+    m_rx_bytes_ = &ctx->metrics.counter("app.iperf", node, "tcp_rx_bytes");
+    m_stream_pos_ = &ctx->metrics.gauge("app.iperf", node,
+                                        "tcp_stream_pos_bytes");
+  }
   listener_ = std::make_unique<tcpip::TcpListener>(
       stack_, port, config,
       [this](std::shared_ptr<tcpip::TcpConnection> conn) {
         ++accepted_;
         conn->on_receive = [this, raw = conn.get()](std::size_t bytes) {
           bytes_ += bytes;
+          VINI_OBS_ADD(m_rx_bytes_, bytes);
           if (bytes == 0) raw->close();  // EOF: finish the passive close
         };
-        if (trace_) {
-          conn->on_segment = [this](const packet::Packet& p) { trace_(p); };
-        }
+        conn->on_segment = [this](const packet::Packet& p) {
+          if (p.payload_bytes > 0 && p.tcpHeader() != nullptr) {
+            VINI_OBS_GAUGE_SET(m_stream_pos_,
+                               static_cast<double>(p.tcpHeader()->seq - 1));
+          }
+          if (trace_) trace_(p);
+        };
         connections_.push_back(std::move(conn));
       });
 }
@@ -124,6 +137,12 @@ IperfUdpServer::IperfUdpServer(tcpip::HostStack& stack, std::uint16_t port)
     bytes_ += p.payload_bytes;
     VINI_OBS_INC(m_rx_packets_);
     VINI_OBS_ADD(m_rx_bytes_, p.payload_bytes);
+    if (p.meta.trace_id != 0) {
+      if (obs::Obs* ctx = VINI_OBS_CTX()) {
+        ctx->spans.closeRoot(p.meta.trace_id, stack_.queue().now(),
+                             obs::SpanOutcome::kDelivered);
+      }
+    }
     if (p.meta.app_seq > highest_seq_) highest_seq_ = p.meta.app_seq;
     if (p.meta.app_send_time >= 0) {
       jitter_.onPacket(p.meta.app_send_time, stack_.queue().now());
@@ -162,6 +181,8 @@ IperfUdpClient::IperfUdpClient(tcpip::HostStack& stack, packet::IpAddress server
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     m_tx_packets_ = &ctx->metrics.counter("app.iperf", stack_.node().name(),
                                           "udp_tx_packets");
+    span_layer_ = ctx->spans.intern("app.iperf");
+    span_node_ = ctx->spans.intern(stack_.node().name());
   }
   if (!local_addr.isZero()) socket_.bindAddress(local_addr);
   const double pps = rate_bps_ / (static_cast<double>(payload_) * 8.0);
@@ -189,6 +210,14 @@ void IperfUdpClient::sendOne() {
   packet::PacketMeta meta;
   meta.app_send_time = stack_.queue().now();
   meta.app_seq = ++sent_;  // iperf numbers datagrams from 1
+  meta.flow_id = port_;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    // One-way trace: the root closes at the server's receive handler or
+    // at whichever drop site destroys the datagram.
+    meta.trace_id = ctx->spans.newTraceId();
+    ctx->spans.openRoot(meta.trace_id, span_layer_, stack_.queue().now(),
+                        span_node_, static_cast<std::uint32_t>(payload_));
+  }
   VINI_OBS_INC(m_tx_packets_);
   socket_.sendTo(server_, port_, payload_, meta);
   stack_.queue().scheduleAfter(interval_, "app.iperf", [this, alive = alive_] {

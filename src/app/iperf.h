@@ -44,6 +44,8 @@ class IperfTcpServer {
   std::uint64_t bytes_ = 0;
   std::size_t accepted_ = 0;
   std::function<void(const packet::Packet&)> trace_;
+  obs::Counter* m_rx_bytes_ = nullptr;
+  obs::Gauge* m_stream_pos_ = nullptr;
 };
 
 class IperfTcpClient {
@@ -151,6 +153,8 @@ class IperfUdpClient {
   bool running_ = false;
   std::function<void()> done_;
   obs::Counter* m_tx_packets_ = nullptr;
+  std::int16_t span_layer_ = -1;
+  std::int16_t span_node_ = -1;
 };
 
 }  // namespace vini::app

@@ -18,6 +18,9 @@ Pinger::Pinger(tcpip::HostStack& stack, packet::IpAddress target, Options option
     m_rtt_ms_ = &ctx->metrics.histogram(
         "app.ping", node, "rtt_ms",
         {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 75.0, 100.0, 150.0, 250.0, 500.0});
+    m_last_rtt_ms_ = &ctx->metrics.gauge("app.ping", node, "last_rtt_ms");
+    span_layer_ = ctx->spans.intern("app.ping");
+    span_node_ = ctx->spans.intern(node);
   }
   timeout_timer_ = std::make_unique<sim::OneShotTimer>(stack_.queue(),
                                                        [this] { onTimeout(); });
@@ -49,6 +52,15 @@ void Pinger::sendNext() {
   packet::PacketMeta meta;
   meta.app_send_time = stack_.queue().now();
   meta.app_seq = seq;
+  meta.flow_id = ident_;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    // Trace ingress: the root span covers the probe's full round trip
+    // and is closed either by onReply (delivered) or by whichever drop
+    // site destroys the request or its echo reply.
+    meta.trace_id = ctx->spans.newTraceId();
+    ctx->spans.openRoot(meta.trace_id, span_layer_, stack_.queue().now(),
+                        span_node_);
+  }
   stack_.sendIcmpEcho(target_, ident_, static_cast<std::uint16_t>(seq),
                       options_.payload_bytes, meta, options_.source);
   ++report_.transmitted;
@@ -69,6 +81,13 @@ void Pinger::onReply(const packet::Packet& reply) {
   report_.rtt_ms.add(sim::toMillis(rtt));
   VINI_OBS_INC(m_rx_);
   VINI_OBS_OBSERVE(m_rtt_ms_, sim::toMillis(rtt));
+  VINI_OBS_GAUGE_SET(m_last_rtt_ms_, sim::toMillis(rtt));
+  if (reply.meta.trace_id != 0) {
+    if (obs::Obs* ctx = VINI_OBS_CTX()) {
+      ctx->spans.closeRoot(reply.meta.trace_id, stack_.queue().now(),
+                           obs::SpanOutcome::kDelivered);
+    }
+  }
   if (on_reply) on_reply(reply.meta.app_seq, rtt);
   if (options_.flood && awaiting_ && reply.meta.app_seq == awaited_seq_) {
     awaiting_ = false;

@@ -79,6 +79,9 @@ class Pinger {
   obs::Counter* m_tx_ = nullptr;
   obs::Counter* m_rx_ = nullptr;
   obs::Histogram* m_rtt_ms_ = nullptr;
+  obs::Gauge* m_last_rtt_ms_ = nullptr;
+  std::int16_t span_layer_ = -1;
+  std::int16_t span_node_ = -1;
 };
 
 }  // namespace vini::app

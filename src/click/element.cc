@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace vini::click {
 
 void Element::connectOutput(int port, Element& target, int target_port) {
@@ -16,6 +18,7 @@ void Element::output(int port, packet::Packet p) {
   if (port < 0 || static_cast<std::size_t>(port) >= outputs_.size() ||
       outputs_[static_cast<std::size_t>(port)].element == nullptr) {
     ++unconnected_drops_;
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "unconnected_port");
     return;
   }
   auto& ref = outputs_[static_cast<std::size_t>(port)];

@@ -23,6 +23,36 @@ tcpip::TunDevice* requireTun(ClickContext& context, const std::string& name) {
   return dev;
 }
 
+// Hop-span helpers for traced packets (meta.trace_id != 0).  Elements
+// without a ClickContext (DropFilter, Classifier, the lookup tables)
+// only ever *end* a journey, and use VINI_OBS_ROOT_DROP, which reads the
+// clock the World attached to the obs context.
+std::uint32_t spanOpen(const ClickContext& context, const packet::Packet& p,
+                       std::int16_t layer, std::int16_t node) {
+  if (p.meta.trace_id == 0) return obs::SpanTracker::kNoSpan;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    return ctx->spans.open(p.meta.trace_id, layer, context.queue->now(), node,
+                           -1, static_cast<std::uint32_t>(p.ipPacketBytes()));
+  }
+  return obs::SpanTracker::kNoSpan;
+}
+
+void spanClose(const ClickContext& context, std::uint32_t span_id) {
+  if (span_id == obs::SpanTracker::kNoSpan) return;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    ctx->spans.close(span_id, context.queue->now());
+  }
+}
+
+void spanDrop(const ClickContext& context, std::uint32_t span_id,
+              const char* reason) {
+  if (span_id == obs::SpanTracker::kNoSpan) return;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    ctx->spans.close(span_id, context.queue->now(), obs::SpanOutcome::kDropped,
+                     ctx->spans.intern(reason));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -38,6 +68,8 @@ FromSocket::FromSocket(ClickContext& context, std::uint16_t port)
     // (registration of an existing (key, type) returns the same metric).
     m_rx_packets_ = &ctx->metrics.counter(
         "click.FromSocket", context_.stack->node().name(), "rx_packets");
+    span_layer_ = ctx->spans.intern("click.process");
+    span_node_ = ctx->spans.intern(context_.stack->node().name());
   }
 }
 
@@ -47,18 +79,34 @@ void FromSocket::onQueued(const packet::Packet& p) {
   // While the process is descheduled the socket buffer fills — and
   // overflows, which is Figure 6(a).
   const sim::Duration cost = context_.costs.cost(p.ipPacketBytes());
-  context_.process->execute(cost, [this] {
+  // The span covers the socket-buffer wait (the process may be
+  // descheduled) plus the charged forwarding cost: jobs and the buffer
+  // are both FIFO, so the job reads the packet it was notified for.
+  const std::uint32_t span = spanOpen(context_, p, span_layer_, span_node_);
+  const std::uint64_t trace_id = p.meta.trace_id;
+  context_.process->execute(cost, [this, span, trace_id] {
     tcpip::UdpSocket* socket = context_.stack->udpSocket(port_);
-    if (!socket) return;
+    if (!socket) {
+      spanDrop(context_, span, "socket_gone");
+      VINI_OBS_ROOT_DROP(trace_id, "socket_gone");
+      return;
+    }
     auto p = socket->readPacket();
-    if (!p) return;
+    if (!p) {
+      spanDrop(context_, span, "socket_gone");
+      VINI_OBS_ROOT_DROP(trace_id, "socket_gone");
+      return;
+    }
     ++received_;
     VINI_OBS_INC(m_rx_packets_);
     if (!p->inner) {
       ++non_tunnel_drops_;
+      spanDrop(context_, span, "non_tunnel");
+      VINI_OBS_ROOT_DROP(trace_id, "non_tunnel");
       return;
     }
     output(0, *p->inner);
+    spanClose(context_, span);
   });
 }
 
@@ -86,12 +134,14 @@ void ToSocket::push(int, packet::Packet p) {
   if (p.meta.encap_dst.isZero()) {
     ++unroutable_;
     VINI_OBS_INC(m_unroutable_);
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "unroutable");
     return;
   }
   tcpip::UdpSocket* socket = context_.stack->udpSocket(local_port_);
   if (!socket) {
     ++unroutable_;
     VINI_OBS_INC(m_unroutable_);
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "unroutable");
     return;
   }
   ++sent_;
@@ -176,6 +226,10 @@ void LocalDemux::push(int, packet::Packet p) {
 void DecIpTtl::push(int, packet::Packet p) {
   if (p.ip.ttl <= 1) {
     ++expired_;
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "ttl_expired");
+    // The Time Exceeded error quotes this packet's meta; the trace ended
+    // here, so the error starts an untraced journey of its own.
+    p.meta.trace_id = 0;
     if (outputCount() > 1) output(1, std::move(p));
     return;
   }
@@ -204,6 +258,7 @@ void LookupIPRoute::push(int, packet::Packet p) {
   const auto entry = fib_.lookup(p.ip.dst);
   if (!entry) {
     ++misses_;
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "fib_miss");
     return;
   }
   p.meta.next_hop = entry->next_hop.isZero() ? p.ip.dst : entry->next_hop;
@@ -226,6 +281,7 @@ void EncapTable::push(int, packet::Packet p) {
   auto it = table_.find(p.meta.next_hop);
   if (it == table_.end()) {
     ++misses_;
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "encap_miss");
     return;
   }
   p.meta.encap_dst = it->second.node;
@@ -237,7 +293,12 @@ void EncapTable::push(int, packet::Packet p) {
 // Napt
 
 Napt::Napt(ClickContext& context, packet::IpAddress public_addr)
-    : context_(context), public_addr_(public_addr) {}
+    : context_(context), public_addr_(public_addr) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    span_layer_ = ctx->spans.intern("click.napt");
+    span_node_ = ctx->spans.intern(context_.stack->node().name());
+  }
+}
 
 Napt::~Napt() {
   for (const auto& [proto, port] : captures_) {
@@ -259,6 +320,10 @@ std::uint16_t Napt::mapFlow(const FlowKey& key, packet::IpProto proto) {
 }
 
 void Napt::push(int, packet::Packet p) {
+  // Egress marker in the hop decomposition: translation is synchronous,
+  // so the span is zero-width, but it records where the packet left the
+  // overlay.
+  const std::uint32_t span = spanOpen(context_, p, span_layer_, span_node_);
   FlowKey key;
   key.proto = static_cast<std::uint8_t>(p.ip.proto);
   key.src_addr = p.ip.src.value();
@@ -277,10 +342,13 @@ void Napt::push(int, packet::Packet p) {
     icmp->ident = mapFlow(key, packet::IpProto::kIcmp);
   } else {
     ++untranslatable_;
+    spanDrop(context_, span, "napt_untranslatable");
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "napt_untranslatable");
     return;
   }
   p.ip.src = public_addr_;
   ++translated_out_;
+  spanClose(context_, span);
   // Out through the kernel to the "real" Internet.
   context_.stack->sendPacket(std::move(p));
 }
@@ -322,6 +390,8 @@ Shaper::Shaper(ClickContext& context, double rate_bps, std::size_t bucket_bytes,
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     m_drops_ = &ctx->metrics.counter("click.Shaper",
                                      context_.stack->node().name(), "drops");
+    span_layer_ = ctx->spans.intern("click.shaper");
+    span_node_ = ctx->spans.intern(context_.stack->node().name());
   }
 }
 
@@ -337,9 +407,11 @@ void Shaper::push(int, packet::Packet p) {
   if (queued_bytes_ + size > queue_capacity_) {
     ++drops_;
     VINI_OBS_INC(m_drops_);
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "shaper_overflow");
     return;
   }
   queued_bytes_ += size;
+  queue_spans_.push_back(spanOpen(context_, p, span_layer_, span_node_));
   queue_.push_back(std::move(p));
   drain();
 }
@@ -352,6 +424,8 @@ void Shaper::drain() {
     tokens_ -= static_cast<double>(size);
     packet::Packet p = std::move(queue_.front());
     queue_.pop_front();
+    spanClose(context_, queue_spans_.front());
+    queue_spans_.pop_front();
     queued_bytes_ -= size;
     output(0, std::move(p));
   }
@@ -376,6 +450,9 @@ void DropFilter::push(int, packet::Packet p) {
       p.meta.encap_dst.isZero() ? p.ip.dst : p.meta.encap_dst;
   if (isBlocked(key)) {
     ++dropped_;
+    // The Section 5.2 link-failure mechanism: this is where fig8's
+    // in-flight probes die while OSPF reconverges.
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "click_drop_filter");
     return;
   }
   output(0, std::move(p));
@@ -417,6 +494,7 @@ void Classifier::push(int, packet::Packet p) {
     }
   }
   ++unmatched_;
+  VINI_OBS_ROOT_DROP(p.meta.trace_id, "classifier_unmatched");
 }
 
 // ---------------------------------------------------------------------------

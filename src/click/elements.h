@@ -46,6 +46,8 @@ class FromSocket final : public Element {
   std::uint64_t received_ = 0;
   std::uint64_t non_tunnel_drops_ = 0;
   obs::Counter* m_rx_packets_ = nullptr;
+  std::int16_t span_layer_ = -1;
+  std::int16_t span_node_ = -1;
 };
 
 /// Tunnel transmit endpoint: encapsulates the packet toward the
@@ -244,6 +246,8 @@ class Napt final : public Element {
   std::uint64_t translated_out_ = 0;
   std::uint64_t translated_back_ = 0;
   std::uint64_t untranslatable_ = 0;
+  std::int16_t span_layer_ = -1;
+  std::int16_t span_node_ = -1;
 };
 
 /// Token-bucket shaper with a bounded FIFO: models Click traffic shapers
@@ -273,10 +277,14 @@ class Shaper final : public Element {
   std::size_t queue_capacity_;
   sim::Time last_refill_ = 0;
   std::deque<packet::Packet> queue_;
+  /// Queueing-span id of each queue_ entry (0 = untraced); lockstep.
+  std::deque<std::uint32_t> queue_spans_;
   std::size_t queued_bytes_ = 0;
   std::uint64_t drops_ = 0;
   bool drain_scheduled_ = false;
   obs::Counter* m_drops_ = nullptr;
+  std::int16_t span_layer_ = -1;
+  std::int16_t span_node_ = -1;
 };
 
 /// Failure injection: drops packets whose tunnel destination (or, if

@@ -14,6 +14,7 @@ namespace vini::cpu {
 Process::Process(Scheduler& sched, ProcessConfig config)
     : sched_(sched), config_(std::move(config)) {
   accounting_start_ = sched_.queue().now();
+  timeline_track_ = "cpu/" + sched_.config().node_name + "/" + config_.name;
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     obs::MetricsRegistry& m = ctx->metrics;
     const std::string& node = sched_.config().node_name;
@@ -42,6 +43,8 @@ void Process::wakeup() {
   const sim::Duration latency = sched_.sampleWakeupLatency(config_);
   quantum_left_ = sched_.quantum(config_);
   VINI_OBS_INC(m_wakeups_);
+  VINI_OBS_TIMELINE_DURATION(timeline_track_, "wakeup",
+                             sched_.queue().now(), latency);
   sched_.queue().scheduleAfter(latency, "cpu.scheduler", [this] { runSlice(); });
 }
 
@@ -75,6 +78,8 @@ void Process::runSlice() {
     // Quantum exhausted with work pending: descheduled for a gap.
     const sim::Duration gap = sched_.sampleGap(config_);
     quantum_left_ = sched_.quantum(config_);
+    VINI_OBS_TIMELINE_DURATION(timeline_track_, "descheduled",
+                               sched_.queue().now(), gap);
     sched_.queue().scheduleAfter(gap, "cpu.scheduler", [this] { runSlice(); });
   });
 }
@@ -95,6 +100,7 @@ void Process::resetAccounting() {
 
 Scheduler::Scheduler(sim::EventQueue& queue, SchedulerConfig config)
     : queue_(queue), config_(std::move(config)), random_(config_.seed) {
+  timeline_track_ = "cpu/" + config_.node_name;
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     m_stalls_ = &ctx->metrics.counter("cpu.scheduler", config_.node_name,
                                       "stalls");
@@ -174,6 +180,7 @@ sim::Duration Scheduler::sampleWakeupLatency(const ProcessConfig& p) {
     latency += random_.uniformDuration(config_.stall_min,
                                        std::max(config_.stall_min, stall_cap));
     VINI_OBS_INC(m_stalls_);
+    VINI_OBS_TIMELINE_INSTANT(timeline_track_, "stall", queue_.now());
   }
   return latency;
 }

@@ -142,6 +142,8 @@ class Process {
 
   Scheduler& sched_;
   ProcessConfig config_;
+  /// Timeline track for this process's scheduling events.
+  std::string timeline_track_;
   std::deque<Job> jobs_;
   bool running_ = false;
   sim::Duration quantum_left_ = 0;
@@ -186,6 +188,7 @@ class Scheduler {
 
   sim::EventQueue& queue_;
   SchedulerConfig config_;
+  std::string timeline_track_;
   sim::Random random_;
   double contention_ = 0.0;
   std::vector<std::unique_ptr<Process>> processes_;

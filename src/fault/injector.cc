@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace vini::fault {
@@ -38,6 +39,9 @@ void FaultInjector::recordFault(const std::string& entity, const char* kind) {
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     ctx->metrics.counter("fault", entity, kind).inc();
     ctx->metrics.counter("fault", "all", kind).inc();
+    if (ctx->clock != nullptr) {
+      ctx->timeline.instant("fault/" + entity, kind, ctx->clock->now());
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace vini::fault {
 
 Supervisor::Supervisor(sim::EventQueue& queue, SupervisorConfig config)
@@ -46,6 +48,7 @@ void Supervisor::kill(const std::string& id) {
   ++child.attempts;
   child.killed_at = queue_.now();
   child.running = false;
+  VINI_OBS_TIMELINE_INSTANT("supervisor/" + id, "kill", queue_.now());
   child.stop();
   if (!child.held) scheduleRestart(id, child);
 }
@@ -101,6 +104,9 @@ void Supervisor::completeRestart(const std::string& id) {
   record.restarted_at = queue_.now();
   record.delay = queue_.now() - child.killed_at;
   record.attempt = child.attempts;
+  // The whole outage, kill to restart, as one track-visible bar.
+  VINI_OBS_TIMELINE_DURATION("supervisor/" + id, "down", record.killed_at,
+                             record.delay);
   child.start();
   child.running = true;
   child.last_start = queue_.now();

@@ -27,6 +27,27 @@ void Histogram::observe(double x) {
   sum_ += x;
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0 || bounds_.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i];
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      if (in_bucket == 0) return upper;
+      const double within = rank - static_cast<double>(cumulative);
+      return lower +
+             (upper - lower) * within / static_cast<double>(in_bucket);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
 namespace {
 
 MetricType typeOf(const std::variant<Counter, Gauge, Histogram>& m) {
@@ -135,6 +156,12 @@ void MetricsRegistry::writeCsv(std::ostream& os) const {
          << ",histogram_count," << h->count() << "\n";
       os << key.component << "," << key.node << "," << key.name
          << ",histogram_sum," << h->sum() << "\n";
+      os << key.component << "," << key.node << "," << key.name
+         << ",histogram_p50," << h->quantile(0.50) << "\n";
+      os << key.component << "," << key.node << "," << key.name
+         << ",histogram_p95," << h->quantile(0.95) << "\n";
+      os << key.component << "," << key.node << "," << key.name
+         << ",histogram_p99," << h->quantile(0.99) << "\n";
       for (std::size_t i = 0; i < h->bucketCount(); ++i) {
         os << key.component << "," << key.node << "," << key.name
            << ",histogram_bucket";

@@ -54,14 +54,27 @@ class Counter {
 };
 
 /// An instantaneous level (queue depth, bytes outstanding).
+///
+/// Every write bumps a version counter so an on-change sampler can tell
+/// "set to the same value again" (a fresh observation that must emit a
+/// point) from "never touched" (no point) without comparing doubles.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double delta) { value_ += delta; }
+  void set(double v) {
+    value_ = v;
+    ++version_;
+  }
+  void add(double delta) {
+    value_ += delta;
+    ++version_;
+  }
   double value() const { return value_; }
+  /// Number of writes since construction.
+  std::uint64_t version() const { return version_; }
 
  private:
   double value_ = 0.0;
+  std::uint64_t version_ = 0;
 };
 
 /// A fixed-bucket histogram: bucket i counts observations <= bound i,
@@ -74,6 +87,14 @@ class Histogram {
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
+  /// Estimate the q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket holding the target rank, Prometheus histogram_quantile
+  /// style: rank r = q * count, the first bucket whose cumulative count
+  /// reaches r supplies [lower_bound, upper_bound], and the estimate
+  /// interpolates by the rank's position within that bucket.  Ranks that
+  /// land in the overflow bucket clamp to the last finite bound (the
+  /// histogram cannot see past it).  Returns 0 when empty.
+  double quantile(double q) const;
   double mean() const {
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
   }

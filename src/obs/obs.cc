@@ -15,6 +15,7 @@ ScopedObs::ScopedObs(std::size_t trace_capacity)
 
 ScopedObs::~ScopedObs() {
   obs_.profiler.detach();
+  obs_.sampler.detach();
   g_current = previous_;
 }
 

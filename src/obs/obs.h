@@ -15,6 +15,8 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/span.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace vini::obs {
@@ -24,9 +26,18 @@ struct Obs {
   MetricsRegistry metrics;
   PacketTracer tracer;
   EventLoopProfiler profiler;
+  SpanTracker spans;
+  Timeline timeline;
+  MetricSampler sampler;
+  /// Read-only view of the simulation clock, attached by the World (or
+  /// a test) so passive consumers — drop-site root closes, timeline
+  /// helpers — can timestamp without plumbing a queue reference.
+  const sim::EventQueue* clock = nullptr;
 
   explicit Obs(std::size_t trace_capacity = PacketTracer::kDefaultCapacity)
-      : tracer(trace_capacity) {}
+      : tracer(trace_capacity) {
+    sampler.bindRegistry(&metrics);
+  }
 };
 
 /// The installed context, or nullptr when instrumentation is off.
@@ -47,6 +58,9 @@ class ScopedObs {
   MetricsRegistry& metrics() { return obs_.metrics; }
   PacketTracer& tracer() { return obs_.tracer; }
   EventLoopProfiler& profiler() { return obs_.profiler; }
+  SpanTracker& spans() { return obs_.spans; }
+  Timeline& timeline() { return obs_.timeline; }
+  MetricSampler& sampler() { return obs_.sampler; }
 
  private:
   Obs obs_;
@@ -92,6 +106,21 @@ class ScopedObs {
     if (::vini::obs::Obs* obs_ctx_ = ::vini::obs::current())        \
       obs_ctx_->tracer.record(__VA_ARGS__);                         \
   } while (0)
+/// Instant timeline event at explicit virtual time `t`.
+#define VINI_OBS_TIMELINE_INSTANT(track, label, t)                  \
+  do {                                                              \
+    if (::vini::obs::Obs* obs_ctx_ = ::vini::obs::current())        \
+      obs_ctx_->timeline.instant((track), (label), (t));            \
+  } while (0)
+/// Duration timeline event covering [t, t + dur).
+#define VINI_OBS_TIMELINE_DURATION(track, label, t, dur)            \
+  do {                                                              \
+    if (::vini::obs::Obs* obs_ctx_ = ::vini::obs::current())        \
+      obs_ctx_->timeline.duration((track), (label), (t), (dur));    \
+  } while (0)
+/// Drop-site root close by trace id (no-op for untraced packets).
+#define VINI_OBS_ROOT_DROP(trace_id, reason) \
+  ::vini::obs::closeRootAtCurrent((trace_id), (reason))
 
 #else  // !VINI_OBS_ENABLED
 
@@ -110,6 +139,15 @@ class ScopedObs {
   } while (0)
 #define VINI_OBS_TRACE(...) \
   do {                      \
+  } while (0)
+#define VINI_OBS_TIMELINE_INSTANT(track, label, t) \
+  do {                                             \
+  } while (0)
+#define VINI_OBS_TIMELINE_DURATION(track, label, t, dur) \
+  do {                                                   \
+  } while (0)
+#define VINI_OBS_ROOT_DROP(trace_id, reason) \
+  do {                                       \
   } while (0)
 
 #endif  // VINI_OBS_ENABLED

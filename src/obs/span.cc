@@ -1,0 +1,166 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "sim/event_queue.h"
+
+namespace vini::obs {
+
+const char* spanOutcomeName(SpanOutcome outcome) {
+  switch (outcome) {
+    case SpanOutcome::kOpen: return "open";
+    case SpanOutcome::kDelivered: return "delivered";
+    case SpanOutcome::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+SpanTracker::SpanTracker(std::size_t capacity) : capacity_(capacity) {}
+
+std::int16_t SpanTracker::intern(const std::string& name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::int16_t>(i);
+  }
+  if (names_.size() >= 0x7fff) throw std::length_error("span name table full");
+  names_.push_back(name);
+  return static_cast<std::int16_t>(names_.size() - 1);
+}
+
+const std::string& SpanTracker::name(std::int16_t id) const {
+  static const std::string kNone = "-";
+  if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) return kNone;
+  return names_[static_cast<std::size_t>(id)];
+}
+
+std::uint32_t SpanTracker::open(std::uint64_t trace_id, std::int16_t layer,
+                                sim::Time t, std::int16_t node,
+                                std::int16_t link, std::uint32_t bytes) {
+  SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.span_id = ++next_span_id_;
+  rec.t_open = t;
+  rec.layer = layer;
+  rec.node = node;
+  rec.link = link;
+  rec.bytes = bytes;
+  ++opened_;
+  open_spans_.emplace(rec.span_id, rec);
+  return rec.span_id;
+}
+
+void SpanTracker::close(std::uint32_t span_id, sim::Time t,
+                        SpanOutcome outcome, std::int16_t reason) {
+  if (span_id == kNoSpan) return;
+  auto it = open_spans_.find(span_id);
+  if (it == open_spans_.end()) return;
+  SpanRecord rec = it->second;
+  open_spans_.erase(it);
+  finish(rec, t, outcome, reason);
+}
+
+void SpanTracker::openRoot(std::uint64_t trace_id, std::int16_t layer,
+                           sim::Time t, std::int16_t node,
+                           std::uint32_t bytes) {
+  if (trace_id == 0 || open_roots_.count(trace_id) != 0) return;
+  SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.span_id = ++next_span_id_;
+  rec.t_open = t;
+  rec.layer = layer;
+  rec.node = node;
+  rec.bytes = bytes;
+  rec.root = true;
+  ++opened_;
+  ++roots_opened_;
+  open_roots_.emplace(trace_id, rec);
+}
+
+void SpanTracker::closeRoot(std::uint64_t trace_id, sim::Time t,
+                            SpanOutcome outcome, std::int16_t reason) {
+  if (trace_id == 0) return;
+  auto it = open_roots_.find(trace_id);
+  if (it == open_roots_.end()) {
+    ++late_root_closes_;
+    return;
+  }
+  SpanRecord rec = it->second;
+  open_roots_.erase(it);
+  ++roots_closed_;
+  finish(rec, t, outcome, reason);
+}
+
+void SpanTracker::finish(SpanRecord rec, sim::Time t, SpanOutcome outcome,
+                         std::int16_t reason) {
+  rec.t_close = t;
+  rec.outcome = outcome;
+  rec.reason = reason;
+  if (outcome == SpanOutcome::kDropped) {
+    ++closed_dropped_;
+  } else {
+    ++closed_delivered_;
+  }
+  if (records_.size() >= capacity_) {
+    ++records_lost_;
+    return;
+  }
+  records_.push_back(rec);
+}
+
+std::vector<SpanRecord> SpanTracker::traceSpans(std::uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (const auto& rec : records_) {
+    if (rec.trace_id == trace_id) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.root != b.root) return a.root;
+              if (a.t_open != b.t_open) return a.t_open < b.t_open;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::vector<std::uint64_t> SpanTracker::traceIds() const {
+  std::vector<std::uint64_t> ids;
+  for (const auto& rec : records_) ids.push_back(rec.trace_id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+void SpanTracker::writeCsv(std::ostream& os) const {
+  os << "trace_id,span_id,root,layer,node,link,t_open_ns,t_close_ns,dur_ns,"
+        "outcome,reason,bytes\n";
+  for (const auto& rec : records_) {
+    os << rec.trace_id << ',' << rec.span_id << ',' << (rec.root ? 1 : 0)
+       << ',' << name(rec.layer) << ',' << name(rec.node) << ','
+       << name(rec.link) << ',' << rec.t_open << ',' << rec.t_close << ','
+       << rec.duration() << ',' << spanOutcomeName(rec.outcome) << ','
+       << name(rec.reason) << ',' << rec.bytes << '\n';
+  }
+}
+
+void SpanTracker::clear() {
+  next_trace_id_ = 0;
+  next_span_id_ = 0;
+  opened_ = closed_delivered_ = closed_dropped_ = 0;
+  roots_opened_ = roots_closed_ = late_root_closes_ = 0;
+  records_lost_ = 0;
+  names_.clear();
+  open_spans_.clear();
+  open_roots_.clear();
+  records_.clear();
+}
+
+void closeRootAtCurrent(std::uint64_t trace_id, const char* reason) {
+  if (trace_id == 0) return;
+  Obs* ctx = current();
+  if (ctx == nullptr || ctx->clock == nullptr) return;
+  ctx->spans.closeRoot(trace_id, ctx->clock->now(), SpanOutcome::kDropped,
+                       ctx->spans.intern(reason));
+}
+
+}  // namespace vini::obs

@@ -1,0 +1,168 @@
+// Causal span tracing.
+//
+// A *trace* is one packet's journey through the stack, identified by the
+// trace id assigned at ingress (app ping/iperf, OpenVPN client) and
+// carried in PacketMeta.  Each layer the packet traverses opens a *span*
+// when it takes custody and closes it when it hands the packet on —
+// overlay encap, Click forwarding, the host stack's NIC/kernel paths,
+// and the physical link decomposed into queueing, serialization, and
+// propagation.  A delivered packet therefore yields a per-hop latency
+// breakdown; a dropped packet yields a span closed with a drop reason.
+//
+// Two span shapes:
+//  * the *root* span, opened once at ingress and keyed by trace id, so
+//    any component holding the packet (and thus its trace id) can close
+//    it at a drop site without plumbing handles around;
+//  * *hop* spans, opened and closed by the same component through the
+//    id returned from open() — these ride through the component's own
+//    completion lambdas.
+//
+// Conservation is a checkable invariant: every opened span is closed
+// exactly once (delivered, or dropped with a reason), and the tracker
+// counts both sides so tests and the V-audit layer can reconcile them.
+// Like the rest of the obs layer the tracker is strictly passive — it
+// never schedules events, consumes randomness, or mutates sim state.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vini::obs {
+
+enum class SpanOutcome : std::uint8_t {
+  kOpen = 0,       // still in flight (only seen on unclosed spans)
+  kDelivered = 1,  // handed to the next layer / final consumer
+  kDropped = 2,    // destroyed; reason names the drop site
+};
+
+const char* spanOutcomeName(SpanOutcome outcome);
+
+/// One completed (or still-open) span.  Names — layer, node, link, drop
+/// reason — are interned in the tracker's shared string table.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  sim::Time t_open = 0;
+  sim::Time t_close = -1;  // -1 while open
+  std::int16_t layer = -1;
+  std::int16_t node = -1;
+  std::int16_t link = -1;
+  std::int16_t reason = -1;
+  SpanOutcome outcome = SpanOutcome::kOpen;
+  bool root = false;
+  std::uint32_t bytes = 0;
+
+  sim::Duration duration() const { return t_close >= t_open ? t_close - t_open : 0; }
+};
+
+class SpanTracker {
+ public:
+  static constexpr std::uint32_t kNoSpan = 0;
+  /// Completed spans are retained up to this cap; conservation counters
+  /// keep counting past it (same contract as the packet tracer's ring).
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit SpanTracker(std::size_t capacity = kDefaultCapacity);
+
+  /// Intern a name (layer, node, link, or drop reason) in the shared
+  /// string table; re-interning returns the same id.
+  std::int16_t intern(const std::string& name);
+  const std::string& name(std::int16_t id) const;
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Assign a fresh trace id (ingress).  Ids are dense and deterministic:
+  /// the Nth packet admitted to tracing in a run always gets id N.
+  std::uint64_t newTraceId() { return ++next_trace_id_; }
+
+  // -- Hop spans --------------------------------------------------------------
+
+  /// Open a span; the returned id is owed exactly one close().
+  std::uint32_t open(std::uint64_t trace_id, std::int16_t layer, sim::Time t,
+                     std::int16_t node = -1, std::int16_t link = -1,
+                     std::uint32_t bytes = 0);
+  void close(std::uint32_t span_id, sim::Time t,
+             SpanOutcome outcome = SpanOutcome::kDelivered,
+             std::int16_t reason = -1);
+
+  // -- Root spans -------------------------------------------------------------
+
+  /// Open the end-to-end span for `trace_id` (once per trace).
+  void openRoot(std::uint64_t trace_id, std::int16_t layer, sim::Time t,
+                std::int16_t node = -1, std::uint32_t bytes = 0);
+  /// Close the root span by trace id — drop sites use this, since the
+  /// packet carries its trace id but no span handle.  A second close for
+  /// the same trace (e.g. a reply dropped after the probe already timed
+  /// out of the trace) is a counted no-op, preserving exactly-once.
+  void closeRoot(std::uint64_t trace_id, sim::Time t, SpanOutcome outcome,
+                 std::int16_t reason = -1);
+  bool rootOpen(std::uint64_t trace_id) const {
+    return open_roots_.count(trace_id) != 0;
+  }
+
+  // -- Read side --------------------------------------------------------------
+
+  std::uint64_t opened() const { return opened_; }
+  std::uint64_t closedDelivered() const { return closed_delivered_; }
+  std::uint64_t closedDropped() const { return closed_dropped_; }
+  std::uint64_t closed() const { return closed_delivered_ + closed_dropped_; }
+  /// Spans opened but not yet closed (in-flight packets at end of run).
+  std::uint64_t stillOpen() const { return opened_ - closed(); }
+  std::uint64_t rootsOpened() const { return roots_opened_; }
+  std::uint64_t rootsClosed() const { return roots_closed_; }
+  std::uint64_t rootsStillOpen() const { return open_roots_.size(); }
+  /// closeRoot() calls that found the root already closed.
+  std::uint64_t lateRootCloses() const { return late_root_closes_; }
+
+  /// Completed spans in close order (capped at capacity()).
+  const std::vector<SpanRecord>& records() const { return records_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Completed spans dropped once the cap was reached (counters above
+  /// remain exact).
+  std::uint64_t recordsLost() const { return records_lost_; }
+
+  /// All completed spans of one trace, sorted by (t_open, span_id); the
+  /// root span, if closed, is first.
+  std::vector<SpanRecord> traceSpans(std::uint64_t trace_id) const;
+  /// Trace ids with at least one completed span, ascending.
+  std::vector<std::uint64_t> traceIds() const;
+
+  /// "trace_id,span_id,root,layer,node,link,t_open_ns,t_close_ns,dur_ns,
+  ///  outcome,reason,bytes" rows in close order.
+  void writeCsv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  void finish(SpanRecord rec, sim::Time t, SpanOutcome outcome,
+              std::int16_t reason);
+
+  std::size_t capacity_;
+  std::uint64_t next_trace_id_ = 0;
+  std::uint32_t next_span_id_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_delivered_ = 0;
+  std::uint64_t closed_dropped_ = 0;
+  std::uint64_t roots_opened_ = 0;
+  std::uint64_t roots_closed_ = 0;
+  std::uint64_t late_root_closes_ = 0;
+  std::uint64_t records_lost_ = 0;
+  std::vector<std::string> names_;
+  std::unordered_map<std::uint32_t, SpanRecord> open_spans_;
+  std::unordered_map<std::uint64_t, SpanRecord> open_roots_;
+  std::vector<SpanRecord> records_;
+};
+
+/// Close the root span of `trace_id` on the *currently installed* obs
+/// context, timestamped with the context's attached clock.  This is the
+/// drop-site hook for components that have no cached obs handles (Click
+/// filter elements, classifier misses): a no-op when `trace_id` is 0, no
+/// context is installed, or no clock was attached.  Defined in span.cc
+/// to keep this header below obs.h in the include order.
+void closeRootAtCurrent(std::uint64_t trace_id, const char* reason);
+
+}  // namespace vini::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace vini::overlay {
 
 // ---------------------------------------------------------------------------
@@ -65,9 +67,15 @@ void OpenVpnServer::onDatagram(packet::Packet p) {
     return;
   }
   // Data channel: an encapsulated IP packet from an opted-in client.
-  if (!p.inner) return;
+  if (!p.inner) {
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "non_tunnel");
+    return;
+  }
   auto it = by_source_.find(p.ip.src);
-  if (it == by_source_.end()) return;  // no session: drop
+  if (it == by_source_.end()) {  // no session: drop
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "no_vpn_session");
+    return;
+  }
   ++ingress_packets_;
   // "The OpenVPN server removes the headers and forwards the original
   // packet to Click over a local Unix domain socket."  (Figure 2, step 2)
@@ -76,14 +84,20 @@ void OpenVpnServer::onDatagram(packet::Packet p) {
 
 void OpenVpnServer::EgressElement::push(int, packet::Packet p) {
   auto it = server_.by_overlay_.find(p.ip.dst);
-  if (it == server_.by_overlay_.end()) return;
+  if (it == server_.by_overlay_.end()) {
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "no_vpn_session");
+    return;
+  }
   ++count_;
   server_.sendToClient(it->second, std::move(p));
 }
 
 void OpenVpnServer::sendToClient(const Session& session, packet::Packet p) {
   tcpip::UdpSocket* socket = router_.stack().udpSocket(kOpenVpnPort);
-  if (!socket) return;
+  if (!socket) {
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "socket_gone");
+    return;
+  }
   socket->sendEncapsulatedTo(session.real_addr, session.real_port,
                              std::make_shared<const packet::Packet>(std::move(p)),
                              packet::OpenVpnHeader::kWireBytes);
@@ -93,7 +107,12 @@ void OpenVpnServer::sendToClient(const Session& session, packet::Packet p) {
 // OpenVpnClient
 
 OpenVpnClient::OpenVpnClient(tcpip::HostStack& stack, std::string name)
-    : stack_(stack), name_(std::move(name)) {}
+    : stack_(stack), name_(std::move(name)) {
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    span_layer_ = ctx->spans.intern("overlay.openvpn");
+    span_node_ = ctx->spans.intern(stack_.node().name());
+  }
+}
 
 OpenVpnClient::~OpenVpnClient() = default;
 
@@ -214,8 +233,23 @@ void OpenVpnClient::onPeerDead() {
 }
 
 void OpenVpnClient::onTunPacket(packet::Packet p) {
-  if (!socket_) return;
+  if (!socket_) {
+    VINI_OBS_ROOT_DROP(p.meta.trace_id, "socket_gone");
+    return;
+  }
   ++sent_;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    // Opted-in host traffic enters the overlay here.  Packets not
+    // already in a trace (the app ingress points assign ids first) get
+    // one now so their hop decomposition starts at the VPN; a zero-width
+    // span marks the encapsulation itself.
+    if (p.meta.trace_id == 0) p.meta.trace_id = ctx->spans.newTraceId();
+    const std::uint32_t span =
+        ctx->spans.open(p.meta.trace_id, span_layer_, stack_.queue().now(),
+                        span_node_, -1,
+                        static_cast<std::uint32_t>(p.ipPacketBytes()));
+    ctx->spans.close(span, stack_.queue().now());
+  }
   // Rewrite nothing: the client sources traffic from its overlay address
   // (applications bind to it).  Encapsulate with OpenVPN framing.
   socket_->sendEncapsulatedTo(server_addr_, kOpenVpnPort,

@@ -161,6 +161,8 @@ class OpenVpnClient {
 
   tcpip::HostStack& stack_;
   std::string name_;
+  std::int16_t span_layer_ = -1;
+  std::int16_t span_node_ = -1;
   tcpip::TunDevice* tun_ = nullptr;
   tcpip::UdpSocket* socket_ = nullptr;
   packet::IpAddress server_addr_;

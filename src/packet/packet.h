@@ -37,6 +37,10 @@ struct PacketMeta {
   std::uint64_t flow_id = 0;     ///< traffic source identifier
   std::uint64_t app_seq = 0;     ///< per-flow sequence number (loss detection)
   int slice_id = -1;             ///< owning slice, for VNET-style accounting
+  /// Causal-tracing id assigned at ingress when an obs context is
+  /// installed; 0 = untraced.  Only the obs span tracker ever reads it,
+  /// so carrying it cannot perturb the simulation.
+  std::uint64_t trace_id = 0;
 
   // Click-style annotations: set and consumed inside a router graph
   // (LookupIPRoute -> EncapTable -> ToSocket); never on the wire.

@@ -67,6 +67,34 @@ Channel::Channel(sim::EventQueue& queue, sim::Random& random,
     m_down_drops_ = &m.counter("phys.link", label_, "down_drops");
     m_queued_bytes_ = &m.gauge("phys.link", label_, "queued_bytes");
     trace_link_ = ctx->tracer.internLink(label_);
+    span_link_ = ctx->spans.intern(label_);
+    span_queue_ = ctx->spans.intern("phys.queue");
+    span_serialize_ = ctx->spans.intern("phys.serialize");
+    span_propagation_ = ctx->spans.intern("phys.propagation");
+  }
+}
+
+std::uint32_t Channel::spanOpen(const packet::Packet& p, std::int16_t layer) {
+  if (p.meta.trace_id == 0) return 0;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    return ctx->spans.open(p.meta.trace_id, layer, queue_.now(), -1,
+                           span_link_,
+                           static_cast<std::uint32_t>(p.wireBytes()));
+  }
+  return 0;
+}
+
+void Channel::spanClose(std::uint32_t span_id) {
+  if (span_id == 0) return;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) ctx->spans.close(span_id, queue_.now());
+}
+
+void Channel::spanRootDrop(const packet::Packet& p, const char* reason) {
+  if (p.meta.trace_id == 0) return;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    ctx->spans.closeRoot(p.meta.trace_id, queue_.now(),
+                         obs::SpanOutcome::kDropped,
+                         ctx->spans.intern(reason));
   }
 }
 
@@ -76,6 +104,7 @@ void Channel::transmit(packet::Packet p) {
     VINI_OBS_INC(m_down_drops_);
     VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kDownDrop, queue_.now(), p,
                                  trace_link_));
+    spanRootDrop(p, "link_down");
     return;
   }
   const std::size_t wire = p.wireBytes();
@@ -84,12 +113,14 @@ void Channel::transmit(packet::Packet p) {
     VINI_OBS_INC(m_queue_drops_);
     VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kQueueDrop, queue_.now(), p,
                                  trace_link_));
+    spanRootDrop(p, "queue_full");
     return;
   }
   queued_bytes_ += wire;
   VINI_OBS_GAUGE_SET(m_queued_bytes_, static_cast<double>(queued_bytes_));
   VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kEnqueue, queue_.now(), p,
                                trace_link_));
+  tx_queue_spans_.push_back(spanOpen(p, span_queue_));
   tx_queue_.push_back(std::move(p));
   auditByteAccounting(tx_queue_, queued_bytes_);
   if (!transmitting_) startNextTransmission();
@@ -109,6 +140,9 @@ void Channel::startNextTransmission() {
   transmitting_ = true;
   packet::Packet p = std::move(tx_queue_.front());
   tx_queue_.pop_front();
+  const std::uint32_t queue_span = tx_queue_spans_.front();
+  tx_queue_spans_.pop_front();
+  spanClose(queue_span);
   const std::size_t wire = p.wireBytes();
   VINI_AUDIT_CHECK(
       wire <= queued_bytes_,
@@ -127,13 +161,15 @@ void Channel::startNextTransmission() {
       sim::serializationDelay(wire, config_.bandwidth_bps);
   VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kSerializeStart, queue_.now(),
                                p, trace_link_));
+  const std::uint32_t serialize_span = spanOpen(p, span_serialize_);
 
   queue_.scheduleAfter(serialization, "phys.link",
-                       [this, p = std::move(p)]() mutable {
+                       [this, p = std::move(p), serialize_span]() mutable {
     ++stats_.tx_packets;
     stats_.tx_bytes += p.wireBytes();
     VINI_OBS_INC(m_tx_packets_);
     VINI_OBS_ADD(m_tx_bytes_, p.wireBytes());
+    spanClose(serialize_span);
     // The wire is free again; start the next frame.
     const bool lost = !link_up_ ||
                       (config_.loss_rate > 0.0 && random_.chance(config_.loss_rate));
@@ -143,15 +179,19 @@ void Channel::startNextTransmission() {
         VINI_OBS_INC(m_down_drops_);
         VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kDownDrop, queue_.now(),
                                      p, trace_link_));
+        spanRootDrop(p, "link_down");
       } else {
         ++stats_.loss_drops;
         VINI_OBS_INC(m_loss_drops_);
         VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kLossDrop, queue_.now(),
                                      p, trace_link_));
+        spanRootDrop(p, "wire_loss");
       }
     } else {
+      const std::uint32_t prop_span = spanOpen(p, span_propagation_);
       queue_.scheduleAfter(config_.propagation, "phys.link",
-                           [this, p = std::move(p)]() mutable {
+                           [this, p = std::move(p), prop_span]() mutable {
+                             spanClose(prop_span);
                              // A link that died mid-flight eats the packet:
                              // physical fate sharing.
                              if (!link_up_) {
@@ -160,6 +200,7 @@ void Channel::startNextTransmission() {
                                VINI_OBS_TRACE(channelRecord(
                                  obs::TraceEvent::kDownDrop, queue_.now(), p,
                                  trace_link_));
+                               spanRootDrop(p, "link_down_midflight");
                                return;
                              }
                              if (deliver_) deliver_(std::move(p));

@@ -70,12 +70,22 @@ class Channel {
  private:
   void startNextTransmission();
 
+  // Span plumbing for traced packets (meta.trace_id != 0): the link hop
+  // decomposes into queueing, serialization, and propagation spans, and
+  // every channel drop site closes the packet's root span with a reason.
+  std::uint32_t spanOpen(const packet::Packet& p, std::int16_t layer);
+  void spanClose(std::uint32_t span_id);
+  void spanRootDrop(const packet::Packet& p, const char* reason);
+
   sim::EventQueue& queue_;
   sim::Random& random_;
   LinkConfig config_;
   const bool& link_up_;
   DeliverFn deliver_;
   std::deque<packet::Packet> tx_queue_;
+  /// Queueing-span id of each tx_queue_ entry (0 = untraced); kept in
+  /// lockstep with tx_queue_.
+  std::deque<std::uint32_t> tx_queue_spans_;
   std::size_t queued_bytes_ = 0;
   bool transmitting_ = false;
   ChannelStats stats_;
@@ -84,6 +94,10 @@ class Channel {
   // context was installed or the channel is unlabelled).
   std::string label_;
   std::int16_t trace_link_ = -1;
+  std::int16_t span_link_ = -1;
+  std::int16_t span_queue_ = -1;
+  std::int16_t span_serialize_ = -1;
+  std::int16_t span_propagation_ = -1;
   obs::Counter* m_tx_packets_ = nullptr;
   obs::Counter* m_tx_bytes_ = nullptr;
   obs::Counter* m_queue_drops_ = nullptr;

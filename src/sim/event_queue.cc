@@ -61,6 +61,7 @@ bool EventQueue::step() {
                            "event timestamp " + std::to_string(e.when) +
                                " is earlier than now() " +
                                std::to_string(now_)}));
+    if (advance_ && e.when > now_) advance_(now_, e.when);
     now_ = e.when;
     ++executed_;
     if (profiler_) {
@@ -92,7 +93,10 @@ void EventQueue::runUntil(Time deadline) {
     if (top.when > deadline) break;
     step();
   }
-  if (now_ < deadline) now_ = deadline;
+  if (now_ < deadline) {
+    if (advance_) advance_(now_, deadline);
+    now_ = deadline;
+  }
 }
 
 void EventQueue::run() {

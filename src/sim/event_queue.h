@@ -84,6 +84,15 @@ class EventQueue {
   using ProfileHook = std::function<void(const char* tag, std::int64_t wall_ns)>;
   void setProfiler(ProfileHook hook) { profiler_ = std::move(hook); }
 
+  /// Time-advance observation hook: called whenever now() is about to
+  /// advance — before the event at the new time executes, and at the
+  /// runUntil() deadline clamp — with the old and new time (from < to).
+  /// Observers therefore see simulation state as of `to`⁻, i.e. with no
+  /// event at `to` applied yet.  The hook observes only (the metric
+  /// sampler in obs/ is the intended client); pass nullptr to uninstall.
+  using AdvanceHook = std::function<void(Time from, Time to)>;
+  void setAdvanceObserver(AdvanceHook hook) { advance_ = std::move(hook); }
+
  private:
   struct Entry {
     Time when = 0;
@@ -113,6 +122,7 @@ class EventQueue {
   std::unordered_set<EventId> pending_ids_;
   std::unordered_set<EventId> cancelled_;
   ProfileHook profiler_;
+  AdvanceHook advance_;
 };
 
 /// A repeating timer built on EventQueue; cancels cleanly on destruction.

@@ -121,6 +121,33 @@ HostStack::HostStack(phys::PhysNode& node, phys::PhysNetwork& net,
     m_dropped_no_listener_ = &m.counter("tcpip.host", n, "dropped_no_listener");
     m_socket_buffer_drops_ = &m.counter("tcpip.host", n, "socket_buffer_drops");
     trace_node_ = ctx->tracer.internNode(n);
+    span_node_ = ctx->spans.intern(n);
+    span_nic_rx_ = ctx->spans.intern("host.nic_rx");
+    span_kernel_fwd_ = ctx->spans.intern("host.kernel_fwd");
+    span_nic_tx_ = ctx->spans.intern("host.nic_tx");
+  }
+}
+
+std::uint32_t HostStack::spanOpen(const packet::Packet& p, std::int16_t layer) {
+  if (p.meta.trace_id == 0) return 0;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    return ctx->spans.open(p.meta.trace_id, layer, queue().now(), span_node_,
+                           -1, static_cast<std::uint32_t>(p.ipPacketBytes()));
+  }
+  return 0;
+}
+
+void HostStack::spanClose(std::uint32_t span_id) {
+  if (span_id == 0) return;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) ctx->spans.close(span_id, queue().now());
+}
+
+void HostStack::spanRootDrop(const packet::Packet& p, const char* reason) {
+  if (p.meta.trace_id == 0) return;
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    ctx->spans.closeRoot(p.meta.trace_id, queue().now(),
+                         obs::SpanOutcome::kDropped,
+                         ctx->spans.intern(reason));
   }
 }
 
@@ -128,6 +155,7 @@ void HostStack::noteSocketBufferDrop(const packet::Packet& p) {
   VINI_OBS_INC(m_socket_buffer_drops_);
   VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kSocketDrop, queue().now(), p,
                             trace_node_));
+  spanRootDrop(p, "socket_buffer_full");
 }
 
 HostStack::~HostStack() = default;
@@ -233,7 +261,10 @@ void HostStack::onWirePacket(packet::Packet p) {
   last_rx_delivery_ = deliver_at;
   VINI_OBS_INC(m_rx_packets_);
   VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kIngress, now, p, trace_node_));
-  queue().schedule(deliver_at, "tcpip.host", [this, p = std::move(p)]() mutable {
+  const std::uint32_t rx_span = spanOpen(p, span_nic_rx_);
+  queue().schedule(deliver_at, "tcpip.host",
+                   [this, p = std::move(p), rx_span]() mutable {
+    spanClose(rx_span);
     if (rx_trace_) rx_trace_(p);
     processPacket(std::move(p), /*from_wire=*/true);
   });
@@ -253,6 +284,7 @@ void HostStack::processPacket(packet::Packet p, bool from_wire) {
   if (!config_.ip_forward) {
     ++stats_.dropped_no_route;
     VINI_OBS_INC(m_dropped_no_route_);
+    spanRootDrop(p, "no_ip_forward");
     return;
   }
   (void)from_wire;
@@ -301,7 +333,11 @@ void HostStack::deliverLocal(packet::Packet p) {
       sendPacket(std::move(reply));
     } else if (icmp->type == packet::IcmpHeader::kEchoReply) {
       auto it = icmp_handlers_.find(icmp->ident);
-      if (it != icmp_handlers_.end()) it->second(std::move(p));
+      if (it != icmp_handlers_.end()) {
+        it->second(std::move(p));
+      } else {
+        spanRootDrop(p, "no_listener");
+      }
     } else if (icmp->type == packet::IcmpHeader::kTimeExceeded ||
                icmp->type == packet::IcmpHeader::kDestUnreachable) {
       if (icmp_error_handler_) icmp_error_handler_(p);
@@ -315,6 +351,7 @@ void HostStack::deliverLocal(packet::Packet p) {
     } else {
       ++stats_.dropped_no_listener;
       VINI_OBS_INC(m_dropped_no_listener_);
+      spanRootDrop(p, "no_listener");
       sendIcmpError(packet::IcmpHeader::kDestUnreachable,
                     packet::IcmpHeader::kCodePortUnreachable, p);
     }
@@ -336,12 +373,14 @@ void HostStack::deliverLocal(packet::Packet p) {
     }
     ++stats_.dropped_no_listener;
     VINI_OBS_INC(m_dropped_no_listener_);
+    spanRootDrop(p, "no_listener");
     return;
   }
   // Other protocols (e.g. raw OSPF over IP) have no local consumer at the
   // kernel level; the overlay carries its routing traffic inside UDP.
   ++stats_.dropped_no_listener;
   VINI_OBS_INC(m_dropped_no_listener_);
+  spanRootDrop(p, "no_listener");
 }
 
 void HostStack::sendIcmpError(std::uint8_t type, std::uint8_t code,
@@ -366,6 +405,10 @@ void HostStack::forwardPacket(packet::Packet p) {
   if (p.ip.ttl <= 1) {
     ++stats_.dropped_ttl;
     VINI_OBS_INC(m_dropped_ttl_);
+    spanRootDrop(p, "ttl_expired");
+    // The error quotes the original's meta; the trace ended at this drop,
+    // so the error packet starts an untraced journey of its own.
+    p.meta.trace_id = 0;
     sendIcmpError(packet::IcmpHeader::kTimeExceeded,
                   packet::IcmpHeader::kCodeTtlExpired, p);
     return;
@@ -383,8 +426,12 @@ void HostStack::forwardPacket(packet::Packet p) {
   const sim::Time start = std::max(now, kernel_busy_until_);
   kernel_busy_until_ = start + cost;
   kernel_cpu_ += cost;
+  const std::uint32_t fwd_span = spanOpen(p, span_kernel_fwd_);
   queue().scheduleAfter(kernel_busy_until_ - now, "tcpip.host",
-                        [this, p = std::move(p)]() mutable { routeAndTransmit(std::move(p)); });
+                        [this, p = std::move(p), fwd_span]() mutable {
+                          spanClose(fwd_span);
+                          routeAndTransmit(std::move(p));
+                        });
 }
 
 void HostStack::sendPacket(packet::Packet p) {
@@ -403,6 +450,7 @@ void HostStack::routeAndTransmit(packet::Packet p) {
   if (!route || !route->device) {
     ++stats_.dropped_no_route;
     VINI_OBS_INC(m_dropped_no_route_);
+    spanRootDrop(p, "no_route");
     return;
   }
   VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kForwardDecision, queue().now(),
@@ -416,6 +464,7 @@ void HostStack::transmitUnderlay(packet::Packet p) {
   if (!link) {
     ++stats_.dropped_no_route;
     VINI_OBS_INC(m_dropped_no_route_);
+    spanRootDrop(p, "no_route");
     return;
   }
   if (p.meta.slice_id >= 0) {
@@ -445,7 +494,10 @@ void HostStack::transmitUnderlay(packet::Packet p) {
   sim::Time& last_wire = last_tx_wire_[link->id()];
   if (wire_at < last_wire) wire_at = last_wire;  // keep FIFO
   last_wire = wire_at;
-  queue().schedule(wire_at, "tcpip.host", [this, link, p = std::move(p)]() mutable {
+  const std::uint32_t tx_span = spanOpen(p, span_nic_tx_);
+  queue().schedule(wire_at, "tcpip.host",
+                   [this, link, p = std::move(p), tx_span]() mutable {
+    spanClose(tx_span);
     link->channelFrom(node_.id()).transmit(std::move(p));
   });
 }

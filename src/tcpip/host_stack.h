@@ -280,6 +280,13 @@ class HostStack {
   void routeAndTransmit(packet::Packet p);
   sim::Duration sampleNicLatency(sim::Duration mean);
 
+  // Span plumbing for traced packets: NIC receive, kernel forwarding,
+  // and NIC transmit become hop spans; every drop site closes the
+  // packet's root span with a reason.
+  std::uint32_t spanOpen(const packet::Packet& p, std::int16_t layer);
+  void spanClose(std::uint32_t span_id);
+  void spanRootDrop(const packet::Packet& p, const char* reason);
+
   phys::PhysNode& node_;
   phys::PhysNetwork& net_;
   HostConfig config_;
@@ -319,6 +326,10 @@ class HostStack {
   // Observability handles, cached at construction (null when no obs
   // context is installed).
   std::int16_t trace_node_ = -1;
+  std::int16_t span_node_ = -1;
+  std::int16_t span_nic_rx_ = -1;
+  std::int16_t span_kernel_fwd_ = -1;
+  std::int16_t span_nic_tx_ = -1;
   obs::Counter* m_rx_packets_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
   obs::Counter* m_forwarded_ = nullptr;

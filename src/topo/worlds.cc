@@ -1,11 +1,16 @@
 #include "topo/worlds.h"
 
+#include "obs/obs.h"
 #include "topo/calibration.h"
 
 namespace vini::topo {
 
 World::World(tcpip::HostConfig host_default, phys::NetworkConfig net_config)
-    : net(queue, net_config), stacks(net, host_default), schedule(queue) {}
+    : net(queue, net_config), stacks(net, host_default), schedule(queue) {
+  // Give the obs layer a read-only view of this world's clock so
+  // drop-site root closes and timeline events can self-timestamp.
+  if (obs::Obs* ctx = VINI_OBS_CTX()) ctx->clock = &queue;
+}
 
 tcpip::HostStack& World::stack(const std::string& node_name) {
   phys::PhysNode* node = net.nodeByName(node_name);

@@ -6,6 +6,7 @@ namespace vini::xorp {
 
 BgpProcess::BgpProcess(sim::EventQueue& queue, Rib* rib, BgpConfig config)
     : queue_(queue), rib_(rib), config_(std::move(config)) {
+  timeline_track_ = "bgp/" + config_.name;
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     m_updates_sent_ =
         &ctx->metrics.counter("xorp.bgp", config_.name, "updates_sent");
@@ -143,6 +144,7 @@ void BgpProcess::sendUpdate(Peer& peer, BgpUpdate update) {
   if (out.announcements.empty() && out.withdrawals.empty()) return;
   ++stats_.updates_sent;
   VINI_OBS_INC(m_updates_sent_);
+  VINI_OBS_TIMELINE_INSTANT(timeline_track_, "update_send", queue_.now());
   BgpProcess* remote = peer.remote;
   BgpProcess* self = this;
   queue_.scheduleAfter(peer.delay, "xorp.bgp",

@@ -120,6 +120,7 @@ class BgpProcess {
   sim::EventQueue& queue_;
   Rib* rib_;
   BgpConfig config_;
+  std::string timeline_track_;
   bool running_ = true;
   std::vector<Peer> peers_;
   /// Prefixes this AS is configured to originate; survive stop()/start().

@@ -13,7 +13,9 @@ OspfProcess::OspfProcess(sim::EventQueue& queue, Rib& rib, OspfConfig config,
       config_(config),
       process_(process),
       random_(seed ^ (std::uint64_t{config.router_id} << 16)),
-      protocol_name_("ospf") {}
+      protocol_name_("ospf") {
+  timeline_track_ = "ospf/" + packet::IpAddress(config_.router_id).str();
+}
 
 OspfProcess::~OspfProcess() { stop(); }
 
@@ -214,6 +216,7 @@ void OspfProcess::onNeighborDead(Interface& iface) {
   if (iface.state == NeighborState::kDown) return;
   ++stats_.neighbors_lost;
   VINI_OBS_INC(m_neighbors_lost_);
+  VINI_OBS_TIMELINE_INSTANT(timeline_track_, "neighbor_dead", queue_.now());
   iface.state = NeighborState::kDown;
   iface.unacked.clear();
   originateOwnLsa();
@@ -252,6 +255,7 @@ void OspfProcess::installLsa(const RouterLsa& lsa, Interface* from) {
 }
 
 void OspfProcess::floodLsa(const RouterLsa& lsa, Interface* except) {
+  VINI_OBS_TIMELINE_INSTANT(timeline_track_, "lsa_flood", queue_.now());
   for (auto& iface : interfaces_) {
     if (iface.get() == except) continue;
     if (iface->state != NeighborState::kFull) continue;
@@ -349,6 +353,7 @@ void OspfProcess::runSpf() {
   if (!running_) return;
   ++stats_.spf_runs;
   VINI_OBS_INC(m_spf_runs_);
+  VINI_OBS_TIMELINE_INSTANT(timeline_track_, "spf_run", queue_.now());
 
   // Dijkstra over the LSDB with the two-way connectivity check.
   const RouterId self = config_.router_id;

@@ -146,6 +146,8 @@ class OspfProcess {
   cpu::Process* process_;
   sim::Random random_;
   std::string protocol_name_;
+  /// Timeline track for this router's control-plane events.
+  std::string timeline_track_;
 
   std::vector<std::unique_ptr<Interface>> interfaces_;
   std::vector<std::pair<packet::Prefix, std::uint32_t>> stubs_;

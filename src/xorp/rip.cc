@@ -35,10 +35,11 @@ void RipProcess::start() {
     entry.last_heard = queue_.now();
     table_[prefix] = entry;
   }
+  // RIP speakers have no router id; key by the first interface address.
+  const std::string node =
+      interfaces_.empty() ? "rip" : interfaces_.front()->address().str();
+  timeline_track_ = "rip/" + node;
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
-    // RIP speakers have no router id; key by the first interface address.
-    const std::string node =
-        interfaces_.empty() ? "rip" : interfaces_.front()->address().str();
     m_updates_sent_ = &ctx->metrics.counter("xorp.rip", node, "updates_sent");
     m_updates_received_ =
         &ctx->metrics.counter("xorp.rip", node, "updates_received");
@@ -87,6 +88,7 @@ void RipProcess::runCharged(sim::Duration cost, std::function<void()> work) {
 
 void RipProcess::sendUpdates() {
   if (!running_) return;
+  VINI_OBS_TIMELINE_INSTANT(timeline_track_, "update_send", queue_.now());
   for (Vif* vif : interfaces_) {
     if (!vif->isUp()) continue;
     auto update = std::make_shared<RipUpdate>();

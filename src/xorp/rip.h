@@ -80,6 +80,7 @@ class RipProcess {
   RipConfig config_;
   cpu::Process* process_;
   sim::Random random_;
+  std::string timeline_track_;
   std::vector<Vif*> interfaces_;
   std::vector<packet::Prefix> locals_;  ///< re-originated on every start()
   std::map<packet::Prefix, Entry> table_;

@@ -8,8 +8,13 @@
 // Usage:
 //   vini_trace dump <trace.vtrc> [--event NAME] [--node NAME]
 //                                [--link NAME] [--flow N]
+//                                [--component NAME] [--from NS] [--to NS]
 //   vini_trace info <trace.vtrc>
 //   vini_trace --self-test
+//
+// Filters accept both "--key value" and "--key=value".  --component
+// selects by the layer that logged the event (tcpip.host or phys.link);
+// --from/--to bound the virtual-time window in nanoseconds (inclusive).
 
 #include <cstdint>
 #include <cstring>
@@ -35,9 +40,29 @@ using vini::obs::traceEventName;
 int usage() {
   std::cerr << "usage: vini_trace dump <trace.vtrc> [--event NAME] "
                "[--node NAME] [--link NAME] [--flow N]\n"
+               "                 [--component NAME] [--from NS] [--to NS]\n"
                "       vini_trace info <trace.vtrc>\n"
                "       vini_trace --self-test\n";
   return 2;
+}
+
+/// The layer that logged an event kind: host-stack lifecycle events vs
+/// physical-link queue/wire events.
+const char* componentOf(TraceEvent ev) {
+  switch (ev) {
+    case TraceEvent::kIngress:
+    case TraceEvent::kDeliver:
+    case TraceEvent::kForwardDecision:
+    case TraceEvent::kSocketDrop:
+      return "tcpip.host";
+    case TraceEvent::kEnqueue:
+    case TraceEvent::kQueueDrop:
+    case TraceEvent::kSerializeStart:
+    case TraceEvent::kLossDrop:
+    case TraceEvent::kDownDrop:
+      return "phys.link";
+  }
+  return "-";
 }
 
 std::optional<TraceEvent> parseEvent(const std::string& name) {
@@ -58,6 +83,9 @@ struct Filter {
   std::optional<std::string> node;
   std::optional<std::string> link;
   std::optional<std::uint64_t> flow;
+  std::optional<std::string> component;
+  std::optional<std::int64_t> from;
+  std::optional<std::int64_t> to;
 
   bool matches(const TraceRecord& rec,
                const PacketTracer::BinaryDump& dump) const {
@@ -65,6 +93,9 @@ struct Filter {
     if (node && nameOf(dump.node_names, rec.node) != *node) return false;
     if (link && nameOf(dump.link_names, rec.link) != *link) return false;
     if (flow && rec.flow != *flow) return false;
+    if (component && componentOf(rec.event) != *component) return false;
+    if (from && rec.t < *from) return false;
+    if (to && rec.t > *to) return false;
     return true;
   }
 };
@@ -178,6 +209,24 @@ int selfTest() {
   const auto tail = small.snapshot();
   CHECK(tail.size() == 4 && tail.front().t == 6 && tail.back().t == 9);
 
+  // Component/time-window filters partition the event kinds.
+  CHECK(std::string(componentOf(TraceEvent::kIngress)) == "tcpip.host");
+  CHECK(std::string(componentOf(TraceEvent::kDeliver)) == "tcpip.host");
+  CHECK(std::string(componentOf(TraceEvent::kEnqueue)) == "phys.link");
+  CHECK(std::string(componentOf(TraceEvent::kQueueDrop)) == "phys.link");
+  {
+    std::stringstream round(std::ios::in | std::ios::out | std::ios::binary);
+    tracer.writeBinary(round);
+    const auto d = PacketTracer::readBinary(round);
+    Filter f;
+    f.component = "phys.link";
+    f.from = 50000;
+    CHECK(f.matches(d.records[1], d));   // kQueueDrop at t=82028
+    CHECK(!f.matches(d.records[0], d));  // kEnqueue at t=41014: too early
+    f.to = 60000;
+    CHECK(!f.matches(d.records[1], d));  // now past the window
+  }
+
   // Malformed input is rejected, not misparsed.
   std::stringstream bad(std::ios::in | std::ios::out | std::ios::binary);
   bad << "NOPE";
@@ -208,10 +257,17 @@ int main(int argc, char** argv) {
     if (cmd != "dump") return usage();
 
     Filter filter;
-    for (std::size_t i = 2; i < args.size(); i += 2) {
-      if (i + 1 >= args.size()) return usage();
-      const std::string& key = args[i];
-      const std::string& value = args[i + 1];
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      // Accept both "--key value" and "--key=value".
+      std::string key = args[i];
+      std::string value;
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key.resize(eq);
+      } else {
+        if (i + 1 >= args.size()) return usage();
+        value = args[++i];
+      }
       if (key == "--event") {
         filter.event = parseEvent(value);
         if (!filter.event) {
@@ -224,6 +280,17 @@ int main(int argc, char** argv) {
         filter.link = value;
       } else if (key == "--flow") {
         filter.flow = std::stoull(value);
+      } else if (key == "--component") {
+        if (value != "tcpip.host" && value != "phys.link") {
+          std::cerr << "vini_trace: unknown component '" << value
+                    << "' (expected tcpip.host or phys.link)\n";
+          return 2;
+        }
+        filter.component = value;
+      } else if (key == "--from") {
+        filter.from = std::stoll(value);
+      } else if (key == "--to") {
+        filter.to = std::stoll(value);
       } else {
         return usage();
       }

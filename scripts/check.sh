@@ -7,6 +7,9 @@
 #   1. strict build: -Wall -Wextra -Werror, runtime audits compiled in,
 #      observability layer on (-DVINI_OBS=ON)
 #   2. vini_lint over every spec shipped under examples/specs/
+#   2b. vini_srclint: self-test, then a V2xx determinism/concurrency scan
+#      of src/ and tools/ against the checked-in baseline — unbaselined
+#      errors and stale baseline entries both fail the gate
 #   3. full ctest suite on the strict build
 #   4. vini_trace --self-test (VTRC binary format round trip)
 #   5. smoke-run the obs-ported benches (VINI_SMOKE=1): fig6, fig8, and
@@ -45,6 +48,16 @@ stage "vini_lint examples/specs"
   examples/specs/maintenance.trace \
   examples/specs/chaos.trace
 ./build-check/tools/vini_lint examples/specs/deter.conf
+
+# --- 2b. Source determinism/concurrency lint ---------------------------------
+# The V2xx pass: unordered iteration feeding output, pointer-keyed
+# containers, wall-clock/randomness escapes, mutable statics, and
+# missing VINI_GUARDED_BY on cross-shard members.  Suppressions live in
+# examples/specs/srclint.baseline and must each carry a justification.
+stage "vini_srclint (self-test + src/ tools/ scan vs baseline)"
+./build-check/tools/vini_srclint --self-test
+./build-check/tools/vini_srclint --root . \
+  --baseline examples/specs/srclint.baseline src tools
 
 # --- 3. Test suite with audits compiled in -----------------------------------
 stage "ctest (audited build)"

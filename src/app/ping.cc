@@ -2,15 +2,11 @@
 
 namespace vini::app {
 
-namespace {
-std::uint16_t nextIdent() {
-  static std::uint16_t ident = 0x4000;
-  return ident++;
-}
-}  // namespace
-
 Pinger::Pinger(tcpip::HostStack& stack, packet::IpAddress target, Options options)
-    : stack_(stack), target_(target), options_(options), ident_(nextIdent()) {
+    : stack_(stack),
+      target_(target),
+      options_(options),
+      ident_(stack.allocateIcmpIdent()) {
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     const std::string& node = stack_.node().name();
     m_tx_ = &ctx->metrics.counter("app.ping", node, "tx_probes");

@@ -500,10 +500,9 @@ void Classifier::push(int, packet::Packet p) {
 // ---------------------------------------------------------------------------
 // Registry
 
-void registerStandardElements() {
-  static bool done = false;
-  if (done) return;
-  done = true;
+namespace {
+
+void doRegisterStandardElements() {
   auto& reg = ElementRegistry::instance();
 
   reg.registerClass("FromSocket", [](const auto& args, ClickContext& ctx) {
@@ -575,6 +574,18 @@ void registerStandardElements() {
   reg.registerClass("Classifier", [](const auto& args, ClickContext&) {
     return std::make_unique<Classifier>(args);
   });
+}
+
+}  // namespace
+
+void registerStandardElements() {
+  // Idempotent and thread-safe: the const magic static runs registration
+  // exactly once and is immutable afterwards.
+  static const bool registered = [] {
+    doRegisterStandardElements();
+    return true;
+  }();
+  (void)registered;
 }
 
 }  // namespace vini::click

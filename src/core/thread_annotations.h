@@ -1,0 +1,65 @@
+// Thread-safety annotations for the parallel sharded event engine.
+//
+// The ROADMAP's next arc shards the World across worker threads by
+// physical node.  Before any thread touches shared state, the state
+// that *will* be shared (or per-shard-owned) is annotated here so
+// clang's -Wthread-safety analysis (-DVINI_THREAD_SAFETY=ON, clang
+// only) can police access statically.  Under gcc — and under clang
+// without the option — every macro expands to nothing and the token
+// struct below is an empty no-op, so the annotations are free.
+//
+// The capability model is deliberately simple at this stage: each
+// engine-adjacent class carries a ShardToken, the capability "the
+// worker shard that owns this object".  Data members that the sharded
+// engine will treat as shard-owned are marked VINI_GUARDED_BY(shard_),
+// and every method that touches them asserts the capability on entry
+// via shard_.assertHeld() — a no-op call that tells the analysis "the
+// owning shard is running this".  When real worker threads land, the
+// assertions become the places where a debug build verifies
+// std::this_thread against the owning shard, and cross-shard accessors
+// get explicit VINI_REQUIRES contracts instead.
+//
+// Members documented with the cross-shard marker comment and missing a
+// VINI_GUARDED_BY / VINI_PT_GUARDED_BY annotation are flagged V207 by
+// vini_srclint (see src/check/srclint.h).
+//
+// This header is dependency-free on purpose: sim/ (the lowest layer)
+// includes it, so it must not pull in anything.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability) && __has_attribute(guarded_by) && \
+    __has_attribute(assert_capability)
+#define VINI_TS_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef VINI_TS_ATTR
+#define VINI_TS_ATTR(x)  // not clang, or too old: annotations vanish
+#endif
+
+#define VINI_CAPABILITY(name) VINI_TS_ATTR(capability(name))
+#define VINI_GUARDED_BY(x) VINI_TS_ATTR(guarded_by(x))
+#define VINI_PT_GUARDED_BY(x) VINI_TS_ATTR(pt_guarded_by(x))
+#define VINI_ACQUIRED_BEFORE(...) VINI_TS_ATTR(acquired_before(__VA_ARGS__))
+#define VINI_ACQUIRED_AFTER(...) VINI_TS_ATTR(acquired_after(__VA_ARGS__))
+#define VINI_REQUIRES(...) VINI_TS_ATTR(requires_capability(__VA_ARGS__))
+#define VINI_REQUIRES_SHARED(...) \
+  VINI_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+#define VINI_ACQUIRE(...) VINI_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define VINI_RELEASE(...) VINI_TS_ATTR(release_capability(__VA_ARGS__))
+#define VINI_ASSERT_CAPABILITY(x) VINI_TS_ATTR(assert_capability(x))
+#define VINI_EXCLUDES(...) VINI_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define VINI_RETURN_CAPABILITY(x) VINI_TS_ATTR(lock_returned(x))
+#define VINI_NO_THREAD_SAFETY_ANALYSIS VINI_TS_ATTR(no_thread_safety_analysis)
+
+namespace vini::core {
+
+/// The capability "the worker shard that owns this object is the one
+/// executing".  Zero-size, zero-cost: assertHeld() is an empty inline
+/// call whose only effect is telling clang's analysis the capability is
+/// held for the remainder of the calling function.
+struct VINI_CAPABILITY("shard") ShardToken {
+  void assertHeld() const VINI_ASSERT_CAPABILITY(this) {}
+};
+
+}  // namespace vini::core

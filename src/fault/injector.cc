@@ -17,6 +17,7 @@ FaultInjector::FaultInjector(core::EventSchedule& schedule,
 
 phys::PhysLink& FaultInjector::linkOrThrow(const std::string& a,
                                            const std::string& b) {
+  shard_.assertHeld();
   phys::PhysLink* link = net_.linkBetween(a, b);
   if (!link) {
     throw std::runtime_error("fault schedule references unknown link " + a +
@@ -26,16 +27,19 @@ phys::PhysLink& FaultInjector::linkOrThrow(const std::string& a,
 }
 
 FaultInjector::LinkState& FaultInjector::stateOf(const phys::PhysLink& link) {
+  shard_.assertHeld();
   return link_states_[link.id()];
 }
 
 void FaultInjector::refreshLink(phys::PhysLink& link) {
+  shard_.assertHeld();
   const LinkState& state = stateOf(link);
   const bool up = !state.fault_down && state.crash_holds == 0;
   if (up != link.isUp()) net_.setLinkState(link, up);
 }
 
 void FaultInjector::recordFault(const std::string& entity, const char* kind) {
+  shard_.assertHeld();
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     ctx->metrics.counter("fault", entity, kind).inc();
     ctx->metrics.counter("fault", "all", kind).inc();
@@ -47,6 +51,7 @@ void FaultInjector::recordFault(const std::string& entity, const char* kind) {
 
 void FaultInjector::setLinkFault(const std::string& a, const std::string& b,
                                  bool down) {
+  shard_.assertHeld();
   phys::PhysLink& link = linkOrThrow(a, b);
   stateOf(link).fault_down = down;
   refreshLink(link);
@@ -55,6 +60,7 @@ void FaultInjector::setLinkFault(const std::string& a, const std::string& b,
 
 void FaultInjector::degradeLink(const std::string& a, const std::string& b,
                                 const DegradeSpec& spec) {
+  shard_.assertHeld();
   phys::PhysLink& link = linkOrThrow(a, b);
   phys::LinkConfig config = link.config();
   if (spec.loss_rate) config.loss_rate = *spec.loss_rate;
@@ -65,12 +71,14 @@ void FaultInjector::degradeLink(const std::string& a, const std::string& b,
 }
 
 void FaultInjector::restoreLink(const std::string& a, const std::string& b) {
+  shard_.assertHeld();
   phys::PhysLink& link = linkOrThrow(a, b);
   link.restoreConfig();
   recordFault(link.name(), "restore");
 }
 
 void FaultInjector::ensureManaged(const std::string& node) {
+  shard_.assertHeld();
   if (!supervisor_ || !overlay_) return;
   for (const auto& router : overlay_->routers()) {
     if (router->vnode().name() != node) continue;
@@ -112,6 +120,7 @@ xorp::XorpInstance* xorpOnNode(overlay::IiasNetwork* overlay,
 }  // namespace
 
 void FaultInjector::crashNode(const std::string& name) {
+  shard_.assertHeld();
   if (crashed_nodes_.count(name)) return;  // already down
   phys::PhysNode* node = net_.nodeByName(name);
   if (!node) {
@@ -142,6 +151,7 @@ void FaultInjector::crashNode(const std::string& name) {
 }
 
 void FaultInjector::restartNode(const std::string& name) {
+  shard_.assertHeld();
   if (!crashed_nodes_.count(name)) return;  // not down
   phys::PhysNode* node = net_.nodeByName(name);
   if (!node) {
@@ -170,6 +180,7 @@ void FaultInjector::restartNode(const std::string& name) {
 
 void FaultInjector::procEvent(const std::string& node, ProcClass proc,
                               bool kill) {
+  shard_.assertHeld();
   xorp::XorpInstance* xorp = xorpOnNode(overlay_, node);
   if (!xorp) {
     throw std::runtime_error("fault schedule references unknown router node " +
@@ -196,6 +207,7 @@ void FaultInjector::procEvent(const std::string& node, ProcClass proc,
 }
 
 void FaultInjector::srlgEvent(const std::string& group, bool down) {
+  shard_.assertHeld();
   auto it = srlgs_.find(group);
   if (it == srlgs_.end()) {
     throw std::runtime_error("fault schedule references undefined srlg " +
@@ -211,6 +223,7 @@ void FaultInjector::srlgEvent(const std::string& group, bool down) {
 }
 
 void FaultInjector::apply(const FaultSchedule& schedule) {
+  shard_.assertHeld();
   // Validate up front so a bad schedule fails before anything runs.
   for (const auto& [group, members] : schedule.srlgs) {
     for (const auto& [a, b] : members) linkOrThrow(a, b);

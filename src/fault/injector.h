@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/schedule.h"
+#include "core/thread_annotations.h"
 #include "fault/fault.h"
 #include "fault/supervisor.h"
 #include "overlay/iias.h"
@@ -56,6 +57,7 @@ class FaultInjector {
   void srlgEvent(const std::string& group, bool down);
 
   bool nodeCrashed(const std::string& name) const {
+    shard_.assertHeld();
     return crashed_nodes_.count(name) != 0;
   }
 
@@ -73,14 +75,19 @@ class FaultInjector {
   void ensureManaged(const std::string& node);
   void recordFault(const std::string& entity, const char* kind);
 
+  // Fault events touch links whose endpoints may live on different
+  // shards; the injector will run on the shard owning the schedule's
+  // queue and reach others through their mailboxes.
+  core::ShardToken shard_;
   core::EventSchedule& schedule_;
   phys::PhysNetwork& net_;
   overlay::IiasNetwork* overlay_;
   Supervisor* supervisor_;
   std::map<std::string, std::vector<std::pair<std::string, std::string>>>
-      srlgs_;
-  std::map<int, LinkState> link_states_;  ///< by PhysLink::id()
-  std::set<std::string> crashed_nodes_;
+      srlgs_ VINI_GUARDED_BY(shard_);
+  // cross-shard: a link's endpoints may be owned by two shards.
+  std::map<int, LinkState> link_states_ VINI_GUARDED_BY(shard_);  // by PhysLink::id()
+  std::set<std::string> crashed_nodes_ VINI_GUARDED_BY(shard_);
 };
 
 }  // namespace vini::fault

@@ -12,6 +12,7 @@ Supervisor::Supervisor(sim::EventQueue& queue, SupervisorConfig config)
 
 void Supervisor::manage(const std::string& id, std::function<void()> stop,
                         std::function<void()> start) {
+  shard_.assertHeld();
   if (children_.count(id)) return;
   Child child;
   child.stop = std::move(stop);
@@ -21,6 +22,7 @@ void Supervisor::manage(const std::string& id, std::function<void()> stop,
 }
 
 Supervisor::Child& Supervisor::childOrThrow(const std::string& id) {
+  shard_.assertHeld();
   auto it = children_.find(id);
   if (it == children_.end()) {
     throw std::runtime_error("supervisor does not manage '" + id + "'");
@@ -29,6 +31,7 @@ Supervisor::Child& Supervisor::childOrThrow(const std::string& id) {
 }
 
 sim::Duration Supervisor::backoffFor(Child& child) {
+  shard_.assertHeld();
   double delay = static_cast<double>(config_.initial_backoff);
   for (int i = 1; i < child.attempts; ++i) delay *= config_.multiplier;
   delay = std::min(delay, static_cast<double>(config_.max_backoff));
@@ -39,6 +42,7 @@ sim::Duration Supervisor::backoffFor(Child& child) {
 }
 
 void Supervisor::kill(const std::string& id) {
+  shard_.assertHeld();
   Child& child = childOrThrow(id);
   if (!child.running) return;  // already dead; the restart is in flight
   // A long stable run forgives past failures.
@@ -54,6 +58,7 @@ void Supervisor::kill(const std::string& id) {
 }
 
 void Supervisor::hold(const std::string& id) {
+  shard_.assertHeld();
   Child& child = childOrThrow(id);
   child.held = true;
   if (child.pending != 0) {
@@ -72,6 +77,7 @@ void Supervisor::hold(const std::string& id) {
 }
 
 void Supervisor::release(const std::string& id) {
+  shard_.assertHeld();
   Child& child = childOrThrow(id);
   if (!child.held) return;
   child.held = false;
@@ -79,6 +85,7 @@ void Supervisor::release(const std::string& id) {
 }
 
 void Supervisor::restartNow(const std::string& id) {
+  shard_.assertHeld();
   Child& child = childOrThrow(id);
   if (child.running || child.held) return;
   if (child.pending != 0) {
@@ -89,12 +96,14 @@ void Supervisor::restartNow(const std::string& id) {
 }
 
 void Supervisor::scheduleRestart(const std::string& id, Child& child) {
+  shard_.assertHeld();
   const sim::Duration delay = backoffFor(child);
   child.pending = queue_.scheduleAfter(delay, "fault.supervisor",
                                        [this, id] { completeRestart(id); });
 }
 
 void Supervisor::completeRestart(const std::string& id) {
+  shard_.assertHeld();
   Child& child = childOrThrow(id);
   child.pending = 0;
   if (child.running || child.held) return;
@@ -115,11 +124,13 @@ void Supervisor::completeRestart(const std::string& id) {
 }
 
 bool Supervisor::isRunning(const std::string& id) const {
+  shard_.assertHeld();
   auto it = children_.find(id);
   return it != children_.end() && it->second.running;
 }
 
 std::size_t Supervisor::pendingRestarts() const {
+  shard_.assertHeld();
   std::size_t n = 0;
   for (const auto& [id, child] : children_) {
     if (!child.running) ++n;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 
@@ -56,7 +57,10 @@ class Supervisor {
   /// no-op (the first hooks win), so injectors may register lazily.
   void manage(const std::string& id, std::function<void()> stop,
               std::function<void()> start);
-  bool manages(const std::string& id) const { return children_.count(id) != 0; }
+  bool manages(const std::string& id) const {
+    shard_.assertHeld();
+    return children_.count(id) != 0;
+  }
 
   /// Kill the child now and schedule a backoff-delayed restart.
   /// No-op if it is already dead (a second kill has nothing to do).
@@ -76,9 +80,15 @@ class Supervisor {
   bool isRunning(const std::string& id) const;
   /// Children dead with a restart scheduled (or awaiting release).
   std::size_t pendingRestarts() const;
-  std::uint64_t restartsCompleted() const { return restarts_completed_; }
+  std::uint64_t restartsCompleted() const {
+    shard_.assertHeld();
+    return restarts_completed_;
+  }
   /// Every restart that actually ran, in execution order.
-  const std::vector<RestartRecord>& log() const { return log_; }
+  const std::vector<RestartRecord>& log() const {
+    shard_.assertHeld();
+    return log_;
+  }
   const SupervisorConfig& config() const { return config_; }
 
  private:
@@ -98,13 +108,17 @@ class Supervisor {
   void scheduleRestart(const std::string& id, Child& child);
   void completeRestart(const std::string& id);
 
+  // The supervisor runs on the shard owning its queue; kills arriving
+  // from fault events on other shards will come through the mailbox.
+  core::ShardToken shard_;
   sim::EventQueue& queue_;
   SupervisorConfig config_;
-  sim::Random random_;
+  // cross-shard: backoff draws must stay on one stream for determinism.
+  sim::Random random_ VINI_GUARDED_BY(shard_);
   /// std::map: deterministic iteration for any future bulk operation.
-  std::map<std::string, Child> children_;
-  std::vector<RestartRecord> log_;
-  std::uint64_t restarts_completed_ = 0;
+  std::map<std::string, Child> children_ VINI_GUARDED_BY(shard_);
+  std::vector<RestartRecord> log_ VINI_GUARDED_BY(shard_);
+  std::uint64_t restarts_completed_ VINI_GUARDED_BY(shard_) = 0;
 };
 
 }  // namespace vini::fault

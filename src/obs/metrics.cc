@@ -62,6 +62,7 @@ template <typename T>
 T& MetricsRegistry::registerAs(const std::string& component,
                                const std::string& node,
                                const std::string& name, T initial) {
+  shard_.assertHeld();
   MetricKey key{component, node, name};
   auto [it, inserted] = metrics_.try_emplace(key, std::move(initial));
   if (!inserted && !std::holds_alternative<T>(it->second)) {
@@ -75,12 +76,14 @@ T& MetricsRegistry::registerAs(const std::string& component,
 Counter& MetricsRegistry::counter(const std::string& component,
                                   const std::string& node,
                                   const std::string& name) {
+  shard_.assertHeld();
   return registerAs(component, node, name, Counter{});
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& component,
                               const std::string& node,
                               const std::string& name) {
+  shard_.assertHeld();
   return registerAs(component, node, name, Gauge{});
 }
 
@@ -88,6 +91,7 @@ Histogram& MetricsRegistry::histogram(const std::string& component,
                                       const std::string& node,
                                       const std::string& name,
                                       std::vector<double> upper_bounds) {
+  shard_.assertHeld();
   return registerAs(component, node, name,
                     Histogram{std::move(upper_bounds)});
 }
@@ -95,6 +99,7 @@ Histogram& MetricsRegistry::histogram(const std::string& component,
 const MetricsRegistry::Metric* MetricsRegistry::find(
     const std::string& component, const std::string& node,
     const std::string& name) const {
+  shard_.assertHeld();
   const auto it = metrics_.find(MetricKey{component, node, name});
   return it == metrics_.end() ? nullptr : &it->second;
 }
@@ -102,6 +107,7 @@ const MetricsRegistry::Metric* MetricsRegistry::find(
 const Counter* MetricsRegistry::findCounter(const std::string& component,
                                             const std::string& node,
                                             const std::string& name) const {
+  shard_.assertHeld();
   const Metric* m = find(component, node, name);
   return m ? std::get_if<Counter>(m) : nullptr;
 }
@@ -109,6 +115,7 @@ const Counter* MetricsRegistry::findCounter(const std::string& component,
 const Gauge* MetricsRegistry::findGauge(const std::string& component,
                                         const std::string& node,
                                         const std::string& name) const {
+  shard_.assertHeld();
   const Metric* m = find(component, node, name);
   return m ? std::get_if<Gauge>(m) : nullptr;
 }
@@ -116,6 +123,7 @@ const Gauge* MetricsRegistry::findGauge(const std::string& component,
 const Histogram* MetricsRegistry::findHistogram(const std::string& component,
                                                 const std::string& node,
                                                 const std::string& name) const {
+  shard_.assertHeld();
   const Metric* m = find(component, node, name);
   return m ? std::get_if<Histogram>(m) : nullptr;
 }
@@ -123,12 +131,14 @@ const Histogram* MetricsRegistry::findHistogram(const std::string& component,
 std::uint64_t MetricsRegistry::counterValue(const std::string& component,
                                             const std::string& node,
                                             const std::string& name) const {
+  shard_.assertHeld();
   const Counter* c = findCounter(component, node, name);
   return c ? c->value() : 0;
 }
 
 std::uint64_t MetricsRegistry::sumCounters(const std::string& component,
                                            const std::string& name) const {
+  shard_.assertHeld();
   std::uint64_t total = 0;
   for (const auto& [key, metric] : metrics_) {
     if (key.component != component || key.name != name) continue;
@@ -139,10 +149,12 @@ std::uint64_t MetricsRegistry::sumCounters(const std::string& component,
 
 void MetricsRegistry::forEach(
     const std::function<void(const MetricKey&, MetricType)>& visit) const {
+  shard_.assertHeld();
   for (const auto& [key, metric] : metrics_) visit(key, typeOf(metric));
 }
 
 void MetricsRegistry::writeCsv(std::ostream& os) const {
+  shard_.assertHeld();
   os << "component,node,name,type,value\n";
   for (const auto& [key, metric] : metrics_) {
     if (const Counter* c = std::get_if<Counter>(&metric)) {

@@ -25,6 +25,8 @@
 #include <variant>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace vini::obs {
 
 enum class MetricType { kCounter, kGauge, kHistogram };
@@ -146,7 +148,10 @@ class MetricsRegistry {
   std::uint64_t sumCounters(const std::string& component,
                             const std::string& name) const;
 
-  std::size_t size() const { return metrics_.size(); }
+  std::size_t size() const {
+    shard_.assertHeld();
+    return metrics_.size();
+  }
 
   /// Visit every metric in deterministic (sorted-key) order.
   void forEach(
@@ -165,9 +170,14 @@ class MetricsRegistry {
   const Metric* find(const std::string& component, const std::string& node,
                      const std::string& name) const;
 
+  // The registry is a merge point for the sharded engine: every node's
+  // stack bumps counters here.  Plan of record is shard-local registries
+  // merged at sample boundaries, so the map stays shard-owned.
+  core::ShardToken shard_;
   // std::map: node-based (stable handle addresses) and key-sorted
   // (deterministic iteration).
-  std::map<MetricKey, Metric> metrics_;
+  // cross-shard: merged across shard-local registries at sample points.
+  std::map<MetricKey, Metric> metrics_ VINI_GUARDED_BY(shard_);
 };
 
 }  // namespace vini::obs

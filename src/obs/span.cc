@@ -21,6 +21,7 @@ const char* spanOutcomeName(SpanOutcome outcome) {
 SpanTracker::SpanTracker(std::size_t capacity) : capacity_(capacity) {}
 
 std::int16_t SpanTracker::intern(const std::string& name) {
+  shard_.assertHeld();
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return static_cast<std::int16_t>(i);
   }
@@ -30,6 +31,7 @@ std::int16_t SpanTracker::intern(const std::string& name) {
 }
 
 const std::string& SpanTracker::name(std::int16_t id) const {
+  shard_.assertHeld();
   static const std::string kNone = "-";
   if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) return kNone;
   return names_[static_cast<std::size_t>(id)];
@@ -38,6 +40,7 @@ const std::string& SpanTracker::name(std::int16_t id) const {
 std::uint32_t SpanTracker::open(std::uint64_t trace_id, std::int16_t layer,
                                 sim::Time t, std::int16_t node,
                                 std::int16_t link, std::uint32_t bytes) {
+  shard_.assertHeld();
   SpanRecord rec;
   rec.trace_id = trace_id;
   rec.span_id = ++next_span_id_;
@@ -53,6 +56,7 @@ std::uint32_t SpanTracker::open(std::uint64_t trace_id, std::int16_t layer,
 
 void SpanTracker::close(std::uint32_t span_id, sim::Time t,
                         SpanOutcome outcome, std::int16_t reason) {
+  shard_.assertHeld();
   if (span_id == kNoSpan) return;
   auto it = open_spans_.find(span_id);
   if (it == open_spans_.end()) return;
@@ -64,6 +68,7 @@ void SpanTracker::close(std::uint32_t span_id, sim::Time t,
 void SpanTracker::openRoot(std::uint64_t trace_id, std::int16_t layer,
                            sim::Time t, std::int16_t node,
                            std::uint32_t bytes) {
+  shard_.assertHeld();
   if (trace_id == 0 || open_roots_.count(trace_id) != 0) return;
   SpanRecord rec;
   rec.trace_id = trace_id;
@@ -80,6 +85,7 @@ void SpanTracker::openRoot(std::uint64_t trace_id, std::int16_t layer,
 
 void SpanTracker::closeRoot(std::uint64_t trace_id, sim::Time t,
                             SpanOutcome outcome, std::int16_t reason) {
+  shard_.assertHeld();
   if (trace_id == 0) return;
   auto it = open_roots_.find(trace_id);
   if (it == open_roots_.end()) {
@@ -94,6 +100,7 @@ void SpanTracker::closeRoot(std::uint64_t trace_id, sim::Time t,
 
 void SpanTracker::finish(SpanRecord rec, sim::Time t, SpanOutcome outcome,
                          std::int16_t reason) {
+  shard_.assertHeld();
   rec.t_close = t;
   rec.outcome = outcome;
   rec.reason = reason;
@@ -110,6 +117,7 @@ void SpanTracker::finish(SpanRecord rec, sim::Time t, SpanOutcome outcome,
 }
 
 std::vector<SpanRecord> SpanTracker::traceSpans(std::uint64_t trace_id) const {
+  shard_.assertHeld();
   std::vector<SpanRecord> out;
   for (const auto& rec : records_) {
     if (rec.trace_id == trace_id) out.push_back(rec);
@@ -124,6 +132,7 @@ std::vector<SpanRecord> SpanTracker::traceSpans(std::uint64_t trace_id) const {
 }
 
 std::vector<std::uint64_t> SpanTracker::traceIds() const {
+  shard_.assertHeld();
   std::vector<std::uint64_t> ids;
   for (const auto& rec : records_) ids.push_back(rec.trace_id);
   std::sort(ids.begin(), ids.end());
@@ -132,6 +141,7 @@ std::vector<std::uint64_t> SpanTracker::traceIds() const {
 }
 
 void SpanTracker::writeCsv(std::ostream& os) const {
+  shard_.assertHeld();
   os << "trace_id,span_id,root,layer,node,link,t_open_ns,t_close_ns,dur_ns,"
         "outcome,reason,bytes\n";
   for (const auto& rec : records_) {
@@ -144,6 +154,7 @@ void SpanTracker::writeCsv(std::ostream& os) const {
 }
 
 void SpanTracker::clear() {
+  shard_.assertHeld();
   next_trace_id_ = 0;
   next_span_id_ = 0;
   opened_ = closed_delivered_ = closed_dropped_ = 0;

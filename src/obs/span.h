@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "sim/time.h"
 
 namespace vini::obs {
@@ -73,11 +74,17 @@ class SpanTracker {
   /// string table; re-interning returns the same id.
   std::int16_t intern(const std::string& name);
   const std::string& name(std::int16_t id) const;
-  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<std::string>& names() const {
+    shard_.assertHeld();
+    return names_;
+  }
 
   /// Assign a fresh trace id (ingress).  Ids are dense and deterministic:
   /// the Nth packet admitted to tracing in a run always gets id N.
-  std::uint64_t newTraceId() { return ++next_trace_id_; }
+  std::uint64_t newTraceId() {
+    shard_.assertHeld();
+    return ++next_trace_id_;
+  }
 
   // -- Hop spans --------------------------------------------------------------
 
@@ -101,29 +108,57 @@ class SpanTracker {
   void closeRoot(std::uint64_t trace_id, sim::Time t, SpanOutcome outcome,
                  std::int16_t reason = -1);
   bool rootOpen(std::uint64_t trace_id) const {
+    shard_.assertHeld();
     return open_roots_.count(trace_id) != 0;
   }
 
   // -- Read side --------------------------------------------------------------
 
-  std::uint64_t opened() const { return opened_; }
-  std::uint64_t closedDelivered() const { return closed_delivered_; }
-  std::uint64_t closedDropped() const { return closed_dropped_; }
-  std::uint64_t closed() const { return closed_delivered_ + closed_dropped_; }
+  std::uint64_t opened() const {
+    shard_.assertHeld();
+    return opened_;
+  }
+  std::uint64_t closedDelivered() const {
+    shard_.assertHeld();
+    return closed_delivered_;
+  }
+  std::uint64_t closedDropped() const {
+    shard_.assertHeld();
+    return closed_dropped_;
+  }
+  std::uint64_t closed() const { return closedDelivered() + closedDropped(); }
   /// Spans opened but not yet closed (in-flight packets at end of run).
-  std::uint64_t stillOpen() const { return opened_ - closed(); }
-  std::uint64_t rootsOpened() const { return roots_opened_; }
-  std::uint64_t rootsClosed() const { return roots_closed_; }
-  std::uint64_t rootsStillOpen() const { return open_roots_.size(); }
+  std::uint64_t stillOpen() const { return opened() - closed(); }
+  std::uint64_t rootsOpened() const {
+    shard_.assertHeld();
+    return roots_opened_;
+  }
+  std::uint64_t rootsClosed() const {
+    shard_.assertHeld();
+    return roots_closed_;
+  }
+  std::uint64_t rootsStillOpen() const {
+    shard_.assertHeld();
+    return open_roots_.size();
+  }
   /// closeRoot() calls that found the root already closed.
-  std::uint64_t lateRootCloses() const { return late_root_closes_; }
+  std::uint64_t lateRootCloses() const {
+    shard_.assertHeld();
+    return late_root_closes_;
+  }
 
   /// Completed spans in close order (capped at capacity()).
-  const std::vector<SpanRecord>& records() const { return records_; }
+  const std::vector<SpanRecord>& records() const {
+    shard_.assertHeld();
+    return records_;
+  }
   std::size_t capacity() const { return capacity_; }
   /// Completed spans dropped once the cap was reached (counters above
   /// remain exact).
-  std::uint64_t recordsLost() const { return records_lost_; }
+  std::uint64_t recordsLost() const {
+    shard_.assertHeld();
+    return records_lost_;
+  }
 
   /// All completed spans of one trace, sorted by (t_open, span_id); the
   /// root span, if closed, is first.
@@ -141,20 +176,28 @@ class SpanTracker {
   void finish(SpanRecord rec, sim::Time t, SpanOutcome outcome,
               std::int16_t reason);
 
+  // Sharded plan: a packet's spans follow it across shards, so the open
+  // tables are the one obs structure that must become a true cross-shard
+  // handoff (span state travels in the mailbox with the packet).
+  core::ShardToken shard_;
   std::size_t capacity_;
-  std::uint64_t next_trace_id_ = 0;
-  std::uint32_t next_span_id_ = 0;
-  std::uint64_t opened_ = 0;
-  std::uint64_t closed_delivered_ = 0;
-  std::uint64_t closed_dropped_ = 0;
-  std::uint64_t roots_opened_ = 0;
-  std::uint64_t roots_closed_ = 0;
-  std::uint64_t late_root_closes_ = 0;
-  std::uint64_t records_lost_ = 0;
-  std::vector<std::string> names_;
-  std::unordered_map<std::uint32_t, SpanRecord> open_spans_;
-  std::unordered_map<std::uint64_t, SpanRecord> open_roots_;
-  std::vector<SpanRecord> records_;
+  // cross-shard: trace ids must stay dense across all admitting shards.
+  std::uint64_t next_trace_id_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint32_t next_span_id_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t opened_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t closed_delivered_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t closed_dropped_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t roots_opened_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t roots_closed_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t late_root_closes_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t records_lost_ VINI_GUARDED_BY(shard_) = 0;
+  std::vector<std::string> names_ VINI_GUARDED_BY(shard_);
+  // cross-shard: a span opened on one shard may close on another.
+  std::unordered_map<std::uint32_t, SpanRecord> open_spans_
+      VINI_GUARDED_BY(shard_);
+  std::unordered_map<std::uint64_t, SpanRecord> open_roots_
+      VINI_GUARDED_BY(shard_);
+  std::vector<SpanRecord> records_ VINI_GUARDED_BY(shard_);
 };
 
 /// Close the root span of `trace_id` on the *currently installed* obs

@@ -18,6 +18,7 @@ std::int16_t Timeline::intern(
     std::vector<std::string>& names,
     std::unordered_map<std::string, std::int16_t>& index,
     const std::string& name) {
+  shard_.assertHeld();
   if (auto it = index.find(name); it != index.end()) return it->second;
   if (names.size() >= 0x7fff) throw std::length_error("timeline name table full");
   const auto id = static_cast<std::int16_t>(names.size());
@@ -28,11 +29,13 @@ std::int16_t Timeline::intern(
 
 void Timeline::instant(const std::string& track, const std::string& label,
                        sim::Time t) {
+  shard_.assertHeld();
   duration(track, label, t, 0);
 }
 
 void Timeline::duration(const std::string& track, const std::string& label,
                         sim::Time t, sim::Duration dur) {
+  shard_.assertHeld();
   if (events_.size() >= capacity_) {
     ++events_lost_;
     return;
@@ -46,18 +49,21 @@ void Timeline::duration(const std::string& track, const std::string& label,
 }
 
 const std::string& Timeline::trackName(std::int16_t id) const {
+  shard_.assertHeld();
   static const std::string kNone = "-";
   if (id < 0 || static_cast<std::size_t>(id) >= tracks_.size()) return kNone;
   return tracks_[static_cast<std::size_t>(id)];
 }
 
 const std::string& Timeline::labelName(std::int16_t id) const {
+  shard_.assertHeld();
   static const std::string kNone = "-";
   if (id < 0 || static_cast<std::size_t>(id) >= labels_.size()) return kNone;
   return labels_[static_cast<std::size_t>(id)];
 }
 
 void Timeline::writeCsv(std::ostream& os) const {
+  shard_.assertHeld();
   os << "track,label,t_ns,dur_ns\n";
   for (const auto& ev : events_) {
     os << trackName(ev.track) << ',' << labelName(ev.label) << ',' << ev.t
@@ -66,6 +72,7 @@ void Timeline::writeCsv(std::ostream& os) const {
 }
 
 void Timeline::clear() {
+  shard_.assertHeld();
   events_lost_ = 0;
   tracks_.clear();
   labels_.clear();
@@ -79,6 +86,7 @@ void Timeline::clear() {
 void MetricSampler::watch(const std::string& component,
                           const std::string& node, const std::string& name,
                           Mode mode) {
+  shard_.assertHeld();
   Series s;
   s.key = MetricKey{component, node, name};
   s.mode = mode;
@@ -87,18 +95,21 @@ void MetricSampler::watch(const std::string& component,
 }
 
 void MetricSampler::attach(sim::EventQueue& queue) {
+  shard_.assertHeld();
   attached_queue_ = &queue;
   queue.setAdvanceObserver(
       [this](sim::Time from, sim::Time to) { onAdvance(from, to); });
 }
 
 void MetricSampler::detach() {
+  shard_.assertHeld();
   if (attached_queue_ == nullptr) return;
   attached_queue_->setAdvanceObserver(nullptr);
   attached_queue_ = nullptr;
 }
 
 void MetricSampler::onAdvance(sim::Time from, sim::Time to) {
+  shard_.assertHeld();
   if (period_ <= 0 || registry_ == nullptr || series_.empty()) return;
   // First boundary origin + k*period strictly after `from`, then every
   // boundary up to and including `to`.
@@ -113,6 +124,7 @@ void MetricSampler::onAdvance(sim::Time from, sim::Time to) {
 }
 
 void MetricSampler::sampleAt(sim::Time t) {
+  shard_.assertHeld();
   for (std::size_t i = 0; i < series_.size(); ++i) {
     Series& s = series_[i];
     Watch& w = watch_state_[i];
@@ -141,6 +153,7 @@ void MetricSampler::sampleAt(sim::Time t) {
 const MetricSampler::Series* MetricSampler::find(
     const std::string& component, const std::string& node,
     const std::string& name) const {
+  shard_.assertHeld();
   for (const auto& s : series_) {
     if (s.key.component == component && s.key.node == node &&
         s.key.name == name) {
@@ -151,6 +164,7 @@ const MetricSampler::Series* MetricSampler::find(
 }
 
 void MetricSampler::writeCsv(std::ostream& os) const {
+  shard_.assertHeld();
   os << "component,node,name,t_ns,value\n";
   char buf[32];
   for (const auto& s : series_) {
@@ -163,6 +177,7 @@ void MetricSampler::writeCsv(std::ostream& os) const {
 }
 
 void MetricSampler::clear() {
+  shard_.assertHeld();
   for (auto& s : series_) s.points.clear();
   for (auto& w : watch_state_) w = Watch{};
 }

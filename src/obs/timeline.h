@@ -56,12 +56,24 @@ class Timeline {
   void duration(const std::string& track, const std::string& label,
                 sim::Time t, sim::Duration dur);
 
-  const std::vector<TimelineEvent>& events() const { return events_; }
-  const std::vector<std::string>& trackNames() const { return tracks_; }
-  const std::vector<std::string>& labelNames() const { return labels_; }
+  const std::vector<TimelineEvent>& events() const {
+    shard_.assertHeld();
+    return events_;
+  }
+  const std::vector<std::string>& trackNames() const {
+    shard_.assertHeld();
+    return tracks_;
+  }
+  const std::vector<std::string>& labelNames() const {
+    shard_.assertHeld();
+    return labels_;
+  }
   const std::string& trackName(std::int16_t id) const;
   const std::string& labelName(std::int16_t id) const;
-  std::uint64_t eventsLost() const { return events_lost_; }
+  std::uint64_t eventsLost() const {
+    shard_.assertHeld();
+    return events_lost_;
+  }
 
   /// "track,label,t_ns,dur_ns" rows in record order.
   void writeCsv(std::ostream& os) const;
@@ -73,13 +85,19 @@ class Timeline {
                       std::unordered_map<std::string, std::int16_t>& index,
                       const std::string& name);
 
+  // Sharded plan: shard-local timelines, events merged by (t, seq) at
+  // export; the intern tables stay shard-owned to keep record() cheap.
+  core::ShardToken shard_;
   std::size_t capacity_;
-  std::uint64_t events_lost_ = 0;
-  std::vector<std::string> tracks_;
-  std::vector<std::string> labels_;
-  std::unordered_map<std::string, std::int16_t> track_index_;
-  std::unordered_map<std::string, std::int16_t> label_index_;
-  std::vector<TimelineEvent> events_;
+  std::uint64_t events_lost_ VINI_GUARDED_BY(shard_) = 0;
+  std::vector<std::string> tracks_ VINI_GUARDED_BY(shard_);
+  std::vector<std::string> labels_ VINI_GUARDED_BY(shard_);
+  std::unordered_map<std::string, std::int16_t> track_index_
+      VINI_GUARDED_BY(shard_);
+  std::unordered_map<std::string, std::int16_t> label_index_
+      VINI_GUARDED_BY(shard_);
+  // cross-shard: merged across shard-local timelines at export time.
+  std::vector<TimelineEvent> events_ VINI_GUARDED_BY(shard_);
 };
 
 /// Snapshots registry metrics on virtual-time period boundaries.
@@ -103,15 +121,30 @@ class MetricSampler {
 
   /// Bind the registry the watched keys resolve against.  Metrics may be
   /// registered *after* watch() — resolution is retried at each sample.
-  void bindRegistry(const MetricsRegistry* registry) { registry_ = registry; }
+  void bindRegistry(const MetricsRegistry* registry) {
+    shard_.assertHeld();
+    registry_ = registry;
+  }
 
   /// Sampling period in virtual time; must be > 0 for any sampling.
-  void setPeriod(sim::Duration period) { period_ = period; }
-  sim::Duration period() const { return period_; }
+  void setPeriod(sim::Duration period) {
+    shard_.assertHeld();
+    period_ = period;
+  }
+  sim::Duration period() const {
+    shard_.assertHeld();
+    return period_;
+  }
   /// Align sample boundaries to origin + k * period (benches set this to
   /// their experiment start so series line up with the figure's t axis).
-  void setOrigin(sim::Time origin) { origin_ = origin; }
-  sim::Time origin() const { return origin_; }
+  void setOrigin(sim::Time origin) {
+    shard_.assertHeld();
+    origin_ = origin;
+  }
+  sim::Time origin() const {
+    shard_.assertHeld();
+    return origin_;
+  }
 
   /// Add a series for (component, node, name).  Counters and gauges are
   /// supported; a counter samples its running value.
@@ -122,12 +155,18 @@ class MetricSampler {
   /// hook is given to someone else; detach() uninstalls.
   void attach(sim::EventQueue& queue);
   void detach();
-  bool attached() const { return attached_queue_ != nullptr; }
+  bool attached() const {
+    shard_.assertHeld();
+    return attached_queue_ != nullptr;
+  }
 
   /// The advance hook body: sample every boundary in (from, to].
   void onAdvance(sim::Time from, sim::Time to);
 
-  const std::vector<Series>& series() const { return series_; }
+  const std::vector<Series>& series() const {
+    shard_.assertHeld();
+    return series_;
+  }
   const Series* find(const std::string& component, const std::string& node,
                      const std::string& name) const;
 
@@ -145,12 +184,16 @@ class MetricSampler {
 
   void sampleAt(sim::Time t);
 
-  const MetricsRegistry* registry_ = nullptr;
-  sim::EventQueue* attached_queue_ = nullptr;
-  sim::Duration period_ = 0;
-  sim::Time origin_ = 0;
-  std::vector<Series> series_;
-  std::vector<Watch> watch_state_;
+  // The sampler rides the queue's advance hook, so it executes on the
+  // shard that owns the attached queue.
+  core::ShardToken shard_;
+  // cross-shard: will read merged shard-local registries at sample points.
+  const MetricsRegistry* registry_ VINI_PT_GUARDED_BY(shard_) = nullptr;
+  sim::EventQueue* attached_queue_ VINI_PT_GUARDED_BY(shard_) = nullptr;
+  sim::Duration period_ VINI_GUARDED_BY(shard_) = 0;
+  sim::Time origin_ VINI_GUARDED_BY(shard_) = 0;
+  std::vector<Series> series_ VINI_GUARDED_BY(shard_);
+  std::vector<Watch> watch_state_ VINI_GUARDED_BY(shard_);
 };
 
 // ---------------------------------------------------------------------------

@@ -53,33 +53,40 @@ const std::string& lookup(const std::vector<std::string>& table,
 }  // namespace
 
 std::int16_t PacketTracer::internNode(const std::string& name) {
+  shard_.assertHeld();
   return intern(node_names_, name);
 }
 
 std::int16_t PacketTracer::internLink(const std::string& name) {
+  shard_.assertHeld();
   return intern(link_names_, name);
 }
 
 const std::string& PacketTracer::nodeName(std::int16_t id) const {
+  shard_.assertHeld();
   return lookup(node_names_, id);
 }
 
 const std::string& PacketTracer::linkName(std::int16_t id) const {
+  shard_.assertHeld();
   return lookup(link_names_, id);
 }
 
 void PacketTracer::record(const TraceRecord& rec) {
+  shard_.assertHeld();
   ring_[total_ % ring_.size()] = rec;
   ++total_;
   ++kind_totals_[static_cast<std::size_t>(rec.event)];
 }
 
 std::size_t PacketTracer::size() const {
+  shard_.assertHeld();
   return total_ < ring_.size() ? static_cast<std::size_t>(total_)
                                : ring_.size();
 }
 
 std::vector<TraceRecord> PacketTracer::snapshot() const {
+  shard_.assertHeld();
   std::vector<TraceRecord> out;
   const std::size_t n = size();
   out.reserve(n);
@@ -92,11 +99,13 @@ std::vector<TraceRecord> PacketTracer::snapshot() const {
 }
 
 void PacketTracer::clear() {
+  shard_.assertHeld();
   total_ = 0;
   kind_totals_.fill(0);
 }
 
 void PacketTracer::writeCsv(std::ostream& os) const {
+  shard_.assertHeld();
   os << "t_ns,event,node,link,src,dst,flow,seq,bytes\n";
   for (const TraceRecord& r : snapshot()) {
     os << r.t << "," << traceEventName(r.event) << "," << nodeName(r.node)
@@ -155,6 +164,7 @@ std::vector<std::string> getNameTable(std::istream& is) {
 }  // namespace
 
 void PacketTracer::writeBinary(std::ostream& os) const {
+  shard_.assertHeld();
   os.write("VTRC", 4);
   putLe<std::uint16_t>(os, kBinaryVersion);
   putLe<std::uint16_t>(os, static_cast<std::uint16_t>(kBinaryRecordSize));

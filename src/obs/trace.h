@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "sim/time.h"
 
 namespace vini::obs {
@@ -72,16 +73,26 @@ class PacketTracer {
 
   /// Total events recorded since construction (keeps counting after the
   /// ring wraps).
-  std::uint64_t totalRecorded() const { return total_; }
+  std::uint64_t totalRecorded() const {
+    shard_.assertHeld();
+    return total_;
+  }
   /// Running per-kind totals — these survive ring overflow, which is
   /// what makes drop reconciliation exact on long runs.
   std::uint64_t eventCount(TraceEvent ev) const {
+    shard_.assertHeld();
     return kind_totals_[static_cast<std::size_t>(ev)];
   }
   /// Number of records currently held (<= capacity).
   std::size_t size() const;
-  std::size_t capacity() const { return ring_.size(); }
-  bool wrapped() const { return total_ > ring_.size(); }
+  std::size_t capacity() const {
+    shard_.assertHeld();
+    return ring_.size();
+  }
+  bool wrapped() const {
+    shard_.assertHeld();
+    return total_ > ring_.size();
+  }
 
   /// Records in recording order, oldest surviving first.
   std::vector<TraceRecord> snapshot() const;
@@ -113,11 +124,17 @@ class PacketTracer {
   static constexpr std::size_t kBinaryRecordSize = 41;
 
  private:
-  std::vector<TraceRecord> ring_;
-  std::uint64_t total_ = 0;  // next write position = total_ % capacity
-  std::array<std::uint64_t, kTraceEventKinds> kind_totals_{};
-  std::vector<std::string> node_names_;
-  std::vector<std::string> link_names_;
+  // Sharded plan: one tracer per shard, rings merged by (t_ns, seq) at
+  // export — recording stays lock-free on the hot path.
+  core::ShardToken shard_;
+  // cross-shard: merged across shard-local rings at export time.
+  std::vector<TraceRecord> ring_ VINI_GUARDED_BY(shard_);
+  // next write position = total_ % capacity
+  std::uint64_t total_ VINI_GUARDED_BY(shard_) = 0;
+  std::array<std::uint64_t, kTraceEventKinds> kind_totals_
+      VINI_GUARDED_BY(shard_){};
+  std::vector<std::string> node_names_ VINI_GUARDED_BY(shard_);
+  std::vector<std::string> link_names_ VINI_GUARDED_BY(shard_);
 };
 
 }  // namespace vini::obs

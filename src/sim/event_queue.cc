@@ -10,6 +10,7 @@
 namespace vini::sim {
 
 EventId EventQueue::schedule(Time when, const char* tag, Callback cb) {
+  shard_.assertHeld();
   if (when < now_) when = now_;
   const EventId id = next_id_++;
   heap_.push_back(Entry{when, id, tag, std::move(cb)});
@@ -19,6 +20,7 @@ EventId EventQueue::schedule(Time when, const char* tag, Callback cb) {
 }
 
 bool EventQueue::cancel(EventId id) {
+  shard_.assertHeld();
   // Only events still awaiting execution can be cancelled.
   if (pending_ids_.erase(id) == 0) {
     // V101: cancelling an event that already fired (or was already
@@ -38,6 +40,7 @@ bool EventQueue::cancel(EventId id) {
 }
 
 EventQueue::Entry EventQueue::popEntry() {
+  shard_.assertHeld();
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   Entry e = std::move(heap_.back());
   heap_.pop_back();
@@ -45,6 +48,7 @@ EventQueue::Entry EventQueue::popEntry() {
 }
 
 bool EventQueue::step() {
+  shard_.assertHeld();
   while (!heap_.empty()) {
     Entry e = popEntry();
     if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
@@ -83,6 +87,7 @@ bool EventQueue::step() {
 }
 
 void EventQueue::runUntil(Time deadline) {
+  shard_.assertHeld();
   while (!heap_.empty()) {
     const Entry& top = heap_.front();
     if (cancelled_.count(top.id) != 0) {
@@ -100,6 +105,7 @@ void EventQueue::runUntil(Time deadline) {
 }
 
 void EventQueue::run() {
+  shard_.assertHeld();
   while (step()) {
   }
 }

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "sim/time.h"
 
 namespace vini::sim {
@@ -33,7 +34,10 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Current simulation time.  Advances only inside run()/runUntil()/step().
-  Time now() const { return now_; }
+  Time now() const {
+    shard_.assertHeld();
+    return now_;
+  }
 
   /// Schedule `cb` to run at absolute time `when` (clamped to now()).
   /// Returns a handle that can be passed to cancel().
@@ -49,10 +53,12 @@ class EventQueue {
 
   /// Schedule `cb` to run `delay` after the current time.
   EventId scheduleAfter(Duration delay, Callback cb) {
+    shard_.assertHeld();
     return schedule(now_ + (delay > 0 ? delay : 0), nullptr, std::move(cb));
   }
 
   EventId scheduleAfter(Duration delay, const char* tag, Callback cb) {
+    shard_.assertHeld();
     return schedule(now_ + (delay > 0 ? delay : 0), tag, std::move(cb));
   }
 
@@ -71,10 +77,16 @@ class EventQueue {
   void run();
 
   /// Number of events still pending (cancelled events are excluded).
-  std::size_t pendingCount() const { return pending_ids_.size(); }
+  std::size_t pendingCount() const {
+    shard_.assertHeld();
+    return pending_ids_.size();
+  }
 
   /// Total number of events executed since construction.
-  std::uint64_t executedCount() const { return executed_; }
+  std::uint64_t executedCount() const {
+    shard_.assertHeld();
+    return executed_;
+  }
 
   /// Wall-clock profiling hook: called after each executed event with
   /// the event's tag (nullptr for untagged) and the handler's wall time
@@ -82,7 +94,10 @@ class EventQueue {
   /// pass nullptr to uninstall.  The hook observes only — simulated
   /// time and event order are unaffected.
   using ProfileHook = std::function<void(const char* tag, std::int64_t wall_ns)>;
-  void setProfiler(ProfileHook hook) { profiler_ = std::move(hook); }
+  void setProfiler(ProfileHook hook) {
+    shard_.assertHeld();
+    profiler_ = std::move(hook);
+  }
 
   /// Time-advance observation hook: called whenever now() is about to
   /// advance — before the event at the new time executes, and at the
@@ -91,7 +106,10 @@ class EventQueue {
   /// event at `to` applied yet.  The hook observes only (the metric
   /// sampler in obs/ is the intended client); pass nullptr to uninstall.
   using AdvanceHook = std::function<void(Time from, Time to)>;
-  void setAdvanceObserver(AdvanceHook hook) { advance_ = std::move(hook); }
+  void setAdvanceObserver(AdvanceHook hook) {
+    shard_.assertHeld();
+    advance_ = std::move(hook);
+  }
 
  private:
   struct Entry {
@@ -111,18 +129,25 @@ class EventQueue {
   /// unlike moving from std::priority_queue::top()).
   Entry popEntry();
 
-  Time now_ = 0;
-  EventId next_id_ = 1;
-  std::uint64_t executed_ = 0;
+  // The queue is the unit the sharded engine distributes: one queue per
+  // worker shard, owned exclusively by it.  Everything below is
+  // shard-owned; cross-shard event handoff will go through an explicit
+  // mailbox, never by touching another shard's members.
+  core::ShardToken shard_;
+  // cross-shard: read by every layer via now(); sampled by observers.
+  Time now_ VINI_GUARDED_BY(shard_) = 0;
+  EventId next_id_ VINI_GUARDED_BY(shard_) = 1;
+  std::uint64_t executed_ VINI_GUARDED_BY(shard_) = 0;
   // A std::make_heap/push_heap/pop_heap-managed binary heap.  We manage
   // it by hand instead of using std::priority_queue so entries can be
   // *moved* out on pop: priority_queue::top() returns a const reference,
   // and the const_cast-then-move idiom it forces is UB-adjacent.
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> pending_ids_;
-  std::unordered_set<EventId> cancelled_;
-  ProfileHook profiler_;
-  AdvanceHook advance_;
+  // cross-shard: remote schedule() calls will land here via the mailbox.
+  std::vector<Entry> heap_ VINI_GUARDED_BY(shard_);
+  std::unordered_set<EventId> pending_ids_ VINI_GUARDED_BY(shard_);
+  std::unordered_set<EventId> cancelled_ VINI_GUARDED_BY(shard_);
+  ProfileHook profiler_ VINI_GUARDED_BY(shard_);
+  AdvanceHook advance_ VINI_GUARDED_BY(shard_);
 };
 
 /// A repeating timer built on EventQueue; cancels cleanly on destruction.

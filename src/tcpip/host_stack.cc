@@ -202,6 +202,8 @@ std::uint16_t HostStack::allocateEphemeralPort() {
   return 0;
 }
 
+std::uint16_t HostStack::allocateIcmpIdent() { return next_icmp_ident_++; }
+
 void HostStack::sendIcmpEcho(packet::IpAddress dst, std::uint16_t ident,
                              std::uint16_t seq, std::size_t payload_bytes,
                              packet::PacketMeta meta, packet::IpAddress src) {

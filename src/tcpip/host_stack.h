@@ -196,6 +196,11 @@ class HostStack {
 
   // -- ICMP -------------------------------------------------------------------
 
+  /// Allocate a fresh echo identifier.  Per-stack (ICMP demux is
+  /// per-stack), so idents are deterministic regardless of how many
+  /// other stacks exist in the process.
+  std::uint16_t allocateIcmpIdent();
+
   /// Send an echo request; replies arrive at the handler registered for
   /// `ident` (handler receives the reply packet, still meta-stamped).
   /// `src` overrides the source address (e.g. a tap0 address so the echo
@@ -310,6 +315,7 @@ class HostStack {
   std::map<TcpKey, TcpDemuxEntry> tcp_connections_;
   std::unordered_map<std::uint16_t, std::function<void(packet::Packet)>> tcp_listeners_;
   std::uint16_t next_ephemeral_ = 32768;
+  std::uint16_t next_icmp_ident_ = 0x4000;
   // Per-outgoing-link NIC state (one interface per link, full duplex).
   std::unordered_map<int, sim::Time> nic_busy_until_;
   std::unordered_map<int, sim::Time> last_tx_wire_;

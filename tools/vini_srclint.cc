@@ -1,0 +1,155 @@
+// vini_srclint: lint the C++ source tree for determinism and
+// concurrency-readiness hazards (V2xx check codes) ahead of the parallel
+// sharded event engine.
+//
+//   vini_srclint [options] [subdir...]
+//
+// Scans every .h/.cc under <root>/<subdir> (default subdirs: src tools)
+// and reports V2xx findings — see src/check/srclint.h for the catalogue.
+// Accepted findings live in a baseline file of justified suppressions;
+// the gate fails on any unbaselined error and on any stale entry.
+//
+//   vini_srclint --root . --baseline examples/specs/srclint.baseline
+//
+// Options:
+//   --root <dir>            tree root to scan (default ".")
+//   --baseline <file>       enforce a baseline of justified suppressions
+//   --write-baseline <file> emit a baseline covering current findings
+//                           (justifications left as TODO) and exit
+//   --quiet                 print only the summary line
+//   --self-test             run the built-in rule fixtures and exit
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/diagnostic.h"
+#include "check/srclint.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: vini_srclint [--root <dir>] [--baseline <file>]\n"
+        "                    [--write-baseline <file>] [--quiet]\n"
+        "                    [--self-test] [subdir...]\n"
+        "\n"
+        "Scans .h/.cc files for determinism/concurrency hazards (V2xx).\n"
+        "Default subdirs: src tools.  Exits 1 on unbaselined errors or\n"
+        "stale baseline entries.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool quiet = false;
+  bool self_test = false;
+  std::vector<std::string> subdirs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "vini_srclint: --root needs a value\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "vini_srclint: --baseline needs a value\n";
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "vini_srclint: --write-baseline needs a value\n";
+        return 2;
+      }
+      write_baseline_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "vini_srclint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      subdirs.push_back(arg);
+    }
+  }
+
+  if (self_test) {
+    const bool ok = vini::check::srclintSelfTest(std::cerr);
+    std::cerr << "vini_srclint: self-test " << (ok ? "passed" : "FAILED")
+              << "\n";
+    return ok ? 0 : 1;
+  }
+
+  if (subdirs.empty()) subdirs = {"src", "tools"};
+
+  std::vector<vini::check::SrcFinding> findings;
+  try {
+    findings = vini::check::lintTree(root, subdirs);
+  } catch (const std::exception& e) {
+    std::cerr << "vini_srclint: scan failed: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "vini_srclint: cannot write '" << write_baseline_path
+                << "'\n";
+      return 2;
+    }
+    out << vini::check::emitBaseline(findings);
+    std::cerr << "vini_srclint: wrote baseline for " << findings.size()
+              << " finding(s) to " << write_baseline_path
+              << " (fill in the justifications)\n";
+    return 0;
+  }
+
+  vini::check::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "vini_srclint: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      baseline = vini::check::parseBaseline(text);
+    } catch (const std::exception& e) {
+      std::cerr << "vini_srclint: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  const vini::check::BaselineResult result =
+      vini::check::applyBaseline(findings, baseline);
+
+  vini::check::Report report;
+  vini::check::toReport(result.unbaselined, report);
+  if (!quiet && !report.empty()) std::cerr << report.format();
+  if (!quiet) {
+    for (const auto& entry : result.stale) {
+      std::cerr << "stale baseline entry: " << entry.code << " " << entry.path
+                << " (no longer reported — remove it)\n";
+    }
+  }
+
+  const std::size_t errors = report.countErrors();
+  const std::size_t warnings = report.size() - errors;
+  std::cerr << "vini_srclint: " << errors << " error(s), " << warnings
+            << " warning(s), " << result.suppressed.size()
+            << " baselined, " << result.stale.size() << " stale\n";
+  return (report.hasErrors() || !result.stale.empty()) ? 1 : 0;
+}

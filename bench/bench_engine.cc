@@ -1,0 +1,260 @@
+// Engine throughput benchmark: how fast does the substrate itself run?
+//
+// Unlike the table/figure benches (which reproduce the paper's numbers),
+// this bench measures the *simulator*: it drives the Abilene-11 mirror
+// under saturating iperf UDP load — every access NIC offered more
+// traffic than it can carry — and reports raw discrete-event engine
+// throughput:
+//
+//   events/sec            executed events per wall-clock second
+//   sim-packets/sec       packets clocked onto physical wires per wall second
+//   sim/wall ratio        simulated seconds per wall second (>1 = faster
+//                         than real time)
+//   peak event storage    high-water entries resident in the event queue
+//                         (live + cancelled tombstones — the memory the
+//                         engine pins)
+//
+// Results go to BENCH_engine.json so every later PR shows a perf
+// trajectory; scripts/check.sh runs the smoke mode and CI uploads the
+// artifact.  The run is seeded and the *simulation* side is
+// deterministic (events, packets, peak storage); only the wall-clock
+// readings vary between machines.
+//
+// Both event-queue implementations (binary heap and calendar queue) are
+// measured back to back, on identical seeds, so the JSON doubles as the
+// queue-selection study.
+//
+//   bench_engine [--out FILE] [--seconds N] [--flows N] [--queue heap|calendar|both]
+//   VINI_SMOKE=1 shrinks the run for CI gating.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "app/iperf.h"
+#include "bench_common.h"
+#include "topo/worlds.h"
+
+using namespace vini;
+
+namespace {
+
+struct RunResult {
+  std::string queue_impl;
+  std::uint64_t events = 0;
+  std::uint64_t sim_packets = 0;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t peak_pending = 0;
+  std::uint64_t peak_storage = 0;
+
+  double eventsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0.0;
+  }
+  double packetsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(sim_packets) / wall_seconds
+                            : 0.0;
+  }
+  double simWallRatio() const {
+    return wall_seconds > 0 ? sim_seconds / wall_seconds : 0.0;
+  }
+};
+
+std::uint64_t totalTxPackets(const topo::World& world) {
+  std::uint64_t total = 0;
+  for (const auto& link : world.net.links()) {
+    total += link->channelFrom(link->nodeA()).stats().tx_packets;
+    total += link->channelFrom(link->nodeB()).stats().tx_packets;
+  }
+  return total;
+}
+
+/// One measured run: build the Abilene mirror on the chosen queue
+/// implementation, converge the overlay (not timed — we measure the
+/// steady-state hot path, not setup), then saturate and time it.
+RunResult runOnce(sim::QueueImpl impl, int flows, int seconds) {
+  RunResult result;
+  result.queue_impl = sim::queueImplName(impl);
+
+  topo::WorldOptions options;
+  options.seed = 4711;
+  options.contention = 0.0;  // quiescent nodes: the engine is the subject
+  options.queue_impl = impl;
+  auto world = topo::makeAbileneWorld(options);
+  if (!world->runUntilConverged(180 * sim::kSecond)) {
+    std::fprintf(stderr, "bench_engine: world did not converge\n");
+    std::exit(1);
+  }
+  const sim::Time t0 = world->queue.now();
+
+  // Saturating load: each flow offers 120 Mb/s of 1430-byte UDP against
+  // a 100 Mb/s access NIC, across the backbone in both directions.
+  // Every transmit queue on the flow paths stays full, so the engine
+  // processes the maximum event rate the topology can generate.
+  static const char* kPairs[][2] = {
+      {"Washington", "Seattle"},   {"Seattle", "Atlanta"},
+      {"Sunnyvale", "NewYork"},    {"LosAngeles", "Chicago"},
+      {"Houston", "Indianapolis"}, {"Denver", "Atlanta"},
+      {"NewYork", "Sunnyvale"},    {"Atlanta", "KansasCity"},
+  };
+  const int npairs = static_cast<int>(sizeof(kPairs) / sizeof(kPairs[0]));
+  std::vector<std::unique_ptr<app::IperfUdpServer>> servers;
+  std::vector<std::unique_ptr<app::IperfUdpClient>> clients;
+  for (int i = 0; i < flows; ++i) {
+    const char* src = kPairs[i % npairs][0];
+    const char* dst = kPairs[i % npairs][1];
+    const std::uint16_t port = static_cast<std::uint16_t>(5001 + i);
+    servers.push_back(
+        std::make_unique<app::IperfUdpServer>(world->stack(dst), port));
+    clients.push_back(std::make_unique<app::IperfUdpClient>(
+        world->stack(src), world->tapOf(dst), port, 120e6, 1430,
+        world->tapOf(src)));
+    clients.back()->start(seconds * sim::kSecond);
+  }
+
+  const std::uint64_t events_before = world->queue.executedCount();
+  const std::uint64_t packets_before = totalTxPackets(*world);
+  const auto wall_start = std::chrono::steady_clock::now();
+  world->queue.runUntil(t0 + seconds * sim::kSecond);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  result.events = world->queue.executedCount() - events_before;
+  result.sim_packets = totalTxPackets(*world) - packets_before;
+  result.sim_seconds = sim::toSeconds(seconds * sim::kSecond);
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall_end -
+                                                                wall_start)
+          .count();
+  result.peak_pending = world->queue.peakPendingCount();
+  result.peak_storage = world->queue.peakStorageCount();
+  return result;
+}
+
+void writeRunJson(std::ofstream& out, const RunResult& r, bool last) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\n"
+      "      \"queue_impl\": \"%s\",\n"
+      "      \"events\": %llu,\n"
+      "      \"events_per_sec\": %.0f,\n"
+      "      \"sim_packets\": %llu,\n"
+      "      \"sim_packets_per_sec\": %.0f,\n"
+      "      \"sim_seconds\": %.3f,\n"
+      "      \"wall_seconds\": %.6f,\n"
+      "      \"sim_wall_ratio\": %.3f,\n"
+      "      \"peak_pending_events\": %llu,\n"
+      "      \"peak_event_storage\": %llu\n"
+      "    }%s\n",
+      r.queue_impl.c_str(), static_cast<unsigned long long>(r.events),
+      r.eventsPerSec(), static_cast<unsigned long long>(r.sim_packets),
+      r.packetsPerSec(), r.sim_seconds, r.wall_seconds, r.simWallRatio(),
+      static_cast<unsigned long long>(r.peak_pending),
+      static_cast<unsigned long long>(r.peak_storage), last ? "" : ",");
+  out << buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
+  std::string out_path = "BENCH_engine.json";
+  std::string queue_arg = "both";
+  int seconds = smoke ? 2 : 10;
+  int flows = smoke ? 4 : 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (arg != flag) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_engine: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = value("--out")) {
+      out_path = v;
+    } else if (const char* v = value("--seconds")) {
+      seconds = std::atoi(v);
+    } else if (const char* v = value("--flows")) {
+      flows = std::atoi(v);
+    } else if (const char* v = value("--queue")) {
+      queue_arg = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_engine [--out FILE] [--seconds N] "
+                   "[--flows N] [--queue heap|calendar|both]\n");
+      return 2;
+    }
+  }
+
+  bench::header("Engine throughput: Abilene-11 under saturating iperf",
+                "the substrate itself (ROADMAP item 1)");
+  std::vector<sim::QueueImpl> impls;
+  if (queue_arg == "heap" || queue_arg == "both") {
+    impls.push_back(sim::QueueImpl::kHeap);
+  }
+  if (queue_arg == "calendar" || queue_arg == "both") {
+    impls.push_back(sim::QueueImpl::kCalendar);
+  }
+  if (impls.empty()) {
+    std::fprintf(stderr, "bench_engine: unknown --queue '%s'\n",
+                 queue_arg.c_str());
+    return 2;
+  }
+
+  std::vector<RunResult> runs;
+  for (const sim::QueueImpl impl : impls) {
+    RunResult r = runOnce(impl, flows, seconds);
+    std::printf(
+        "\n  queue=%-12s %9.2f s sim in %6.2f s wall (ratio %6.2f)\n"
+        "    events        %12llu   (%.0f events/s)\n"
+        "    sim packets   %12llu   (%.0f packets/s)\n"
+        "    peak pending  %12llu   peak storage %llu\n",
+        r.queue_impl.c_str(), r.sim_seconds, r.wall_seconds, r.simWallRatio(),
+        static_cast<unsigned long long>(r.events), r.eventsPerSec(),
+        static_cast<unsigned long long>(r.sim_packets), r.packetsPerSec(),
+        static_cast<unsigned long long>(r.peak_pending),
+        static_cast<unsigned long long>(r.peak_storage));
+    runs.push_back(std::move(r));
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"engine\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"topology\": \"abilene-11\",\n"
+      << "  \"workload\": \"saturating-udp-iperf\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"flows\": " << flows << ",\n"
+      << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    writeRunJson(out, runs[i], i + 1 == runs.size());
+  }
+  out << "  ]\n}\n";
+  std::printf("\n  [results written to %s]\n", out_path.c_str());
+
+  // Consistency gate, not a perf gate: both implementations must agree
+  // on the *simulation* — identical seeds must execute identical event
+  // and packet counts regardless of queue internals.  Wall time is the
+  // only column allowed to differ.
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].events != runs[0].events ||
+        runs[i].sim_packets != runs[0].sim_packets) {
+      std::fprintf(stderr,
+                   "bench_engine: queue implementations diverged "
+                   "(%s: %llu events / %llu packets, %s: %llu / %llu)\n",
+                   runs[0].queue_impl.c_str(),
+                   static_cast<unsigned long long>(runs[0].events),
+                   static_cast<unsigned long long>(runs[0].sim_packets),
+                   runs[i].queue_impl.c_str(),
+                   static_cast<unsigned long long>(runs[i].events),
+                   static_cast<unsigned long long>(runs[i].sim_packets));
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -23,6 +23,11 @@
 #      be byte-identical (spans, timeline, series, and the Chrome trace
 #      JSON), and a validate pass over the JSON (well-formedness plus
 #      per-track timestamp monotonicity)
+#   5d. engine throughput bench smoke: bench_engine runs both queue
+#      implementations (its internal gate fails unless they simulate
+#      identical event/packet counts) and writes BENCH_engine.json;
+#      then a same-seed vini_timeline export under --queue heap and
+#      --queue calendar must be byte-identical file for file
 #   6. clang-tidy over src/ and tools/ (skipped when not installed)
 #   7. full ctest suite under AddressSanitizer and UBSan builds
 set -euo pipefail
@@ -103,6 +108,28 @@ for EXT in json spans.csv timeline.csv series.csv; do
   }
 done
 ./build-check/tools/vini_timeline validate build-check/timeline-run-1.json
+
+# --- 5d. Engine throughput bench + cross-queue determinism -------------------
+# bench_engine saturates the Abilene mirror with iperf traffic under
+# both event-queue implementations and exits nonzero if they disagree
+# on events executed or packets simulated.  The export diff then proves
+# the stronger property end to end: heap and calendar queues produce
+# byte-identical observability artifacts, not just identical counts.
+stage "bench_engine smoke (VINI_SMOKE=1, --queue both) + heap/calendar export diff"
+(cd build-check && VINI_SMOKE=1 ./bench/bench_engine --queue both \
+  --out BENCH_engine.json)
+# Full fidelity (no VINI_SMOKE): the diff covers the complete canned
+# scenario, failover and all.
+for IMPL in heap calendar; do
+  (cd build-check && ./tools/vini_timeline export --seed 811 \
+    --queue "$IMPL" --out "timeline-$IMPL" > /dev/null)
+done
+for EXT in json spans.csv timeline.csv series.csv; do
+  diff "build-check/timeline-heap.$EXT" "build-check/timeline-calendar.$EXT" || {
+    echo "vini_timeline: heap and calendar queues diverge ($EXT)"
+    exit 1
+  }
+done
 
 # --- 6. clang-tidy -----------------------------------------------------------
 stage "clang-tidy"

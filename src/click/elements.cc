@@ -227,9 +227,8 @@ void DecIpTtl::push(int, packet::Packet p) {
   if (p.ip.ttl <= 1) {
     ++expired_;
     VINI_OBS_ROOT_DROP(p.meta.trace_id, "ttl_expired");
-    // The Time Exceeded error quotes this packet's meta; the trace ended
-    // here, so the error starts an untraced journey of its own.
-    p.meta.trace_id = 0;
+    // Packet::icmpError starts the Time Exceeded error on an untraced
+    // journey of its own; the expired packet's trace ends at this drop.
     if (outputCount() > 1) output(1, std::move(p));
     return;
   }

@@ -66,6 +66,11 @@ Packet Packet::icmpError(IpAddress reporter, std::uint8_t type,
   p.l4 = h;
   p.payload_bytes = Ipv4Header::kWireBytes + 8;  // quoted original
   p.meta = original.meta;  // lets the prober match the error to its probe
+  // The original's causal trace ended at whatever drop produced this
+  // error; the error packet starts an untraced journey of its own.
+  // Inheriting the trace id here would splice the error's hops into the
+  // dead packet's span tree.
+  p.meta.trace_id = 0;
   return p;
 }
 

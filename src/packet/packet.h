@@ -81,7 +81,9 @@ class Packet {
   /// ICMP error (time exceeded, destination unreachable) about
   /// `original`, sourced from `reporter`.  Carries the original packet's
   /// measurement metadata so probes (traceroute) can be correlated, and
-  /// the conventional "IP header + 8 bytes" of quoted payload.
+  /// the conventional "IP header + 8 bytes" of quoted payload.  The
+  /// causal trace id is NOT inherited — the error is a new, untraced
+  /// packet; call sites must not rely on clearing it themselves.
   static Packet icmpError(IpAddress reporter, std::uint8_t type,
                           std::uint8_t code, const Packet& original);
 

@@ -14,10 +14,11 @@ namespace {
 // actually queued — a mismatch means drop-tail accounting drifted and
 // every subsequent queue-full decision is wrong.  O(queue) per call,
 // audit builds only.
-void auditByteAccounting(const std::deque<packet::Packet>& tx_queue,
-                         std::size_t queued_bytes) {
+void auditByteAccounting(
+    const std::deque<std::shared_ptr<packet::Packet>>& tx_queue,
+    std::size_t queued_bytes) {
   std::size_t sum = 0;
-  for (const auto& p : tx_queue) sum += p.wireBytes();
+  for (const auto& p : tx_queue) sum += p->wireBytes();
   VINI_AUDIT_CHECK(
       sum == queued_bytes,
       (check::Diagnostic{check::Severity::kError, "V102", "phys channel",
@@ -26,7 +27,8 @@ void auditByteAccounting(const std::deque<packet::Packet>& tx_queue,
                              " bytes actually queued"}));
 }
 #else
-void auditByteAccounting(const std::deque<packet::Packet>&, std::size_t) {}
+void auditByteAccounting(const std::deque<std::shared_ptr<packet::Packet>>&,
+                         std::size_t) {}
 #endif
 
 }  // namespace
@@ -121,7 +123,7 @@ void Channel::transmit(packet::Packet p) {
   VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kEnqueue, queue_.now(), p,
                                trace_link_));
   tx_queue_spans_.push_back(spanOpen(p, span_queue_));
-  tx_queue_.push_back(std::move(p));
+  tx_queue_.push_back(std::make_shared<packet::Packet>(std::move(p)));
   auditByteAccounting(tx_queue_, queued_bytes_);
   if (!transmitting_) startNextTransmission();
 }
@@ -138,12 +140,12 @@ void Channel::startNextTransmission() {
     return;
   }
   transmitting_ = true;
-  packet::Packet p = std::move(tx_queue_.front());
+  std::shared_ptr<packet::Packet> p = std::move(tx_queue_.front());
   tx_queue_.pop_front();
   const std::uint32_t queue_span = tx_queue_spans_.front();
   tx_queue_spans_.pop_front();
   spanClose(queue_span);
-  const std::size_t wire = p.wireBytes();
+  const std::size_t wire = p->wireBytes();
   VINI_AUDIT_CHECK(
       wire <= queued_bytes_,
       (check::Diagnostic{check::Severity::kError, "V102", "phys channel",
@@ -160,15 +162,15 @@ void Channel::startNextTransmission() {
   const sim::Duration serialization =
       sim::serializationDelay(wire, config_.bandwidth_bps);
   VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kSerializeStart, queue_.now(),
-                               p, trace_link_));
-  const std::uint32_t serialize_span = spanOpen(p, span_serialize_);
+                               *p, trace_link_));
+  const std::uint32_t serialize_span = spanOpen(*p, span_serialize_);
 
   queue_.scheduleAfter(serialization, "phys.link",
                        [this, p = std::move(p), serialize_span]() mutable {
     ++stats_.tx_packets;
-    stats_.tx_bytes += p.wireBytes();
+    stats_.tx_bytes += p->wireBytes();
     VINI_OBS_INC(m_tx_packets_);
-    VINI_OBS_ADD(m_tx_bytes_, p.wireBytes());
+    VINI_OBS_ADD(m_tx_bytes_, p->wireBytes());
     spanClose(serialize_span);
     // The wire is free again; start the next frame.
     const bool lost = !link_up_ ||
@@ -178,17 +180,17 @@ void Channel::startNextTransmission() {
         ++stats_.down_drops;
         VINI_OBS_INC(m_down_drops_);
         VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kDownDrop, queue_.now(),
-                                     p, trace_link_));
-        spanRootDrop(p, "link_down");
+                                     *p, trace_link_));
+        spanRootDrop(*p, "link_down");
       } else {
         ++stats_.loss_drops;
         VINI_OBS_INC(m_loss_drops_);
         VINI_OBS_TRACE(channelRecord(obs::TraceEvent::kLossDrop, queue_.now(),
-                                     p, trace_link_));
-        spanRootDrop(p, "wire_loss");
+                                     *p, trace_link_));
+        spanRootDrop(*p, "wire_loss");
       }
     } else {
-      const std::uint32_t prop_span = spanOpen(p, span_propagation_);
+      const std::uint32_t prop_span = spanOpen(*p, span_propagation_);
       queue_.scheduleAfter(config_.propagation, "phys.link",
                            [this, p = std::move(p), prop_span]() mutable {
                              spanClose(prop_span);
@@ -198,12 +200,12 @@ void Channel::startNextTransmission() {
                                ++stats_.down_drops;
                                VINI_OBS_INC(m_down_drops_);
                                VINI_OBS_TRACE(channelRecord(
-                                 obs::TraceEvent::kDownDrop, queue_.now(), p,
+                                 obs::TraceEvent::kDownDrop, queue_.now(), *p,
                                  trace_link_));
-                               spanRootDrop(p, "link_down_midflight");
+                               spanRootDrop(*p, "link_down_midflight");
                                return;
                              }
-                             if (deliver_) deliver_(std::move(p));
+                             if (deliver_) deliver_(std::move(*p));
                            });
     }
     startNextTransmission();

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -82,7 +83,13 @@ class Channel {
   LinkConfig config_;
   const bool& link_up_;
   DeliverFn deliver_;
-  std::deque<packet::Packet> tx_queue_;
+  /// Packets are boxed once on enqueue and the same box rides through
+  /// the queue and both wire events (serialization, propagation), so a
+  /// link hop never copies the 144-byte Packet and the event callbacks
+  /// capture only a pointer — small enough for the event queue's inline
+  /// storage.  The box is exclusively owned; deliver_ receives the
+  /// moved-out value.
+  std::deque<std::shared_ptr<packet::Packet>> tx_queue_;
   /// Queueing-span id of each tx_queue_ entry (0 = untraced); kept in
   /// lockstep with tx_queue_.
   std::deque<std::uint32_t> tx_queue_spans_;

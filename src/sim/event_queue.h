@@ -4,34 +4,82 @@
 // transmission, CPU scheduling decision, protocol timer, and application
 // action is an event.  Events at equal timestamps execute in scheduling
 // order (FIFO by sequence number), which keeps runs fully deterministic.
+//
+// Storage model (the bench_engine hot path):
+//
+//   * Callbacks live in a slab of reusable records (`slots_` + a free
+//     list), each holding a small-buffer-optimized InlineCallback — a
+//     scheduled event with captures up to 64 bytes costs zero heap
+//     allocations, and a fired or cancelled slot is recycled in place.
+//   * The EventId handle encodes its slab slot in the low bits and a
+//     monotone sequence number in the high bits, so cancel() finds its
+//     record and step() detects stale keys by a single id comparison —
+//     the engine keeps no hash map at all.
+//   * The priority structure orders lightweight 16-byte keys
+//     {when, id}, not the records themselves, so sift/scan moves stay
+//     inside a few cache lines.
+//   * Two interchangeable priority structures: a 4-ary heap (default,
+//     O(log n), fully general; 4-ary rather than binary because the
+//     four children of a node share a cache line, halving the miss
+//     depth of a sift on large queues) and a calendar queue (Brown
+//     1988: O(1) amortized at high event rates when timestamps are
+//     roughly uniform, as under saturating traffic).  Both pop in
+//     exactly the same (when, id) total order, so a run is
+//     byte-identical under either — scripts/check.sh diffs same-seed
+//     exports across the two to enforce it, and bench_engine measures
+//     them against each other.
+//   * cancel() releases the callback (and everything it captured)
+//     eagerly and leaves only a tombstone key behind; tombstones are
+//     compacted away whenever they outnumber live keys.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "core/thread_annotations.h"
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace vini::sim {
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
+/// Handles are unique for the lifetime of their queue and monotonically
+/// increasing in scheduling order; 0 is never a valid handle.
 using EventId = std::uint64_t;
+
+/// Priority-structure implementations selectable at construction.
+enum class QueueImpl {
+  kHeap,      ///< implicit 4-ary min-heap over the key vector
+  kCalendar,  ///< calendar queue: bucketed by timestamp, O(1) amortized
+};
+
+/// Stable lowercase name for reports and BENCH_engine.json.
+const char* queueImplName(QueueImpl impl);
 
 /// A deterministic discrete-event scheduler.
 ///
 /// Usage:
-///   EventQueue q;
+///   EventQueue q;                         // 4-ary heap
+///   EventQueue q(QueueImpl::kCalendar);   // calendar queue
 ///   q.schedule(q.now() + kSecond, [] { ... });
 ///   q.runUntil(10 * kSecond);
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Event callbacks capture at most a component pointer, a shared
+  /// packet handle, and a span id on the hot path; 64 inline bytes
+  /// covers that with headroom (a stray std::function also fits).
+  using Callback = InlineCallback<64>;
 
   EventQueue() = default;
+  explicit EventQueue(QueueImpl impl);
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+
+  QueueImpl impl() const {
+    shard_.assertHeld();
+    return impl_;
+  }
 
   /// Current simulation time.  Advances only inside run()/runUntil()/step().
   Time now() const {
@@ -63,7 +111,10 @@ class EventQueue {
   }
 
   /// Cancel a previously scheduled event.  Returns true if the event was
-  /// still pending (i.e. it will no longer fire).
+  /// still pending (i.e. it will no longer fire).  The callback and all
+  /// state it captured are released immediately, not when the event's
+  /// timestamp is reached — a repeatedly re-armed hold timer therefore
+  /// pins O(1) memory, not one dead record per re-arm.
   bool cancel(EventId id);
 
   /// Execute the single next pending event.  Returns false if none remain.
@@ -79,13 +130,32 @@ class EventQueue {
   /// Number of events still pending (cancelled events are excluded).
   std::size_t pendingCount() const {
     shard_.assertHeld();
-    return pending_ids_.size();
+    return live_;
+  }
+
+  /// Number of keys resident in the priority structure, *including*
+  /// cancelled tombstones awaiting compaction — the memory the engine
+  /// actually pins.
+  std::size_t storageCount() const {
+    shard_.assertHeld();
+    return impl_ == QueueImpl::kHeap ? heap_.size() : cal_count_;
   }
 
   /// Total number of events executed since construction.
   std::uint64_t executedCount() const {
     shard_.assertHeld();
     return executed_;
+  }
+
+  /// High-water marks of pendingCount() / storageCount() since
+  /// construction (BENCH_engine.json's peak columns).
+  std::uint64_t peakPendingCount() const {
+    shard_.assertHeld();
+    return peak_pending_;
+  }
+  std::uint64_t peakStorageCount() const {
+    shard_.assertHeld();
+    return peak_storage_;
   }
 
   /// Wall-clock profiling hook: called after each executed event with
@@ -112,40 +182,104 @@ class EventQueue {
   }
 
  private:
-  struct Entry {
+  /// EventId layout: [ sequence : 40 | slab slot : 24 ].  The sequence
+  /// is monotone per queue (ids order by scheduling time, giving the
+  /// FIFO tie-break), and the slot gives cancel()/step() an O(1),
+  /// hash-free path to the event's record.  A stale handle — fired,
+  /// cancelled, or fabricated — is detected because its slot no longer
+  /// stores the same id.
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static std::uint32_t slotOf(EventId id) {
+    return static_cast<std::uint32_t>(id & kSlotMask);
+  }
+  static std::uint64_t seqOf(EventId id) { return id >> kSlotBits; }
+
+  /// What the priority structures order: 16 bytes, trivially copyable.
+  /// (when, id) is a total order — ids are unique and monotone — so any
+  /// correct min-extraction yields the same deterministic sequence.
+  struct Key {
     Time when = 0;
     EventId id = 0;
-    const char* tag = nullptr;
-    Callback cb;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;  // FIFO among equal timestamps
-    }
+  static bool keyEarlier(const Key& a, const Key& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.id < b.id;  // FIFO among equal timestamps
+  }
+
+  /// Slab record: the callback (captures inline up to 64 bytes), the
+  /// profiler tag, and the full id currently occupying the slot (0 when
+  /// free — the generation check).  Slots are recycled through
+  /// free_slots_.
+  struct Slot {
+    Callback cb;
+    const char* tag = nullptr;
+    EventId id = 0;
   };
 
-  /// Pop the earliest entry off the heap (moves it out; well-defined,
-  /// unlike moving from std::priority_queue::top()).
-  Entry popEntry();
+  std::uint32_t allocSlot() VINI_REQUIRES(shard_);
+  void releaseSlot(std::uint32_t slot) VINI_REQUIRES(shard_);
+  /// True while `key` refers to a live (not cancelled, not fired) event.
+  bool keyLive(const Key& key) const VINI_REQUIRES(shard_) {
+    return slots_[slotOf(key.id)].id == key.id;
+  }
+
+  /// Earliest live key, skimming cancelled tombstones off the top; null
+  /// when empty.  The returned pointer is invalidated by any mutation.
+  const Key* peekLive() VINI_REQUIRES(shard_);
+  const Key* peekMinRaw() VINI_REQUIRES(shard_);
+  Key popMinRaw() VINI_REQUIRES(shard_);
+
+  // 4-ary heap primitives (impl_ == kHeap only).
+  void heapSiftUp(std::size_t i) VINI_REQUIRES(shard_);
+  void heapSiftDown(std::size_t i) VINI_REQUIRES(shard_);
+  void heapRebuild() VINI_REQUIRES(shard_);
+
+  /// Drop every tombstone from the priority structure once they
+  /// outnumber live keys (dead_keys_ > storage/2).
+  void maybeCompact() VINI_REQUIRES(shard_);
+
+  // Calendar-queue internals (impl_ == kCalendar only).  Buckets are
+  // kept sorted by (when, id); the scan position (cal_bucket_, cal_top_)
+  // walks year windows exactly as in Brown's original design.
+  void calResetScan(Time t) VINI_REQUIRES(shard_);
+  void calInsert(const Key& k) VINI_REQUIRES(shard_);
+  const Key* calPeek() VINI_REQUIRES(shard_);
+  void calMaybeResize() VINI_REQUIRES(shard_);
+  void calRebuild(std::size_t nbuckets) VINI_REQUIRES(shard_);
 
   // The queue is the unit the sharded engine distributes: one queue per
   // worker shard, owned exclusively by it.  Everything below is
   // shard-owned; cross-shard event handoff will go through an explicit
   // mailbox, never by touching another shard's members.
   core::ShardToken shard_;
+  QueueImpl impl_ VINI_GUARDED_BY(shard_) = QueueImpl::kHeap;
   // cross-shard: read by every layer via now(); sampled by observers.
   Time now_ VINI_GUARDED_BY(shard_) = 0;
-  EventId next_id_ VINI_GUARDED_BY(shard_) = 1;
+  std::uint64_t next_seq_ VINI_GUARDED_BY(shard_) = 1;
   std::uint64_t executed_ VINI_GUARDED_BY(shard_) = 0;
-  // A std::make_heap/push_heap/pop_heap-managed binary heap.  We manage
-  // it by hand instead of using std::priority_queue so entries can be
-  // *moved* out on pop: priority_queue::top() returns a const reference,
-  // and the const_cast-then-move idiom it forces is UB-adjacent.
+  std::uint64_t peak_pending_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t peak_storage_ VINI_GUARDED_BY(shard_) = 0;
+  /// Live (pending, uncancelled) events.
+  std::size_t live_ VINI_GUARDED_BY(shard_) = 0;
+  /// Tombstones: cancelled keys still sitting in the priority structure.
+  std::size_t dead_keys_ VINI_GUARDED_BY(shard_) = 0;
+
+  // Slab storage for callbacks; keys refer into it by index.
+  std::vector<Slot> slots_ VINI_GUARDED_BY(shard_);
+  std::vector<std::uint32_t> free_slots_ VINI_GUARDED_BY(shard_);
+
+  // 4-ary heap structure (heapSiftUp/heapSiftDown-managed).
   // cross-shard: remote schedule() calls will land here via the mailbox.
-  std::vector<Entry> heap_ VINI_GUARDED_BY(shard_);
-  std::unordered_set<EventId> pending_ids_ VINI_GUARDED_BY(shard_);
-  std::unordered_set<EventId> cancelled_ VINI_GUARDED_BY(shard_);
+  std::vector<Key> heap_ VINI_GUARDED_BY(shard_);
+
+  // Calendar structure.
+  std::vector<std::vector<Key>> cal_buckets_ VINI_GUARDED_BY(shard_);
+  std::size_t cal_count_ VINI_GUARDED_BY(shard_) = 0;
+  Time cal_width_ VINI_GUARDED_BY(shard_) = kMillisecond;
+  std::size_t cal_bucket_ VINI_GUARDED_BY(shard_) = 0;
+  Time cal_top_ VINI_GUARDED_BY(shard_) = 0;
+
   ProfileHook profiler_ VINI_GUARDED_BY(shard_);
   AdvanceHook advance_ VINI_GUARDED_BY(shard_);
 };

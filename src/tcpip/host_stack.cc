@@ -264,10 +264,11 @@ void HostStack::onWirePacket(packet::Packet p) {
   VINI_OBS_INC(m_rx_packets_);
   VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kIngress, now, p, trace_node_));
   const std::uint32_t rx_span = spanOpen(p, span_nic_rx_);
+  auto boxed = std::make_shared<packet::Packet>(std::move(p));
   queue().schedule(deliver_at, "tcpip.host",
-                   [this, p = std::move(p), rx_span]() mutable {
+                   [this, p = std::move(boxed), rx_span]() mutable {
     spanClose(rx_span);
-    if (rx_trace_) rx_trace_(p);
+    if (rx_trace_) rx_trace_(*p);
     processPacket(std::move(p), /*from_wire=*/true);
   });
 }
@@ -275,18 +276,20 @@ void HostStack::onWirePacket(packet::Packet p) {
 void HostStack::injectFromTun(packet::Packet p) {
   // User -> kernel injection: processed as if it arrived from a device,
   // with no NIC latency (it is a memory copy through /dev/net/tun).
-  processPacket(std::move(p), /*from_wire=*/false);
+  processPacket(std::make_shared<packet::Packet>(std::move(p)),
+                /*from_wire=*/false);
 }
 
-void HostStack::processPacket(packet::Packet p, bool from_wire) {
-  if (isLocalAddress(p.ip.dst)) {
-    deliverLocal(std::move(p));
+void HostStack::processPacket(std::shared_ptr<packet::Packet> p,
+                              bool from_wire) {
+  if (isLocalAddress(p->ip.dst)) {
+    deliverLocal(std::move(*p));
     return;
   }
   if (!config_.ip_forward) {
     ++stats_.dropped_no_route;
     VINI_OBS_INC(m_dropped_no_route_);
-    spanRootDrop(p, "no_ip_forward");
+    spanRootDrop(*p, "no_ip_forward");
     return;
   }
   (void)from_wire;
@@ -403,19 +406,16 @@ void HostStack::sendIcmpError(std::uint8_t type, std::uint8_t code,
   sendPacket(packet::Packet::icmpError(reporter, type, code, original));
 }
 
-void HostStack::forwardPacket(packet::Packet p) {
-  if (p.ip.ttl <= 1) {
+void HostStack::forwardPacket(std::shared_ptr<packet::Packet> p) {
+  if (p->ip.ttl <= 1) {
     ++stats_.dropped_ttl;
     VINI_OBS_INC(m_dropped_ttl_);
-    spanRootDrop(p, "ttl_expired");
-    // The error quotes the original's meta; the trace ended at this drop,
-    // so the error packet starts an untraced journey of its own.
-    p.meta.trace_id = 0;
+    spanRootDrop(*p, "ttl_expired");
     sendIcmpError(packet::IcmpHeader::kTimeExceeded,
-                  packet::IcmpHeader::kCodeTtlExpired, p);
+                  packet::IcmpHeader::kCodeTtlExpired, *p);
     return;
   }
-  p.ip.ttl -= 1;
+  p->ip.ttl -= 1;
   ++stats_.forwarded;
   VINI_OBS_INC(m_forwarded_);
 
@@ -423,16 +423,16 @@ void HostStack::forwardPacket(packet::Packet p) {
   // so a saturated forwarder becomes the bottleneck, and account the CPU.
   const auto cost = config_.forward_fixed_cost +
                     static_cast<sim::Duration>(config_.forward_cost_per_byte_ns *
-                                               static_cast<double>(p.ipPacketBytes()));
+                                               static_cast<double>(p->ipPacketBytes()));
   const sim::Time now = queue().now();
   const sim::Time start = std::max(now, kernel_busy_until_);
   kernel_busy_until_ = start + cost;
   kernel_cpu_ += cost;
-  const std::uint32_t fwd_span = spanOpen(p, span_kernel_fwd_);
+  const std::uint32_t fwd_span = spanOpen(*p, span_kernel_fwd_);
   queue().scheduleAfter(kernel_busy_until_ - now, "tcpip.host",
                         [this, p = std::move(p), fwd_span]() mutable {
                           spanClose(fwd_span);
-                          routeAndTransmit(std::move(p));
+                          routeAndTransmit(std::move(*p));
                         });
 }
 
@@ -441,7 +441,10 @@ void HostStack::sendPacket(packet::Packet p) {
   if (isLocalAddress(p.ip.dst)) {
     // Loopback delivery.
     queue().scheduleAfter(1 * sim::kMicrosecond, "tcpip.host",
-                          [this, p = std::move(p)]() mutable { deliverLocal(std::move(p)); });
+                          [this, p = std::make_shared<packet::Packet>(
+                                     std::move(p))]() mutable {
+                            deliverLocal(std::move(*p));
+                          });
     return;
   }
   routeAndTransmit(std::move(p));
@@ -498,9 +501,10 @@ void HostStack::transmitUnderlay(packet::Packet p) {
   last_wire = wire_at;
   const std::uint32_t tx_span = spanOpen(p, span_nic_tx_);
   queue().schedule(wire_at, "tcpip.host",
-                   [this, link, p = std::move(p), tx_span]() mutable {
+                   [this, link, tx_span,
+                    p = std::make_shared<packet::Packet>(std::move(p))]() mutable {
     spanClose(tx_span);
-    link->channelFrom(node_.id()).transmit(std::move(p));
+    link->channelFrom(node_.id()).transmit(std::move(*p));
   });
 }
 

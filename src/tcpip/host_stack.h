@@ -278,10 +278,15 @@ class HostStack {
   void noteSocketBufferDrop(const packet::Packet& p);
 
  private:
+  /// The receive/forward chain passes one heap-boxed packet through its
+  /// NIC-receive and kernel-forwarding events, so each event callback
+  /// captures a pointer (small enough for the event queue's inline
+  /// storage) instead of the full Packet, and the packet is boxed once
+  /// per visit to this host rather than once per event.
   void onWirePacket(packet::Packet p);
-  void processPacket(packet::Packet p, bool from_wire);
+  void processPacket(std::shared_ptr<packet::Packet> p, bool from_wire);
   void deliverLocal(packet::Packet p);
-  void forwardPacket(packet::Packet p);
+  void forwardPacket(std::shared_ptr<packet::Packet> p);
   void routeAndTransmit(packet::Packet p);
   sim::Duration sampleNicLatency(sim::Duration mean);
 

@@ -5,8 +5,12 @@
 
 namespace vini::topo {
 
-World::World(tcpip::HostConfig host_default, phys::NetworkConfig net_config)
-    : net(queue, net_config), stacks(net, host_default), schedule(queue) {
+World::World(tcpip::HostConfig host_default, phys::NetworkConfig net_config,
+             sim::QueueImpl queue_impl)
+    : queue(queue_impl),
+      net(queue, net_config),
+      stacks(net, host_default),
+      schedule(queue) {
   // Give the obs layer a read-only view of this world's clock so
   // drop-site root closes and timeline events can self-timestamp.
   if (obs::Obs* ctx = VINI_OBS_CTX()) ctx->clock = &queue;
@@ -69,7 +73,8 @@ std::unique_ptr<World> makeDeterWorld(const WorldOptions& options) {
   phys::NetworkConfig net_config;
   net_config.mask_failures = options.mask_underlay_failures;
   net_config.seed = options.seed;
-  auto world = std::make_unique<World>(deterHost(), net_config);
+  auto world =
+      std::make_unique<World>(deterHost(), net_config, options.queue_impl);
 
   DeterOptions deter;
   deter.seed = options.seed + 100;
@@ -88,7 +93,8 @@ std::unique_ptr<World> makeAbileneSubstrate(const WorldOptions& options) {
   phys::NetworkConfig net_config;
   net_config.mask_failures = options.mask_underlay_failures;
   net_config.seed = options.seed;
-  auto world = std::make_unique<World>(planetLabHost(), net_config);
+  auto world =
+      std::make_unique<World>(planetLabHost(), net_config, options.queue_impl);
 
   AbileneOptions abilene;
   abilene.seed = options.seed + 200;

@@ -44,11 +44,17 @@ struct WorldOptions {
   bool mask_underlay_failures = false;
   bool expose_underlay_failures = true;
   std::uint64_t seed = 1;
+  /// Event-queue priority structure.  Both implementations produce
+  /// byte-identical runs; kCalendar trades worst-case O(log n) for O(1)
+  /// amortized under dense, roughly-uniform timestamps (see
+  /// bench_engine).
+  sim::QueueImpl queue_impl = sim::QueueImpl::kHeap;
 };
 
 class World {
  public:
-  World(tcpip::HostConfig host_default, phys::NetworkConfig net_config);
+  World(tcpip::HostConfig host_default, phys::NetworkConfig net_config,
+        sim::QueueImpl queue_impl = sim::QueueImpl::kHeap);
 
   sim::EventQueue queue;
   phys::PhysNetwork net;

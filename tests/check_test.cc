@@ -391,13 +391,17 @@ TEST(Audit, V101CancelAfterFire) {
   EXPECT_FALSE(queue.cancel(id));  // deterministic: fired means false
   EXPECT_TRUE(collector.report().hasCode("V101"))
       << collector.report().format();
-  EXPECT_FALSE(collector.report().hasErrors());  // warning severity
+  // Cancelling an id that already fired is a benign race in component
+  // teardown ordering, so it stays a warning.
+  EXPECT_FALSE(collector.report().hasErrors());
 
-  // A never-scheduled id is not flagged: nothing fired.
+  // An id this queue never issued, by contrast, means the caller is
+  // holding a corrupted or foreign handle: that is an error.
   sim::EventQueue fresh;
-  check::ScopedAuditCollector quiet;
+  check::ScopedAuditCollector loud;
   EXPECT_FALSE(fresh.cancel(12345));
-  EXPECT_TRUE(quiet.report().empty()) << quiet.report().format();
+  EXPECT_TRUE(loud.report().hasCode("V101")) << loud.report().format();
+  EXPECT_TRUE(loud.report().hasErrors()) << loud.report().format();
 #endif
 }
 

@@ -263,6 +263,27 @@ TEST(Packet, IcmpEchoReplySwapsAddresses) {
   EXPECT_EQ(reply.payload_bytes, 56u);
 }
 
+TEST(Packet, IcmpErrorInheritsMetaButNotTraceId) {
+  // Measurement metadata must ride along so traceroute can correlate
+  // the error with its probe, but the causal trace id must not: the
+  // error is a new packet, and icmpError itself guarantees that — call
+  // sites are no longer expected to clear it.
+  Packet original =
+      Packet::udp(IpAddress(10, 0, 0, 1), IpAddress(10, 0, 0, 9), 33434, 33434, 32);
+  original.meta.flow_id = 5;
+  original.meta.app_seq = 12;
+  original.meta.app_send_time = 99;
+  original.meta.trace_id = 0xdeadbeef;
+  const Packet error =
+      Packet::icmpError(IpAddress(10, 0, 0, 3), 11, 0, original);
+  EXPECT_EQ(error.meta.flow_id, 5u);
+  EXPECT_EQ(error.meta.app_seq, 12u);
+  EXPECT_EQ(error.meta.app_send_time, 99);
+  EXPECT_EQ(error.meta.trace_id, 0u);
+  EXPECT_EQ(error.ip.src, IpAddress(10, 0, 0, 3));
+  EXPECT_EQ(error.ip.dst, original.ip.src);
+}
+
 TEST(Packet, SerializeParseRoundTripUdp) {
   Packet p = Packet::udp(IpAddress(10, 0, 0, 1), IpAddress(10, 0, 0, 2), 1000,
                          2000, 64);

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <vector>
 
+#include "check/audit.h"
+#include "sim/callback.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/stats.h"
@@ -54,9 +57,20 @@ TEST(EventQueue, CancelPreventsExecution) {
 }
 
 TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  // cancel() of an id the queue never issued is a caller bug, so the
+  // V101 audit reports it at error severity; capture it so the audited
+  // build doesn't abort.
+  check::ScopedAuditCollector collector;
   EventQueue q;
   EXPECT_FALSE(q.cancel(0));
   EXPECT_FALSE(q.cancel(12345));
+#if VINI_AUDIT_ENABLED
+  EXPECT_TRUE(collector.report().hasCode("V101"))
+      << collector.report().format();
+  EXPECT_TRUE(collector.report().hasErrors());
+#else
+  EXPECT_TRUE(collector.report().empty()) << collector.report().format();
+#endif
 }
 
 TEST(EventQueue, CancelAfterFireReturnsFalseDeterministically) {
@@ -128,6 +142,165 @@ TEST(EventQueue, PendingCountExcludesCancelled) {
   EXPECT_EQ(q.pendingCount(), 2u);
   q.cancel(a);
   EXPECT_EQ(q.pendingCount(), 1u);
+}
+
+TEST(EventQueue, StorageBoundedUnderReArmChurn) {
+  // Re-arming a one-shot timer cancels the previous event each time.
+  // Eager cancellation plus tombstone compaction must keep the event
+  // storage bounded no matter how many re-arm cycles happen before the
+  // queue runs (the pre-overhaul queue leaked a tombstone per cycle).
+  EventQueue q;
+  int fires = 0;
+  OneShotTimer timer(q, [&] { ++fires; });
+  for (int i = 0; i < 20000; ++i) {
+    timer.armAfter(kSecond + i);
+  }
+  EXPECT_EQ(q.pendingCount(), 1u);
+  EXPECT_LE(q.storageCount(), 4u);
+  q.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(q.storageCount(), 0u);
+}
+
+TEST(EventQueue, CancelOrderDeterministicAfterCompaction) {
+  // Cancelling half the events at one timestamp forces at least one
+  // compaction pass; the survivors must still fire in schedule order
+  // (FIFO among equal timestamps survives the storage rebuild).
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.schedule(10, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    if (i % 3 != 0) {
+      EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+  }
+  EXPECT_LT(q.storageCount(), 200u);  // compaction actually ran
+  q.run();
+  ASSERT_EQ(order.size(), 67u);
+  for (int i = 0; i < 67; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], 3 * i);
+  }
+}
+
+TEST(EventQueue, HeapAndCalendarFireIdenticalSequences) {
+  // Both priority structures implement the same (when, id) total order,
+  // so a randomized workload with cancellations and re-entrant
+  // scheduling must replay identically on either implementation.
+  auto run = [](QueueImpl impl) {
+    EventQueue q(impl);
+    Random r(99);
+    std::vector<std::pair<Time, int>> fired;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 400; ++i) {
+      const Time when = r.uniformDuration(0, 2 * kSecond);
+      ids.push_back(q.schedule(when, [&q, &fired, i] {
+        fired.emplace_back(q.now(), i);
+        if (i % 5 == 0) {
+          q.scheduleAfter(kMillisecond,
+                          [&q, &fired, i] { fired.emplace_back(q.now(), 1000 + i); });
+        }
+      }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 7) q.cancel(ids[i]);
+    q.run();
+    return fired;
+  };
+  const auto heap = run(QueueImpl::kHeap);
+  const auto calendar = run(QueueImpl::kCalendar);
+  EXPECT_EQ(heap, calendar);
+  EXPECT_GT(heap.size(), 300u);
+}
+
+TEST(EventQueue, CalendarHandlesSparseFarFutureEvents) {
+  // Sparse timestamps spanning minutes stress the calendar's
+  // year-window scan and its direct-search fallback; an insert earlier
+  // than the current scan position exercises the rewind path.
+  EventQueue q(QueueImpl::kCalendar);
+  EXPECT_EQ(std::string(queueImplName(q.impl())), "calendar");
+  std::vector<int> order;
+  q.schedule(600 * kSecond, [&] { order.push_back(3); });
+  q.schedule(1, [&] { order.push_back(1); });
+  q.schedule(60 * kSecond, [&] { order.push_back(2); });
+  q.step();  // fires the t=1 event, scan is now positioned past it
+  q.schedule(2, [&] { order.push_back(10); });  // rewind: earlier than scan
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 2, 3}));
+  EXPECT_EQ(q.executedCount(), 4u);
+}
+
+TEST(EventQueue, PeakCountersTrackHighWater) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(q.schedule(i + 1, [] {}));
+  q.cancel(ids[0]);
+  q.cancel(ids[1]);
+  q.cancel(ids[2]);
+  q.run();
+  EXPECT_EQ(q.peakPendingCount(), 10u);
+  EXPECT_GE(q.peakStorageCount(), 10u);
+  EXPECT_EQ(q.executedCount(), 7u);
+  EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(InlineCallback, InvokesAndMoveTransfersOwnership) {
+  int calls = 0;
+  InlineCallback<64> cb = [&calls] { ++calls; };
+  EXPECT_TRUE(static_cast<bool>(cb));
+  cb();
+  EXPECT_EQ(calls, 1);
+  InlineCallback<64> moved = std::move(cb);
+  EXPECT_FALSE(static_cast<bool>(cb));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineCallback, MoveOnlyCapturesWork) {
+  auto value = std::make_unique<int>(41);
+  InlineCallback<64> cb = [v = std::move(value)] { ++*v; };
+  cb();
+  InlineCallback<64> moved = std::move(cb);
+  moved();
+}
+
+TEST(InlineCallback, HeapFallbackForOversizedCaptures) {
+  // 128 bytes of capture cannot fit the 64-byte inline buffer; the
+  // callback must transparently fall back to a heap allocation.
+  struct Big {
+    char data[128] = {0};
+  };
+  Big big;
+  big.data[100] = 7;
+  int seen = -1;
+  InlineCallback<64> cb = [big, &seen] { seen = big.data[100]; };
+  InlineCallback<64> moved = std::move(cb);
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineCallback, ResetReleasesCapturedStateEagerly) {
+  // Eager cancel in the event queue relies on reset() destroying the
+  // captured state immediately, not at queue teardown.
+  auto token = std::make_shared<int>(1);
+  InlineCallback<64> cb = [token] { (void)*token; };
+  EXPECT_EQ(token.use_count(), 2);
+  cb.reset();
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(EventQueue, EagerCancelReleasesCallbackState) {
+  // cancel() must destroy the captured state right away even though the
+  // tombstone key stays queued until compaction or pop.
+  EventQueue q;
+  auto token = std::make_shared<int>(1);
+  const EventId id = q.schedule(10, [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(token.use_count(), 1);
+  q.run();
 }
 
 TEST(PeriodicTimer, FiresRepeatedlyUntilStopped) {

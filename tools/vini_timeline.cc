@@ -5,7 +5,7 @@
 // OSPF reconverges) with span tracing, the control-plane timeline, and
 // the metric sampler armed, then exports what they captured:
 //
-//   vini_timeline export    [--seed N] [--out BASE]
+//   vini_timeline export    [--seed N] [--out BASE] [--queue heap|calendar]
 //       BASE.json        Chrome trace-event JSON (Perfetto-loadable)
 //       BASE.spans.csv   completed spans in close order
 //       BASE.timeline.csv control-plane instants/durations
@@ -18,7 +18,9 @@
 //   vini_timeline --self-test
 //
 // The scenario is deterministic: the same --seed produces byte-identical
-// exports, which the CI timeline stage enforces with a double-run diff.
+// exports, which the CI timeline stage enforces with a double-run diff —
+// and across both event-queue implementations (--queue), which the
+// engine-bench stage enforces with a heap-vs-calendar diff.
 // VINI_SMOKE=1 shrinks the run for fast gating.
 #include <cctype>
 #include <cstdint>
@@ -45,7 +47,8 @@ namespace {
 using namespace vini;
 
 int usage() {
-  std::cerr << "usage: vini_timeline export    [--seed N] [--out BASE]\n"
+  std::cerr << "usage: vini_timeline export    [--seed N] [--out BASE]"
+               " [--queue heap|calendar]\n"
                "       vini_timeline decompose [--seed N] [--trace N]\n"
                "       vini_timeline validate <file.json>\n"
                "       vini_timeline --self-test\n";
@@ -62,13 +65,15 @@ struct ScenarioResult {
 /// Fig8 in miniature: converge, ping across the overlay, fail the
 /// Denver-KansasCity virtual link mid-run, restore it, keep pinging.
 /// Everything the obs layer captures flows from this one run.
-ScenarioResult runScenario(std::uint64_t seed, obs::ScopedObs& scope) {
+ScenarioResult runScenario(std::uint64_t seed, obs::ScopedObs& scope,
+                           sim::QueueImpl queue_impl = sim::QueueImpl::kHeap) {
   const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
   topo::WorldOptions options;
   options.resources.cpu_reservation = 0.25;
   options.resources.realtime = true;
   options.contention = topo::kPlanetLabContention;
   options.seed = seed;
+  options.queue_impl = queue_impl;
   ScenarioResult result;
   result.world = topo::makeAbileneWorld(options);
   topo::World& world = *result.world;
@@ -110,9 +115,10 @@ ScenarioResult runScenario(std::uint64_t seed, obs::ScopedObs& scope) {
   return result;
 }
 
-int cmdExport(std::uint64_t seed, const std::string& base) {
+int cmdExport(std::uint64_t seed, const std::string& base,
+              sim::QueueImpl queue_impl) {
   obs::ScopedObs scope;
-  ScenarioResult result = runScenario(seed, scope);
+  ScenarioResult result = runScenario(seed, scope, queue_impl);
   {
     std::ofstream out(base + ".json");
     obs::writeChromeTrace(out, scope.spans(), scope.timeline(),
@@ -576,6 +582,7 @@ int main(int argc, char** argv) {
   std::uint64_t trace = 0;
   std::string base = "vini_timeline";
   std::string path;
+  sim::QueueImpl queue_impl = sim::QueueImpl::kHeap;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto value = [&](const char* name) -> std::string {
@@ -591,6 +598,16 @@ int main(int argc, char** argv) {
       base = value("--out");
     } else if (arg == "--trace") {
       trace = std::strtoull(value("--trace").c_str(), nullptr, 10);
+    } else if (arg == "--queue") {
+      const std::string which = value("--queue");
+      if (which == "heap") {
+        queue_impl = sim::QueueImpl::kHeap;
+      } else if (which == "calendar") {
+        queue_impl = sim::QueueImpl::kCalendar;
+      } else {
+        std::cerr << "vini_timeline: unknown --queue '" << which << "'\n";
+        return 2;
+      }
     } else if (path.empty() && arg[0] != '-') {
       path = arg;
     } else {
@@ -599,7 +616,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (cmd == "export") return cmdExport(seed, base);
+    if (cmd == "export") return cmdExport(seed, base, queue_impl);
     if (cmd == "decompose") return cmdDecompose(seed, trace);
     if (cmd == "validate") {
       if (path.empty()) return usage();

@@ -28,8 +28,13 @@
 #      identical event/packet counts) and writes BENCH_engine.json;
 #      then a same-seed vini_timeline export under --queue heap and
 #      --queue calendar must be byte-identical file for file
+#   5e. live-migration chaos smoke: a seeded campaign with the migrate
+#      verb enabled (spare substrate node, V130-V133 audits) must pass
+#      and print byte-identical reports and migration JSON across two
+#      runs; MIGRATION_report.json is the CI artifact
 #   6. clang-tidy over src/ and tools/ (skipped when not installed)
-#   7. full ctest suite under AddressSanitizer and UBSan builds
+#   7. full ctest suite under AddressSanitizer and UBSan builds, with
+#      the runtime shard-ownership check armed (-DVINI_SHARD_CHECK=ON)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -131,6 +136,25 @@ for EXT in json spans.csv timeline.csv series.csv; do
   }
 done
 
+# --- 5e. Live-migration chaos smoke ------------------------------------------
+# A seeded chaos campaign with live migrations enabled (spare substrate
+# node, migrate verb, V130-V133 audits) must PASS and be bit-reproducible:
+# two same-seed runs are byte-diffed, report and migration JSON both.
+# The JSON lands next to BENCH_engine.json as a CI artifact.
+stage "vini_chaos --migrate seeded smoke + double-run diff"
+(cd build-check && ./tools/vini_chaos --world deter --duration 60 --seed 1 \
+  --migrate --json MIGRATION_report.json > migration-run-1.txt)
+(cd build-check && ./tools/vini_chaos --world deter --duration 60 --seed 1 \
+  --migrate --json migration-run-2.json > migration-run-2.txt)
+diff build-check/migration-run-1.txt build-check/migration-run-2.txt || {
+  echo "vini_chaos --migrate: seed 1 report is not bit-reproducible"
+  exit 1
+}
+diff build-check/MIGRATION_report.json build-check/migration-run-2.json || {
+  echo "vini_chaos --migrate: seed 1 migration JSON is not bit-reproducible"
+  exit 1
+}
+
 # --- 6. clang-tidy -----------------------------------------------------------
 stage "clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
@@ -146,7 +170,7 @@ fi
 for SAN in address undefined; do
   stage "ctest (VINI_SANITIZE=$SAN)"
   cmake -B "build-$SAN" -S . \
-    -DVINI_SANITIZE="$SAN" -DVINI_AUDIT=ON > /dev/null
+    -DVINI_SANITIZE="$SAN" -DVINI_AUDIT=ON -DVINI_SHARD_CHECK=ON > /dev/null
   cmake --build "build-$SAN" -j "$JOBS"
   ctest --test-dir "build-$SAN" --output-on-failure -j "$JOBS" || FAILED=1
 done

@@ -318,6 +318,9 @@ void checkFaultSchedule(const fault::FaultSchedule& schedule, Report& report,
       case fault::FaultKind::kProcRestart:
         where_os << " " << event.a << "/" << fault::procClassName(event.proc);
         break;
+      case fault::FaultKind::kMigrate:
+        where_os << " " << event.a << " to " << event.b;
+        break;
       default:
         where_os << " " << event.a;
         break;
@@ -431,6 +434,31 @@ void checkFaultSchedule(const fault::FaultSchedule& schedule, Report& report,
         } else if (procs_killed.erase(key) == 0) {
           report.error("V112", where,
                        "restart of a process that was never killed");
+        }
+        break;
+      }
+      case fault::FaultKind::kMigrate: {
+        // V110: the migrated router must be a topology node.  The
+        // destination is a *substrate* node (often a spare outside the
+        // virtual topology), so only an obvious self-migration is
+        // checkable statically.
+        if (index != nullptr && index->nodes.count(event.a) == 0) {
+          report.error("V110", where,
+                       "event migrates unknown router " + event.a);
+          continue;
+        }
+        if (event.b.empty()) {
+          report.error("V110", where, "migration has no destination node");
+        } else if (event.b == event.a) {
+          report.error("V112", where,
+                       "router migrates to its own substrate node");
+        }
+        // V111: a budget, when given, must be a positive duration.
+        if (event.budget_ms &&
+            (!(*event.budget_ms > 0.0) || std::isnan(*event.budget_ms))) {
+          report.error("V111", where,
+                       "nonpositive downtime budget " +
+                           std::to_string(*event.budget_ms) + " ms");
         }
         break;
       }

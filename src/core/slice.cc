@@ -22,7 +22,7 @@ void VirtualInterface::send(packet::Packet p) {
 
 VirtualNode::VirtualNode(Slice& slice, phys::PhysNode& phys, std::string name,
                          packet::IpAddress tap_address)
-    : slice_(slice), phys_(phys), name_(std::move(name)), tap_address_(tap_address) {}
+    : slice_(slice), phys_(&phys), name_(std::move(name)), tap_address_(tap_address) {}
 
 VirtualInterface* VirtualNode::interfaceByAddress(packet::IpAddress addr) {
   for (auto& iface : interfaces_) {

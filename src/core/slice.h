@@ -81,7 +81,7 @@ class VirtualNode {
 
   const std::string& name() const { return name_; }
   Slice& slice() { return slice_; }
-  phys::PhysNode& physNode() { return phys_; }
+  phys::PhysNode& physNode() { return *phys_; }
 
   /// The node's address on the slice's overlay (its tap0 address).
   packet::IpAddress tapAddress() const { return tap_address_; }
@@ -100,9 +100,12 @@ class VirtualNode {
  private:
   friend class Slice;
   friend class VirtualInterface;
+  friend class Vini;  // live migration re-homes phys_
 
   Slice& slice_;
-  phys::PhysNode& phys_;
+  /// Pointer, not reference: Vini::rehomeNode retargets it when the
+  /// virtual node is live-migrated to another substrate node.
+  phys::PhysNode* phys_;
   std::string name_;
   packet::IpAddress tap_address_;
   std::vector<std::unique_ptr<VirtualInterface>> interfaces_;

@@ -27,6 +27,12 @@
 // includes it, so it must not pull in anything.
 #pragma once
 
+#ifdef VINI_SHARD_CHECK
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#endif
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability) && __has_attribute(guarded_by) && \
     __has_attribute(assert_capability)
@@ -55,11 +61,38 @@
 namespace vini::core {
 
 /// The capability "the worker shard that owns this object is the one
-/// executing".  Zero-size, zero-cost: assertHeld() is an empty inline
-/// call whose only effect is telling clang's analysis the capability is
-/// held for the remainder of the calling function.
+/// executing".  By default zero-size, zero-cost: assertHeld() is an
+/// empty inline call whose only effect is telling clang's analysis the
+/// capability is held for the remainder of the calling function.
+///
+/// -DVINI_SHARD_CHECK=ON arms the runtime check: the first assertHeld()
+/// claims the token for the calling thread, and any later call from a
+/// different thread aborts.  Single-threaded today that can only fire
+/// if an object actually crosses threads — exactly the bug class the
+/// sharded engine must keep out — so the sanitizer CI stages build
+/// with it on.
+#ifdef VINI_SHARD_CHECK
+struct VINI_CAPABILITY("shard") ShardToken {
+  void assertHeld() const VINI_ASSERT_CAPABILITY(this) {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};  // unclaimed
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_acq_rel)) {
+      return;  // first touch claims the shard
+    }
+    if (expected != self) std::abort();
+  }
+  /// Release the claim (a shard handing an object to another shard).
+  void release() const { owner_.store({}, std::memory_order_release); }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+};
+#else
 struct VINI_CAPABILITY("shard") ShardToken {
   void assertHeld() const VINI_ASSERT_CAPABILITY(this) {}
+  void release() const {}
 };
+#endif
 
 }  // namespace vini::core

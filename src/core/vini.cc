@@ -1,5 +1,6 @@
 #include "core/vini.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace vini::core {
@@ -73,8 +74,9 @@ void Vini::pinLink(VirtualLink& link) {
   bool all_up = true;
   for (phys::PhysLink* phys_link : link.path_) {
     riders_[phys_link->id()].push_back(&link);
-    if (riders_[phys_link->id()].size() == 1) {
-      // First rider on this physical link: subscribe once.
+    if (subscribed_links_.insert(phys_link->id()).second) {
+      // First time this controller sees the physical link: subscribe
+      // once, forever (riders may empty and refill across migrations).
       phys_link->subscribe([this](phys::PhysLink& l, bool up) {
         onPhysLinkState(l, up);
       });
@@ -82,6 +84,35 @@ void Vini::pinLink(VirtualLink& link) {
     all_up = all_up && phys_link->isUp();
   }
   if (config_.expose_underlay_failures) link.setUnderlayUp(all_up);
+}
+
+void Vini::rehomeNode(VirtualNode& vnode, phys::PhysNode& dest) {
+  phys::PhysNode& old_phys = vnode.physNode();
+  if (&old_phys == &dest) return;
+  // Transfer the CPU reservation, admission-controlled at the new home.
+  const double want = vnode.slice().resources().cpu_reservation;
+  double& dest_reserved = node_reservations_[dest.id()];
+  if (dest_reserved + want > config_.max_node_reservation) {
+    throw std::runtime_error(
+        "admission control: node " + dest.name() + " has " +
+        std::to_string(dest_reserved) + " CPU reserved; cannot admit " +
+        std::to_string(want) + " more for migrating node " + vnode.name());
+  }
+  node_reservations_[old_phys.id()] -= want;
+  dest_reserved += want;
+  vnode.phys_ = &dest;
+  // Re-pin every virtual link terminating at this node over the new
+  // underlay paths and recompute fate sharing.
+  for (const auto& link : vnode.slice().links()) {
+    if (&link->nodeA() != &vnode && &link->nodeB() != &vnode) continue;
+    for (phys::PhysLink* phys_link : link->path_) {
+      auto& riders = riders_[phys_link->id()];
+      riders.erase(std::remove(riders.begin(), riders.end(), link.get()),
+                   riders.end());
+    }
+    link->path_.clear();
+    pinLink(*link);
+  }
 }
 
 void Vini::onPhysLinkState(phys::PhysLink& phys_link, bool up) {

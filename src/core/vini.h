@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,16 @@ class Vini {
   /// The slice holding `port`, or -1.
   int portOwner(std::uint16_t port) const;
 
+  /// Live migration: move a virtual node to another substrate node.
+  /// Transfers its CPU reservation (admission-controlled at the
+  /// destination), retargets the node, and re-pins every virtual link
+  /// terminating at it over the new underlay paths (recomputing fate
+  /// sharing).  Throws if the destination cannot admit the reservation
+  /// or a re-pinned link has no underlay path; the node is untouched on
+  /// failure.  Data-plane re-homing (tunnel sockets, Click graph) is the
+  /// overlay layer's job.
+  void rehomeNode(VirtualNode& vnode, phys::PhysNode& dest);
+
  private:
   friend class Slice;
 
@@ -115,6 +126,10 @@ class Vini {
   UpcallBus upcalls_;
   /// Which virtual links ride each physical link.
   std::map<int, std::vector<VirtualLink*>> riders_;
+  /// Physical links whose state this controller already subscribed to.
+  /// Kept separate from riders_ so a link whose rider set empties during
+  /// a migration re-pin is never subscribed twice.
+  std::set<int> subscribed_links_;
   std::map<int, double> node_reservations_;
   std::map<std::uint16_t, int> port_reservations_;
 };

@@ -1,6 +1,8 @@
 #include "fault/chaos.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -125,6 +127,9 @@ CampaignModel denseCampaignModel(std::uint64_t seed) {
   model.degrade = FaultClassModel{true, 80.0, 20.0};
   model.node = FaultClassModel{true, 150.0, 30.0};
   model.proc = FaultClassModel{true, 70.0, 0.0};
+  // Dense enough for a handful of moves per router; stays disabled
+  // until a campaign opts in (ChaosOptions::include_migrations).
+  model.migrate = FaultClassModel{false, 45.0, 0.0};
   model.degrade_loss = 0.15;
   model.degrade_delay_seconds = 0.03;
   model.degrade_bandwidth_bps = 20e6;
@@ -168,6 +173,25 @@ ChaosReport runChaosCampaign(topo::World& world, const ChaosOptions& options) {
     if (has_rip) targets.proc_classes.push_back(ProcClass::kRip);
     if (has_bgp) targets.proc_classes.push_back(ProcClass::kBgp);
   }
+  if (options.include_migrations) {
+    // Spares = substrate nodes hosting no overlay router, in network
+    // order; each router pairs with one spare and ping-pongs between
+    // its home and that spare for the whole campaign.
+    std::unordered_set<std::string> hosting;
+    for (const auto& router : world.iias->routers()) {
+      hosting.insert(router->vnode().physNode().name());
+    }
+    std::vector<std::string> spares;
+    for (const auto& node : world.net.nodes()) {
+      if (!hosting.count(node->name())) spares.push_back(node->name());
+    }
+    const auto& routers = world.iias->routers();
+    for (std::size_t i = 0; i < routers.size() && i < spares.size(); ++i) {
+      targets.migrations.push_back(
+          MigrationTarget{routers[i]->vnode().name(),
+                          routers[i]->vnode().physNode().name(), spares[i]});
+    }
+  }
 
   CampaignModel model = options.model;
   model.link.seed = options.seed;
@@ -175,6 +199,8 @@ ChaosReport runChaosCampaign(topo::World& world, const ChaosOptions& options) {
   model.degrade.enabled = model.degrade.enabled && options.include_degrades;
   model.node.enabled = model.node.enabled && options.include_node_crashes;
   model.proc.enabled = model.proc.enabled && options.include_proc_faults;
+  model.migrate.enabled =
+      options.include_migrations && !targets.migrations.empty();
 
   const FaultSchedule schedule =
       generateFaultCampaign(targets, options.duration_seconds, model);
@@ -186,6 +212,30 @@ ChaosReport runChaosCampaign(topo::World& world, const ChaosOptions& options) {
   Supervisor supervisor(world.queue, sup_config);
   FaultInjector injector(world.schedule, world.net, world.iias.get(),
                          &supervisor);
+  std::unique_ptr<migrate::MigrationManager> migrations;
+  if (options.include_migrations) {
+    migrate::MigrationPolicy policy = options.migration;
+    policy.seed =
+        options.migration.seed ^ (options.seed * 0x9e3779b97f4a7c15ull);
+    policy.default_budget_ms = options.model.migrate_budget_ms;
+    migrations = std::make_unique<migrate::MigrationManager>(
+        world.queue, world.net, *world.vini, *world.iias, policy);
+    migrations->setDaemonForget(
+        [&supervisor](const std::string& id) { supervisor.forget(id); });
+    migrations->setNodeProbe([&injector](const std::string& node) {
+      return !injector.nodeCrashed(node);
+    });
+    injector.setMigrationHandler(
+        [&manager = *migrations](const std::string& router,
+                                 const std::string& dest,
+                                 std::optional<double> budget_ms) {
+          manager.requestMigration(router, dest, budget_ms);
+        });
+    injector.setMigrationGuard([&manager = *migrations](
+                                   const std::string& router) {
+      return manager.frozen(router);
+    });
+  }
   const std::size_t log_before = world.schedule.log().size();
   injector.apply(schedule);
 
@@ -228,6 +278,16 @@ ChaosReport runChaosCampaign(topo::World& world, const ChaosOptions& options) {
   auditForwardingLoops(world, report.invariants);
   auditConservation(world, report.invariants);
   auditDeadTimers(world, report.invariants);
+  if (migrations) {
+    migrations->auditInvariants(report.invariants);
+    report.migrations_enabled = true;
+    for (const auto& record : migrations->records()) {
+      ++report.migrations_requested;
+      if (record.completed) ++report.migrations_completed;
+      if (record.rolled_back) ++report.migrations_rolled_back;
+    }
+    report.migration_json = migrations->reportJson();
+  }
 
   // Deterministic event log: injected faults (from the experiment
   // schedule) merged with supervised restarts, sorted by time.
@@ -242,6 +302,11 @@ ChaosReport runChaosCampaign(topo::World& world, const ChaosOptions& options) {
                 "supervisor restart " + record.id + " attempt " +
                     std::to_string(record.attempt) + " after " +
                     formatTime(record.delay) + " s"});
+  }
+  if (migrations) {
+    for (const auto& entry : migrations->log()) {
+      lines.push_back(LogLine{entry.when, entry.text});
+    }
   }
   std::stable_sort(lines.begin(), lines.end(),
                    [](const LogLine& x, const LogLine& y) {
@@ -259,6 +324,11 @@ std::string ChaosReport::format() const {
   std::ostringstream os;
   os << "chaos campaign: " << fault_event_count << " fault events, "
      << supervised_restarts << " supervised restarts\n";
+  if (migrations_enabled) {
+    os << "migrations: " << migrations_requested << " requested, "
+       << migrations_completed << " completed, " << migrations_rolled_back
+       << " rolled back\n";
+  }
   os << "converged: " << (converged ? "yes" : "NO") << "\n";
   os << "event log:\n" << event_log;
   if (invariants.empty()) {

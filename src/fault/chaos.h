@@ -23,6 +23,7 @@
 #include "fault/fault.h"
 #include "fault/injector.h"
 #include "fault/supervisor.h"
+#include "migrate/manager.h"
 #include "topo/worlds.h"
 
 namespace vini::fault {
@@ -38,6 +39,13 @@ struct ChaosOptions {
   bool include_node_crashes = true;
   bool include_proc_faults = true;
   SupervisorConfig supervisor;
+  /// Live migrations during the storm.  Off by default: the world needs
+  /// spare substrate nodes (topo::WorldOptions::spare_nodes) to host
+  /// them; with no spares the class stays silent even when enabled.
+  /// The migrate class is appended after every other fault class, so
+  /// enabling it leaves existing seeded schedules byte-identical.
+  bool include_migrations = false;
+  migrate::MigrationPolicy migration;
   /// Extra settle time beyond the last fault before auditing; 0 derives
   /// a bound from the routers' dead interval and the supervisor backoff.
   double recovery_seconds = 0.0;
@@ -51,6 +59,15 @@ struct ChaosReport {
   bool converged = false;
   std::size_t fault_event_count = 0;
   std::uint64_t supervised_restarts = 0;
+  /// Migration accounting (present only when include_migrations was
+  /// set; format() omits the line otherwise so legacy reports stay
+  /// byte-identical).
+  bool migrations_enabled = false;
+  std::size_t migrations_requested = 0;
+  std::size_t migrations_completed = 0;
+  std::size_t migrations_rolled_back = 0;
+  /// MigrationManager::reportJson() — the CI artifact.
+  std::string migration_json;
 
   bool passed() const { return converged && !invariants.hasErrors(); }
   /// Full human-readable report (also byte-stable across runs).

@@ -22,6 +22,7 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::kProcRestart: return "proc restart";
     case FaultKind::kSrlgDown: return "srlg down";
     case FaultKind::kSrlgUp: return "srlg up";
+    case FaultKind::kMigrate: return "migrate";
   }
   return "?";
 }
@@ -124,6 +125,10 @@ std::string emitFaultSchedule(const FaultSchedule& schedule) {
         break;
       case FaultKind::kSrlgUp:
         os << "srlg " << event.a << " up";
+        break;
+      case FaultKind::kMigrate:
+        os << "migrate " << event.a << " to " << event.b;
+        if (event.budget_ms) os << " budget=" << formatDouble(*event.budget_ms);
         break;
     }
     os << "\n";
@@ -264,6 +269,22 @@ FaultSchedule parseFaultSchedule(const std::string& text) {
         event.kind = FaultKind::kProcRestart;
       } else {
         badLine(lineno, line);
+      }
+    } else if (subject == "migrate") {
+      std::string router, to_word, dest;
+      if (!(words >> router >> to_word >> dest) || to_word != "to") {
+        badLine(lineno, line);
+      }
+      event.kind = FaultKind::kMigrate;
+      event.a = router;
+      event.b = dest;
+      std::string kv;
+      while (words >> kv) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos || kv.substr(0, eq) != "budget") {
+          badLine(lineno, line);
+        }
+        event.budget_ms = parseNumber(kv, kv.substr(eq + 1), lineno, line);
       }
     } else if (subject == "srlg") {
       std::string group, action, extra;
@@ -412,6 +433,31 @@ FaultSchedule generateFaultCampaign(const CampaignTargets& targets,
                         schedule.events.push_back(std::move(event));
                       });
         }
+      }
+    }
+  }
+
+  if (model.migrate.enabled) {
+    // Appended after every pre-existing class so enabling migrations
+    // never perturbs the draws (and thus the schedules) of campaigns
+    // that existed before this class did.
+    for (const auto& target : targets.migrations) {
+      sim::Random stream = master.fork();
+      // Renewal process alternating spare/home destinations; like the
+      // supervised proc class, completion is the migrator's job.
+      double t = 0;
+      bool at_home = true;
+      while (true) {
+        t += std::max(stream.exponential(model.migrate.mttf_seconds), 1e-9);
+        if (t >= duration_seconds) break;
+        FaultEvent event;
+        event.at_seconds = t;
+        event.kind = FaultKind::kMigrate;
+        event.a = target.router;
+        event.b = at_home ? target.spare : target.home;
+        event.budget_ms = model.migrate_budget_ms;
+        schedule.events.push_back(std::move(event));
+        at_home = !at_home;
       }
     }
   }

@@ -25,6 +25,7 @@
 //   t=55 node Houston restart
 //   t=30 proc Atlanta ospf kill
 //   t=60 proc Atlanta ospf restart
+//   t=35 migrate Denver to SpareWest budget=250
 //
 // Parsing throws std::runtime_error naming the line number and the
 // offending text; static linting happens in check::checkFaultSchedule.
@@ -52,6 +53,7 @@ enum class FaultKind {
   kProcRestart,
   kSrlgDown,
   kSrlgUp,
+  kMigrate,
 };
 
 enum class ProcClass { kOspf, kRip, kBgp };
@@ -76,6 +78,10 @@ struct FaultEvent {
   std::string b;
   ProcClass proc = ProcClass::kOspf;  ///< proc events only
   DegradeSpec degrade;                ///< degrade events only
+  /// Migrate events only: downtime budget in milliseconds (unset =
+  /// migrator default).  `a` is the virtual router, `b` the destination
+  /// substrate node.
+  std::optional<double> budget_ms;
 };
 
 struct FaultSchedule {
@@ -115,10 +121,25 @@ struct CampaignModel {
   FaultClassModel degrade{true, 900.0, 120.0};
   FaultClassModel node{true, 1200.0, 90.0};
   FaultClassModel proc{true, 600.0, 0.0};
+  /// Live-migration events (off by default: only worlds with spare
+  /// substrate nodes can honor them).  mttf is the mean gap between
+  /// migrations of one router; mttr is unused (a migration completes or
+  /// rolls back on its own).
+  FaultClassModel migrate{false, 900.0, 0.0};
   /// Quality applied by generated degrade events.
   double degrade_loss = 0.2;
   double degrade_delay_seconds = 0.05;
   double degrade_bandwidth_bps = 10e6;
+  /// Downtime budget stamped on generated migrate events.
+  double migrate_budget_ms = 500.0;
+};
+
+/// One router the campaign may migrate: it ping-pongs between its home
+/// substrate node and a spare.
+struct MigrationTarget {
+  std::string router;  ///< virtual router name
+  std::string home;    ///< its original substrate node
+  std::string spare;   ///< the spare substrate node to move to
 };
 
 /// What the campaign may break.  Node names must not contain '-'.
@@ -127,6 +148,7 @@ struct CampaignTargets {
   std::vector<std::string> nodes;       ///< crashable nodes
   std::vector<std::string> proc_nodes;  ///< nodes running routing daemons
   std::vector<ProcClass> proc_classes;  ///< daemon classes to kill
+  std::vector<MigrationTarget> migrations;  ///< routers with a spare home
 };
 
 /// Generate a seeded fault campaign over [0, duration_seconds).  Each

@@ -77,9 +77,17 @@ void FaultInjector::restoreLink(const std::string& a, const std::string& b) {
   recordFault(link.name(), "restore");
 }
 
+bool FaultInjector::frozen(const std::string& router) const {
+  shard_.assertHeld();
+  return migration_guard_ && migration_guard_(router);
+}
+
 void FaultInjector::ensureManaged(const std::string& node) {
   shard_.assertHeld();
   if (!supervisor_ || !overlay_) return;
+  // Never capture daemon pointers of a router that is frozen for
+  // migration: they are about to be rebuilt on another substrate node.
+  if (frozen(node)) return;
   for (const auto& router : overlay_->routers()) {
     if (router->vnode().name() != node) continue;
     overlay::IiasRouter* r = router.get();
@@ -131,14 +139,16 @@ void FaultInjector::crashNode(const std::string& name) {
   // happen until the machine itself comes back (supervisor hold).
   if (overlay::IiasRouter* router = routerOnPhysNode(overlay_, name)) {
     const std::string vnode = router->vnode().name();
-    ensureManaged(vnode);
-    if (supervisor_) {
-      for (const char* cls : {"ospf", "rip", "bgp"}) {
-        const std::string id = vnode + "/" + cls;
-        if (supervisor_->manages(id)) supervisor_->hold(id);
+    if (!frozen(vnode)) {
+      ensureManaged(vnode);
+      if (supervisor_) {
+        for (const char* cls : {"ospf", "rip", "bgp"}) {
+          const std::string id = vnode + "/" + cls;
+          if (supervisor_->manages(id)) supervisor_->hold(id);
+        }
+      } else {
+        router->xorp().stop();
       }
-    } else {
-      router->xorp().stop();
     }
   }
   // Every attached link loses carrier.
@@ -166,13 +176,15 @@ void FaultInjector::restartNode(const std::string& name) {
   }
   if (overlay::IiasRouter* router = routerOnPhysNode(overlay_, name)) {
     const std::string vnode = router->vnode().name();
-    if (supervisor_) {
-      for (const char* cls : {"ospf", "rip", "bgp"}) {
-        const std::string id = vnode + "/" + cls;
-        if (supervisor_->manages(id)) supervisor_->release(id);
+    if (!frozen(vnode)) {
+      if (supervisor_) {
+        for (const char* cls : {"ospf", "rip", "bgp"}) {
+          const std::string id = vnode + "/" + cls;
+          if (supervisor_->manages(id)) supervisor_->release(id);
+        }
+      } else {
+        router->xorp().start();
       }
-    } else {
-      router->xorp().start();
     }
   }
   recordFault(name, "node_restart");
@@ -187,6 +199,12 @@ void FaultInjector::procEvent(const std::string& node, ProcClass proc,
                              node);
   }
   const std::string id = node + "/" + procClassName(proc);
+  if (frozen(node)) {
+    // The daemons are checkpointed and mid-flight; the kill "lands" on a
+    // process that no longer exists here.  Count it and move on.
+    recordFault(id, "proc_skip_frozen");
+    return;
+  }
   ensureManaged(node);
   if (supervisor_ && supervisor_->manages(id)) {
     kill ? supervisor_->kill(id) : supervisor_->restartNow(id);
@@ -258,6 +276,21 @@ void FaultInjector::apply(const FaultSchedule& schedule) {
                                    event.a);
         }
         break;
+      case FaultKind::kMigrate:
+        if (!migration_handler_) {
+          throw std::runtime_error(
+              "fault schedule contains migrate events but no migration "
+              "handler is installed");
+        }
+        if (overlay_ == nullptr || overlay_->router(event.a) == nullptr) {
+          throw std::runtime_error(
+              "fault schedule migrates unknown router " + event.a);
+        }
+        if (!net_.hasNode(event.b)) {
+          throw std::runtime_error(
+              "fault schedule migrates to unknown node " + event.b);
+        }
+        break;
     }
   }
 
@@ -282,6 +315,9 @@ void FaultInjector::apply(const FaultSchedule& schedule) {
       case FaultKind::kSrlgUp:
         label += "srlg " + event.a;
         break;
+      case FaultKind::kMigrate:
+        label += "migrate " + event.a + " to " + event.b;
+        break;
     }
     const char* space = std::strrchr(faultKindName(event.kind), ' ');
     label += space ? space : "";
@@ -299,6 +335,12 @@ void FaultInjector::apply(const FaultSchedule& schedule) {
         case FaultKind::kProcRestart: procEvent(ev.a, ev.proc, false); break;
         case FaultKind::kSrlgDown: srlgEvent(ev.a, true); break;
         case FaultKind::kSrlgUp: srlgEvent(ev.a, false); break;
+        case FaultKind::kMigrate:
+          if (migration_handler_) {
+            recordFault(ev.a, "migrate");
+            migration_handler_(ev.a, ev.b, ev.budget_ms);
+          }
+          break;
       }
     });
   }

@@ -14,7 +14,9 @@
 // context is installed — the chaos report and dashboards read them.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -61,6 +63,27 @@ class FaultInjector {
     return crashed_nodes_.count(name) != 0;
   }
 
+  // -- Live migration hooks ---------------------------------------------------
+
+  /// Handler for `migrate <router> to <node>` events: (router,
+  /// destination substrate node, optional budget in ms).  Without one,
+  /// apply() rejects schedules containing migrate events.
+  using MigrationHandler = std::function<void(
+      const std::string&, const std::string&, std::optional<double>)>;
+  void setMigrationHandler(MigrationHandler handler) {
+    shard_.assertHeld();
+    migration_handler_ = std::move(handler);
+  }
+
+  /// Queried with a virtual router name before any daemon-level
+  /// operation; returning true means the router is frozen mid-migration
+  /// and its daemons must not be touched (their pointers are about to be
+  /// rebuilt on another node).  Link-level effects still apply.
+  void setMigrationGuard(std::function<bool(const std::string&)> guard) {
+    shard_.assertHeld();
+    migration_guard_ = std::move(guard);
+  }
+
  private:
   struct LinkState {
     bool fault_down = false;  ///< explicit link fault held
@@ -74,6 +97,7 @@ class FaultInjector {
   /// "<node>/<class>") the first time a fault touches them.
   void ensureManaged(const std::string& node);
   void recordFault(const std::string& entity, const char* kind);
+  bool frozen(const std::string& router) const;
 
   // Fault events touch links whose endpoints may live on different
   // shards; the injector will run on the shard owning the schedule's
@@ -88,6 +112,9 @@ class FaultInjector {
   // cross-shard: a link's endpoints may be owned by two shards.
   std::map<int, LinkState> link_states_ VINI_GUARDED_BY(shard_);  // by PhysLink::id()
   std::set<std::string> crashed_nodes_ VINI_GUARDED_BY(shard_);
+  MigrationHandler migration_handler_ VINI_GUARDED_BY(shard_);
+  std::function<bool(const std::string&)> migration_guard_
+      VINI_GUARDED_BY(shard_);
 };
 
 }  // namespace vini::fault

@@ -95,6 +95,14 @@ void Supervisor::restartNow(const std::string& id) {
   completeRestart(id);
 }
 
+void Supervisor::forget(const std::string& id) {
+  shard_.assertHeld();
+  auto it = children_.find(id);
+  if (it == children_.end()) return;
+  if (it->second.pending != 0) queue_.cancel(it->second.pending);
+  children_.erase(it);
+}
+
 void Supervisor::scheduleRestart(const std::string& id, Child& child) {
   shard_.assertHeld();
   const sim::Duration delay = backoffFor(child);

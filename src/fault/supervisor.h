@@ -77,6 +77,14 @@ class Supervisor {
   /// starts the child immediately.  No-op while held or running.
   void restartNow(const std::string& id);
 
+  /// Drop a child without touching it: cancels any pending restart and
+  /// erases the registration.  Live migration uses this before freezing
+  /// a router — the registered hooks capture pointers into daemons that
+  /// will be rebuilt elsewhere, so they must never fire again; the
+  /// injector lazily re-manages the rebuilt daemons on the next fault.
+  /// No-op for unknown ids.
+  void forget(const std::string& id);
+
   bool isRunning(const std::string& id) const;
   /// Children dead with a restart scheduled (or awaiting release).
   std::size_t pendingRestarts() const;

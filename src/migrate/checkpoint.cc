@@ -1,0 +1,249 @@
+#include "migrate/checkpoint.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "click/fib.h"
+#include "xorp/bgp.h"
+
+namespace vini::migrate {
+
+namespace {
+
+std::string addr(std::uint32_t value) {
+  return packet::IpAddress(value).str();
+}
+
+[[noreturn]] void badLine(std::size_t line, const std::string& message) {
+  throw std::runtime_error("checkpoint line " + std::to_string(line) + ": " +
+                           message);
+}
+
+packet::IpAddress parseAddr(const std::string& token, std::size_t line) {
+  auto parsed = packet::IpAddress::parse(token);
+  if (!parsed) badLine(line, "malformed address '" + token + "'");
+  return *parsed;
+}
+
+packet::Prefix parsePrefix(const std::string& token, std::size_t line) {
+  auto parsed = packet::Prefix::parse(token);
+  if (!parsed) badLine(line, "malformed prefix '" + token + "'");
+  return *parsed;
+}
+
+std::uint32_t parseU32(const std::string& token, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long value = std::stoul(token, &pos);
+    if (pos != token.size() || value > 0xffffffffull) throw std::exception();
+    return static_cast<std::uint32_t>(value);
+  } catch (...) {
+    badLine(line, "malformed integer '" + token + "'");
+  }
+}
+
+}  // namespace
+
+RouterCheckpoint captureCheckpoint(overlay::IiasRouter& router) {
+  RouterCheckpoint cp;
+  cp.router = router.vnode().name();
+  if (xorp::OspfProcess* ospf = router.xorp().ospf()) {
+    cp.has_ospf = true;
+    cp.ospf = ospf->checkpoint();
+  }
+  if (xorp::RipProcess* rip = router.xorp().rip()) {
+    cp.has_rip = true;
+    cp.rip = rip->checkpoint();
+  }
+  if (xorp::BgpProcess* bgp = router.xorp().bgp()) {
+    cp.has_bgp = true;
+    cp.bgp_origins = bgp->origins();
+  }
+  router.fibElement().fib().forEach([&cp](const click::FibEntry& entry) {
+    if (entry.port == 0) cp.fib.push_back(FibRoute{entry.prefix, entry.next_hop});
+  });
+  return cp;
+}
+
+void restoreCheckpoint(overlay::IiasRouter& router,
+                       const RouterCheckpoint& checkpoint) {
+  if (checkpoint.has_ospf) {
+    if (!router.xorp().ospf()) {
+      throw std::runtime_error("checkpoint has OSPF state but router " +
+                               router.vnode().name() + " runs no OSPF");
+    }
+    router.xorp().ospf()->restore(checkpoint.ospf);
+  }
+  if (checkpoint.has_rip) {
+    if (!router.xorp().rip()) {
+      throw std::runtime_error("checkpoint has RIP state but router " +
+                               router.vnode().name() + " runs no RIP");
+    }
+    router.xorp().rip()->restore(checkpoint.rip);
+  }
+  if (checkpoint.has_bgp && router.xorp().bgp()) {
+    router.xorp().bgp()->restoreOrigins(checkpoint.bgp_origins);
+  }
+  for (const FibRoute& route : checkpoint.fib) {
+    click::FibEntry entry;
+    entry.prefix = route.prefix;
+    entry.next_hop = route.next_hop;
+    entry.port = 0;
+    router.fibElement().fib().addRoute(entry);
+  }
+}
+
+std::string emitCheckpoint(const RouterCheckpoint& checkpoint) {
+  std::ostringstream os;
+  os << "vini-checkpoint v1\n";
+  os << "router " << checkpoint.router << "\n";
+  if (checkpoint.has_ospf) {
+    os << "ospf " << checkpoint.ospf.own_seq << "\n";
+    for (const xorp::RouterLsa& lsa : checkpoint.ospf.lsdb) {
+      os << "lsa " << addr(lsa.origin) << " " << lsa.seq << "\n";
+      for (const xorp::LsaLink& link : lsa.links) {
+        os << "lsa-link " << addr(link.neighbor_id) << " " << link.subnet.str()
+           << " " << link.cost << "\n";
+      }
+      for (const auto& [prefix, cost] : lsa.stubs) {
+        os << "lsa-stub " << prefix.str() << " " << cost << "\n";
+      }
+    }
+  }
+  if (checkpoint.has_rip) {
+    for (const auto& route : checkpoint.rip.routes) {
+      os << "rip " << route.prefix.str() << " " << route.metric << " "
+         << route.next_hop.str();
+      if (!route.vif.empty()) os << " " << route.vif;
+      os << "\n";
+    }
+    if (checkpoint.rip.routes.empty()) os << "rip-empty\n";
+  }
+  if (checkpoint.has_bgp) {
+    for (const auto& prefix : checkpoint.bgp_origins) {
+      os << "bgp " << prefix.str() << "\n";
+    }
+    if (checkpoint.bgp_origins.empty()) os << "bgp-empty\n";
+  }
+  for (const FibRoute& route : checkpoint.fib) {
+    os << "fib " << route.prefix.str() << " " << route.next_hop.str() << "\n";
+  }
+  if (checkpoint.has_leases) {
+    for (const overlay::OpenVpnLease& lease : checkpoint.leases) {
+      os << "lease " << lease.real_addr.str() << " " << lease.real_port << " "
+         << lease.overlay_addr.str() << " " << lease.session_id << "\n";
+    }
+    os << "lease-next " << checkpoint.lease_next_host << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+RouterCheckpoint parseCheckpoint(const std::string& text) {
+  RouterCheckpoint cp;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    if (saw_end) badLine(lineno, "content after 'end'");
+    std::istringstream ls(line);
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+    if (!saw_header) {
+      if (tok.size() != 2 || tok[0] != "vini-checkpoint") {
+        badLine(lineno, "expected 'vini-checkpoint v<N>' header");
+      }
+      if (tok[1] != "v1") badLine(lineno, "unsupported version '" + tok[1] + "'");
+      saw_header = true;
+      continue;
+    }
+    const std::string& kind = tok[0];
+    if (kind == "router") {
+      if (tok.size() != 2) badLine(lineno, "expected 'router <name>'");
+      cp.router = tok[1];
+    } else if (kind == "ospf") {
+      if (tok.size() != 2) badLine(lineno, "expected 'ospf <own_seq>'");
+      cp.has_ospf = true;
+      cp.ospf.own_seq = parseU32(tok[1], lineno);
+    } else if (kind == "lsa") {
+      if (!cp.has_ospf) badLine(lineno, "'lsa' before 'ospf'");
+      if (tok.size() != 3) badLine(lineno, "expected 'lsa <origin> <seq>'");
+      xorp::RouterLsa lsa;
+      lsa.origin = parseAddr(tok[1], lineno).value();
+      lsa.seq = parseU32(tok[2], lineno);
+      cp.ospf.lsdb.push_back(lsa);
+    } else if (kind == "lsa-link") {
+      if (cp.ospf.lsdb.empty()) badLine(lineno, "'lsa-link' before any 'lsa'");
+      if (tok.size() != 4) {
+        badLine(lineno, "expected 'lsa-link <neighbor> <subnet> <cost>'");
+      }
+      xorp::LsaLink link;
+      link.neighbor_id = parseAddr(tok[1], lineno).value();
+      link.subnet = parsePrefix(tok[2], lineno);
+      link.cost = parseU32(tok[3], lineno);
+      cp.ospf.lsdb.back().links.push_back(link);
+    } else if (kind == "lsa-stub") {
+      if (cp.ospf.lsdb.empty()) badLine(lineno, "'lsa-stub' before any 'lsa'");
+      if (tok.size() != 3) badLine(lineno, "expected 'lsa-stub <prefix> <cost>'");
+      cp.ospf.lsdb.back().stubs.emplace_back(parsePrefix(tok[1], lineno),
+                                             parseU32(tok[2], lineno));
+    } else if (kind == "rip") {
+      if (tok.size() != 4 && tok.size() != 5) {
+        badLine(lineno, "expected 'rip <prefix> <metric> <next_hop> [<vif>]'");
+      }
+      xorp::RipProcess::CheckpointRoute route;
+      route.prefix = parsePrefix(tok[1], lineno);
+      route.metric = parseU32(tok[2], lineno);
+      route.next_hop = parseAddr(tok[3], lineno);
+      if (tok.size() == 5) route.vif = tok[4];
+      cp.has_rip = true;
+      cp.rip.routes.push_back(route);
+    } else if (kind == "rip-empty") {
+      cp.has_rip = true;
+    } else if (kind == "bgp") {
+      if (tok.size() != 2) badLine(lineno, "expected 'bgp <prefix>'");
+      cp.has_bgp = true;
+      cp.bgp_origins.push_back(parsePrefix(tok[1], lineno));
+    } else if (kind == "bgp-empty") {
+      cp.has_bgp = true;
+    } else if (kind == "fib") {
+      if (tok.size() != 3) badLine(lineno, "expected 'fib <prefix> <next_hop>'");
+      cp.fib.push_back(
+          FibRoute{parsePrefix(tok[1], lineno), parseAddr(tok[2], lineno)});
+    } else if (kind == "lease") {
+      if (tok.size() != 5) {
+        badLine(lineno,
+                "expected 'lease <real_addr> <real_port> <overlay> <session>'");
+      }
+      overlay::OpenVpnLease lease;
+      lease.real_addr = parseAddr(tok[1], lineno);
+      const std::uint32_t port = parseU32(tok[2], lineno);
+      if (port > 0xffff) badLine(lineno, "port out of range");
+      lease.real_port = static_cast<std::uint16_t>(port);
+      lease.overlay_addr = parseAddr(tok[3], lineno);
+      lease.session_id = parseU32(tok[4], lineno);
+      cp.has_leases = true;
+      cp.leases.push_back(lease);
+    } else if (kind == "lease-next") {
+      if (tok.size() != 2) badLine(lineno, "expected 'lease-next <n>'");
+      cp.has_leases = true;
+      cp.lease_next_host = parseU32(tok[1], lineno);
+    } else if (kind == "end") {
+      if (tok.size() != 1) badLine(lineno, "'end' takes no arguments");
+      saw_end = true;
+    } else {
+      badLine(lineno, "unknown directive '" + kind + "'");
+    }
+  }
+  if (!saw_header) badLine(lineno + 1, "missing 'vini-checkpoint v1' header");
+  if (!saw_end) badLine(lineno + 1, "missing 'end'");
+  if (cp.router.empty()) badLine(lineno + 1, "missing 'router <name>'");
+  return cp;
+}
+
+}  // namespace vini::migrate

@@ -1,0 +1,90 @@
+// Serializable virtual-router checkpoints for live slice migration.
+//
+// A checkpoint captures everything a virtual router needs to resume
+// forwarding on another substrate node without its established flows
+// noticing: the OSPF LSDB and own-LSA sequence number (for a warm
+// restart that outbids stale copies), the RIP table, the BGP origin
+// set, the port-0 tunnel FIB (for instant data-plane forwarding before
+// the control plane re-converges), and the OpenVPN ingress leases.
+//
+// Checkpoints travel through a versioned line-oriented wire format —
+// `emitCheckpoint` / `parseCheckpoint` round-trip byte-identically, and
+// the migration manager ships every checkpoint through the text form so
+// the grammar is exercised on the production path, not just in tests.
+//
+//   vini-checkpoint v1
+//   router Fwdr
+//   ospf 3
+//   lsa 10.1.0.2 3
+//   lsa-link 10.1.0.1 10.1.1.0/30 1
+//   lsa-stub 10.1.0.2/32 0
+//   rip 10.1.0.0/24 2 10.1.1.1 vif0
+//   bgp 0.0.0.0/0
+//   fib 10.1.0.3/32 10.1.1.2
+//   lease 203.0.113.5 4242 10.1.250.10 77
+//   lease-next 11
+//   end
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "overlay/iias_router.h"
+#include "overlay/openvpn.h"
+#include "xorp/ospf.h"
+#include "xorp/rip.h"
+
+namespace vini::migrate {
+
+/// A port-0 (tunnel-mesh) FIB route; next_hop zero = directly attached.
+struct FibRoute {
+  packet::Prefix prefix;
+  packet::IpAddress next_hop;
+};
+
+struct RouterCheckpoint {
+  std::string router;  ///< virtual node name
+
+  bool has_ospf = false;
+  xorp::OspfProcess::Checkpoint ospf;
+
+  bool has_rip = false;
+  xorp::RipProcess::Checkpoint rip;
+
+  bool has_bgp = false;
+  std::vector<packet::Prefix> bgp_origins;
+
+  /// Port-0 tunnel routes, captured directly from the Click FIB so the
+  /// rebuilt router forwards the instant it is wired — locally attached
+  /// ports (tap, NAPT, stub sinks) are rebuilt by construction instead.
+  std::vector<FibRoute> fib;
+
+  bool has_leases = false;
+  std::vector<overlay::OpenVpnLease> leases;
+  std::uint32_t lease_next_host = 0;
+};
+
+/// Snapshot a (running or stopped) router.  Capture *before* stop():
+/// stopping a daemon models a crash and clears its protocol state.
+/// Leases are not captured here — the migration manager fills them in
+/// when an ingress server rides along.
+RouterCheckpoint captureCheckpoint(overlay::IiasRouter& router);
+
+/// Re-seed a *stopped* router from a checkpoint: warm-restarts the
+/// daemons and installs the tunnel FIB directly.  Throws
+/// std::runtime_error if any daemon is running.  Lease restoration is
+/// the manager's job (the server object is external to the router).
+void restoreCheckpoint(overlay::IiasRouter& router,
+                       const RouterCheckpoint& checkpoint);
+
+/// Emit the versioned text form.  Deterministic: every collection is
+/// emitted in sorted (capture) order, integers only.
+std::string emitCheckpoint(const RouterCheckpoint& checkpoint);
+
+/// Parse the text form; throws std::runtime_error with a 1-based line
+/// number ("checkpoint line 7: ...") on malformed input or an
+/// unsupported version.
+RouterCheckpoint parseCheckpoint(const std::string& text);
+
+}  // namespace vini::migrate

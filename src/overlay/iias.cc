@@ -39,6 +39,49 @@ IiasRouter* IiasNetwork::router(const std::string& vnode_name) {
   return it == by_name_.end() ? nullptr : it->second;
 }
 
+std::unique_ptr<IiasRouter> IiasNetwork::rehomeRouter(
+    const std::string& vnode_name, packet::IpAddress previous_node_addr) {
+  IiasRouter* old_router = router(vnode_name);
+  if (!old_router) {
+    throw std::runtime_error("rehomeRouter: no router for " + vnode_name);
+  }
+  core::VirtualNode& vnode = old_router->vnode();
+  // Detach before the replacement is built: if the destination is the
+  // node's original home (a rollback, or a migration back), both
+  // routers share a stack and the tap/tunnel endpoints must not clash.
+  old_router->detachFromStack();
+
+  tcpip::HostStack& stack = stacks_.ensure(vnode.physNode());
+  auto fresh = std::make_unique<IiasRouter>(vnode, stack, config_);
+  fresh->registerVifs(embedding_.link_costs);
+
+  std::unique_ptr<IiasRouter> retired;
+  for (auto& slot : routers_) {
+    if (slot.get() == old_router) {
+      retired = std::move(slot);
+      slot = std::move(fresh);
+      by_name_[vnode_name] = slot.get();
+      break;
+    }
+  }
+
+  // Neighbors still tunnel toward the old substrate address: repoint
+  // them, flush drop-filter state keyed by the old address, and re-apply
+  // the current virtual-link state against the new one.
+  const packet::IpAddress new_addr = vnode.physNode().address();
+  for (const auto& iface : vnode.interfaces()) {
+    IiasRouter* neighbor = router(iface->link().peerOf(vnode).name());
+    if (!neighbor) continue;
+    neighbor->remapTunnelPeer(iface->address(), new_addr);
+    neighbor->unblockTunnelTo(previous_node_addr);
+  }
+  for (const auto& link : slice().links()) {
+    if (&link->nodeA() != &vnode && &link->nodeB() != &vnode) continue;
+    applyLinkState(*link, link->isUp());
+  }
+  return retired;
+}
+
 void IiasNetwork::applyLinkState(core::VirtualLink& link, bool up) {
   IiasRouter* ra = router(link.nodeA().name());
   IiasRouter* rb = router(link.nodeB().name());

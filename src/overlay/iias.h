@@ -38,6 +38,21 @@ class IiasNetwork {
   const std::vector<std::unique_ptr<IiasRouter>>& routers() const {
     return routers_;
   }
+  tcpip::StackManager& stacks() { return stacks_; }
+
+  // -- Live migration ----------------------------------------------------------
+
+  /// Rebuild the named virtual node's router on its *current* substrate
+  /// home (the caller re-homed the node through core::Vini first) and
+  /// repair every neighbor's tunnel to point at the new address.  The
+  /// replacement starts stopped with an empty control plane — restore a
+  /// checkpoint and start() it.  Returns the retired predecessor,
+  /// detached from its stack but kept alive: queued data-plane closures
+  /// may still reference its elements.  `previous_node_addr` is the
+  /// substrate address the node lived at before the re-home (neighbors
+  /// may still hold drop-filter state keyed by it).
+  std::unique_ptr<IiasRouter> rehomeRouter(const std::string& vnode_name,
+                                           packet::IpAddress previous_node_addr);
 
   // -- Section 5.2 failure controls -------------------------------------------
 

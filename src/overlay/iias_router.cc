@@ -157,6 +157,24 @@ void IiasRouter::start() { xorp_->start(); }
 
 void IiasRouter::stop() { xorp_->stop(); }
 
+void IiasRouter::detachFromStack() {
+  if (detached_) return;
+  detached_ = true;
+  // The FEA first: RIB withdrawals on the dying instance must not touch
+  // the (retired) FIB anymore.
+  xorp_->rib().setFea(nullptr);
+  // Tunnel endpoint: the replacement router owns the slice's tunnel
+  // port on *its* stack; this stack stops answering it.
+  stack_.closeUdp(vnode_.slice().tunnelPort());
+  // tap0 and every route through it (the overlay prefix route among
+  // them), plus the interface addresses the stack answered for.
+  stack_.removeTunDevice(tapName());
+  tap_ = nullptr;
+  for (const auto& iface : vnode_.interfaces()) {
+    stack_.removeLocalAddress(iface->address());
+  }
+}
+
 void IiasRouter::routeAdded(const xorp::RibRoute& route) {
   if (locallyAttachedConflict(route.prefix)) return;
   click::FibEntry entry;
@@ -212,6 +230,11 @@ void IiasRouter::blockTunnelTo(packet::IpAddress peer_node_addr) {
 
 void IiasRouter::unblockTunnelTo(packet::IpAddress peer_node_addr) {
   fail_->unblock(peer_node_addr);
+}
+
+void IiasRouter::remapTunnelPeer(packet::IpAddress vif_addr,
+                                 packet::IpAddress node_addr) {
+  encap_->addMapping(vif_addr, node_addr, vnode_.slice().tunnelPort());
 }
 
 void IiasRouter::injectIntoDataPlane(packet::Packet p) {

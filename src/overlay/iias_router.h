@@ -62,6 +62,16 @@ class IiasRouter final : public xorp::Fea {
   void start();
   void stop();
 
+  /// Release this router's grip on its host stack: close the tunnel
+  /// socket, remove the tap device (and every route through it), drop
+  /// the interface addresses, and detach the FEA.  Called on a retired
+  /// router after a live migration built its replacement on another
+  /// node.  The object stays alive — queued CPU-process closures may
+  /// still hold element pointers — but it no longer sees traffic.
+  /// Idempotent.
+  void detachFromStack();
+  bool isDetached() const { return detached_; }
+
   // -- Fea: XORP programs the Click FIB here -----------------------------------
 
   void routeAdded(const xorp::RibRoute& route) override;
@@ -83,6 +93,13 @@ class IiasRouter final : public xorp::Fea {
   /// Drop all tunnel traffic toward the given peer node.
   void blockTunnelTo(packet::IpAddress peer_node_addr);
   void unblockTunnelTo(packet::IpAddress peer_node_addr);
+
+  // -- Live migration (neighbor-side tunnel repair) ------------------------------
+
+  /// Repoint the tunnel that reaches next-hop `vif_addr` (a virtual
+  /// interface on a neighboring virtual node) at a new substrate
+  /// address — the neighbor migrated.
+  void remapTunnelPeer(packet::IpAddress vif_addr, packet::IpAddress node_addr);
 
   // -- Ingress (OpenVPN server hands decapsulated packets in) --------------------
 
@@ -127,6 +144,7 @@ class IiasRouter final : public xorp::Fea {
   click::Napt* napt_ = nullptr;
 
   bool external_egress_ = false;
+  bool detached_ = false;
   int next_fib_port_ = 3;  // 0 tunnels, 1 local, 2 external
   /// Prefixes bound directly to FIB ports here; RIB updates for these
   /// must not clobber the local binding.

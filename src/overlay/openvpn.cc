@@ -10,14 +10,49 @@ namespace vini::overlay {
 // OpenVpnServer
 
 OpenVpnServer::OpenVpnServer(IiasRouter& router, packet::Prefix client_pool)
-    : router_(router), pool_(client_pool) {
+    : router_(&router), pool_(client_pool) {
   egress_element_ = std::make_unique<EgressElement>(*this);
-  router_.attachStubPrefix(pool_, *egress_element_);
-  tcpip::UdpSocket& socket = router_.stack().openUdp(kOpenVpnPort);
+  router_->attachStubPrefix(pool_, *egress_element_);
+  tcpip::UdpSocket& socket = router_->stack().openUdp(kOpenVpnPort);
   socket.setReceiveHandler([this](packet::Packet p) { onDatagram(std::move(p)); });
 }
 
-OpenVpnServer::~OpenVpnServer() { router_.stack().closeUdp(kOpenVpnPort); }
+OpenVpnServer::~OpenVpnServer() { router_->stack().closeUdp(kOpenVpnPort); }
+
+std::vector<OpenVpnLease> OpenVpnServer::exportLeases() const {
+  std::vector<OpenVpnLease> leases;
+  leases.reserve(by_source_.size());
+  for (const auto& [addr, session] : by_source_) {
+    leases.push_back(OpenVpnLease{session.real_addr, session.real_port,
+                                  session.overlay_addr, session.session_id});
+  }
+  return leases;  // by_source_ is a std::map: already sorted by real addr
+}
+
+void OpenVpnServer::restoreLeases(const std::vector<OpenVpnLease>& leases,
+                                  std::uint32_t next_host) {
+  by_source_.clear();
+  by_overlay_.clear();
+  for (const auto& lease : leases) {
+    Session session{lease.real_addr, lease.real_port, lease.overlay_addr,
+                    lease.session_id};
+    by_source_[lease.real_addr] = session;
+    by_overlay_[lease.overlay_addr] = session;
+  }
+  next_host_ = next_host;
+}
+
+void OpenVpnServer::attachTo(IiasRouter& router) {
+  if (&router == router_) return;
+  // The retired ingress stops answering; if both routers share a stack
+  // (rollback) the port was already closed by the retired router's
+  // detach, and this close is a no-op.
+  router_->stack().closeUdp(kOpenVpnPort);
+  router_ = &router;
+  router_->attachStubPrefix(pool_, *egress_element_);
+  tcpip::UdpSocket& socket = router_->stack().openUdp(kOpenVpnPort);
+  socket.setReceiveHandler([this](packet::Packet p) { onDatagram(std::move(p)); });
+}
 
 packet::IpAddress OpenVpnServer::openSession(packet::IpAddress real_addr,
                                              std::uint16_t real_port,
@@ -38,7 +73,7 @@ packet::IpAddress OpenVpnServer::openSession(packet::IpAddress real_addr,
 
 void OpenVpnServer::handleControl(const packet::Packet& p,
                                   const OpenVpnControl& msg) {
-  tcpip::UdpSocket* socket = router_.stack().udpSocket(kOpenVpnPort);
+  tcpip::UdpSocket* socket = router_->stack().udpSocket(kOpenVpnPort);
   if (!socket) return;
   const auto* udp = p.udpHeader();
   if (!udp) return;
@@ -79,7 +114,7 @@ void OpenVpnServer::onDatagram(packet::Packet p) {
   ++ingress_packets_;
   // "The OpenVPN server removes the headers and forwards the original
   // packet to Click over a local Unix domain socket."  (Figure 2, step 2)
-  router_.injectIntoDataPlane(*p.inner);
+  router_->injectIntoDataPlane(*p.inner);
 }
 
 void OpenVpnServer::EgressElement::push(int, packet::Packet p) {
@@ -93,7 +128,7 @@ void OpenVpnServer::EgressElement::push(int, packet::Packet p) {
 }
 
 void OpenVpnServer::sendToClient(const Session& session, packet::Packet p) {
-  tcpip::UdpSocket* socket = router_.stack().udpSocket(kOpenVpnPort);
+  tcpip::UdpSocket* socket = router_->stack().udpSocket(kOpenVpnPort);
   if (!socket) {
     VINI_OBS_ROOT_DROP(p.meta.trace_id, "socket_gone");
     return;
@@ -105,6 +140,20 @@ void OpenVpnServer::sendToClient(const Session& session, packet::Packet p) {
 
 // ---------------------------------------------------------------------------
 // OpenVpnClient
+
+namespace {
+
+/// FNV-1a, for folding a client's name into its jitter seed.
+std::uint64_t hashName(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 OpenVpnClient::OpenVpnClient(tcpip::HostStack& stack, std::string name)
     : stack_(stack), name_(std::move(name)) {
@@ -145,6 +194,25 @@ void OpenVpnClient::plumbTunnel() {
   stack_.routingTable().addRoute(server_host);
 }
 
+void OpenVpnClient::rehome(OpenVpnServer& server) {
+  const packet::IpAddress old_addr = server_addr_;
+  server_addr_ = server.serverAddress();
+  if (server_addr_ == old_addr) return;
+  if (!old_addr.isZero()) {
+    stack_.routingTable().removeRoute(packet::Prefix(old_addr, 32));
+  }
+  if (tun_) {
+    // Re-pin the (new) server address to the underlay so tunnel frames
+    // don't chase the default route into the tun device.
+    tcpip::Route server_host;
+    server_host.prefix = packet::Prefix(server_addr_, 32);
+    server_host.device = &stack_.underlayDevice();
+    server_host.metric = 1;
+    server_host.proto = "openvpn";
+    stack_.routingTable().addRoute(server_host);
+  }
+}
+
 bool OpenVpnClient::connect(OpenVpnServer& server) {
   server_addr_ = server.serverAddress();
   ensureSocket();
@@ -161,7 +229,15 @@ void OpenVpnClient::connectAsync(OpenVpnServer& server,
                                  OpenVpnReconnectConfig config) {
   server_addr_ = server.serverAddress();
   config_ = config;
-  random_ = std::make_unique<sim::Random>(config.seed);
+  // Per-client jitter stream: two clients sharing a config (the common
+  // case — callers rarely thread distinct seeds through) must not
+  // retry in lockstep, so fold the substrate seed and the client's own
+  // name into the stream seed.  Deterministic across same-seed runs.
+  const std::uint64_t seed = config.seed ^
+                             stack_.network().config().seed *
+                                 0x9e3779b97f4a7c15ull ^
+                             hashName(name_);
+  random_ = std::make_unique<sim::Random>(seed);
   supervised_ = true;
   ensureSocket();
   sim::EventQueue& queue = stack_.queue();

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "overlay/iias_router.h"
 #include "sim/random.h"
@@ -45,6 +46,14 @@ struct OpenVpnControl final : packet::AppPayload {
 
 class OpenVpnClient;
 
+/// One client's address lease, in checkpoint-serializable form.
+struct OpenVpnLease {
+  packet::IpAddress real_addr;
+  std::uint16_t real_port = 0;
+  packet::IpAddress overlay_addr;
+  std::uint32_t session_id = 0;
+};
+
 class OpenVpnServer {
  public:
   /// Attach a server to an ingress router.  `client_pool` is the overlay
@@ -55,11 +64,31 @@ class OpenVpnServer {
   OpenVpnServer(const OpenVpnServer&) = delete;
   OpenVpnServer& operator=(const OpenVpnServer&) = delete;
 
-  packet::IpAddress serverAddress() const { return router_.stack().address(); }
+  packet::IpAddress serverAddress() const { return router_->stack().address(); }
   packet::Prefix clientPool() const { return pool_; }
   std::size_t sessionCount() const { return by_source_.size(); }
   std::uint64_t ingressPackets() const { return ingress_packets_; }
   std::uint64_t egressPackets() const { return egress_element_->count(); }
+
+  // -- Live migration ----------------------------------------------------------
+
+  /// Snapshot every lease (sorted by client real address) plus the pool
+  /// allocation cursor, for the router checkpoint.
+  std::vector<OpenVpnLease> exportLeases() const;
+  std::uint32_t nextHost() const { return next_host_; }
+
+  /// Replace the lease table wholesale (checkpoint restore / rollback).
+  void restoreLeases(const std::vector<OpenVpnLease>& leases,
+                     std::uint32_t next_host);
+
+  /// Move the ingress onto another router (the original migrated): close
+  /// the OpenVPN port on the old stack, re-advertise the pool from the
+  /// new router, and start answering on its stack.  Leases survive.
+  /// Clients must rehome() — the server's public address changed.
+  void attachTo(IiasRouter& router);
+
+  /// The router currently hosting this ingress (migration bookkeeping).
+  const IiasRouter* attachedRouter() const { return router_; }
 
  private:
   friend class OpenVpnClient;
@@ -96,7 +125,7 @@ class OpenVpnServer {
 
   void sendToClient(const Session& session, packet::Packet p);
 
-  IiasRouter& router_;
+  IiasRouter* router_;  ///< never null; repointed by attachTo()
   packet::Prefix pool_;
   std::uint32_t next_host_ = 10;
   std::map<packet::IpAddress, Session> by_source_;   ///< by client real addr
@@ -116,6 +145,9 @@ struct OpenVpnReconnectConfig {
   sim::Duration max_backoff = 30 * sim::kSecond;
   /// Relative jitter on each backoff delay, in [1 - jitter, 1 + jitter].
   double jitter = 0.25;
+  /// Mixed with the substrate seed and the client's name into the
+  /// per-client jitter stream, so co-located clients never share a
+  /// backoff schedule yet every same-seed run replays identically.
   std::uint64_t seed = 1;
 };
 
@@ -138,6 +170,12 @@ class OpenVpnClient {
   /// until the server answers, then keeps the session alive and
   /// reconnects automatically if the server stops answering.
   void connectAsync(OpenVpnServer& server, OpenVpnReconnectConfig config = {});
+
+  /// Follow a migrated server to its new substrate address: repin the
+  /// host route and aim handshakes/keepalives at the new home.  The
+  /// lease (keyed server-side by this client's real address) survives,
+  /// so an established session continues without a new handshake.
+  void rehome(OpenVpnServer& server);
 
   /// The overlay address assigned by the server (zero before connect).
   packet::IpAddress overlayAddress() const { return overlay_addr_; }

@@ -28,6 +28,17 @@ EventQueue::EventQueue(QueueImpl impl) : impl_(impl) {
   }
 }
 
+EventQueue::~EventQueue() {
+  // Drain stored callbacks while every member is still alive: dropping
+  // a callback can destroy the last owner of a component (e.g. a TCP
+  // connection kept alive only by its pending retransmit event), and
+  // that component's destructor may cancel() its own timers on this
+  // queue.  With tearing_down_ set those cancels return without
+  // touching the slab or the priority structure.
+  tearing_down_ = true;
+  for (Slot& slot : slots_) slot.cb.reset();
+}
+
 std::uint32_t EventQueue::allocSlot() {
   if (free_slots_.empty()) {
     // The id encoding caps the slab at 2^24 concurrent events; a
@@ -76,6 +87,7 @@ EventId EventQueue::schedule(Time when, const char* tag, Callback cb) {
 
 bool EventQueue::cancel(EventId id) {
   shard_.assertHeld();
+  if (tearing_down_) return false;
   // Only events still awaiting execution can be cancelled: the handle
   // must still occupy its slab slot.
   const std::uint32_t slot = slotOf(id);

@@ -73,6 +73,7 @@ class EventQueue {
 
   EventQueue() = default;
   explicit EventQueue(QueueImpl impl);
+  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -264,6 +265,11 @@ class EventQueue {
   std::size_t live_ VINI_GUARDED_BY(shard_) = 0;
   /// Tombstones: cancelled keys still sitting in the priority structure.
   std::size_t dead_keys_ VINI_GUARDED_BY(shard_) = 0;
+  /// Set by ~EventQueue before the slab drains: dropping a stored
+  /// callback can release the last owner of an object whose destructor
+  /// cancels its own timer on this queue, and that re-entrant cancel()
+  /// must be a no-op rather than touch half-destroyed members.
+  bool tearing_down_ VINI_GUARDED_BY(shard_) = false;
 
   // Slab storage for callbacks; keys refer into it by index.
   std::vector<Slot> slots_ VINI_GUARDED_BY(shard_);

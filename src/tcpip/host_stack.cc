@@ -167,6 +167,18 @@ TunDevice& HostStack::createTunDevice(const std::string& name,
   return *tun_devices_.back();
 }
 
+bool HostStack::removeTunDevice(const std::string& name) {
+  for (auto it = tun_devices_.begin(); it != tun_devices_.end(); ++it) {
+    if ((*it)->name() != name) continue;
+    rt_.removeRoutesVia(it->get());
+    const packet::IpAddress addr = (*it)->address();
+    if (!addr.isZero()) local_addrs_.erase(addr);
+    tun_devices_.erase(it);
+    return true;
+  }
+  return false;
+}
+
 Device* HostStack::deviceByName(const std::string& name) {
   if (underlay_ && underlay_->name() == name) return underlay_.get();
   for (auto& d : tun_devices_) {

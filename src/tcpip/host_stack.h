@@ -176,10 +176,16 @@ class HostStack {
   /// becomes a local address of the host.
   TunDevice& createTunDevice(const std::string& name, packet::IpAddress address);
 
+  /// Tear a TUN/TAP device down (live migration moved its slice away):
+  /// removes its routes, drops its address from the local set, and
+  /// destroys the device.  Returns false if no such device exists.
+  bool removeTunDevice(const std::string& name);
+
   Device* deviceByName(const std::string& name);
 
   /// Treat `addr` as local (deliver up rather than forward).
   void addLocalAddress(packet::IpAddress addr) { local_addrs_.insert(addr); }
+  void removeLocalAddress(packet::IpAddress addr) { local_addrs_.erase(addr); }
   bool isLocalAddress(packet::IpAddress addr) const;
 
   RoutingTable& routingTable() { return rt_; }

@@ -1,5 +1,7 @@
 #include "tcpip/routing_table.h"
 
+#include <algorithm>
+
 namespace vini::tcpip {
 
 void RoutingTable::addRoute(const Route& route) {
@@ -20,6 +22,16 @@ bool RoutingTable::removeRoute(const packet::Prefix& prefix) {
     }
   }
   return false;
+}
+
+std::size_t RoutingTable::removeRoutesVia(const Device* device) {
+  const std::size_t before = routes_.size();
+  routes_.erase(std::remove_if(routes_.begin(), routes_.end(),
+                               [device](const Route& r) {
+                                 return r.device == device;
+                               }),
+                routes_.end());
+  return before - routes_.size();
 }
 
 const Route* RoutingTable::lookup(packet::IpAddress dst) const {

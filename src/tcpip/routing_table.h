@@ -6,6 +6,7 @@
 // traffic into Click), and 0.0.0.0/0 routes to the underlay NIC.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,10 @@ class RoutingTable {
 
   /// Remove the route for exactly this prefix; returns true if removed.
   bool removeRoute(const packet::Prefix& prefix);
+
+  /// Remove every route through `device` (device teardown); returns the
+  /// number removed.
+  std::size_t removeRoutesVia(const Device* device);
 
   /// Longest-prefix match; ties broken by lower metric.
   const Route* lookup(packet::IpAddress dst) const;

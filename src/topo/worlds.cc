@@ -67,6 +67,33 @@ core::ViniConfig viniConfig(const WorldOptions& options) {
   return config;
 }
 
+/// Attach `options.spare_nodes` empty substrate nodes as migration
+/// destinations.  `first_octet` is the last-octet base for their
+/// addresses; `anchors` are the existing nodes each spare links to.
+/// Spare links get a ~10000x IGP weight so no pre-existing best path
+/// ever detours through a spare: enabling spares leaves every seeded
+/// baseline byte-identical.
+void addSpareNodes(phys::PhysNetwork& net, const WorldOptions& options,
+                   packet::IpAddress subnet, int addr_base,
+                   const std::vector<std::string>& anchors, double link_bps,
+                   double one_way_ms) {
+  for (int i = 1; i <= options.spare_nodes; ++i) {
+    phys::PhysNode& spare = net.addNode(
+        "Spare" + std::to_string(i),
+        packet::IpAddress((subnet.value() & 0xffffff00u) |
+                          static_cast<std::uint32_t>(addr_base + i)),
+        deterCpu(options.seed + 1000 + static_cast<std::uint64_t>(i)));
+    for (const auto& anchor : anchors) {
+      phys::LinkConfig config;
+      config.bandwidth_bps = link_bps;
+      config.propagation = sim::fromMillis(one_way_ms);
+      config.weight = 10000.0;
+      net.addLink(spare, *net.nodeByName(anchor), config);
+    }
+  }
+  if (options.spare_nodes > 0) net.recomputeRoutes();
+}
+
 }  // namespace
 
 std::unique_ptr<World> makeDeterWorld(const WorldOptions& options) {
@@ -79,6 +106,8 @@ std::unique_ptr<World> makeDeterWorld(const WorldOptions& options) {
   DeterOptions deter;
   deter.seed = options.seed + 100;
   buildDeter(world->net, deter);
+  addSpareNodes(world->net, options, packet::IpAddress(192, 168, 10, 0), 100,
+                {"Src", "Fwdr", "Sink"}, deter.link_bps, deter.one_way_ms);
 
   world->vini = std::make_unique<core::Vini>(world->net, viniConfig(options));
   core::TopologyEmbedder embedder(*world->vini);
@@ -100,6 +129,8 @@ std::unique_ptr<World> makeAbileneSubstrate(const WorldOptions& options) {
   abilene.seed = options.seed + 200;
   abilene.contention = options.contention;
   buildAbilene(world->net, abilene);
+  addSpareNodes(world->net, options, packet::IpAddress(198, 32, 154, 0), 200,
+                {"Denver", "KansasCity"}, abilene.backbone_bps, 5.0);
 
   world->vini = std::make_unique<core::Vini>(world->net, viniConfig(options));
   return world;

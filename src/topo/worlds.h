@@ -44,6 +44,12 @@ struct WorldOptions {
   bool mask_underlay_failures = false;
   bool expose_underlay_failures = true;
   std::uint64_t seed = 1;
+  /// Spare substrate nodes ("Spare1", "Spare2", ...) kept empty at
+  /// startup as live-migration destinations.  Their links carry a
+  /// prohibitively high IGP weight so baseline underlay routing — and
+  /// therefore every existing seeded run — is byte-identical at 0 and
+  /// above.
+  int spare_nodes = 0;
   /// Event-queue priority structure.  Both implementations produce
   /// byte-identical runs; kCalendar trades worst-case O(log n) for O(1)
   /// amortized under dense, roughly-uniform timestamps (see

@@ -1,6 +1,7 @@
 #include "xorp/bgp.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace vini::xorp {
 
@@ -50,6 +51,13 @@ void BgpProcess::flushRoutesFrom(BgpProcess* from) {
     if (entries.size() != before) affected.push_back(prefix);
   }
   for (const auto& prefix : affected) runDecision(prefix);
+}
+
+void BgpProcess::restoreOrigins(std::vector<packet::Prefix> origins) {
+  if (running_) {
+    throw std::runtime_error("bgp restoreOrigins requires a stopped speaker");
+  }
+  origins_ = std::move(origins);
 }
 
 void BgpProcess::stop() {

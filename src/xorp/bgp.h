@@ -92,6 +92,13 @@ class BgpProcess {
   std::optional<BgpRoute> bestRoute(const packet::Prefix& prefix) const;
   std::vector<packet::Prefix> knownPrefixes() const;
   std::size_t sessionCount() const { return peers_.size(); }
+  /// Prefixes this AS is configured to originate (checkpointable: they
+  /// are the only BGP state that must survive a migration — Adj-RIB-In
+  /// re-fills from the full-table exchange start() performs).
+  const std::vector<packet::Prefix>& origins() const { return origins_; }
+  /// Replace the configured originations while stopped (live-migration
+  /// restore).  Throws if the speaker is running.
+  void restoreOrigins(std::vector<packet::Prefix> origins);
   const BgpStats& stats() const { return stats_; }
   const BgpConfig& config() const { return config_; }
 

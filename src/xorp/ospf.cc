@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <stdexcept>
 
 namespace vini::xorp {
 
@@ -88,6 +89,25 @@ void OspfProcess::stop() {
   // §13.4 describes).
   lsdb_.clear();
   own_seq_ = 0;
+}
+
+OspfProcess::Checkpoint OspfProcess::checkpoint() const {
+  Checkpoint cp;
+  cp.own_seq = own_seq_;
+  cp.lsdb.reserve(lsdb_.size());
+  for (const auto& [origin, lsa] : lsdb_) cp.lsdb.push_back(lsa);
+  return cp;
+}
+
+void OspfProcess::restore(const Checkpoint& checkpoint) {
+  if (running_) {
+    throw std::runtime_error("ospf restore requires a stopped process");
+  }
+  lsdb_.clear();
+  for (const auto& lsa : checkpoint.lsdb) lsdb_[lsa.origin] = lsa;
+  // start() originates at ++own_seq_, so the first post-restore own-LSA
+  // is strictly newer than anything neighbors hold.
+  own_seq_ = checkpoint.own_seq;
 }
 
 bool OspfProcess::timersQuiet() const {

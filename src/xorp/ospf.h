@@ -105,6 +105,24 @@ class OspfProcess {
   const OspfConfig& config() const { return config_; }
   RouterId routerId() const { return config_.router_id; }
 
+  // -- Checkpoint / restore (live migration) ---------------------------------
+
+  /// Serializable protocol state: the LSDB plus this router's own LSA
+  /// sequence number.  Capture *before* stop() — stop models a crash and
+  /// clears both.
+  struct Checkpoint {
+    std::uint32_t own_seq = 0;
+    std::vector<RouterLsa> lsdb;  ///< sorted by origin
+  };
+  Checkpoint checkpoint() const;
+
+  /// Warm restart: pre-seed the LSDB and own sequence number while
+  /// stopped, so the next start() floods a *newer* own-LSA (seq + 1)
+  /// instead of restarting the sequence space from scratch — neighbors
+  /// accept it immediately rather than after a flooding war.  Throws if
+  /// the process is running.
+  void restore(const Checkpoint& checkpoint);
+
  private:
   struct Pending {
     RouterLsa lsa;

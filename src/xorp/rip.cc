@@ -1,6 +1,7 @@
 #include "xorp/rip.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace vini::xorp {
 
@@ -76,6 +77,43 @@ bool RipProcess::timersQuiet() const {
   if (update_timer_ && update_timer_->running()) return false;
   if (expire_timer_ && expire_timer_->running()) return false;
   return true;
+}
+
+RipProcess::Checkpoint RipProcess::checkpoint() const {
+  Checkpoint cp;
+  cp.routes.reserve(table_.size());
+  for (const auto& [prefix, entry] : table_) {
+    CheckpointRoute route;
+    route.prefix = prefix;
+    route.metric = entry.metric;
+    route.next_hop = entry.next_hop;
+    if (entry.learned_from != nullptr) route.vif = entry.learned_from->name();
+    cp.routes.push_back(std::move(route));
+  }
+  return cp;
+}
+
+void RipProcess::restore(const Checkpoint& checkpoint) {
+  if (running_) {
+    throw std::runtime_error("rip restore requires a stopped process");
+  }
+  for (const auto& route : checkpoint.routes) {
+    Entry entry;
+    entry.metric = route.metric;
+    entry.next_hop = route.next_hop;
+    entry.last_heard = queue_.now();  // fresh lease: do not expire instantly
+    if (!route.vif.empty()) {
+      for (Vif* vif : interfaces_) {
+        if (vif->name() == route.vif) {
+          entry.learned_from = vif;
+          break;
+        }
+      }
+      if (entry.learned_from == nullptr) continue;  // link did not move
+      install(route.prefix, entry);
+    }
+    table_[route.prefix] = entry;
+  }
 }
 
 void RipProcess::runCharged(sim::Duration cost, std::function<void()> work) {

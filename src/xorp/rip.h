@@ -62,6 +62,28 @@ class RipProcess {
   std::size_t tableSize() const { return table_.size(); }
   std::optional<std::uint32_t> metricFor(const packet::Prefix& prefix) const;
 
+  // -- Checkpoint / restore (live migration) ---------------------------------
+
+  /// One serializable table entry; `vif` names the learning interface
+  /// (empty = locally originated).
+  struct CheckpointRoute {
+    packet::Prefix prefix;
+    std::uint32_t metric = kRipInfinity;
+    packet::IpAddress next_hop;
+    std::string vif;
+  };
+  struct Checkpoint {
+    std::vector<CheckpointRoute> routes;  ///< table order (sorted by prefix)
+  };
+  /// Capture before stop() — stop models a crash and clears the table.
+  Checkpoint checkpoint() const;
+  /// Re-seed the table while stopped.  Learned entries resolve their
+  /// interface by name against this process's interfaces (unresolvable
+  /// entries are dropped — the link did not survive the move) and are
+  /// installed into the RIB so forwarding resumes before the first
+  /// periodic update.  Throws if the process is running.
+  void restore(const Checkpoint& checkpoint);
+
  private:
   struct Entry {
     std::uint32_t metric = kRipInfinity;

@@ -5,7 +5,12 @@
 
 #include "core/embedder.h"
 #include "core/schedule.h"
+#include "core/thread_annotations.h"
 #include "core/vini.h"
+
+#ifdef VINI_SHARD_CHECK
+#include <thread>
+#endif
 #include "topo/abilene.h"
 
 namespace vini::core {
@@ -282,6 +287,26 @@ TEST(Vini, PortReservationsAreExclusivePerSlice) {
   EXPECT_EQ(vini.portOwner(1194), s1.id());
   EXPECT_EQ(vini.portOwner(9999), -1);
 }
+
+#ifdef VINI_SHARD_CHECK
+TEST(ShardToken, SameThreadMayAssertRepeatedly) {
+  ShardToken token;
+  token.assertHeld();  // first touch claims the shard
+  token.assertHeld();  // same thread: fine
+  token.release();
+  token.assertHeld();  // reclaim after release: fine
+}
+
+TEST(ShardToken, ForeignThreadAborts) {
+  ShardToken token;
+  token.assertHeld();
+  EXPECT_DEATH(
+      [&token] {
+        std::thread([&token] { token.assertHeld(); }).join();
+      }(),
+      "");
+}
+#endif
 
 TEST(EventSchedule, RunsActionsAndKeepsLog) {
   sim::EventQueue queue;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "app/iperf.h"
 #include "check/checkers.h"
 #include "fault/chaos.h"
 #include "fault/fault.h"
@@ -436,6 +437,57 @@ TEST(FaultRecovery, EveryProcessClassSurvivesKillAndSupervisedRestart) {
 
 // ---------------------------------------------------------------------------
 // Chaos harness
+
+TEST(FaultRecovery, EstablishedTcpSurvivesNodeCrashAndSupervisedRestart) {
+  // A long-lived TCP flow through the overlay stalls while the only
+  // forwarding node is down, then resumes on the *same* connection once
+  // the node restarts and the supervisor revives its daemons — no
+  // reset, no re-accept.
+  auto world = topo::makeDeterWorld();
+  ASSERT_TRUE(world->runUntilConverged(60 * kSecond));
+  const double t0 = sim::toSeconds(world->queue.now());
+
+  app::IperfTcpServer iperf_server(world->stack("Sink"), 5001);
+  app::IperfTcpClient iperf_client(world->stack("Src"), world->tapOf("Sink"),
+                                   5001, 1, {}, world->tapOf("Src"));
+  iperf_client.start(sim::fromSeconds(150.0));
+  world->queue.runUntil(sim::fromSeconds(t0 + 10.0));
+  const std::uint64_t before_crash = iperf_server.bytesReceived();
+  ASSERT_GT(before_crash, 0u);
+  ASSERT_EQ(iperf_client.streams().size(), 1u);
+  ASSERT_EQ(iperf_client.streams()[0]->state(), tcpip::TcpState::kEstablished);
+
+  fault::Supervisor supervisor(world->queue, {});
+  fault::FaultInjector injector(world->schedule, world->net,
+                                world->iias.get(), &supervisor);
+  fault::FaultSchedule schedule;
+  fault::FaultEvent crash;
+  crash.at_seconds = t0 + 12.0;
+  crash.kind = fault::FaultKind::kNodeCrash;
+  crash.a = "Fwdr";
+  schedule.events.push_back(crash);
+  fault::FaultEvent restart = crash;
+  restart.at_seconds = t0 + 40.0;
+  restart.kind = fault::FaultKind::kNodeRestart;
+  schedule.events.push_back(restart);
+  injector.apply(schedule);
+
+  // Mid-outage: the flow is stalled but still established — TCP's
+  // retransmission backoff is riding out the blackhole.
+  world->queue.runUntil(sim::fromSeconds(t0 + 38.0));
+  EXPECT_EQ(iperf_client.streams()[0]->state(),
+            tcpip::TcpState::kEstablished);
+
+  // After restart + supervised daemon revival + OSPF re-adjacency the
+  // same connection moves bytes again.
+  world->queue.runUntil(sim::fromSeconds(t0 + 140.0));
+  const std::uint64_t after_recovery = iperf_server.bytesReceived();
+  EXPECT_GT(after_recovery, before_crash);
+  EXPECT_EQ(iperf_client.streams()[0]->state(),
+            tcpip::TcpState::kEstablished);
+  EXPECT_EQ(iperf_server.connectionsAccepted(), 1u);  // never re-accepted
+  EXPECT_GT(iperf_client.retransmits(), 0u);
+}
 
 TEST(Chaos, ShortCampaignIsBitReproducibleAndClean) {
   auto run = [] {

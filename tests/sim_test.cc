@@ -303,6 +303,27 @@ TEST(EventQueue, EagerCancelReleasesCallbackState) {
   q.run();
 }
 
+TEST(EventQueue, TeardownSurvivesCallbacksThatCancelTheirOwnTimers) {
+  // A component kept alive only by its pending event (shared_ptr in the
+  // callback) may cancel its own timers from its destructor.  When the
+  // queue itself is destroyed that destructor runs while the slab
+  // drains, and the re-entrant cancel() must not touch the dying queue
+  // (regression: heap-use-after-free on free_slots_ at teardown).
+  struct SelfCancelling {
+    explicit SelfCancelling(EventQueue& q)
+        : timer(q, [] {}) {
+      timer.armAfter(kSecond);
+    }
+    ~SelfCancelling() { timer.cancel(); }
+    OneShotTimer timer;
+  };
+  auto q = std::make_unique<EventQueue>();
+  auto owner = std::make_shared<SelfCancelling>(*q);
+  q->schedule(10 * kSecond, [owner] { (void)owner; });
+  owner.reset();  // the pending event now holds the only reference
+  q.reset();      // must not re-enter the half-destroyed queue
+}
+
 TEST(PeriodicTimer, FiresRepeatedlyUntilStopped) {
   EventQueue q;
   int fires = 0;

@@ -16,13 +16,19 @@
 //   --seed <n>         campaign seed (default 1)
 //   --duration <s>     fault-storm length in seconds (default 120)
 //   --world <name>     deter | abilene (default abilene)
+//   --queue <impl>     heap | calendar event queue (default heap; the
+//                      CI stage diffs both to prove impl-independence)
 //   --rip              run RIP alongside OSPF on the overlay
+//   --migrate          attach a spare substrate node and let the storm
+//                      live-migrate routers onto it (V130-V133 audits)
+//   --json <path>      write the migration report JSON (CI artifact)
 //   --quiet            print only the PASS/FAIL summary line
 //
 // VINI_SMOKE=1 in the environment shrinks the run (DETER world, 40 s
 // storm) so the CI gate stays fast.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -35,7 +41,8 @@ namespace {
 
 void usage(std::ostream& os) {
   os << "usage: vini_chaos [--seed <n>] [--duration <s>]\n"
-        "                  [--world deter|abilene] [--rip] [--quiet]\n"
+        "                  [--world deter|abilene] [--queue heap|calendar]\n"
+        "                  [--rip] [--migrate] [--json <path>] [--quiet]\n"
         "\n"
         "Runs a seeded fault campaign against a ready-made world and\n"
         "audits the chaos invariants; exits 1 on any violation.\n";
@@ -47,7 +54,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   double duration_seconds = 120.0;
   std::string world_name = "abilene";
+  std::string queue_name = "heap";
   bool enable_rip = false;
+  bool migrate = false;
+  std::string json_path;
   bool quiet = false;
 
   const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
@@ -72,8 +82,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--world" && i + 1 < argc) {
       world_name = argv[++i];
+    } else if (arg == "--queue" && i + 1 < argc) {
+      queue_name = argv[++i];
     } else if (arg == "--rip") {
       enable_rip = true;
+    } else if (arg == "--migrate") {
+      migrate = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -90,6 +106,16 @@ int main(int argc, char** argv) {
   vini::topo::WorldOptions options;
   options.enable_rip = enable_rip;
   options.seed = seed;
+  if (queue_name == "heap") {
+    options.queue_impl = vini::sim::QueueImpl::kHeap;
+  } else if (queue_name == "calendar") {
+    options.queue_impl = vini::sim::QueueImpl::kCalendar;
+  } else {
+    std::cerr << "vini_chaos: unknown queue impl '" << queue_name
+              << "' (expected heap or calendar)\n";
+    return 2;
+  }
+  if (migrate) options.spare_nodes = 1;
   std::unique_ptr<vini::topo::World> world;
   if (world_name == "deter") {
     world = vini::topo::makeDeterWorld(options);
@@ -105,6 +131,7 @@ int main(int argc, char** argv) {
   chaos.seed = seed;
   chaos.duration_seconds = duration_seconds;
   chaos.model = vini::fault::denseCampaignModel(seed);
+  chaos.include_migrations = migrate;
 
   const vini::fault::ChaosReport report =
       vini::fault::runChaosCampaign(*world, chaos);
@@ -113,6 +140,15 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "vini_chaos: seed " << seed << " "
               << (report.passed() ? "PASS" : "FAIL") << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "vini_chaos: cannot write '" << json_path << "'\n";
+      return 2;
+    }
+    out << (report.migration_json.empty() ? std::string("{\"migrations\":[]}\n")
+                                          : report.migration_json);
   }
   return report.passed() ? 0 : 1;
 }

@@ -25,17 +25,30 @@
 // queue-selection study.
 //
 //   bench_engine [--out FILE] [--seconds N] [--flows N] [--queue heap|calendar|both]
+//                [--profile FILE] [--baseline FILE]
 //   VINI_SMOKE=1 shrinks the run for CI gating.
+//
+// --profile FILE additionally runs the same workload once more with the
+// parallelism profiler attached and writes its deterministic
+// PROFILE_report.json (see obs/parallelism.h) — the shard-readiness
+// artifact CI uploads next to this bench's JSON.
+//
+// --baseline FILE compares this run's events/s against a checked-in
+// BENCH_engine.json from an earlier commit and fails on a >15%
+// regression per queue implementation — the perf-trajectory gate.
+// Skipped under VINI_SMOKE (smoke runs are too short to be stable).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "app/iperf.h"
 #include "bench_common.h"
+#include "obs/parallelism.h"
 #include "topo/worlds.h"
 
 using namespace vini;
@@ -75,7 +88,12 @@ std::uint64_t totalTxPackets(const topo::World& world) {
 /// One measured run: build the Abilene mirror on the chosen queue
 /// implementation, converge the overlay (not timed — we measure the
 /// steady-state hot path, not setup), then saturate and time it.
-RunResult runOnce(sim::QueueImpl impl, int flows, int seconds) {
+/// `profile_out`, when non-empty, attaches the parallelism profiler to
+/// the measured window and writes its PROFILE_report.json there (the
+/// profiler is passive, but kept off plain timing runs so the
+/// introspection hook never clouds the wall numbers).
+RunResult runOnce(sim::QueueImpl impl, int flows, int seconds,
+                  const std::string& profile_out = {}) {
   RunResult result;
   result.queue_impl = sim::queueImplName(impl);
 
@@ -115,11 +133,30 @@ RunResult runOnce(sim::QueueImpl impl, int flows, int seconds) {
     clients.back()->start(seconds * sim::kSecond);
   }
 
+  obs::ParallelismProfiler profiler;
+  if (!profile_out.empty()) {
+    profiler.setLookahead(world->net.minPropagation());
+    profiler.attach(world->queue);
+  }
+
   const std::uint64_t events_before = world->queue.executedCount();
   const std::uint64_t packets_before = totalTxPackets(*world);
   const auto wall_start = std::chrono::steady_clock::now();
   world->queue.runUntil(t0 + seconds * sim::kSecond);
   const auto wall_end = std::chrono::steady_clock::now();
+
+  if (!profile_out.empty()) {
+    const obs::ParallelismProfiler::Report report =
+        profiler.analyze({2, 4, 8, 16});
+    profiler.detach();
+    std::ofstream out(profile_out);
+    obs::ParallelismProfiler::writeJson(out, report);
+    std::printf("  [profile report written to %s: %llu events, "
+                "cross-node ratio %.4f]\n",
+                profile_out.c_str(),
+                static_cast<unsigned long long>(report.total_events),
+                report.cross_node_ratio);
+  }
 
   result.events = world->queue.executedCount() - events_before;
   result.sim_packets = totalTxPackets(*world) - packets_before;
@@ -131,6 +168,76 @@ RunResult runOnce(sim::QueueImpl impl, int flows, int seconds) {
   result.peak_pending = world->queue.peakPendingCount();
   result.peak_storage = world->queue.peakStorageCount();
   return result;
+}
+
+/// Extract (queue_impl, events_per_sec) pairs from a BENCH_engine.json
+/// this bench itself wrote.  A full JSON parser is overkill for our own
+/// fixed format: scan for the two keys line by line.
+std::vector<std::pair<std::string, double>> parseBaseline(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_engine: cannot open baseline %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::vector<std::pair<std::string, double>> result;
+  std::string line;
+  std::string impl;
+  auto fieldTail = [&line](const char* key) -> const char* {
+    const std::size_t pos = line.find(key);
+    return pos == std::string::npos ? nullptr : line.c_str() + pos +
+                                                    std::strlen(key);
+  };
+  while (std::getline(in, line)) {
+    if (const char* v = fieldTail("\"queue_impl\": \"")) {
+      impl.assign(v, std::strcspn(v, "\""));
+    } else if (const char* v = fieldTail("\"events_per_sec\": ")) {
+      if (impl.empty()) {
+        std::fprintf(stderr,
+                     "bench_engine: malformed baseline %s "
+                     "(events_per_sec before queue_impl)\n",
+                     path.c_str());
+        std::exit(2);
+      }
+      result.emplace_back(impl, std::strtod(v, nullptr));
+      impl.clear();
+    }
+  }
+  return result;
+}
+
+/// The perf-trajectory gate: fail when any queue implementation's
+/// events/s fell more than 15% below the checked-in baseline.
+int checkBaseline(const std::string& path, const std::vector<RunResult>& runs) {
+  constexpr double kMaxRegression = 0.15;
+  const auto baseline = parseBaseline(path);
+  int failures = 0;
+  for (const RunResult& r : runs) {
+    double base = 0.0;
+    for (const auto& [impl, eps] : baseline) {
+      if (impl == r.queue_impl) base = eps;
+    }
+    if (base <= 0.0) {
+      std::printf("  perf gate: no baseline entry for queue=%s, skipping\n",
+                  r.queue_impl.c_str());
+      continue;
+    }
+    const double ratio = r.eventsPerSec() / base;
+    std::printf("  perf gate: queue=%-8s %12.0f events/s vs baseline "
+                "%12.0f (%+.1f%%)\n",
+                r.queue_impl.c_str(), r.eventsPerSec(), base,
+                100.0 * (ratio - 1.0));
+    if (ratio < 1.0 - kMaxRegression) {
+      std::fprintf(stderr,
+                   "bench_engine: PERF REGRESSION: queue=%s dropped %.1f%% "
+                   "below baseline (limit %.0f%%)\n",
+                   r.queue_impl.c_str(), 100.0 * (1.0 - ratio),
+                   100.0 * kMaxRegression);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 void writeRunJson(std::ofstream& out, const RunResult& r, bool last) {
@@ -163,6 +270,8 @@ int main(int argc, char** argv) {
   const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
   std::string out_path = "BENCH_engine.json";
   std::string queue_arg = "both";
+  std::string profile_path;
+  std::string baseline_path;
   int seconds = smoke ? 2 : 10;
   int flows = smoke ? 4 : 8;
   for (int i = 1; i < argc; ++i) {
@@ -183,10 +292,15 @@ int main(int argc, char** argv) {
       flows = std::atoi(v);
     } else if (const char* v = value("--queue")) {
       queue_arg = v;
+    } else if (const char* v = value("--profile")) {
+      profile_path = v;
+    } else if (const char* v = value("--baseline")) {
+      baseline_path = v;
     } else {
       std::fprintf(stderr,
                    "usage: bench_engine [--out FILE] [--seconds N] "
-                   "[--flows N] [--queue heap|calendar|both]\n");
+                   "[--flows N] [--queue heap|calendar|both] "
+                   "[--profile FILE] [--baseline FILE]\n");
       return 2;
     }
   }
@@ -222,6 +336,12 @@ int main(int argc, char** argv) {
     runs.push_back(std::move(r));
   }
 
+  // The shard-readiness profile rides a separate run so the profiler's
+  // introspection hook never touches the timed ones.
+  if (!profile_path.empty()) {
+    runOnce(impls[0], flows, seconds, profile_path);
+  }
+
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"bench\": \"engine\",\n"
@@ -254,6 +374,15 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(runs[i].events),
                    static_cast<unsigned long long>(runs[i].sim_packets));
       return 1;
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    if (smoke) {
+      std::printf("  perf gate: skipped under VINI_SMOKE "
+                  "(smoke runs are not timing-stable)\n");
+    } else if (int rc = checkBaseline(baseline_path, runs)) {
+      return rc;
     }
   }
   return 0;

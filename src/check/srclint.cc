@@ -665,6 +665,139 @@ void ruleV207(const std::string& path, const Lexed& lx,
   }
 }
 
+// V208: unknown event-schedule tag.  EventQueue::schedule/scheduleAfter
+// accept a static tag string that attributes the event to a subsystem for
+// the event-loop profiler and the parallelism profiler; downstream
+// tooling (vini_profile, PROFILE_report.json consumers, dashboards) keys
+// on the documented vocabulary, so a typo'd or ad-hoc tag silently
+// vanishes from every per-subsystem breakdown.  The vocabulary lives in
+// the README ("Schedule tag vocabulary"); "test" and "bench" are
+// reserved for tests, tools, and benches.
+//
+// The lexer strips string literals, so this rule scans the *raw* source:
+// it finds each schedule/scheduleAfter call and checks the first string
+// literal among its arguments (the tag always precedes the callback, so
+// the scan stops at the first '{' — a lambda body — or the call's
+// closing parenthesis).  Untagged calls are fine: the overloads without
+// a tag are the untraced fast path.
+void ruleV208(const std::string& path, const std::string& text,
+              std::vector<SrcFinding>& out) {
+  static const std::set<std::string> kKnownTags = {
+      "phys.link",  "tcpip.host", "cpu.scheduler", "fault.supervisor",
+      "xorp.ospf",  "xorp.bgp",   "xorp.rip",      "click.shaper",
+      "app.iperf",  "app.ping",   "test",          "bench"};
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 1 < n ? i + 2 : n;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        else if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    if (!isIdentStart(c)) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && isIdentChar(text[j])) ++j;
+    const std::string ident = text.substr(i, j - i);
+    i = j;
+    if (ident != "schedule" && ident != "scheduleAfter") continue;
+    std::size_t k = j;
+    while (k < n && (text[k] == ' ' || text[k] == '\t')) ++k;
+    if (k >= n || text[k] != '(') continue;
+    // Look ahead through the argument list (the outer loop re-scans this
+    // text afterwards, so `line` stays consistent).
+    int depth = 0;
+    int cur = line;
+    std::size_t p = k;
+    while (p < n) {
+      const char d = text[p];
+      if (d == '\n') {
+        ++cur;
+        ++p;
+        continue;
+      }
+      if (d == '/' && p + 1 < n && text[p + 1] == '/') {
+        while (p < n && text[p] != '\n') ++p;
+        continue;
+      }
+      if (d == '/' && p + 1 < n && text[p + 1] == '*') {
+        p += 2;
+        while (p + 1 < n && !(text[p] == '*' && text[p + 1] == '/')) {
+          if (text[p] == '\n') ++cur;
+          ++p;
+        }
+        p = p + 1 < n ? p + 2 : n;
+        continue;
+      }
+      if (d == '(') {
+        ++depth;
+        ++p;
+        continue;
+      }
+      if (d == ')') {
+        if (--depth == 0) break;
+        ++p;
+        continue;
+      }
+      if (d == '{') break;  // callback body: the tag would precede it
+      if (d == '\'') {
+        ++p;
+        while (p < n && text[p] != '\'' && text[p] != '\n') {
+          if (text[p] == '\\' && p + 1 < n) ++p;
+          ++p;
+        }
+        if (p < n && text[p] == '\'') ++p;
+        continue;
+      }
+      if (d == '"') {
+        std::string tag;
+        std::size_t e = p + 1;
+        while (e < n && text[e] != '"') {
+          if (text[e] == '\\' && e + 1 < n) ++e;
+          tag += text[e++];
+        }
+        if (kKnownTags.count(tag) == 0) {
+          emit(out, Severity::kError, "V208", path, cur,
+               "unknown schedule tag \"" + tag +
+                   "\" — not in the documented vocabulary (README "
+                   "\"Schedule tag vocabulary\"); profiler breakdowns "
+                   "and PROFILE_report.json consumers key on known tags");
+        }
+        break;
+      }
+      ++p;
+    }
+  }
+}
+
 std::string trimCopy(const std::string& s) {
   std::size_t b = 0;
   std::size_t e = s.size();
@@ -691,6 +824,7 @@ std::vector<SrcFinding> lintSource(const std::string& path,
   ruleV205(path, lx, out);
   ruleV206(path, lx, out);
   ruleV207(path, lx, out);
+  ruleV208(path, text, out);
 
   std::sort(out.begin(), out.end(),
             [](const SrcFinding& a, const SrcFinding& b) {
@@ -912,6 +1046,21 @@ bool srclintSelfTest(std::ostream& os) {
        "  // cross-shard: read by samplers on other shards\n"
        "  int count_ VINI_GUARDED_BY(shard_) = 0;\n"
        "};\n"},
+      {"v208-unknown-schedule-tag", "V208", true, Severity::kError,
+       "void f(sim::EventQueue& q) {\n"
+       "  q.scheduleAfter(5, \"phys.lnik\", [] {});\n"
+       "}\n"},
+      {"v208-known-tag-is-fine", "V208", false, Severity::kError,
+       "void f(sim::EventQueue& q, sim::NodeTag node) {\n"
+       "  q.scheduleAfter(5, \"phys.link\", node, [] {});\n"
+       "  q.schedule(10,\n"
+       "             \"tcpip.host\",  // tag on its own line\n"
+       "             [] {});\n"
+       "}\n"},
+      {"v208-untagged-call-is-fine", "V208", false, Severity::kError,
+       "void f(sim::EventQueue& q) {\n"
+       "  q.schedule(10, [] { const char* s = \"not.a.tag\"; use(s); });\n"
+       "}\n"},
   };
 
   const std::string companion =

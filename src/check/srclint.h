@@ -45,6 +45,11 @@
 //   V207  data member documented with the cross-shard marker but missing a
 //         VINI_GUARDED_BY / VINI_PT_GUARDED_BY annotation
 //         (src/core/thread_annotations.h)
+//   V208  EventQueue::schedule/scheduleAfter called with a tag string
+//         outside the documented vocabulary (README "Schedule tag
+//         vocabulary") — profiler breakdowns and PROFILE_report.json
+//         consumers key on known tags, so a typo'd tag silently vanishes
+//         from every per-subsystem view
 //
 // Accepted findings live in a checked-in baseline
 // (examples/specs/srclint.baseline): one entry per (code, file), each

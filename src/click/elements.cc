@@ -434,7 +434,7 @@ void Shaper::drain() {
                                                  static_cast<double>(sim::kSecond));
     drain_scheduled_ = true;
     context_.queue->scheduleAfter(std::max<sim::Duration>(wait, sim::kMicrosecond),
-                                  "click.Shaper", [this] {
+                                  "click.shaper", [this] {
                                     drain_scheduled_ = false;
                                     drain();
                                   });

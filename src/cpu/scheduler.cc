@@ -15,6 +15,7 @@ Process::Process(Scheduler& sched, ProcessConfig config)
     : sched_(sched), config_(std::move(config)) {
   accounting_start_ = sched_.queue().now();
   timeline_track_ = "cpu/" + sched_.config().node_name + "/" + config_.name;
+  node_tag_ = sched_.queue().internNodeTag(sched_.config().node_name);
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     obs::MetricsRegistry& m = ctx->metrics;
     const std::string& node = sched_.config().node_name;
@@ -45,7 +46,8 @@ void Process::wakeup() {
   VINI_OBS_INC(m_wakeups_);
   VINI_OBS_TIMELINE_DURATION(timeline_track_, "wakeup",
                              sched_.queue().now(), latency);
-  sched_.queue().scheduleAfter(latency, "cpu.scheduler", [this] { runSlice(); });
+  sched_.queue().scheduleAfter(latency, "cpu.scheduler", node_tag_,
+                               [this] { runSlice(); });
 }
 
 void Process::runSlice() {
@@ -61,7 +63,8 @@ void Process::runSlice() {
   const bool job_done = job.remaining == 0;
   VINI_OBS_ADD(m_cpu_ns_, static_cast<std::uint64_t>(chunk));
 
-  sched_.queue().scheduleAfter(chunk, "cpu.scheduler", [this, job_done] {
+  sched_.queue().scheduleAfter(chunk, "cpu.scheduler", node_tag_,
+                               [this, job_done] {
     if (job_done) {
       auto done = std::move(jobs_.front().done);
       jobs_.pop_front();
@@ -80,7 +83,8 @@ void Process::runSlice() {
     quantum_left_ = sched_.quantum(config_);
     VINI_OBS_TIMELINE_DURATION(timeline_track_, "descheduled",
                                sched_.queue().now(), gap);
-    sched_.queue().scheduleAfter(gap, "cpu.scheduler", [this] { runSlice(); });
+    sched_.queue().scheduleAfter(gap, "cpu.scheduler", node_tag_,
+                                 [this] { runSlice(); });
   });
 }
 

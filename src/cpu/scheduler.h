@@ -144,6 +144,8 @@ class Process {
   ProcessConfig config_;
   /// Timeline track for this process's scheduling events.
   std::string timeline_track_;
+  /// Node attribution for scheduled slices (shard-readiness telemetry).
+  sim::NodeTag node_tag_ = sim::kNoNode;
   std::deque<Job> jobs_;
   bool running_ = false;
   sim::Duration quantum_left_ = 0;

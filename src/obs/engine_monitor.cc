@@ -1,0 +1,116 @@
+#include "obs/engine_monitor.h"
+
+namespace vini::obs {
+
+void EngineMonitor::attach(sim::EventQueue& queue, MetricsRegistry& registry,
+                           MetricSampler* chain) {
+  shard_.assertHeld();
+  detach();
+  queue_ = &queue;
+  registry_ = &registry;
+  chain_ = chain;
+
+  g_pending_ = &registry.gauge("sim.engine", "queue", "pending_events");
+  g_storage_ = &registry.gauge("sim.engine", "queue", "storage_keys");
+  g_slab_slots_ = &registry.gauge("sim.engine", "queue", "slab_slots");
+  g_slab_free_ = &registry.gauge("sim.engine", "queue", "slab_free_slots");
+  c_cross_sched_ =
+      &registry.counter("sim.engine", "queue", "cross_node_scheduled");
+  c_same_sched_ =
+      &registry.counter("sim.engine", "queue", "same_node_scheduled");
+  c_unattributed_ =
+      &registry.counter("sim.engine", "queue", "events_unattributed");
+  last_cross_sched_ = 0;
+  last_same_sched_ = 0;
+  last_unattributed_ = 0;
+  c_node_executed_.clear();
+  last_node_executed_.clear();
+
+  wall_start_ = std::chrono::steady_clock::now();
+  sim_start_ = queue.now();
+
+  refresh();
+  queue.setAdvanceObserver(
+      [this](sim::Time from, sim::Time to) { onAdvance(from, to); });
+}
+
+void EngineMonitor::detach() {
+  shard_.assertHeld();
+  if (queue_ != nullptr) {
+    queue_->setAdvanceObserver(nullptr);
+    queue_ = nullptr;
+  }
+  registry_ = nullptr;
+  chain_ = nullptr;
+}
+
+void EngineMonitor::onAdvance(sim::Time from, sim::Time to) {
+  shard_.assertHeld();
+  // Refresh before chaining so a sampler watching the engine metrics
+  // snapshots them as of the boundary, like any other metric.
+  refresh();
+  if (chain_ != nullptr) chain_->onAdvance(from, to);
+}
+
+void EngineMonitor::refresh() {
+  g_pending_->set(static_cast<double>(queue_->pendingCount()));
+  g_storage_->set(static_cast<double>(queue_->storageCount()));
+  g_slab_slots_->set(static_cast<double>(queue_->slabSlotCount()));
+  g_slab_free_->set(static_cast<double>(queue_->slabFreeCount()));
+
+  const std::uint64_t cross = queue_->crossNodeScheduledCount();
+  c_cross_sched_->inc(cross - last_cross_sched_);
+  last_cross_sched_ = cross;
+  const std::uint64_t same = queue_->sameNodeScheduledCount();
+  c_same_sched_->inc(same - last_same_sched_);
+  last_same_sched_ = same;
+  const std::uint64_t unattr = queue_->unattributedExecutedCount();
+  c_unattributed_->inc(unattr - last_unattributed_);
+  last_unattributed_ = unattr;
+
+  // The queue interns tags as components construct; pick up new ones.
+  const std::size_t tags = queue_->nodeTagCount();
+  while (c_node_executed_.size() < tags) {
+    const sim::NodeTag tag =
+        static_cast<sim::NodeTag>(c_node_executed_.size());
+    c_node_executed_.push_back(&registry_->counter(
+        "sim.engine", queue_->nodeTagName(tag), "events_executed"));
+    last_node_executed_.push_back(0);
+  }
+  for (std::size_t i = 0; i < c_node_executed_.size(); ++i) {
+    const std::uint64_t n =
+        queue_->nodeExecutedCount(static_cast<sim::NodeTag>(i));
+    c_node_executed_[i]->inc(n - last_node_executed_[i]);
+    last_node_executed_[i] = n;
+  }
+}
+
+double EngineMonitor::simWallRatio() const {
+  shard_.assertHeld();
+  if (queue_ == nullptr) return 0.0;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  if (wall <= 0.0) return 0.0;
+  const double sim = sim::toSeconds(queue_->now() - sim_start_);
+  return sim / wall;
+}
+
+double EngineMonitor::etaSeconds(sim::Time target) const {
+  shard_.assertHeld();
+  if (queue_ == nullptr || target <= queue_->now()) return 0.0;
+  const double ratio = simWallRatio();
+  if (ratio <= 0.0) return 0.0;
+  return sim::toSeconds(target - queue_->now()) / ratio;
+}
+
+void EngineMonitor::updateWallGauges(sim::Time target) {
+  shard_.assertHeld();
+  if (registry_ == nullptr) return;
+  registry_->gauge("sim.engine", "wall", "sim_wall_ratio").set(simWallRatio());
+  registry_->gauge("sim.engine", "wall", "eta_seconds")
+      .set(etaSeconds(target));
+}
+
+}  // namespace vini::obs

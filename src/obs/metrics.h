@@ -14,6 +14,18 @@
 // metric (several sockets on one node share a drop counter); registering
 // it with a *different* type throws, and the CI gate treats that as a
 // hard failure.
+//
+// Partitioning (shard readiness): partitionByNode() splits the registry
+// into per-node-group sub-maps, each the storage a future worker shard
+// would own.  A key routes to the partition of its `node` field; keys
+// whose node names no physical node (link labels like
+// "Denver-KansasCity/ab", synthetic scopes) route by a deterministic
+// FNV-1a hash so the same key always lands in the same partition.  Every
+// read-side export walks the partitions with a k-way sorted merge, so a
+// partitioned registry's CSV is byte-identical to the monolithic one —
+// the property the partition fuzz test enforces.  mergeRegistries()
+// provides the same guarantee across physically separate registries
+// (one per shard), which is the plan of record for the parallel engine.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +63,9 @@ class Counter {
   void inc(std::uint64_t delta = 1) { value_ += delta; }
   std::uint64_t value() const { return value_; }
 
+  /// Fold another counter in (shard merge): counts add.
+  void merge(const Counter& other) { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -73,6 +88,15 @@ class Gauge {
   double value() const { return value_; }
   /// Number of writes since construction.
   std::uint64_t version() const { return version_; }
+
+  /// Fold another gauge in (shard merge).  Levels add — each shard's
+  /// gauge holds its local share of the quantity (its queue's depth,
+  /// its nodes' bytes outstanding), so the merged level is the sum.
+  /// Versions add so on-change samplers still see every shard's writes.
+  void merge(const Gauge& other) {
+    value_ += other.value_;
+    version_ += other.version_;
+  }
 
  private:
   double value_ = 0.0;
@@ -107,6 +131,11 @@ class Histogram {
   double upperBound(std::size_t i) const { return bounds_[i]; }
   const std::vector<double>& bounds() const { return bounds_; }
 
+  /// Fold another histogram in (shard merge): buckets add pairwise.
+  /// Throws std::logic_error if the bucket bounds differ — two shards
+  /// observing the same quantity must have registered identical bounds.
+  void merge(const Histogram& other);
+
  private:
   std::vector<double> bounds_;          // ascending
   std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow)
@@ -114,8 +143,12 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+class ScopedRegistry;
+
 class MetricsRegistry {
  public:
+  MetricsRegistry() : parts_(1) {}
+
   /// Register (or look up) a metric.  Throws std::logic_error if the key
   /// already exists with a different type — the CI gate relies on this
   /// surfacing as a hard failure.
@@ -127,6 +160,35 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& component, const std::string& node,
                        const std::string& name,
                        std::vector<double> upper_bounds);
+
+  // -- Partitioning (shard readiness) ---------------------------------------
+
+  /// Split storage into `groups.size()` per-node-group partitions; group
+  /// i lists the physical node names whose keys partition i owns.  Keys
+  /// whose node field names none of the listed nodes route by FNV-1a
+  /// hash, so routing stays a pure function of the key.  Must be called
+  /// while the registry is empty (before any component registers) and at
+  /// most once; throws std::logic_error otherwise, or if a node name
+  /// appears in two groups.
+  void partitionByNode(const std::vector<std::vector<std::string>>& groups);
+
+  /// Number of partitions (1 until partitionByNode() is called).
+  std::size_t partitionCount() const {
+    shard_.assertHeld();
+    return parts_.size();
+  }
+
+  /// The partition a key with node field `node` routes to: the explicit
+  /// group assignment when `node` was listed in partitionByNode(), else
+  /// a deterministic FNV-1a hash of the name.  Always 0 when
+  /// unpartitioned.
+  std::size_t partitionOf(const std::string& node) const;
+
+  /// A registration view restricted to the partition owning `node` —
+  /// what a worker shard would hold.  The view registers through the
+  /// parent but throws std::logic_error if a key routes to a different
+  /// partition, catching cross-shard registrations at construction time.
+  ScopedRegistry scoped(const std::string& node);
 
   // -- Read side (nullptr / 0 when the metric was never registered) ---------
 
@@ -148,36 +210,88 @@ class MetricsRegistry {
   std::uint64_t sumCounters(const std::string& component,
                             const std::string& name) const;
 
-  std::size_t size() const {
-    shard_.assertHeld();
-    return metrics_.size();
-  }
+  std::size_t size() const;
 
-  /// Visit every metric in deterministic (sorted-key) order.
+  /// Visit every metric in deterministic (sorted-key) order, merging
+  /// across partitions.
   void forEach(
       const std::function<void(const MetricKey&, MetricType)>& visit) const;
 
   /// "component,node,name,type,value" rows (histograms emit one row per
-  /// bucket plus count/sum), sorted by key — byte-stable across runs.
+  /// bucket plus count/sum), sorted by key — byte-stable across runs
+  /// and across partitionings (the k-way merge restores global order).
   void writeCsv(std::ostream& os) const;
 
  private:
+  friend class ScopedRegistry;
+  friend void mergeRegistries(const std::vector<const MetricsRegistry*>& from,
+                              MetricsRegistry& into);
+
   using Metric = std::variant<Counter, Gauge, Histogram>;
+  using Partition = std::map<MetricKey, Metric>;
 
   template <typename T>
   T& registerAs(const std::string& component, const std::string& node,
                 const std::string& name, T initial);
+  /// registerAs with the caller's claimed partition checked against the
+  /// key's routed partition (ScopedRegistry path; ~0 skips the check).
+  template <typename T>
+  T& registerScoped(std::size_t claimed_part, const std::string& component,
+                    const std::string& node, const std::string& name,
+                    T initial);
   const Metric* find(const std::string& component, const std::string& node,
                      const std::string& name) const;
+  /// Visit every (key, metric) pair in globally sorted key order via a
+  /// k-way merge over the per-partition sorted maps.
+  void visitSorted(
+      const std::function<void(const MetricKey&, const Metric&)>& visit) const
+      VINI_REQUIRES(shard_);
 
   // The registry is a merge point for the sharded engine: every node's
   // stack bumps counters here.  Plan of record is shard-local registries
-  // merged at sample boundaries, so the map stays shard-owned.
+  // merged at sample boundaries; partitionByNode() already gives each
+  // would-be shard its own sub-map, so the maps stay shard-owned.
   core::ShardToken shard_;
-  // std::map: node-based (stable handle addresses) and key-sorted
-  // (deterministic iteration).
-  // cross-shard: merged across shard-local registries at sample points.
-  std::map<MetricKey, Metric> metrics_ VINI_GUARDED_BY(shard_);
+  // std::map partitions: node-based (stable handle addresses) and
+  // key-sorted (deterministic iteration).  parts_.size() >= 1 always.
+  // cross-shard: merged across shard-local partitions at sample points.
+  std::vector<Partition> parts_ VINI_GUARDED_BY(shard_);
+  /// Explicit node-name → partition assignments from partitionByNode();
+  /// names absent here route by FNV-1a hash.
+  // cross-shard: written once at partition time, read-only afterwards.
+  std::map<std::string, std::size_t> node_part_ VINI_GUARDED_BY(shard_);
 };
+
+/// A per-partition registration view (see MetricsRegistry::scoped).
+class ScopedRegistry {
+ public:
+  Counter& counter(const std::string& component, const std::string& node,
+                   const std::string& name);
+  Gauge& gauge(const std::string& component, const std::string& node,
+               const std::string& name);
+  Histogram& histogram(const std::string& component, const std::string& node,
+                       const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  std::size_t partition() const { return part_; }
+
+ private:
+  friend class MetricsRegistry;
+  ScopedRegistry(MetricsRegistry& parent, std::size_t part)
+      : parent_(&parent), part_(part) {}
+
+  MetricsRegistry* parent_;
+  std::size_t part_;
+};
+
+/// Fold several registries (one per shard) into `into`: keys present in
+/// one source copy over; keys present in several merge pairwise
+/// (counters/gauges add, histograms add buckets — identical bounds
+/// required).  A key carried with different metric *types* across
+/// sources throws std::logic_error.  `into` need not be empty; its
+/// existing metrics merge too.  Deterministic: the result depends only
+/// on the multiset of (key, metric) pairs, not on source order.
+void mergeRegistries(const std::vector<const MetricsRegistry*>& from,
+                     MetricsRegistry& into);
 
 }  // namespace vini::obs

@@ -38,6 +38,17 @@ struct Obs {
       : tracer(trace_capacity) {
     sampler.bindRegistry(&metrics);
   }
+
+  /// Partition the whole obs plane by physical node groups (shard
+  /// readiness): metrics registry and packet tracer both split their
+  /// storage along the same node grouping, and every export k-way
+  /// merges back to bytes identical to the monolithic layout.  Call
+  /// before any component registers metrics or records traces — i.e.
+  /// right after installing the ScopedObs, before building the world.
+  void partitionByNode(const std::vector<std::vector<std::string>>& groups) {
+    metrics.partitionByNode(groups);
+    tracer.partitionByNode(groups);
+  }
 };
 
 /// The installed context, or nullptr when instrumentation is off.

@@ -1,0 +1,267 @@
+#include "obs/parallelism.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace vini::obs {
+
+namespace {
+
+/// Fixed-format double for the JSON report: enough digits to be useful,
+/// few enough to stay locale-independent and byte-stable.
+std::string fmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+void ParallelismProfiler::setLookahead(sim::Duration lookahead) {
+  shard_.assertHeld();
+  if (lookahead <= 0) {
+    throw std::logic_error("ParallelismProfiler: lookahead must be > 0");
+  }
+  lookahead_ = lookahead;
+}
+
+void ParallelismProfiler::attach(sim::EventQueue& queue) {
+  shard_.assertHeld();
+  if (lookahead_ <= 0) {
+    throw std::logic_error(
+        "ParallelismProfiler: setLookahead() before attach()");
+  }
+  detach();
+  queue_ = &queue;
+  queue.setIntrospector(
+      [this](const sim::EventQueue::ExecEvent& e) { onExec(e); });
+}
+
+void ParallelismProfiler::detach() {
+  shard_.assertHeld();
+  if (queue_ != nullptr) {
+    queue_->setIntrospector(nullptr);
+    queue_ = nullptr;
+  }
+}
+
+void ParallelismProfiler::onExec(const sim::EventQueue::ExecEvent& e) {
+  shard_.assertHeld();
+  const std::uint64_t w =
+      static_cast<std::uint64_t>(e.when) / static_cast<std::uint64_t>(lookahead_);
+  if (!cur_open_) {
+    cur_window_ = w;
+    cur_open_ = true;
+  } else if (w != cur_window_) {
+    // now() is monotone, so w > cur_window_: the old window is final.
+    flushWindow();
+    cur_window_ = w;
+  }
+
+  ++total_events_;
+  if (e.node == sim::kNoNode) {
+    ++cur_unattributed_;
+    ++unattributed_events_;
+  } else {
+    if (cur_counts_.size() <= e.node) cur_counts_.resize(e.node + 1, 0);
+    ++cur_counts_[e.node];
+    if (node_totals_.size() <= e.node) node_totals_.resize(e.node + 1, 0);
+    ++node_totals_[e.node];
+    if (e.sched_from != sim::kNoNode && e.sched_from != e.node) {
+      ++cross_node_events_;
+      const sim::Duration delay = e.when - e.sched_at;
+      if (cross_node_events_ == 1 || delay < min_cross_delay_) {
+        min_cross_delay_ = delay;
+      }
+      if (delay < lookahead_) ++lookahead_violations_;
+    }
+  }
+}
+
+void ParallelismProfiler::flushWindow() {
+  WindowLoad load;
+  load.window = cur_window_;
+  for (std::size_t tag = 0; tag < cur_counts_.size(); ++tag) {
+    if (cur_counts_[tag] != 0) {
+      load.counts.emplace_back(static_cast<sim::NodeTag>(tag),
+                               cur_counts_[tag]);
+      cur_counts_[tag] = 0;
+    }
+  }
+  if (cur_unattributed_ != 0) {
+    load.counts.emplace_back(sim::kNoNode, cur_unattributed_);
+    cur_unattributed_ = 0;
+  }
+  if (!load.counts.empty()) windows_.push_back(std::move(load));
+}
+
+ParallelismProfiler::Report ParallelismProfiler::analyze(
+    const std::vector<int>& shard_counts) const {
+  shard_.assertHeld();
+
+  // Fold the still-open window in without mutating the live state.
+  std::vector<WindowLoad> windows = windows_;
+  if (cur_open_) {
+    WindowLoad load;
+    load.window = cur_window_;
+    for (std::size_t tag = 0; tag < cur_counts_.size(); ++tag) {
+      if (cur_counts_[tag] != 0) {
+        load.counts.emplace_back(static_cast<sim::NodeTag>(tag),
+                                 cur_counts_[tag]);
+      }
+    }
+    if (cur_unattributed_ != 0) {
+      load.counts.emplace_back(sim::kNoNode, cur_unattributed_);
+    }
+    if (!load.counts.empty()) windows.push_back(std::move(load));
+  }
+
+  Report report;
+  report.lookahead_ns = lookahead_;
+  report.total_events = total_events_;
+  report.unattributed_events = unattributed_events_;
+  report.attributed_events = total_events_ - unattributed_events_;
+  report.cross_node_events = cross_node_events_;
+  report.cross_node_ratio =
+      total_events_ ? static_cast<double>(cross_node_events_) /
+                          static_cast<double>(total_events_)
+                    : 0.0;
+  report.lookahead_violations = lookahead_violations_;
+  report.min_cross_delay_ns = cross_node_events_ ? min_cross_delay_ : 0;
+  report.windows = windows.size();
+  report.window_span =
+      windows.empty() ? 0 : windows.back().window - windows.front().window + 1;
+
+  // Per-node totals, unattributed pooled under "-"; sorted by load desc
+  // then name asc so both the report and the LPT assignment below are
+  // deterministic.
+  for (std::size_t tag = 0; tag < node_totals_.size(); ++tag) {
+    if (node_totals_[tag] != 0) {
+      report.nodes.push_back(NodeLoad{
+          queue_ != nullptr ? queue_->nodeTagName(static_cast<sim::NodeTag>(tag))
+                            : std::to_string(tag),
+          node_totals_[tag]});
+    }
+  }
+  if (unattributed_events_ != 0) {
+    report.nodes.push_back(NodeLoad{"-", unattributed_events_});
+  }
+  std::sort(report.nodes.begin(), report.nodes.end(),
+            [](const NodeLoad& a, const NodeLoad& b) {
+              if (a.events != b.events) return a.events > b.events;
+              return a.name < b.name;
+            });
+
+  // Shard assignment index: NodeTag -> shard, plus one pseudo-slot for
+  // the unattributed pool (which a sharded engine would pin to shard 0's
+  // coordinator, but for the bound we let LPT place it like any node).
+  for (const int k : shard_counts) {
+    if (k <= 0) continue;
+    ShardPrediction pred;
+    pred.shards = k;
+
+    // LPT greedy over the already-sorted loads: heaviest node to the
+    // least-loaded shard.  Track the assignment by node name.
+    std::vector<std::uint64_t> shard_load(static_cast<std::size_t>(k), 0);
+    std::vector<std::size_t> node_shard;  // parallel to report.nodes
+    node_shard.reserve(report.nodes.size());
+    for (const NodeLoad& n : report.nodes) {
+      const std::size_t s = static_cast<std::size_t>(
+          std::min_element(shard_load.begin(), shard_load.end()) -
+          shard_load.begin());
+      shard_load[s] += n.events;
+      node_shard.push_back(s);
+    }
+    // Name -> shard lookup for the per-window pass.
+    std::vector<std::pair<std::string, std::size_t>> by_name;
+    by_name.reserve(report.nodes.size());
+    for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+      by_name.emplace_back(report.nodes[i].name, node_shard[i]);
+    }
+    std::sort(by_name.begin(), by_name.end());
+    const auto shardOf = [&](sim::NodeTag tag) -> std::size_t {
+      const std::string& name =
+          tag == sim::kNoNode
+              ? "-"
+              : (queue_ != nullptr ? queue_->nodeTagName(tag)
+                                   : std::to_string(tag));
+      const auto it = std::lower_bound(
+          by_name.begin(), by_name.end(), name,
+          [](const auto& a, const std::string& b) { return a.first < b; });
+      return it != by_name.end() && it->first == name ? it->second : 0;
+    };
+
+    // Critical path: per window, the busiest shard gates the barrier.
+    std::uint64_t cp = 0;
+    std::vector<std::uint64_t> window_shard_load(static_cast<std::size_t>(k));
+    for (const WindowLoad& w : windows) {
+      std::fill(window_shard_load.begin(), window_shard_load.end(), 0);
+      for (const auto& [tag, count] : w.counts) {
+        window_shard_load[shardOf(tag)] += count;
+      }
+      cp += *std::max_element(window_shard_load.begin(),
+                              window_shard_load.end());
+    }
+    pred.critical_path_events = cp;
+    pred.predicted_speedup =
+        cp ? static_cast<double>(report.total_events) / static_cast<double>(cp)
+           : 0.0;
+    pred.efficiency = pred.predicted_speedup / static_cast<double>(k);
+    report.predictions.push_back(pred);
+  }
+
+  return report;
+}
+
+void ParallelismProfiler::writeJson(std::ostream& os, const Report& report) {
+  os << "{\n";
+  os << "  \"schema_version\": 1,\n";
+  os << "  \"lookahead_ns\": " << report.lookahead_ns << ",\n";
+  os << "  \"total_events\": " << report.total_events << ",\n";
+  os << "  \"attributed_events\": " << report.attributed_events << ",\n";
+  os << "  \"unattributed_events\": " << report.unattributed_events << ",\n";
+  os << "  \"cross_node_events\": " << report.cross_node_events << ",\n";
+  os << "  \"cross_node_ratio\": " << fmtDouble(report.cross_node_ratio)
+     << ",\n";
+  os << "  \"lookahead_violations\": " << report.lookahead_violations << ",\n";
+  os << "  \"min_cross_delay_ns\": " << report.min_cross_delay_ns << ",\n";
+  os << "  \"windows\": " << report.windows << ",\n";
+  os << "  \"window_span\": " << report.window_span << ",\n";
+  os << "  \"nodes\": [\n";
+  for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+    const NodeLoad& n = report.nodes[i];
+    os << "    {\"node\": \"" << n.name << "\", \"events\": " << n.events
+       << "}" << (i + 1 < report.nodes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"predictions\": [\n";
+  for (std::size_t i = 0; i < report.predictions.size(); ++i) {
+    const ShardPrediction& p = report.predictions[i];
+    os << "    {\"shards\": " << p.shards
+       << ", \"critical_path_events\": " << p.critical_path_events
+       << ", \"predicted_speedup\": " << fmtDouble(p.predicted_speedup)
+       << ", \"efficiency\": " << fmtDouble(p.efficiency) << "}"
+       << (i + 1 < report.predictions.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+void ParallelismProfiler::clear() {
+  shard_.assertHeld();
+  cur_window_ = 0;
+  cur_open_ = false;
+  cur_counts_.clear();
+  cur_unattributed_ = 0;
+  windows_.clear();
+  node_totals_.clear();
+  total_events_ = 0;
+  unattributed_events_ = 0;
+  cross_node_events_ = 0;
+  lookahead_violations_ = 0;
+  min_cross_delay_ = 0;
+}
+
+}  // namespace vini::obs

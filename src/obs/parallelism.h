@@ -1,0 +1,151 @@
+// Parallelism-ceiling profiler: how much speedup would sharding buy?
+//
+// The plan of record for the parallel engine is conservative-lookahead
+// synchronization (the classic null-message-free windowed scheme): pick
+// a lookahead L no larger than the minimum cross-node delay (for VINI
+// worlds, the minimum link propagation delay), divide virtual time into
+// windows of length L, let every shard execute its own nodes' events
+// within the current window in parallel, and barrier at each window
+// boundary to exchange cross-shard events.  Under that model a run's
+// wall time is proportional to the *critical path*
+//
+//     CP(k) = sum over windows w of  max over shards s of  events(w, s)
+//
+// and the predicted speedup over the sequential engine is
+// total_events / CP(k).
+//
+// The ParallelismProfiler replays the real event stream against that
+// model without ever running a second thread: it rides the EventQueue's
+// introspection hook, buckets each executed event into its lookahead
+// window by node attribution, and at analyze() time assigns nodes to
+// shards (LPT greedy on per-node totals) and computes CP(k) for the
+// requested shard counts.  Because now() is monotone, events arrive in
+// nondecreasing window order and the profiler keeps only the current
+// window's per-node counts plus the compacted per-window loads —
+// memory is O(nodes * non-empty windows), trivially small for the
+// coarse lookaheads real topologies give (Abilene: 2 ms).
+//
+// Everything is passive and deterministic: attaching the profiler does
+// not perturb the run, and the report depends only on the seed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/thread_annotations.h"
+#include "sim/event_queue.h"
+
+namespace vini::obs {
+
+class ParallelismProfiler {
+ public:
+  ParallelismProfiler() = default;
+  ~ParallelismProfiler() { detach(); }
+
+  ParallelismProfiler(const ParallelismProfiler&) = delete;
+  ParallelismProfiler& operator=(const ParallelismProfiler&) = delete;
+
+  /// The conservative lookahead window length; must be > 0 before
+  /// attach().  Use the minimum cross-node delay of the topology
+  /// (PhysNetwork::minPropagation()).
+  void setLookahead(sim::Duration lookahead);
+  sim::Duration lookahead() const {
+    shard_.assertHeld();
+    return lookahead_;
+  }
+
+  /// Install onto the queue's introspection hook (single slot).
+  /// Throws std::logic_error if no lookahead was set.
+  void attach(sim::EventQueue& queue);
+  void detach();
+  bool attached() const {
+    shard_.assertHeld();
+    return queue_ != nullptr;
+  }
+
+  struct NodeLoad {
+    std::string name;  // "-" pools the unattributed events
+    std::uint64_t events = 0;
+  };
+
+  struct ShardPrediction {
+    int shards = 0;
+    /// CP(k): sum over windows of the max per-shard event count.
+    std::uint64_t critical_path_events = 0;
+    double predicted_speedup = 0.0;  // total / CP(k)
+    double efficiency = 0.0;         // speedup / k
+  };
+
+  struct Report {
+    std::int64_t lookahead_ns = 0;
+    std::uint64_t total_events = 0;
+    std::uint64_t attributed_events = 0;
+    std::uint64_t unattributed_events = 0;
+    /// Events whose scheduling handler ran on a *different* node — the
+    /// events a sharded engine would have to hand off at a barrier.
+    std::uint64_t cross_node_events = 0;
+    double cross_node_ratio = 0.0;  // cross / total
+    /// Cross-node events delivered less than one lookahead after being
+    /// scheduled.  Nonzero means the chosen lookahead is too large for
+    /// this workload and a conservative engine would deadlock/miss —
+    /// the report's red flag.
+    std::uint64_t lookahead_violations = 0;
+    std::int64_t min_cross_delay_ns = 0;  // 0 when no cross-node event
+    std::uint64_t windows = 0;       // non-empty windows (barrier rounds)
+    std::uint64_t window_span = 0;   // last window index - first + 1
+    std::vector<NodeLoad> nodes;     // sorted by events desc, name asc
+    std::vector<ShardPrediction> predictions;
+  };
+
+  /// Compute the report for the given shard counts (e.g. {2, 4, 8, 16}).
+  /// Deterministic: same event stream, same report.
+  Report analyze(const std::vector<int>& shard_counts) const;
+
+  /// Serialize a report as deterministic, pretty-printed JSON
+  /// (PROFILE_report.json; schema_version 1).  No wall-clock values —
+  /// two same-seed runs byte-diff clean.
+  static void writeJson(std::ostream& os, const Report& report);
+
+  std::uint64_t totalEvents() const {
+    shard_.assertHeld();
+    return total_events_;
+  }
+
+  void clear();
+
+ private:
+  /// Per-window per-node load, compacted: only nodes with events appear.
+  /// Tag sim::kNoNode carries the window's unattributed events.
+  struct WindowLoad {
+    std::uint64_t window = 0;
+    std::vector<std::pair<sim::NodeTag, std::uint64_t>> counts;
+  };
+
+  void onExec(const sim::EventQueue::ExecEvent& e);
+  void flushWindow() VINI_REQUIRES(shard_);
+
+  // Rides the queue's introspection hook, so it executes on the shard
+  // that owns the attached queue.
+  core::ShardToken shard_;
+  sim::EventQueue* queue_ VINI_PT_GUARDED_BY(shard_) = nullptr;
+  sim::Duration lookahead_ VINI_GUARDED_BY(shard_) = 0;
+
+  // Current (open) window: counts indexed by NodeTag, grown on demand;
+  // unattributed events counted separately.
+  std::uint64_t cur_window_ VINI_GUARDED_BY(shard_) = 0;
+  bool cur_open_ VINI_GUARDED_BY(shard_) = false;
+  std::vector<std::uint64_t> cur_counts_ VINI_GUARDED_BY(shard_);
+  std::uint64_t cur_unattributed_ VINI_GUARDED_BY(shard_) = 0;
+
+  std::vector<WindowLoad> windows_ VINI_GUARDED_BY(shard_);
+  std::vector<std::uint64_t> node_totals_ VINI_GUARDED_BY(shard_);
+  std::uint64_t total_events_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t unattributed_events_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t cross_node_events_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t lookahead_violations_ VINI_GUARDED_BY(shard_) = 0;
+  sim::Duration min_cross_delay_ VINI_GUARDED_BY(shard_) = 0;
+};
+
+}  // namespace vini::obs

@@ -6,7 +6,9 @@ void EventLoopProfiler::attach(sim::EventQueue& queue) {
   detach();
   queue_ = &queue;
   queue_->setProfiler(
-      [this](const char* tag, std::int64_t wall_ns) { onEvent(tag, wall_ns); });
+      [this](const char* tag, sim::NodeTag node, std::int64_t wall_ns) {
+        onEvent(tag, node, wall_ns);
+      });
 }
 
 void EventLoopProfiler::detach() {
@@ -16,23 +18,31 @@ void EventLoopProfiler::detach() {
   }
 }
 
-void EventLoopProfiler::onEvent(const char* tag, std::int64_t wall_ns) {
-  HandlerStat& s = stats_[tag != nullptr ? tag : "untagged"];
+void EventLoopProfiler::onEvent(const char* tag, sim::NodeTag node,
+                                std::int64_t wall_ns) {
+  const std::string key = tag != nullptr ? tag : "untagged";
+  HandlerStat& s = stats_[key];
   ++s.events;
   s.wall_ns += wall_ns;
+  // nodeTagName returns "-" for kNoNode, pooling unattributed events.
+  HandlerStat& ns = node_stats_[{key, queue_->nodeTagName(node)}];
+  ++ns.events;
+  ns.wall_ns += wall_ns;
   ++total_events_;
   total_wall_ns_ += wall_ns;
 }
 
 void EventLoopProfiler::writeCsv(std::ostream& os) const {
-  os << "tag,events,wall_ns\n";
-  for (const auto& [tag, s] : stats_) {
-    os << tag << "," << s.events << "," << s.wall_ns << "\n";
+  os << "tag,node,events,wall_ns\n";
+  for (const auto& [key, s] : node_stats_) {
+    os << key.first << "," << key.second << "," << s.events << "," << s.wall_ns
+       << "\n";
   }
 }
 
 void EventLoopProfiler::clear() {
   stats_.clear();
+  node_stats_.clear();
   total_events_ = 0;
   total_wall_ns_ = 0;
 }

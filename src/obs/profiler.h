@@ -3,7 +3,11 @@
 // Attributes real (wall-clock) time and event counts to the component
 // that scheduled each event, using the static tag string attached at
 // schedule() time ("phys.link", "xorp.ospf", ...).  Untagged events are
-// pooled under "untagged".
+// pooled under "untagged".  Events carrying a node attribution (the
+// node-attributed schedule overloads) are additionally broken out per
+// (tag, node), so a hot node is visible separately from a hot
+// component — the per-tag view in stats() aggregates across nodes as
+// before.
 //
 // The profiler observes wall-clock only — it never schedules events or
 // touches simulated time, so attaching it cannot perturb a run.  The
@@ -15,6 +19,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 
 #include "sim/event_queue.h"
 
@@ -39,21 +44,28 @@ class EventLoopProfiler {
   /// Stop profiling; accumulated stats are retained for reading.
   void detach();
 
-  /// Per-tag stats, sorted by tag (std::map) — deterministic iteration.
+  /// Per-tag stats (aggregated across nodes), sorted by tag (std::map)
+  /// — deterministic iteration.
   const std::map<std::string, HandlerStat>& stats() const { return stats_; }
+  /// Per-(tag, node) stats; node is "-" for unattributed events.
+  const std::map<std::pair<std::string, std::string>, HandlerStat>& nodeStats()
+      const {
+    return node_stats_;
+  }
   std::uint64_t totalEvents() const { return total_events_; }
   std::int64_t totalWallNs() const { return total_wall_ns_; }
 
-  /// "tag,events,wall_ns" rows sorted by tag.
+  /// "tag,node,events,wall_ns" rows sorted by (tag, node).
   void writeCsv(std::ostream& os) const;
 
   void clear();
 
  private:
-  void onEvent(const char* tag, std::int64_t wall_ns);
+  void onEvent(const char* tag, sim::NodeTag node, std::int64_t wall_ns);
 
   sim::EventQueue* queue_ = nullptr;
   std::map<std::string, HandlerStat> stats_;
+  std::map<std::pair<std::string, std::string>, HandlerStat> node_stats_;
   std::uint64_t total_events_ = 0;
   std::int64_t total_wall_ns_ = 0;
 };

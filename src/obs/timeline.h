@@ -176,6 +176,8 @@ class MetricSampler {
   void clear();
 
  private:
+  friend void mergeSamplers(const std::vector<const MetricSampler*>& from,
+                            MetricSampler& into);
   struct Watch {
     std::uint64_t last_counter = 0;
     std::uint64_t last_gauge_version = 0;
@@ -195,6 +197,16 @@ class MetricSampler {
   std::vector<Series> series_ VINI_GUARDED_BY(shard_);
   std::vector<Watch> watch_state_ VINI_GUARDED_BY(shard_);
 };
+
+/// Fold several samplers (one per shard) into `into`: each of `into`'s
+/// watched series gains the points of every source series with the same
+/// (key, mode), merged by timestamp (stable — source order breaks
+/// ties).  In the sharded plan each key is sampled by exactly the shard
+/// owning its metric, so the merged sampler's CSV is byte-identical to
+/// a monolithic sampler watching the same keys — the partition fuzz
+/// test enforces this.  Sources must not be `into` itself.
+void mergeSamplers(const std::vector<const MetricSampler*>& from,
+                   MetricSampler& into);
 
 // ---------------------------------------------------------------------------
 // Export: one Chrome trace-event JSON (Perfetto / about:tracing loadable)

@@ -31,7 +31,7 @@ const char* traceEventName(TraceEvent ev) {
 }
 
 PacketTracer::PacketTracer(std::size_t capacity)
-    : ring_(capacity ? capacity : 1) {}
+    : capacity_(capacity ? capacity : 1), rings_(1) {}
 
 namespace {
 
@@ -52,9 +52,50 @@ const std::string& lookup(const std::vector<std::string>& table,
 
 }  // namespace
 
+void PacketTracer::partitionByNode(
+    const std::vector<std::vector<std::string>>& groups) {
+  shard_.assertHeld();
+  if (rings_.size() != 1) {
+    throw std::logic_error("obs: tracer already partitioned");
+  }
+  if (total_ != 0) {
+    throw std::logic_error(
+        "obs: tracer partitionByNode() after records were recorded");
+  }
+  if (groups.empty()) {
+    throw std::logic_error("obs: tracer partitionByNode() with no groups");
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const std::string& node : groups[g]) {
+      if (!node_group_.emplace(node, g).second) {
+        throw std::logic_error("obs: tracer node " + node +
+                               " assigned to two partitions");
+      }
+    }
+  }
+  rings_.resize(groups.size());
+  // Nodes interned before the split re-route to their group.
+  for (std::size_t i = 0; i < node_names_.size(); ++i) {
+    const auto it = node_group_.find(node_names_[i]);
+    node_parts_[i] = it == node_group_.end() ? 0 : it->second;
+  }
+}
+
+std::size_t PacketTracer::ringOf(std::int16_t node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_parts_.size()) {
+    return 0;
+  }
+  return node_parts_[static_cast<std::size_t>(node)];
+}
+
 std::int16_t PacketTracer::internNode(const std::string& name) {
   shard_.assertHeld();
-  return intern(node_names_, name);
+  const std::int16_t id = intern(node_names_, name);
+  if (static_cast<std::size_t>(id) == node_parts_.size()) {
+    const auto it = node_group_.find(name);
+    node_parts_.push_back(it == node_group_.end() ? 0 : it->second);
+  }
+  return id;
 }
 
 std::int16_t PacketTracer::internLink(const std::string& name) {
@@ -74,32 +115,83 @@ const std::string& PacketTracer::linkName(std::int16_t id) const {
 
 void PacketTracer::record(const TraceRecord& rec) {
   shard_.assertHeld();
-  ring_[total_ % ring_.size()] = rec;
+  Ring& ring = rings_[ringOf(rec.node)];
+  const std::size_t pos = static_cast<std::size_t>(ring.total % capacity_);
+  if (ring.records.size() < capacity_) {
+    ring.records.push_back(rec);
+    ring.stamps.push_back(total_);
+  } else {
+    ring.records[pos] = rec;
+    ring.stamps[pos] = total_;
+  }
+  ++ring.total;
   ++total_;
   ++kind_totals_[static_cast<std::size_t>(rec.event)];
 }
 
 std::size_t PacketTracer::size() const {
   shard_.assertHeld();
-  return total_ < ring_.size() ? static_cast<std::size_t>(total_)
-                               : ring_.size();
+  std::size_t n = 0;
+  for (const Ring& ring : rings_) n += ring.records.size();
+  return n;
+}
+
+bool PacketTracer::wrapped() const {
+  shard_.assertHeld();
+  for (const Ring& ring : rings_) {
+    if (ring.total > capacity_) return true;
+  }
+  return false;
 }
 
 std::vector<TraceRecord> PacketTracer::snapshot() const {
   shard_.assertHeld();
+  // Per-ring survivors in recording order (oldest surviving first),
+  // then a k-way merge by global stamp restores the tracer-wide
+  // recording order — byte-for-byte what the monolithic ring would
+  // hold, as long as no ring wrapped.
+  struct Cursor {
+    const Ring* ring;
+    std::size_t start;  // position of the oldest surviving record
+    std::size_t i = 0;  // survivors consumed
+    std::size_t n;      // survivors held
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(rings_.size());
+  for (const Ring& ring : rings_) {
+    const std::size_t held = ring.records.size();
+    const std::size_t start =
+        ring.total > held ? static_cast<std::size_t>(ring.total % capacity_)
+                          : 0;
+    cursors.push_back(Cursor{&ring, start, 0, held});
+  }
   std::vector<TraceRecord> out;
-  const std::size_t n = size();
-  out.reserve(n);
-  // Oldest surviving record is at total_ % capacity once wrapped.
-  const std::size_t start = wrapped() ? total_ % ring_.size() : 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(ring_[(start + i) % ring_.size()]);
+  out.reserve(size());
+  for (;;) {
+    Cursor* best = nullptr;
+    std::uint64_t best_stamp = 0;
+    for (Cursor& c : cursors) {
+      if (c.i == c.n) continue;
+      const std::uint64_t stamp = c.ring->stamps[(c.start + c.i) % c.n];
+      if (best == nullptr || stamp < best_stamp) {
+        best = &c;
+        best_stamp = stamp;
+      }
+    }
+    if (best == nullptr) break;
+    out.push_back(best->ring->records[(best->start + best->i) % best->n]);
+    ++best->i;
   }
   return out;
 }
 
 void PacketTracer::clear() {
   shard_.assertHeld();
+  for (Ring& ring : rings_) {
+    ring.records.clear();
+    ring.stamps.clear();
+    ring.total = 0;
+  }
   total_ = 0;
   kind_totals_.fill(0);
 }

@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,20 @@ class PacketTracer {
   std::int16_t internNode(const std::string& name);
   std::int16_t internLink(const std::string& name);
 
+  /// Split record storage into per-node-group rings (each with the full
+  /// configured capacity), mirroring MetricsRegistry::partitionByNode:
+  /// group i owns the records of the nodes it lists; records tied to no
+  /// listed node (pure link events, node = -1) land in ring 0.  Every
+  /// record carries a global monotone stamp, and the read side k-way
+  /// merges the rings by stamp, so snapshot(), CSV, and VTRC exports
+  /// are byte-identical to the monolithic tracer as long as no ring has
+  /// wrapped.  Must be called before any record; at most once.
+  void partitionByNode(const std::vector<std::vector<std::string>>& groups);
+  std::size_t partitionCount() const {
+    shard_.assertHeld();
+    return rings_.size();
+  }
+
   const std::string& nodeName(std::int16_t id) const;
   const std::string& linkName(std::int16_t id) const;
 
@@ -83,16 +98,14 @@ class PacketTracer {
     shard_.assertHeld();
     return kind_totals_[static_cast<std::size_t>(ev)];
   }
-  /// Number of records currently held (<= capacity).
+  /// Number of records currently held (<= capacity * partitions).
   std::size_t size() const;
+  /// Capacity of each ring (the construction-time capacity).
   std::size_t capacity() const {
     shard_.assertHeld();
-    return ring_.size();
+    return capacity_;
   }
-  bool wrapped() const {
-    shard_.assertHeld();
-    return total_ > ring_.size();
-  }
+  bool wrapped() const;
 
   /// Records in recording order, oldest surviving first.
   std::vector<TraceRecord> snapshot() const;
@@ -124,17 +137,38 @@ class PacketTracer {
   static constexpr std::size_t kBinaryRecordSize = 41;
 
  private:
-  // Sharded plan: one tracer per shard, rings merged by (t_ns, seq) at
-  // export — recording stays lock-free on the hot path.
+  /// One per-partition ring.  records/stamps grow to capacity_ then
+  /// wrap; stamps carry the global record ordinal so the read side can
+  /// restore recording order across rings.
+  struct Ring {
+    std::vector<TraceRecord> records;
+    std::vector<std::uint64_t> stamps;
+    std::uint64_t total = 0;  ///< records ever routed to this ring
+  };
+
+  /// Partition owning records of interned node id `node` (-1 → ring 0).
+  std::size_t ringOf(std::int16_t node) const VINI_REQUIRES(shard_);
+
+  // Sharded plan: one ring per shard, merged by stamp at export —
+  // recording stays lock-free on the hot path.  partitionByNode()
+  // already runs that merge path on the single-threaded engine.
   core::ShardToken shard_;
+  std::size_t capacity_ VINI_GUARDED_BY(shard_);
   // cross-shard: merged across shard-local rings at export time.
-  std::vector<TraceRecord> ring_ VINI_GUARDED_BY(shard_);
-  // next write position = total_ % capacity
+  std::vector<Ring> rings_ VINI_GUARDED_BY(shard_);
+  /// Global stamp counter: total records ever recorded, any ring.
   std::uint64_t total_ VINI_GUARDED_BY(shard_) = 0;
   std::array<std::uint64_t, kTraceEventKinds> kind_totals_
       VINI_GUARDED_BY(shard_){};
+  // The intern tables stay tracer-global (not per-ring) so record ids —
+  // and therefore exports — are independent of the partitioning.
   std::vector<std::string> node_names_ VINI_GUARDED_BY(shard_);
   std::vector<std::string> link_names_ VINI_GUARDED_BY(shard_);
+  /// Partition of each interned node id (parallel to node_names_).
+  std::vector<std::size_t> node_parts_ VINI_GUARDED_BY(shard_);
+  /// Explicit node-name → partition assignments from partitionByNode().
+  // cross-shard: written once at partition time, read-only afterwards.
+  std::map<std::string, std::size_t> node_group_ VINI_GUARDED_BY(shard_);
 };
 
 }  // namespace vini::obs

@@ -53,11 +53,13 @@ obs::TraceRecord channelRecord(obs::TraceEvent ev, sim::Time t,
 
 Channel::Channel(sim::EventQueue& queue, sim::Random& random,
                  const LinkConfig& config, const bool& link_up,
-                 std::string label)
+                 std::string label, sim::NodeTag tx_node, sim::NodeTag rx_node)
     : queue_(queue),
       random_(random),
       config_(config),
       link_up_(link_up),
+      tx_node_(tx_node),
+      rx_node_(rx_node),
       label_(std::move(label)) {
   if (label_.empty()) return;
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
@@ -165,7 +167,7 @@ void Channel::startNextTransmission() {
                                *p, trace_link_));
   const std::uint32_t serialize_span = spanOpen(*p, span_serialize_);
 
-  queue_.scheduleAfter(serialization, "phys.link",
+  queue_.scheduleAfter(serialization, "phys.link", tx_node_,
                        [this, p = std::move(p), serialize_span]() mutable {
     ++stats_.tx_packets;
     stats_.tx_bytes += p->wireBytes();
@@ -191,7 +193,10 @@ void Channel::startNextTransmission() {
       }
     } else {
       const std::uint32_t prop_span = spanOpen(*p, span_propagation_);
-      queue_.scheduleAfter(config_.propagation, "phys.link",
+      // The delivery event belongs to the *receiving* node — this is
+      // the cross-node edge whose propagation delay bounds the
+      // conservative lookahead window.
+      queue_.scheduleAfter(config_.propagation, "phys.link", rx_node_,
                            [this, p = std::move(p), prop_span]() mutable {
                              spanClose(prop_span);
                              // A link that died mid-flight eats the packet:
@@ -213,14 +218,20 @@ void Channel::startNextTransmission() {
 }
 
 PhysLink::PhysLink(int id, std::string name, NodeId a, NodeId b,
-                   sim::EventQueue& queue, sim::Random& random, LinkConfig config)
+                   sim::EventQueue& queue, sim::Random& random,
+                   LinkConfig config, const std::string& a_name,
+                   const std::string& b_name)
     : id_(id),
       name_(std::move(name)),
       a_(a),
       b_(b),
       base_config_(config),
-      ab_(queue, random, config, up_, name_ + "/ab"),
-      ba_(queue, random, config, up_, name_ + "/ba") {}
+      ab_(queue, random, config, up_, name_ + "/ab",
+          a_name.empty() ? sim::kNoNode : queue.internNodeTag(a_name),
+          b_name.empty() ? sim::kNoNode : queue.internNodeTag(b_name)),
+      ba_(queue, random, config, up_, name_ + "/ba",
+          b_name.empty() ? sim::kNoNode : queue.internNodeTag(b_name),
+          a_name.empty() ? sim::kNoNode : queue.internNodeTag(a_name)) {}
 
 void PhysLink::setUp(bool up) {
   if (up == up_) return;

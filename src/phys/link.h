@@ -50,8 +50,15 @@ class Channel {
   /// `label` identifies this direction for observability ("Denver-
   /// KansasCity/ab"); when non-empty and an obs context is installed,
   /// the channel registers its counters and emits trace events under it.
+  /// `tx_node` / `rx_node` attribute the channel's events to physical
+  /// nodes (sim::EventQueue::internNodeTag) for the shard-readiness
+  /// telemetry: the serialization event belongs to the transmitting
+  /// node, the propagation/delivery event to the receiving node.
+  /// Attribution is passive — runs are byte-identical without it.
   Channel(sim::EventQueue& queue, sim::Random& random, const LinkConfig& config,
-          const bool& link_up, std::string label = {});
+          const bool& link_up, std::string label = {},
+          sim::NodeTag tx_node = sim::kNoNode,
+          sim::NodeTag rx_node = sim::kNoNode);
 
   /// Enqueue a packet for transmission; it is delivered to the receiver's
   /// handler after queueing + serialization + propagation, unless dropped.
@@ -97,6 +104,11 @@ class Channel {
   bool transmitting_ = false;
   ChannelStats stats_;
 
+  /// Node attribution for scheduled wire events (kNoNode when the
+  /// owning PhysNetwork did not supply endpoint names).
+  sim::NodeTag tx_node_ = sim::kNoNode;
+  sim::NodeTag rx_node_ = sim::kNoNode;
+
   // Observability handles, cached at construction (null when no obs
   // context was installed or the channel is unlabelled).
   std::string label_;
@@ -118,8 +130,12 @@ class PhysLink {
  public:
   using StateListener = std::function<void(PhysLink&, bool up)>;
 
+  /// `a_name` / `b_name`, when supplied, are the endpoint nodes' names;
+  /// they are interned as NodeTags so each channel's wire events carry
+  /// per-node attribution (see Channel).
   PhysLink(int id, std::string name, NodeId a, NodeId b,
-           sim::EventQueue& queue, sim::Random& random, LinkConfig config);
+           sim::EventQueue& queue, sim::Random& random, LinkConfig config,
+           const std::string& a_name = {}, const std::string& b_name = {});
 
   int id() const { return id_; }
   const std::string& name() const { return name_; }

@@ -24,7 +24,8 @@ PhysNode& PhysNetwork::addNode(const std::string& name, packet::IpAddress addres
 PhysLink& PhysNetwork::addLink(PhysNode& a, PhysNode& b, LinkConfig config) {
   const int id = static_cast<int>(links_.size());
   links_.push_back(std::make_unique<PhysLink>(
-      id, a.name() + "-" + b.name(), a.id(), b.id(), queue_, random_, config));
+      id, a.name() + "-" + b.name(), a.id(), b.id(), queue_, random_, config,
+      a.name(), b.name()));
   PhysLink& link = *links_.back();
   a.attachLink(link);
   b.attachLink(link);
@@ -76,6 +77,15 @@ PhysLink* PhysNetwork::linkBetween(const std::string& a, const std::string& b) {
   PhysNode* nb = nodeByName(b);
   if (!na || !nb) return nullptr;
   return linkBetween(na->id(), nb->id());
+}
+
+sim::Duration PhysNetwork::minPropagation() const {
+  sim::Duration min = 0;
+  for (const auto& link : links_) {
+    const sim::Duration p = link->baseConfig().propagation;
+    if (min == 0 || p < min) min = p;
+  }
+  return min;
 }
 
 void PhysNetwork::runDijkstra(NodeId src, std::vector<int>& next_link_out) const {

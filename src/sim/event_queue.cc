@@ -59,17 +59,68 @@ void EventQueue::releaseSlot(std::uint32_t slot) {
   slots_[slot].cb.reset();
   slots_[slot].tag = nullptr;
   slots_[slot].id = 0;
+  slots_[slot].sched_at = 0;
+  slots_[slot].node = kNoNode;
+  slots_[slot].sched_from = kNoNode;
   free_slots_.push_back(slot);
 }
 
-EventId EventQueue::schedule(Time when, const char* tag, Callback cb) {
+NodeTag EventQueue::internNodeTag(const std::string& name) {
+  shard_.assertHeld();
+  for (std::size_t i = 0; i < node_tag_names_.size(); ++i) {
+    if (node_tag_names_[i] == name) return static_cast<NodeTag>(i);
+  }
+  // Linear scan: interning happens once per node at construction, and
+  // topologies hold tens of nodes, not thousands.
+  VINI_AUDIT_CHECK(
+      node_tag_names_.size() < kNoNode,
+      (check::Diagnostic{check::Severity::kError, "V105", "event queue",
+                         "node tag table overflow (>= 65535 node names)"}));
+  node_tag_names_.push_back(name);
+  node_executed_.push_back(0);
+  return static_cast<NodeTag>(node_tag_names_.size() - 1);
+}
+
+const std::string& EventQueue::nodeTagName(NodeTag tag) const {
+  shard_.assertHeld();
+  static const std::string kUnattributed = "-";
+  if (tag == kNoNode || tag >= node_tag_names_.size()) return kUnattributed;
+  return node_tag_names_[tag];
+}
+
+std::uint64_t EventQueue::nodeExecutedCount(NodeTag tag) const {
+  shard_.assertHeld();
+  if (tag == kNoNode || tag >= node_executed_.size()) return 0;
+  return node_executed_[tag];
+}
+
+EventId EventQueue::schedule(Time when, const char* tag, NodeTag node,
+                             Callback cb) {
   shard_.assertHeld();
   if (when < now_) when = now_;
+  // Cross-node edge accounting: an attributed handler scheduling onto a
+  // different attributed node is exactly the event a sharded engine
+  // would have to hand off through a mailbox; its delay bounds the
+  // conservative lookahead window.
+  if (exec_node_ != kNoNode && node != kNoNode) {
+    if (node == exec_node_) {
+      ++same_node_scheduled_;
+    } else {
+      const Duration delay = when - now_;
+      if (cross_node_scheduled_ == 0 || delay < min_cross_delay_) {
+        min_cross_delay_ = delay;
+      }
+      ++cross_node_scheduled_;
+    }
+  }
   const std::uint32_t slot = allocSlot();
   const EventId id = (next_seq_++ << kSlotBits) | slot;
   slots_[slot].cb = std::move(cb);
   slots_[slot].tag = tag;
   slots_[slot].id = id;
+  slots_[slot].sched_at = now_;
+  slots_[slot].node = node;
+  slots_[slot].sched_from = exec_node_;
   const Key key{when, id};
   if (impl_ == QueueImpl::kHeap) {
     heap_.push_back(key);
@@ -326,6 +377,9 @@ bool EventQueue::step() {
   // schedule events, growing slots_ and invalidating slab references.
   Callback cb = std::move(slots_[slot].cb);
   const char* tag = slots_[slot].tag;
+  const Time sched_at = slots_[slot].sched_at;
+  const NodeTag node = slots_[slot].node;
+  const NodeTag sched_from = slots_[slot].sched_from;
   releaseSlot(slot);
   --live_;
   // V100: simulation time is monotonic — schedule() clamps to now(),
@@ -340,6 +394,15 @@ bool EventQueue::step() {
   if (advance_ && key.when > now_) advance_(now_, key.when);
   now_ = key.when;
   ++executed_;
+  if (node != kNoNode) {
+    ++node_executed_[node];
+  } else {
+    ++executed_unattributed_;
+  }
+  if (introspect_) introspect_(ExecEvent{key.when, sched_at, node, sched_from});
+  // Events the handler schedules are attributed as scheduled-from this
+  // event's node; reset afterwards (step() does not nest).
+  exec_node_ = node;
   if (profiler_) {
     // Wall clock is read only on the profiled path: an unprofiled
     // step() pays a single branch.
@@ -349,10 +412,11 @@ bool EventQueue::step() {
                           std::chrono::steady_clock::now() - start)
                           .count();
     // The callback may have detached the profiler; re-check.
-    if (profiler_) profiler_(tag, wall);
+    if (profiler_) profiler_(tag, node, wall);
   } else {
     cb();
   }
+  exec_node_ = kNoNode;
   return true;
 }
 

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/thread_annotations.h"
@@ -47,6 +48,14 @@ namespace vini::sim {
 /// Handles are unique for the lifetime of their queue and monotonically
 /// increasing in scheduling order; 0 is never a valid handle.
 using EventId = std::uint64_t;
+
+/// Small interned id for the physical node an event belongs to —
+/// the would-be worker shard key of the parallel engine.  Components
+/// intern their node name once (internNodeTag) and pass the tag on the
+/// node-attributed schedule overloads; kNoNode marks events with no
+/// single owning node (global timers, topology-wide reroutes).
+using NodeTag = std::uint16_t;
+inline constexpr NodeTag kNoNode = 0xFFFF;
 
 /// Priority-structure implementations selectable at construction.
 enum class QueueImpl {
@@ -98,17 +107,34 @@ class EventQueue {
   /// ("phys.link", "xorp.ospf", ...) that the event-loop profiler
   /// attributes handler time to.  `tag` must outlive the event — pass a
   /// string literal.
-  EventId schedule(Time when, const char* tag, Callback cb);
+  EventId schedule(Time when, const char* tag, Callback cb) {
+    return schedule(when, tag, kNoNode, std::move(cb));
+  }
+
+  /// As above, additionally attributing the event to a physical node
+  /// (from internNodeTag).  Attribution is passive bookkeeping for the
+  /// shard-readiness telemetry: per-node executed counts, the
+  /// cross-node scheduling ratio, and the parallelism profiler all key
+  /// off it, and a run is byte-identical with or without it.
+  EventId schedule(Time when, const char* tag, NodeTag node, Callback cb);
 
   /// Schedule `cb` to run `delay` after the current time.
   EventId scheduleAfter(Duration delay, Callback cb) {
     shard_.assertHeld();
-    return schedule(now_ + (delay > 0 ? delay : 0), nullptr, std::move(cb));
+    return schedule(now_ + (delay > 0 ? delay : 0), nullptr, kNoNode,
+                    std::move(cb));
   }
 
   EventId scheduleAfter(Duration delay, const char* tag, Callback cb) {
     shard_.assertHeld();
-    return schedule(now_ + (delay > 0 ? delay : 0), tag, std::move(cb));
+    return schedule(now_ + (delay > 0 ? delay : 0), tag, kNoNode,
+                    std::move(cb));
+  }
+
+  EventId scheduleAfter(Duration delay, const char* tag, NodeTag node,
+                        Callback cb) {
+    shard_.assertHeld();
+    return schedule(now_ + (delay > 0 ? delay : 0), tag, node, std::move(cb));
   }
 
   /// Cancel a previously scheduled event.  Returns true if the event was
@@ -159,15 +185,87 @@ class EventQueue {
     return peak_storage_;
   }
 
+  /// Slab occupancy: total slots ever allocated / slots currently free.
+  /// (slabSlotCount - slabFreeCount = live events; the gap to
+  /// storageCount is the tombstone population.)
+  std::size_t slabSlotCount() const {
+    shard_.assertHeld();
+    return slots_.size();
+  }
+  std::size_t slabFreeCount() const {
+    shard_.assertHeld();
+    return free_slots_.size();
+  }
+
+  // -- Per-node event attribution (shard-readiness telemetry) ---------------
+
+  /// Intern a physical node name, returning the tag the node-attributed
+  /// schedule overloads take.  Re-interning the same name returns the
+  /// same tag.  Cold path: components intern once at construction.
+  NodeTag internNodeTag(const std::string& name);
+  std::size_t nodeTagCount() const {
+    shard_.assertHeld();
+    return node_tag_names_.size();
+  }
+  const std::string& nodeTagName(NodeTag tag) const;
+
+  /// Events executed that were attributed to `tag` / to no node.
+  std::uint64_t nodeExecutedCount(NodeTag tag) const;
+  std::uint64_t unattributedExecutedCount() const {
+    shard_.assertHeld();
+    return executed_unattributed_;
+  }
+
+  /// Of the events scheduled *from inside* a node-attributed handler
+  /// targeting a node-attributed event: how many stayed on the same
+  /// node vs. crossed to another.  The cross/total ratio bounds how
+  /// chatty a sharded run would be.
+  std::uint64_t sameNodeScheduledCount() const {
+    shard_.assertHeld();
+    return same_node_scheduled_;
+  }
+  std::uint64_t crossNodeScheduledCount() const {
+    shard_.assertHeld();
+    return cross_node_scheduled_;
+  }
+  /// Smallest (when - now) over all cross-node schedules, i.e. the
+  /// tightest delivery deadline a conservative lookahead window must
+  /// respect; 0 when no cross-node event was ever scheduled.
+  Duration minCrossNodeDelay() const {
+    shard_.assertHeld();
+    return cross_node_scheduled_ ? min_cross_delay_ : 0;
+  }
+
   /// Wall-clock profiling hook: called after each executed event with
-  /// the event's tag (nullptr for untagged) and the handler's wall time
-  /// in nanoseconds.  The clock is read only while a hook is installed;
+  /// the event's tag (nullptr for untagged), its node attribution
+  /// (kNoNode for unattributed), and the handler's wall time in
+  /// nanoseconds.  The clock is read only while a hook is installed;
   /// pass nullptr to uninstall.  The hook observes only — simulated
   /// time and event order are unaffected.
-  using ProfileHook = std::function<void(const char* tag, std::int64_t wall_ns)>;
+  using ProfileHook =
+      std::function<void(const char* tag, NodeTag node, std::int64_t wall_ns)>;
   void setProfiler(ProfileHook hook) {
     shard_.assertHeld();
     profiler_ = std::move(hook);
+  }
+
+  /// One executed event, as seen by the introspection hook: its
+  /// execution time, the time it was scheduled at, and the node
+  /// attribution of the event and of the handler that scheduled it.
+  struct ExecEvent {
+    Time when = 0;
+    Time sched_at = 0;
+    NodeTag node = kNoNode;
+    NodeTag sched_from = kNoNode;
+  };
+  /// Introspection hook: called for every executed event, before its
+  /// callback runs (the parallelism profiler is the intended client).
+  /// Passive — it must not schedule or cancel; pass nullptr to
+  /// uninstall.
+  using IntrospectHook = std::function<void(const ExecEvent&)>;
+  void setIntrospector(IntrospectHook hook) {
+    shard_.assertHeld();
+    introspect_ = std::move(hook);
   }
 
   /// Time-advance observation hook: called whenever now() is about to
@@ -209,13 +307,17 @@ class EventQueue {
   }
 
   /// Slab record: the callback (captures inline up to 64 bytes), the
-  /// profiler tag, and the full id currently occupying the slot (0 when
-  /// free — the generation check).  Slots are recycled through
-  /// free_slots_.
+  /// profiler tag, the node attribution (owning node, scheduling node,
+  /// scheduling time — the parallelism profiler's raw material), and
+  /// the full id currently occupying the slot (0 when free — the
+  /// generation check).  Slots are recycled through free_slots_.
   struct Slot {
     Callback cb;
     const char* tag = nullptr;
     EventId id = 0;
+    Time sched_at = 0;
+    NodeTag node = kNoNode;
+    NodeTag sched_from = kNoNode;
   };
 
   std::uint32_t allocSlot() VINI_REQUIRES(shard_);
@@ -288,6 +390,23 @@ class EventQueue {
 
   ProfileHook profiler_ VINI_GUARDED_BY(shard_);
   AdvanceHook advance_ VINI_GUARDED_BY(shard_);
+  IntrospectHook introspect_ VINI_GUARDED_BY(shard_);
+
+  // Per-node attribution state.  All passive counters: they never feed
+  // back into event order, so a run is byte-identical with or without
+  // node-attributed schedules.
+  /// Interned node names; a NodeTag indexes this table.
+  // cross-shard: the tag table is global so merged telemetry agrees on ids.
+  std::vector<std::string> node_tag_names_ VINI_GUARDED_BY(shard_);
+  /// Events executed per node tag (same indexing as node_tag_names_).
+  std::vector<std::uint64_t> node_executed_ VINI_GUARDED_BY(shard_);
+  std::uint64_t executed_unattributed_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t same_node_scheduled_ VINI_GUARDED_BY(shard_) = 0;
+  std::uint64_t cross_node_scheduled_ VINI_GUARDED_BY(shard_) = 0;
+  Duration min_cross_delay_ VINI_GUARDED_BY(shard_) = 0;
+  /// Node attribution of the handler currently executing (kNoNode
+  /// outside step() or under an unattributed handler).
+  NodeTag exec_node_ VINI_GUARDED_BY(shard_) = kNoNode;
 };
 
 /// A repeating timer built on EventQueue; cancels cleanly on destruction.

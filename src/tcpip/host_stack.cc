@@ -110,6 +110,9 @@ HostStack::HostStack(phys::PhysNode& node, phys::PhysNetwork& net,
   node_.setPacketHandler(
       [this](packet::Packet p, phys::PhysLink&) { onWirePacket(std::move(p)); });
   kernel_accounting_start_ = queue().now();
+  // Unconditional (not obs-gated): node attribution is engine-level
+  // bookkeeping for the shard-readiness telemetry, and passive either way.
+  node_tag_ = queue().internNodeTag(node_.name());
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     obs::MetricsRegistry& m = ctx->metrics;
     const std::string& n = node_.name();
@@ -277,7 +280,7 @@ void HostStack::onWirePacket(packet::Packet p) {
   VINI_OBS_TRACE(hostRecord(obs::TraceEvent::kIngress, now, p, trace_node_));
   const std::uint32_t rx_span = spanOpen(p, span_nic_rx_);
   auto boxed = std::make_shared<packet::Packet>(std::move(p));
-  queue().schedule(deliver_at, "tcpip.host",
+  queue().schedule(deliver_at, "tcpip.host", node_tag_,
                    [this, p = std::move(boxed), rx_span]() mutable {
     spanClose(rx_span);
     if (rx_trace_) rx_trace_(*p);
@@ -441,7 +444,7 @@ void HostStack::forwardPacket(std::shared_ptr<packet::Packet> p) {
   kernel_busy_until_ = start + cost;
   kernel_cpu_ += cost;
   const std::uint32_t fwd_span = spanOpen(*p, span_kernel_fwd_);
-  queue().scheduleAfter(kernel_busy_until_ - now, "tcpip.host",
+  queue().scheduleAfter(kernel_busy_until_ - now, "tcpip.host", node_tag_,
                         [this, p = std::move(p), fwd_span]() mutable {
                           spanClose(fwd_span);
                           routeAndTransmit(std::move(*p));
@@ -452,7 +455,7 @@ void HostStack::sendPacket(packet::Packet p) {
   if (p.meta.app_send_time < 0) p.meta.app_send_time = queue().now();
   if (isLocalAddress(p.ip.dst)) {
     // Loopback delivery.
-    queue().scheduleAfter(1 * sim::kMicrosecond, "tcpip.host",
+    queue().scheduleAfter(1 * sim::kMicrosecond, "tcpip.host", node_tag_,
                           [this, p = std::make_shared<packet::Packet>(
                                      std::move(p))]() mutable {
                             deliverLocal(std::move(*p));
@@ -512,7 +515,7 @@ void HostStack::transmitUnderlay(packet::Packet p) {
   if (wire_at < last_wire) wire_at = last_wire;  // keep FIFO
   last_wire = wire_at;
   const std::uint32_t tx_span = spanOpen(p, span_nic_tx_);
-  queue().schedule(wire_at, "tcpip.host",
+  queue().schedule(wire_at, "tcpip.host", node_tag_,
                    [this, link, tx_span,
                     p = std::make_shared<packet::Packet>(std::move(p))]() mutable {
     spanClose(tx_span);

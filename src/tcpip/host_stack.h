@@ -340,6 +340,9 @@ class HostStack {
   // ICMP error rate limiter (token bucket, kernel-style).
   double icmp_error_tokens_ = 100.0;
   sim::Time icmp_error_refill_at_ = 0;
+  /// Node attribution for every event this stack schedules (interned at
+  /// construction; shard-readiness telemetry, passive).
+  sim::NodeTag node_tag_ = sim::kNoNode;
   // Observability handles, cached at construction (null when no obs
   // context is installed).
   std::int16_t trace_node_ = -1;

@@ -1,0 +1,434 @@
+// Shard-readiness telemetry tests: per-node registry/tracer partitions
+// with deterministic merge, the cross-registry/sampler merge functions,
+// the engine's per-node event attribution (which must be byte-invisible
+// to the simulation), and the parallelism-ceiling profiler.
+//
+// The centerpiece is the partition fuzz test: the same seeded Abilene
+// scenario runs monolithic and under several node partitionings — 1, 3,
+// and 11 fixed groups plus seeded-random ones including singleton and
+// all-in-one — and every export (metrics CSV, packet-trace CSV, sampled
+// series CSV) must be byte-identical across all of them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/iperf.h"
+#include "obs/engine_monitor.h"
+#include "obs/obs.h"
+#include "obs/parallelism.h"
+#include "sim/event_queue.h"
+#include "topo/worlds.h"
+
+namespace vini {
+namespace {
+
+// ---------------------------------------------------------------------------
+// mergeRegistries
+
+TEST(MergeRegistries, CountersGaugesHistogramsFold) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("tcpip.host", "Denver", "rx_packets").inc(3);
+  b.counter("tcpip.host", "Denver", "rx_packets").inc(4);
+  b.counter("tcpip.host", "Seattle", "rx_packets").inc(7);
+  a.gauge("phys.link", "x/ab", "queued_bytes").set(100.0);
+  b.gauge("phys.link", "x/ab", "queued_bytes").set(50.0);
+  a.histogram("app.ping", "Denver", "rtt_ms", {1.0, 10.0}).observe(0.5);
+  b.histogram("app.ping", "Denver", "rtt_ms", {1.0, 10.0}).observe(5.0);
+
+  obs::MetricsRegistry merged;
+  obs::mergeRegistries({&a, &b}, merged);
+  EXPECT_EQ(merged.counterValue("tcpip.host", "Denver", "rx_packets"), 7u);
+  EXPECT_EQ(merged.counterValue("tcpip.host", "Seattle", "rx_packets"), 7u);
+  // Shard gauges hold each shard's local level; the merged level sums.
+  EXPECT_DOUBLE_EQ(merged.findGauge("phys.link", "x/ab", "queued_bytes")->value(),
+                   150.0);
+  const obs::Histogram* h = merged.findHistogram("app.ping", "Denver", "rtt_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5.5);
+
+  // Source order must not matter.
+  obs::MetricsRegistry merged2;
+  obs::mergeRegistries({&b, &a}, merged2);
+  std::ostringstream c1, c2;
+  merged.writeCsv(c1);
+  merged2.writeCsv(c2);
+  EXPECT_EQ(c1.str(), c2.str());
+}
+
+TEST(MergeRegistries, TypeMismatchThrows) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("tcpip.host", "Denver", "rx_packets");
+  b.gauge("tcpip.host", "Denver", "rx_packets");
+  obs::MetricsRegistry merged;
+  EXPECT_THROW(obs::mergeRegistries({&a, &b}, merged), std::logic_error);
+}
+
+TEST(MergeRegistries, HistogramBoundsMismatchThrows) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.histogram("app.ping", "Denver", "rtt_ms", {1.0, 10.0}).observe(0.5);
+  b.histogram("app.ping", "Denver", "rtt_ms", {2.0, 20.0}).observe(5.0);
+  obs::MetricsRegistry merged;
+  EXPECT_THROW(obs::mergeRegistries({&a, &b}, merged), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned registry basics
+
+TEST(PartitionedRegistry, RoutesNodesToTheirGroups) {
+  obs::MetricsRegistry reg;
+  reg.partitionByNode({{"Denver", "Seattle"}, {"NewYork"}});
+  EXPECT_EQ(reg.partitionCount(), 2u);
+  EXPECT_EQ(reg.partitionOf("Denver"), 0u);
+  EXPECT_EQ(reg.partitionOf("Seattle"), 0u);
+  EXPECT_EQ(reg.partitionOf("NewYork"), 1u);
+  // Unlisted names route deterministically (FNV-1a): same name, same
+  // partition, every call.
+  const std::size_t p = reg.partitionOf("Denver-KansasCity/ab");
+  EXPECT_EQ(reg.partitionOf("Denver-KansasCity/ab"), p);
+  EXPECT_LT(p, 2u);
+}
+
+TEST(PartitionedRegistry, PartitionAfterRegistrationThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("tcpip.host", "Denver", "rx_packets");
+  EXPECT_THROW(reg.partitionByNode({{"Denver"}, {"Seattle"}}),
+               std::logic_error);
+}
+
+TEST(PartitionedRegistry, DuplicateNodeAcrossGroupsThrows) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.partitionByNode({{"Denver"}, {"Denver"}}),
+               std::logic_error);
+}
+
+TEST(ScopedRegistry, CrossPartitionRegistrationThrows) {
+  obs::MetricsRegistry reg;
+  reg.partitionByNode({{"Denver"}, {"Seattle"}});
+  obs::ScopedRegistry denver = reg.scoped("Denver");
+  EXPECT_EQ(denver.partition(), 0u);
+  denver.counter("tcpip.host", "Denver", "rx_packets").inc();
+  // A shard registering a key that routes to another shard's partition
+  // is the bug class scoped() exists to catch.
+  EXPECT_THROW(denver.counter("tcpip.host", "Seattle", "rx_packets"),
+               std::logic_error);
+  EXPECT_EQ(reg.counterValue("tcpip.host", "Denver", "rx_packets"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// mergeSamplers
+
+TEST(MergeSamplers, InterleavesPointsByTimestamp) {
+  obs::MetricsRegistry reg_a;
+  obs::Counter& ca = reg_a.counter("tcpip.host", "Denver", "rx_packets");
+  obs::MetricSampler a;
+  a.bindRegistry(&reg_a);
+  a.setPeriod(2 * sim::kSecond);
+  a.watch("tcpip.host", "Denver", "rx_packets");
+  ca.inc(1);
+  a.onAdvance(0, 2 * sim::kSecond);
+  ca.inc(1);
+  a.onAdvance(2 * sim::kSecond, 6 * sim::kSecond);
+
+  obs::MetricsRegistry reg_b;
+  obs::Counter& cb = reg_b.counter("tcpip.host", "Denver", "rx_packets");
+  obs::MetricSampler b;
+  b.bindRegistry(&reg_b);
+  b.setPeriod(2 * sim::kSecond);
+  b.setOrigin(sim::kSecond);  // offset boundaries: points interleave
+  b.watch("tcpip.host", "Denver", "rx_packets");
+  cb.inc(10);
+  b.onAdvance(0, 3 * sim::kSecond);
+  cb.inc(10);
+  b.onAdvance(3 * sim::kSecond, 5 * sim::kSecond);
+
+  obs::mergeSamplers({&b}, a);
+  const auto* series = a.find("tcpip.host", "Denver", "rx_packets");
+  ASSERT_NE(series, nullptr);
+  std::vector<sim::Time> times;
+  for (const auto& pt : series->points) times.push_back(pt.t);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // a sampled at 2s,4s,6s; b at 1s,3s,5s.
+  EXPECT_EQ(series->points.size(), 6u);
+  EXPECT_EQ(times.front(), sim::kSecond);
+  EXPECT_EQ(times.back(), 6 * sim::kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// The partition fuzz: same seed, any partitioning, identical bytes
+
+const std::vector<std::string>& abileneNodes() {
+  static const std::vector<std::string> kNodes = {
+      "Seattle", "Sunnyvale", "LosAngeles", "Denver",  "Houston",
+      "KansasCity", "Indianapolis", "Atlanta", "Chicago", "NewYork",
+      "Washington"};
+  return kNodes;
+}
+
+struct Exports {
+  std::string metrics;
+  std::string trace;
+  std::string series;
+};
+
+/// One seeded Abilene run under the given node partitioning (empty =
+/// stay monolithic), dumping every obs export.
+Exports runPartitioned(const std::vector<std::vector<std::string>>& groups) {
+  obs::ScopedObs scope;
+  if (!groups.empty()) scope.obs().partitionByNode(groups);
+
+  topo::WorldOptions options;
+  options.seed = 97;
+  options.contention = 0.0;
+  auto world = topo::makeAbileneWorld(options);
+  if (!world->runUntilConverged(180 * sim::kSecond)) {
+    throw std::runtime_error("world did not converge");
+  }
+  const sim::Time t0 = world->queue.now();
+
+  scope.sampler().setPeriod(sim::kSecond / 4);
+  scope.sampler().setOrigin(t0);
+  scope.sampler().watch("tcpip.host", "Denver", "forwarded");
+  scope.sampler().watch("app.iperf", "Seattle", "udp_rx_packets",
+                        obs::MetricSampler::Mode::kOnChange);
+  scope.sampler().attach(world->queue);
+
+  // Modest load and a short window keep the run well under the tracer
+  // ring capacity: a wrapped ring would (documentedly) break the
+  // byte-identity this test enforces.
+  app::IperfUdpServer server(world->stack("Seattle"), 5001);
+  app::IperfUdpClient client(world->stack("Washington"), world->tapOf("Seattle"),
+                             5001, 10e6, 1430, world->tapOf("Washington"));
+  client.start(sim::kSecond / 2);
+  app::IperfUdpServer server2(world->stack("Atlanta"), 5002);
+  app::IperfUdpClient client2(world->stack("Denver"), world->tapOf("Atlanta"),
+                              5002, 10e6, 1430, world->tapOf("Denver"));
+  client2.start(sim::kSecond / 2);
+  world->queue.runUntil(t0 + sim::kSecond / 2);
+  scope.sampler().detach();
+
+  Exports out;
+  std::ostringstream m, t, s;
+  scope.metrics().writeCsv(m);
+  scope.tracer().writeCsv(t);
+  scope.sampler().writeCsv(s);
+  out.metrics = m.str();
+  out.trace = t.str();
+  out.series = s.str();
+  EXPECT_FALSE(out.metrics.empty());
+  EXPECT_FALSE(out.trace.empty());
+  return out;
+}
+
+TEST(PartitionFuzz, MergedExportsMatchMonolithic) {
+  const Exports mono = runPartitioned({});
+  const auto& nodes = abileneNodes();
+
+  // Fixed partitionings: all-in-one, 3 groups, 11 singletons.
+  std::vector<std::vector<std::vector<std::string>>> partitionings;
+  partitionings.push_back({nodes});
+  {
+    std::vector<std::vector<std::string>> three(3);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      three[i % 3].push_back(nodes[i]);
+    }
+    partitionings.push_back(three);
+  }
+  {
+    std::vector<std::vector<std::string>> singletons;
+    for (const auto& n : nodes) singletons.push_back({n});
+    partitionings.push_back(singletons);
+  }
+  // Seeded-random partitionings (the fuzz part): random group count,
+  // random assignment — reproducible by construction.
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t k =
+        1 + rng() % nodes.size();  // 1..11 groups, empties allowed
+    std::vector<std::vector<std::string>> groups(k);
+    for (const auto& n : nodes) groups[rng() % k].push_back(n);
+    partitionings.push_back(groups);
+  }
+
+  for (std::size_t i = 0; i < partitionings.size(); ++i) {
+    SCOPED_TRACE("partitioning #" + std::to_string(i) + " (" +
+                 std::to_string(partitionings[i].size()) + " groups)");
+    const Exports part = runPartitioned(partitionings[i]);
+    EXPECT_EQ(part.metrics, mono.metrics);
+    EXPECT_EQ(part.trace, mono.trace);
+    EXPECT_EQ(part.series, mono.series);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine attribution must be byte-invisible to the simulation
+
+TEST(EnginePassivity, AttributionAndIntrospectionDoNotPerturbTheRun) {
+  auto run = [](bool instrumented) {
+    obs::ScopedObs scope;
+    topo::WorldOptions options;
+    options.seed = 211;
+    options.contention = 0.0;
+    auto world = topo::makeAbileneWorld(options);
+    if (!world->runUntilConverged(180 * sim::kSecond)) {
+      throw std::runtime_error("world did not converge");
+    }
+    const sim::Time t0 = world->queue.now();
+
+    obs::ParallelismProfiler profiler;
+    obs::EngineMonitor monitor;
+    obs::MetricsRegistry engine_metrics;  // side registry: keeps the
+                                          // main export comparable
+    if (instrumented) {
+      profiler.setLookahead(world->net.minPropagation());
+      profiler.attach(world->queue);
+      monitor.attach(world->queue, engine_metrics);
+      scope.profiler().attach(world->queue);
+    }
+
+    app::IperfUdpServer server(world->stack("Seattle"), 5001);
+    app::IperfUdpClient client(world->stack("Washington"),
+                               world->tapOf("Seattle"), 5001, 30e6, 1430,
+                               world->tapOf("Washington"));
+    client.start(1 * sim::kSecond);
+    world->queue.runUntil(t0 + 1 * sim::kSecond);
+
+    std::ostringstream m, t;
+    scope.metrics().writeCsv(m);
+    scope.tracer().writeCsv(t);
+    const auto executed = world->queue.executedCount();
+    // The ScopedObs outlives the world: detach its profiler from the
+    // queue before the queue dies, or ~ScopedObs detaches a dangling one.
+    if (instrumented) scope.profiler().detach();
+    return std::make_pair(m.str() + t.str(), executed);
+  };
+
+  const auto plain = run(false);
+  const auto instrumented = run(true);
+  EXPECT_EQ(plain.first, instrumented.first);
+  EXPECT_EQ(plain.second, instrumented.second);
+}
+
+// ---------------------------------------------------------------------------
+// EngineMonitor
+
+TEST(EngineMonitor, MirrorsQueueVitalsDeterministically) {
+  auto run = [] {
+    obs::ScopedObs scope;
+    topo::WorldOptions options;
+    options.seed = 331;
+    options.contention = 0.0;
+    auto world = topo::makeAbileneWorld(options);
+    if (!world->runUntilConverged(180 * sim::kSecond)) {
+      throw std::runtime_error("world did not converge");
+    }
+    const sim::Time t0 = world->queue.now();
+
+    scope.sampler().setPeriod(sim::kSecond / 4);
+    scope.sampler().setOrigin(t0);
+    scope.sampler().watch("sim.engine", "queue", "pending_events");
+    scope.sampler().watch("sim.engine", "Denver", "events_executed");
+    // Monitor + sampler share the queue's single advance slot: the
+    // monitor refreshes, then chains.
+    obs::EngineMonitor monitor;
+    monitor.attach(world->queue, scope.metrics(), &scope.sampler());
+
+    app::IperfUdpServer server(world->stack("Seattle"), 5001);
+    app::IperfUdpClient client(world->stack("Washington"),
+                               world->tapOf("Seattle"), 5001, 30e6, 1430,
+                               world->tapOf("Washington"));
+    client.start(1 * sim::kSecond);
+    world->queue.runUntil(t0 + 1 * sim::kSecond);
+
+    // Wall-derived quantities exist but stay out of the registry.
+    EXPECT_GT(monitor.simWallRatio(), 0.0);
+    monitor.detach();
+    EXPECT_EQ(scope.metrics().findGauge("sim.engine", "wall", "sim_wall_ratio"),
+              nullptr);
+
+    // The mirrors agree with the queue's own counters.
+    const sim::NodeTag denver = world->queue.internNodeTag("Denver");
+    EXPECT_EQ(scope.metrics().counterValue("sim.engine", "Denver",
+                                           "events_executed"),
+              world->queue.nodeExecutedCount(denver));
+    EXPECT_EQ(scope.metrics().counterValue("sim.engine", "queue",
+                                           "cross_node_scheduled"),
+              world->queue.crossNodeScheduledCount());
+
+    std::ostringstream m, s;
+    scope.metrics().writeCsv(m);
+    scope.sampler().writeCsv(s);
+    return m.str() + s.str();
+  };
+  // Same seed, same bytes — engine metrics included.
+  EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// ParallelismProfiler (model-level; the CLI self-test covers more)
+
+TEST(ParallelismProfiler, SkewedLoadCapsTheSpeedup) {
+  sim::EventQueue queue;
+  const sim::NodeTag hot = queue.internNodeTag("hot");
+  const sim::NodeTag cold = queue.internNodeTag("cold");
+  obs::ParallelismProfiler profiler;
+  profiler.setLookahead(sim::kMillisecond);
+  profiler.attach(queue);
+  for (int w = 0; w < 4; ++w) {
+    const sim::Time t = w * sim::kMillisecond + sim::kMicrosecond;
+    for (int i = 0; i < 9; ++i) queue.schedule(t + i, "test", hot, [] {});
+    queue.schedule(t + 100, "test", cold, [] {});
+  }
+  queue.run();
+  const auto report = profiler.analyze({2});
+  ASSERT_EQ(report.predictions.size(), 1u);
+  // The hot node gates every window: CP = 9 per window, speedup 40/36.
+  EXPECT_EQ(report.total_events, 40u);
+  EXPECT_EQ(report.predictions[0].critical_path_events, 36u);
+  EXPECT_NEAR(report.predictions[0].predicted_speedup, 40.0 / 36.0, 1e-9);
+}
+
+TEST(ParallelismProfiler, RequiresLookaheadBeforeAttach) {
+  sim::EventQueue queue;
+  obs::ParallelismProfiler profiler;
+  EXPECT_THROW(profiler.attach(queue), std::logic_error);
+  EXPECT_THROW(profiler.setLookahead(0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Per-node event attribution in the queue itself
+
+TEST(EventQueueAttribution, CountsPerNodeAndCrossNode) {
+  sim::EventQueue queue;
+  const sim::NodeTag a = queue.internNodeTag("a");
+  const sim::NodeTag b = queue.internNodeTag("b");
+  EXPECT_EQ(queue.internNodeTag("a"), a);  // re-intern is stable
+  EXPECT_EQ(queue.nodeTagName(a), "a");
+  EXPECT_EQ(queue.nodeTagName(sim::kNoNode), "-");
+
+  queue.schedule(10, "test", a, [&queue, a, b] {
+    queue.scheduleAfter(5, "test", b, [] {});   // cross
+    queue.scheduleAfter(7, "test", a, [] {});   // same
+    queue.scheduleAfter(1, [] {});              // untagged: not counted
+  });
+  queue.run();
+  EXPECT_EQ(queue.nodeExecutedCount(a), 2u);
+  EXPECT_EQ(queue.nodeExecutedCount(b), 1u);
+  EXPECT_EQ(queue.unattributedExecutedCount(), 1u);
+  EXPECT_EQ(queue.sameNodeScheduledCount(), 1u);
+  EXPECT_EQ(queue.crossNodeScheduledCount(), 1u);
+  EXPECT_EQ(queue.minCrossNodeDelay(), 5);
+}
+
+}  // namespace
+}  // namespace vini

@@ -25,20 +25,33 @@
 // queue-selection study.
 //
 //   bench_engine [--out FILE] [--seconds N] [--flows N] [--queue heap|calendar|both]
-//                [--profile FILE] [--baseline FILE]
+//                [--threads LIST] [--profile FILE] [--baseline FILE]
 //   VINI_SMOKE=1 shrinks the run for CI gating.
+//
+// --threads LIST is a comma-separated sweep of engine worker counts
+// (default "0,1,2,4,8"; smoke "0,2").  0 is the classic serial engine;
+// N >= 1 the sharded engine, whose simulation is byte-identical across
+// every N (threads = 1 is its serial reference, so speedup_vs_1t in the
+// JSON is a like-for-like parallel speedup).  When the sweep includes a
+// threads = 1 run, 4+-thread runs on a >= 6-core machine must clear
+// 1.5x its events/s — the parallel-engine payoff gate.
 //
 // --profile FILE additionally runs the same workload once more with the
 // parallelism profiler attached and writes its deterministic
 // PROFILE_report.json (see obs/parallelism.h) — the shard-readiness
-// artifact CI uploads next to this bench's JSON.
+// artifact CI uploads next to this bench's JSON.  When the sweep
+// measured real parallel runs, the measured speedups are cross-checked
+// against the profiler's predicted ceilings (warn below 50% of
+// predicted).
 //
 // --baseline FILE compares this run's events/s against a checked-in
 // BENCH_engine.json from an earlier commit and fails on a >15%
-// regression per queue implementation — the perf-trajectory gate.
-// Skipped under VINI_SMOKE (smoke runs are too short to be stable).
+// regression per (queue implementation, thread count) — the
+// perf-trajectory gate.  Skipped under VINI_SMOKE (smoke runs are too
+// short to be stable).
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -57,6 +70,8 @@ namespace {
 
 struct RunResult {
   std::string queue_impl;
+  int threads = 0;
+  double speedup_vs_1t = 0.0;  // filled post-hoc when a 1-thread run ran
   std::uint64_t events = 0;
   std::uint64_t sim_packets = 0;
   double sim_seconds = 0.0;
@@ -92,15 +107,18 @@ std::uint64_t totalTxPackets(const topo::World& world) {
 /// the measured window and writes its PROFILE_report.json there (the
 /// profiler is passive, but kept off plain timing runs so the
 /// introspection hook never clouds the wall numbers).
-RunResult runOnce(sim::QueueImpl impl, int flows, int seconds,
-                  const std::string& profile_out = {}) {
+RunResult runOnce(sim::QueueImpl impl, int threads, int flows, int seconds,
+                  const std::string& profile_out = {},
+                  obs::ParallelismProfiler::Report* report_out = nullptr) {
   RunResult result;
   result.queue_impl = sim::queueImplName(impl);
+  result.threads = threads;
 
   topo::WorldOptions options;
   options.seed = 4711;
   options.contention = 0.0;  // quiescent nodes: the engine is the subject
   options.queue_impl = impl;
+  options.threads = threads;
   auto world = topo::makeAbileneWorld(options);
   if (!world->runUntilConverged(180 * sim::kSecond)) {
     std::fprintf(stderr, "bench_engine: world did not converge\n");
@@ -156,6 +174,7 @@ RunResult runOnce(sim::QueueImpl impl, int flows, int seconds,
                 profile_out.c_str(),
                 static_cast<unsigned long long>(report.total_events),
                 report.cross_node_ratio);
+    if (report_out) *report_out = report;
   }
 
   result.events = world->queue.executedCount() - events_before;
@@ -170,20 +189,29 @@ RunResult runOnce(sim::QueueImpl impl, int flows, int seconds,
   return result;
 }
 
-/// Extract (queue_impl, events_per_sec) pairs from a BENCH_engine.json
-/// this bench itself wrote.  A full JSON parser is overkill for our own
-/// fixed format: scan for the two keys line by line.
-std::vector<std::pair<std::string, double>> parseBaseline(
-    const std::string& path) {
+/// One baseline entry: (queue_impl, threads) -> events/s.
+struct BaselineEntry {
+  std::string impl;
+  int threads = 0;
+  double events_per_sec = 0.0;
+};
+
+/// Extract baseline entries from a BENCH_engine.json this bench itself
+/// wrote.  A full JSON parser is overkill for our own fixed format: scan
+/// for the keys line by line.  Schema v1 files carry no "threads" key;
+/// their entries read as threads = 0 (the classic engine), which is what
+/// they measured.
+std::vector<BaselineEntry> parseBaseline(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_engine: cannot open baseline %s\n",
                  path.c_str());
     std::exit(2);
   }
-  std::vector<std::pair<std::string, double>> result;
+  std::vector<BaselineEntry> result;
   std::string line;
   std::string impl;
+  int threads = 0;
   auto fieldTail = [&line](const char* key) -> const char* {
     const std::size_t pos = line.find(key);
     return pos == std::string::npos ? nullptr : line.c_str() + pos +
@@ -192,6 +220,9 @@ std::vector<std::pair<std::string, double>> parseBaseline(
   while (std::getline(in, line)) {
     if (const char* v = fieldTail("\"queue_impl\": \"")) {
       impl.assign(v, std::strcspn(v, "\""));
+      threads = 0;
+    } else if (const char* v = fieldTail("\"threads\": ")) {
+      threads = std::atoi(v);
     } else if (const char* v = fieldTail("\"events_per_sec\": ")) {
       if (impl.empty()) {
         std::fprintf(stderr,
@@ -200,39 +231,43 @@ std::vector<std::pair<std::string, double>> parseBaseline(
                      path.c_str());
         std::exit(2);
       }
-      result.emplace_back(impl, std::strtod(v, nullptr));
+      result.push_back({impl, threads, std::strtod(v, nullptr)});
       impl.clear();
     }
   }
   return result;
 }
 
-/// The perf-trajectory gate: fail when any queue implementation's
-/// events/s fell more than 15% below the checked-in baseline.
+/// The perf-trajectory gate: fail when any (queue implementation,
+/// thread count) pair's events/s fell more than 15% below the
+/// checked-in baseline.
 int checkBaseline(const std::string& path, const std::vector<RunResult>& runs) {
   constexpr double kMaxRegression = 0.15;
   const auto baseline = parseBaseline(path);
   int failures = 0;
   for (const RunResult& r : runs) {
     double base = 0.0;
-    for (const auto& [impl, eps] : baseline) {
-      if (impl == r.queue_impl) base = eps;
+    for (const BaselineEntry& b : baseline) {
+      if (b.impl == r.queue_impl && b.threads == r.threads) {
+        base = b.events_per_sec;
+      }
     }
     if (base <= 0.0) {
-      std::printf("  perf gate: no baseline entry for queue=%s, skipping\n",
-                  r.queue_impl.c_str());
+      std::printf("  perf gate: no baseline entry for queue=%s threads=%d, "
+                  "skipping\n",
+                  r.queue_impl.c_str(), r.threads);
       continue;
     }
     const double ratio = r.eventsPerSec() / base;
-    std::printf("  perf gate: queue=%-8s %12.0f events/s vs baseline "
-                "%12.0f (%+.1f%%)\n",
-                r.queue_impl.c_str(), r.eventsPerSec(), base,
+    std::printf("  perf gate: queue=%-8s threads=%d %12.0f events/s vs "
+                "baseline %12.0f (%+.1f%%)\n",
+                r.queue_impl.c_str(), r.threads, r.eventsPerSec(), base,
                 100.0 * (ratio - 1.0));
     if (ratio < 1.0 - kMaxRegression) {
       std::fprintf(stderr,
-                   "bench_engine: PERF REGRESSION: queue=%s dropped %.1f%% "
-                   "below baseline (limit %.0f%%)\n",
-                   r.queue_impl.c_str(), 100.0 * (1.0 - ratio),
+                   "bench_engine: PERF REGRESSION: queue=%s threads=%d "
+                   "dropped %.1f%% below baseline (limit %.0f%%)\n",
+                   r.queue_impl.c_str(), r.threads, 100.0 * (1.0 - ratio),
                    100.0 * kMaxRegression);
       ++failures;
     }
@@ -241,13 +276,15 @@ int checkBaseline(const std::string& path, const std::vector<RunResult>& runs) {
 }
 
 void writeRunJson(std::ofstream& out, const RunResult& r, bool last) {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "    {\n"
       "      \"queue_impl\": \"%s\",\n"
+      "      \"threads\": %d,\n"
       "      \"events\": %llu,\n"
       "      \"events_per_sec\": %.0f,\n"
+      "      \"speedup_vs_1t\": %.3f,\n"
       "      \"sim_packets\": %llu,\n"
       "      \"sim_packets_per_sec\": %.0f,\n"
       "      \"sim_seconds\": %.3f,\n"
@@ -256,8 +293,9 @@ void writeRunJson(std::ofstream& out, const RunResult& r, bool last) {
       "      \"peak_pending_events\": %llu,\n"
       "      \"peak_event_storage\": %llu\n"
       "    }%s\n",
-      r.queue_impl.c_str(), static_cast<unsigned long long>(r.events),
-      r.eventsPerSec(), static_cast<unsigned long long>(r.sim_packets),
+      r.queue_impl.c_str(), r.threads,
+      static_cast<unsigned long long>(r.events), r.eventsPerSec(),
+      r.speedup_vs_1t, static_cast<unsigned long long>(r.sim_packets),
       r.packetsPerSec(), r.sim_seconds, r.wall_seconds, r.simWallRatio(),
       static_cast<unsigned long long>(r.peak_pending),
       static_cast<unsigned long long>(r.peak_storage), last ? "" : ",");
@@ -270,6 +308,7 @@ int main(int argc, char** argv) {
   const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
   std::string out_path = "BENCH_engine.json";
   std::string queue_arg = "both";
+  std::string threads_arg = smoke ? "0,2" : "0,1,2,4,8";
   std::string profile_path;
   std::string baseline_path;
   int seconds = smoke ? 2 : 10;
@@ -292,6 +331,8 @@ int main(int argc, char** argv) {
       flows = std::atoi(v);
     } else if (const char* v = value("--queue")) {
       queue_arg = v;
+    } else if (const char* v = value("--threads")) {
+      threads_arg = v;
     } else if (const char* v = value("--profile")) {
       profile_path = v;
     } else if (const char* v = value("--baseline")) {
@@ -300,7 +341,27 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_engine [--out FILE] [--seconds N] "
                    "[--flows N] [--queue heap|calendar|both] "
-                   "[--profile FILE] [--baseline FILE]\n");
+                   "[--threads LIST] [--profile FILE] [--baseline FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<int> thread_counts;
+  {
+    std::stringstream ss(threads_arg);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) continue;
+      const int n = std::atoi(tok.c_str());
+      if (n < 0) {
+        std::fprintf(stderr, "bench_engine: bad --threads entry '%s'\n",
+                     tok.c_str());
+        return 2;
+      }
+      thread_counts.push_back(n);
+    }
+    if (thread_counts.empty()) {
+      std::fprintf(stderr, "bench_engine: empty --threads list\n");
       return 2;
     }
   }
@@ -322,30 +383,49 @@ int main(int argc, char** argv) {
 
   std::vector<RunResult> runs;
   for (const sim::QueueImpl impl : impls) {
-    RunResult r = runOnce(impl, flows, seconds);
-    std::printf(
-        "\n  queue=%-12s %9.2f s sim in %6.2f s wall (ratio %6.2f)\n"
-        "    events        %12llu   (%.0f events/s)\n"
-        "    sim packets   %12llu   (%.0f packets/s)\n"
-        "    peak pending  %12llu   peak storage %llu\n",
-        r.queue_impl.c_str(), r.sim_seconds, r.wall_seconds, r.simWallRatio(),
-        static_cast<unsigned long long>(r.events), r.eventsPerSec(),
-        static_cast<unsigned long long>(r.sim_packets), r.packetsPerSec(),
-        static_cast<unsigned long long>(r.peak_pending),
-        static_cast<unsigned long long>(r.peak_storage));
-    runs.push_back(std::move(r));
+    for (const int threads : thread_counts) {
+      RunResult r = runOnce(impl, threads, flows, seconds);
+      std::printf(
+          "\n  queue=%-8s threads=%d %9.2f s sim in %6.2f s wall "
+          "(ratio %6.2f)\n"
+          "    events        %12llu   (%.0f events/s)\n"
+          "    sim packets   %12llu   (%.0f packets/s)\n"
+          "    peak pending  %12llu   peak storage %llu\n",
+          r.queue_impl.c_str(), r.threads, r.sim_seconds, r.wall_seconds,
+          r.simWallRatio(), static_cast<unsigned long long>(r.events),
+          r.eventsPerSec(), static_cast<unsigned long long>(r.sim_packets),
+          r.packetsPerSec(), static_cast<unsigned long long>(r.peak_pending),
+          static_cast<unsigned long long>(r.peak_storage));
+      runs.push_back(std::move(r));
+    }
+  }
+
+  // Parallel speedup, measured against the same implementation's
+  // 1-thread run — the sharded engine's own serial schedule, so the
+  // ratio isolates the parallelism (threads = 0 is a different event
+  // order and not a fair denominator).
+  for (RunResult& r : runs) {
+    if (r.threads < 1) continue;
+    for (const RunResult& ref : runs) {
+      if (ref.queue_impl == r.queue_impl && ref.threads == 1 &&
+          ref.eventsPerSec() > 0) {
+        r.speedup_vs_1t = r.eventsPerSec() / ref.eventsPerSec();
+      }
+    }
   }
 
   // The shard-readiness profile rides a separate run so the profiler's
   // introspection hook never touches the timed ones.
+  obs::ParallelismProfiler::Report profile_report;
   if (!profile_path.empty()) {
-    runOnce(impls[0], flows, seconds, profile_path);
+    runOnce(impls[0], /*threads=*/0, flows, seconds, profile_path,
+            &profile_report);
   }
 
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"bench\": \"engine\",\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"topology\": \"abilene-11\",\n"
       << "  \"workload\": \"saturating-udp-iperf\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
@@ -357,23 +437,74 @@ int main(int argc, char** argv) {
   out << "  ]\n}\n";
   std::printf("\n  [results written to %s]\n", out_path.c_str());
 
-  // Consistency gate, not a perf gate: both implementations must agree
-  // on the *simulation* — identical seeds must execute identical event
-  // and packet counts regardless of queue internals.  Wall time is the
-  // only column allowed to differ.
-  for (std::size_t i = 1; i < runs.size(); ++i) {
-    if (runs[i].events != runs[0].events ||
-        runs[i].sim_packets != runs[0].sim_packets) {
+  // Consistency gate, not a perf gate: the *simulation* must not depend
+  // on engine internals.  Classic runs (threads = 0) must agree with
+  // each other across queue implementations, and sharded runs (threads
+  // >= 1) must agree with each other across queue implementations AND
+  // thread counts.  (Classic and sharded are different — but each
+  // individually deterministic — event orders; see DESIGN.md.)  Wall
+  // time is the only column allowed to differ.
+  const RunResult* classic_ref = nullptr;
+  const RunResult* sharded_ref = nullptr;
+  for (const RunResult& r : runs) {
+    const RunResult*& ref = r.threads == 0 ? classic_ref : sharded_ref;
+    if (!ref) {
+      ref = &r;
+      continue;
+    }
+    if (r.events != ref->events || r.sim_packets != ref->sim_packets) {
       std::fprintf(stderr,
-                   "bench_engine: queue implementations diverged "
-                   "(%s: %llu events / %llu packets, %s: %llu / %llu)\n",
-                   runs[0].queue_impl.c_str(),
-                   static_cast<unsigned long long>(runs[0].events),
-                   static_cast<unsigned long long>(runs[0].sim_packets),
-                   runs[i].queue_impl.c_str(),
-                   static_cast<unsigned long long>(runs[i].events),
-                   static_cast<unsigned long long>(runs[i].sim_packets));
+                   "bench_engine: runs diverged "
+                   "(%s/t%d: %llu events / %llu packets, "
+                   "%s/t%d: %llu / %llu)\n",
+                   ref->queue_impl.c_str(), ref->threads,
+                   static_cast<unsigned long long>(ref->events),
+                   static_cast<unsigned long long>(ref->sim_packets),
+                   r.queue_impl.c_str(), r.threads,
+                   static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(r.sim_packets));
       return 1;
+    }
+  }
+
+  // Measured-vs-predicted cross-check: the profiler's CP(k) model gives
+  // a ceiling; landing below half of it flags a scaling problem (windows
+  // too small, barrier overhead, load imbalance) without failing the
+  // bench — machines differ.
+  if (!profile_path.empty()) {
+    for (const RunResult& r : runs) {
+      if (r.threads < 2 || r.speedup_vs_1t <= 0) continue;
+      for (const auto& pred : profile_report.predictions) {
+        if (pred.shards != r.threads || pred.predicted_speedup <= 0) continue;
+        const double frac = r.speedup_vs_1t / pred.predicted_speedup;
+        std::printf("  scaling: queue=%-8s threads=%d measured %.2fx vs "
+                    "predicted %.2fx (%.0f%%)\n",
+                    r.queue_impl.c_str(), r.threads, r.speedup_vs_1t,
+                    pred.predicted_speedup, 100.0 * frac);
+        if (frac < 0.5) {
+          std::fprintf(stderr,
+                       "bench_engine: WARNING: queue=%s threads=%d reached "
+                       "only %.0f%% of the predicted %.2fx speedup\n",
+                       r.queue_impl.c_str(), r.threads, 100.0 * frac,
+                       pred.predicted_speedup);
+        }
+      }
+    }
+  }
+
+  // The parallel-engine payoff gate: with 4+ workers on a machine that
+  // actually has the cores, the sharded engine must clear 1.5x its own
+  // serial (1-thread) schedule, or the parallelism is not paying for its
+  // barriers.  Needs both a 1-thread and a 4+-thread run in the sweep.
+  if (!smoke && std::thread::hardware_concurrency() >= 6) {
+    for (const RunResult& r : runs) {
+      if (r.threads >= 4 && r.speedup_vs_1t > 0 && r.speedup_vs_1t < 1.5) {
+        std::fprintf(stderr,
+                     "bench_engine: SCALING REGRESSION: queue=%s threads=%d "
+                     "speedup %.2fx < 1.5x over the 1-thread run\n",
+                     r.queue_impl.c_str(), r.threads, r.speedup_vs_1t);
+        return 1;
+      }
     }
   }
 

@@ -43,6 +43,12 @@
 #      than 15% below baseline fails.  The binary self-skips the
 #      comparison under VINI_SMOKE (smoke runs are too short to be
 #      stable), so exporting VINI_SMOKE=1 before check.sh skips it
+#   5h. sharded-engine determinism gate: the canned vini_timeline
+#      scenario is exported under the parallel engine at 1, 2, and 8
+#      worker threads on both queue implementations, and every export
+#      (Chrome JSON, spans/timeline/series CSV) must be byte-identical
+#      to the 1-thread reference — thread count must never leak into
+#      results
 #   6. clang-tidy over src/ and tools/ (skipped when not installed)
 #   7. full ctest suite under AddressSanitizer and UBSan builds, with
 #      the runtime shard-ownership check armed (-DVINI_SHARD_CHECK=ON)
@@ -194,6 +200,38 @@ diff build-check/PROFILE_report.json build-check/profile-bench.json || {
 stage "bench_engine --baseline BENCH_engine.json (>15% events/s regression fails)"
 (cd build-check && ./bench/bench_engine --queue both \
   --baseline ../BENCH_engine.json --out BENCH_engine.json)
+
+# --- 5h. Sharded-engine determinism gate -------------------------------------
+# The parallel engine's contract: same seed => byte-identical exports
+# for every worker count.  threads=1 runs the sharded schedule serially
+# and is the reference; 2 and 8 must reproduce it exactly on both queue
+# implementations, and the two implementations must agree with each
+# other under sharding too.
+stage "vini_timeline --threads {1,2,8} export diff (sharded determinism)"
+for IMPL in heap calendar; do
+  for T in 1 2 8; do
+    (cd build-check && VINI_SMOKE=1 ./tools/vini_timeline export --seed 811 \
+      --queue "$IMPL" --threads "$T" --out "timeline-$IMPL-t$T" > /dev/null)
+  done
+done
+for IMPL in heap calendar; do
+  for T in 2 8; do
+    for EXT in json spans.csv timeline.csv series.csv; do
+      diff "build-check/timeline-$IMPL-t1.$EXT" \
+           "build-check/timeline-$IMPL-t$T.$EXT" || {
+        echo "vini_timeline: $IMPL queue diverges at $T threads ($EXT)"
+        exit 1
+      }
+    done
+  done
+done
+for EXT in json spans.csv timeline.csv series.csv; do
+  diff "build-check/timeline-heap-t1.$EXT" \
+       "build-check/timeline-calendar-t1.$EXT" || {
+    echo "vini_timeline: heap/calendar diverge under the sharded engine ($EXT)"
+    exit 1
+  }
+done
 
 # --- 6. clang-tidy -----------------------------------------------------------
 stage "clang-tidy"

@@ -59,7 +59,8 @@ void IperfTcpClient::pump(const std::shared_ptr<tcpip::TcpConnection>& conn) {
   // Keep well ahead of even a Gig-E-rate stream (the refill cadence must
   // never be the experiment's bottleneck).
   if (conn->sendQueueBytes() < 2 * 1024 * 1024) conn->send(4 * 1024 * 1024);
-  stack_.queue().scheduleAfter(10 * sim::kMillisecond,
+  stack_.queue().scheduleAfter(10 * sim::kMillisecond, "app.iperf",
+                               stack_.nodeTag(),
                                [this, conn, alive = alive_] {
                                  if (*alive) pump(conn);
                                });
@@ -77,7 +78,7 @@ void IperfTcpClient::start(sim::Duration duration, std::function<void()> done) {
     };
     connections_.push_back(std::move(conn));
   }
-  stack_.queue().scheduleAfter(duration,
+  stack_.queue().scheduleAfter(duration, "app.iperf", stack_.nodeTag(),
                                [this, alive = alive_, done = std::move(done)] {
                                  if (!*alive) return;
                                  running_ = false;
@@ -220,7 +221,8 @@ void IperfUdpClient::sendOne() {
   }
   VINI_OBS_INC(m_tx_packets_);
   socket_.sendTo(server_, port_, payload_, meta);
-  stack_.queue().scheduleAfter(interval_, "app.iperf", [this, alive = alive_] {
+  stack_.queue().scheduleAfter(interval_, "app.iperf", stack_.nodeTag(),
+                               [this, alive = alive_] {
     if (*alive) sendOne();
   });
 }

@@ -18,8 +18,8 @@ Pinger::Pinger(tcpip::HostStack& stack, packet::IpAddress target, Options option
     span_layer_ = ctx->spans.intern("app.ping");
     span_node_ = ctx->spans.intern(node);
   }
-  timeout_timer_ = std::make_unique<sim::OneShotTimer>(stack_.queue(),
-                                                       [this] { onTimeout(); });
+  timeout_timer_ = std::make_unique<sim::OneShotTimer>(
+      stack_.queue(), "app.ping", stack_.nodeTag(), [this] { onTimeout(); });
   stack_.setIcmpReplyHandler(ident_, [this](packet::Packet p) { onReply(p); });
 }
 
@@ -105,7 +105,8 @@ void Pinger::finish() {
   // Allow a grace period for in-flight replies before reporting: a
   // flood ping at 10 ms spacing keeps several probes airborne on a
   // 70 ms-RTT path.
-  stack_.queue().scheduleAfter(500 * sim::kMillisecond, "app.ping", [this] {
+  stack_.queue().scheduleAfter(500 * sim::kMillisecond, "app.ping",
+                               stack_.nodeTag(), [this] {
     collecting_ = false;
     if (done_) {
       auto done = std::move(done_);

@@ -36,7 +36,8 @@ void CrossTrafficSource::enterBurst() {
   in_burst_ = true;
   const sim::Duration length =
       random_.exponentialDuration(options_.mean_burst, 10 * options_.mean_burst);
-  stack_.queue().scheduleAfter(length, [this, alive = alive_] {
+  stack_.queue().scheduleAfter(length, "app.traffic", stack_.nodeTag(),
+                               [this, alive = alive_] {
     if (*alive) enterIdle();
   });
   sendOne();
@@ -47,7 +48,8 @@ void CrossTrafficSource::enterIdle() {
   in_burst_ = false;
   const sim::Duration length =
       random_.exponentialDuration(mean_idle_, 10 * mean_idle_);
-  stack_.queue().scheduleAfter(length, [this, alive = alive_] {
+  stack_.queue().scheduleAfter(length, "app.traffic", stack_.nodeTag(),
+                               [this, alive = alive_] {
     if (*alive) enterBurst();
   });
 }
@@ -60,6 +62,7 @@ void CrossTrafficSource::sendOne() {
   // Poisson arrivals inside the burst.
   stack_.queue().scheduleAfter(
       random_.exponentialDuration(packet_interval_, 10 * packet_interval_),
+      "app.traffic", stack_.nodeTag(),
       [this, alive = alive_] {
         if (*alive) sendOne();
       });

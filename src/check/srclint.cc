@@ -683,9 +683,10 @@ void ruleV207(const std::string& path, const Lexed& lx,
 void ruleV208(const std::string& path, const std::string& text,
               std::vector<SrcFinding>& out) {
   static const std::set<std::string> kKnownTags = {
-      "phys.link",  "tcpip.host", "cpu.scheduler", "fault.supervisor",
-      "xorp.ospf",  "xorp.bgp",   "xorp.rip",      "click.shaper",
-      "app.iperf",  "app.ping",   "test",          "bench"};
+      "phys.link",  "tcpip.host", "tcpip.tcp",     "cpu.scheduler",
+      "fault.supervisor",         "xorp.ospf",     "xorp.bgp",
+      "xorp.rip",   "click.shaper",                "app.iperf",
+      "app.ping",   "app.traffic", "test",         "bench"};
   const std::size_t n = text.size();
   std::size_t i = 0;
   int line = 1;

@@ -1,37 +1,41 @@
 // Thread-safety annotations for the parallel sharded event engine.
 //
-// The ROADMAP's next arc shards the World across worker threads by
-// physical node.  Before any thread touches shared state, the state
-// that *will* be shared (or per-shard-owned) is annotated here so
-// clang's -Wthread-safety analysis (-DVINI_THREAD_SAFETY=ON, clang
-// only) can police access statically.  Under gcc — and under clang
-// without the option — every macro expands to nothing and the token
-// struct below is an empty no-op, so the annotations are free.
+// The engine shards the World across worker threads by physical node
+// (sim/shard.h).  State that is shared — or per-shard-owned — is
+// annotated here so clang's -Wthread-safety analysis
+// (-DVINI_THREAD_SAFETY=ON, clang only) can police access statically.
+// Under gcc, and under clang without the option, every macro expands to
+// nothing; the runtime ownership check below stays armed either way.
 //
-// The capability model is deliberately simple at this stage: each
-// engine-adjacent class carries a ShardToken, the capability "the
-// worker shard that owns this object".  Data members that the sharded
-// engine will treat as shard-owned are marked VINI_GUARDED_BY(shard_),
-// and every method that touches them asserts the capability on entry
-// via shard_.assertHeld() — a no-op call that tells the analysis "the
-// owning shard is running this".  When real worker threads land, the
-// assertions become the places where a debug build verifies
-// std::this_thread against the owning shard, and cross-shard accessors
-// get explicit VINI_REQUIRES contracts instead.
+// The capability model: each engine-adjacent class carries a
+// ShardToken, the capability "the execution context that owns this
+// object".  Data members the sharded engine treats as shard-owned are
+// marked VINI_GUARDED_BY(shard_), and every method that touches them
+// asserts the capability on entry via shard_.assertHeld().  At runtime
+// the first assertHeld() claims the token for the calling context and
+// any later call from a different context aborts with a diagnostic —
+// this is the real owner check, on by default (the historical
+// -DVINI_SHARD_CHECK=ON build flag is now redundant but still
+// accepted).  A context is a shard lane when the sharded engine
+// installed one on this thread (setShardContext), else the thread
+// itself — so lane handoff between worker threads across barrier
+// rounds does not trip the check, while two live contexts touching one
+// object does.
 //
 // Members documented with the cross-shard marker comment and missing a
 // VINI_GUARDED_BY / VINI_PT_GUARDED_BY annotation are flagged V207 by
 // vini_srclint (see src/check/srclint.h).
 //
 // This header is dependency-free on purpose: sim/ (the lowest layer)
-// includes it, so it must not pull in anything.
+// includes it, so it must not pull in anything beyond the standard
+// library.
 #pragma once
 
-#ifdef VINI_SHARD_CHECK
 #include <atomic>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
-#endif
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability) && __has_attribute(guarded_by) && \
@@ -60,39 +64,116 @@
 
 namespace vini::core {
 
-/// The capability "the worker shard that owns this object is the one
-/// executing".  By default zero-size, zero-cost: assertHeld() is an
-/// empty inline call whose only effect is telling clang's analysis the
-/// capability is held for the remainder of the calling function.
-///
-/// -DVINI_SHARD_CHECK=ON arms the runtime check: the first assertHeld()
-/// claims the token for the calling thread, and any later call from a
-/// different thread aborts.  Single-threaded today that can only fire
-/// if an object actually crosses threads — exactly the bug class the
-/// sharded engine must keep out — so the sanitizer CI stages build
-/// with it on.
-#ifdef VINI_SHARD_CHECK
+namespace detail {
+/// Context ids are 40-bit so an epoch fits in the same token word.
+/// Lane contexts are small even numbers ((lane + 1) * 2, installed by
+/// the sharded engine); thread contexts are hash-derived odd numbers,
+/// so the two can never collide.
+inline constexpr unsigned kShardCtxBits = 40;
+inline constexpr std::uint64_t kShardCtxMask = (1ull << kShardCtxBits) - 1;
+
+/// Stable nonzero odd id for the calling thread (used when no shard
+/// lane context is installed).
+inline std::uint64_t threadContextId() {
+  thread_local std::uint64_t cached = 0;
+  if (cached == 0) {
+    const std::uint64_t h =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    cached = (h & kShardCtxMask) | 1;  // odd, never 0
+  }
+  return cached;
+}
+
+/// The shard-lane context installed on this thread by the sharded
+/// engine while it executes a lane, 0 when none.
+inline thread_local std::uint64_t t_shard_context = 0;
+
+/// Global round word: [epoch : 63 | parallel : 1].  The sharded engine
+/// bumps the epoch on every transition into and out of a parallel
+/// window, so a token claim is implicitly scoped to one phase: stale
+/// claims from an earlier phase are re-claimable, and only two live
+/// contexts colliding inside the *same* parallel window abort.  While
+/// no sharded engine runs the word stays 0 (serial, epoch 0) and every
+/// claim migrates freely — safe, because a serial phase is
+/// single-threaded by construction.
+inline std::atomic<std::uint64_t> g_shard_round{0};
+}  // namespace detail
+
+/// Install (nonzero) or clear (zero) the shard-lane context for the
+/// calling thread.  Only the sharded engine's worker loop calls this.
+inline void setShardContext(std::uint64_t context_id) {
+  detail::t_shard_context = context_id;
+}
+
+/// The ownership context assertHeld() claims under: the installed lane
+/// context if any, else the thread itself.
+inline std::uint64_t currentShardContextId() {
+  const std::uint64_t lane = detail::t_shard_context;
+  return lane != 0 ? lane : detail::threadContextId();
+}
+
+/// Enter a parallel window: bump the epoch and set the parallel bit.
+/// Every ShardToken claim made in earlier phases becomes stale (freely
+/// re-claimable) and claims made inside this window are enforced.
+inline void beginShardParallelPhase() {
+  const std::uint64_t r =
+      detail::g_shard_round.load(std::memory_order_relaxed);
+  detail::g_shard_round.store((((r >> 1) + 1) << 1) | 1,
+                              std::memory_order_release);
+}
+
+/// Leave a parallel window: bump the epoch and clear the parallel bit.
+inline void endShardParallelPhase() {
+  const std::uint64_t r =
+      detail::g_shard_round.load(std::memory_order_relaxed);
+  detail::g_shard_round.store(((r >> 1) + 1) << 1,
+                              std::memory_order_release);
+}
+
+/// The capability "the execution context that owns this object is the
+/// one executing".  assertHeld() claims the token on first touch and
+/// aborts if a *different* context touches it inside the same parallel
+/// window.  Outside parallel windows (and across window boundaries —
+/// the claim's epoch no longer matches) ownership migrates freely,
+/// which is safe because those phases are single-threaded by
+/// construction.  The check is armed by default; the historical
+/// -DVINI_SHARD_CHECK=ON build flag is now redundant but still
+/// accepted.
 struct VINI_CAPABILITY("shard") ShardToken {
   void assertHeld() const VINI_ASSERT_CAPABILITY(this) {
-    const std::thread::id self = std::this_thread::get_id();
-    std::thread::id expected{};  // unclaimed
-    if (owner_.compare_exchange_strong(expected, self,
-                                       std::memory_order_acq_rel)) {
-      return;  // first touch claims the shard
+    const std::uint64_t round =
+        detail::g_shard_round.load(std::memory_order_acquire);
+    const std::uint64_t want =
+        ((round >> 1) << detail::kShardCtxBits) |
+        (currentShardContextId() & detail::kShardCtxMask);
+    std::uint64_t cur = owner_.load(std::memory_order_acquire);
+    if (cur == want) return;
+    const bool parallel = (round & 1) != 0;
+    if (!parallel || (cur >> detail::kShardCtxBits) != (round >> 1)) {
+      // Serial phase, or a stale claim from an earlier phase: (re)claim.
+      // The CAS can only lose a race inside a parallel window, where a
+      // concurrent claim by another context is a genuine violation.
+      if (owner_.compare_exchange_strong(cur, want,
+                                         std::memory_order_acq_rel)) {
+        return;
+      }
+      if (cur == want) return;
     }
-    if (expected != self) std::abort();
+    std::fprintf(stderr,
+                 "vini: ShardToken ownership violation: object %p owned by "
+                 "context %llx, touched from context %llx (round %llx)\n",
+                 static_cast<const void*>(this),
+                 static_cast<unsigned long long>(cur & detail::kShardCtxMask),
+                 static_cast<unsigned long long>(currentShardContextId()),
+                 static_cast<unsigned long long>(round));
+    std::abort();
   }
-  /// Release the claim (a shard handing an object to another shard).
-  void release() const { owner_.store({}, std::memory_order_release); }
+  /// Drop the claim explicitly (rarely needed: epoch bumps already
+  /// invalidate claims at every phase transition).
+  void release() const { owner_.store(0, std::memory_order_release); }
 
  private:
-  mutable std::atomic<std::thread::id> owner_{};
+  mutable std::atomic<std::uint64_t> owner_{0};
 };
-#else
-struct VINI_CAPABILITY("shard") ShardToken {
-  void assertHeld() const VINI_ASSERT_CAPABILITY(this) {}
-  void release() const {}
-};
-#endif
 
 }  // namespace vini::core

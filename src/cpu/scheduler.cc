@@ -112,7 +112,9 @@ Scheduler::Scheduler(sim::EventQueue& queue, SchedulerConfig config)
   contention_ = std::max(0.0, config_.contention_mean);
   if (config_.contention_mean > 0.0 && config_.contention_resample > 0) {
     resample_timer_ = std::make_unique<sim::PeriodicTimer>(
-        queue_, config_.contention_resample, [this] { resampleContention(); });
+        queue_, config_.contention_resample, "cpu.scheduler",
+        queue_.internNodeTag(config_.node_name),
+        [this] { resampleContention(); });
     resample_timer_->start();
   }
 }

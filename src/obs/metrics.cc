@@ -18,23 +18,51 @@ const char* metricTypeName(MetricType type) {
 }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {}
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {}
+
+Histogram::Histogram(const Histogram& other) : bounds_(other.bounds_) {
+  // atomics are not copyable; snapshot element-wise (registry copies
+  // happen at registration/merge time, never concurrently with writes).
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].store(other.bucketValue(i), std::memory_order_relaxed);
+  }
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  bounds_ = other.bounds_;
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].store(other.bucketValue(i), std::memory_order_relaxed);
+  }
+  count_.store(other.count(), std::memory_order_relaxed);
+  sum_.store(other.sum(), std::memory_order_relaxed);
+  return *this;
+}
 
 void Histogram::observe(double x) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
-  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
-  ++count_;
-  sum_ += x;
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 double Histogram::quantile(double q) const {
-  if (count_ == 0 || bounds_.empty()) return 0.0;
+  const std::uint64_t total = count();
+  if (total == 0 || bounds_.empty()) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const double rank = q * static_cast<double>(count_);
+  const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
-    const std::uint64_t in_bucket = buckets_[i];
+    const std::uint64_t in_bucket = bucketValue(i);
     if (static_cast<double>(cumulative + in_bucket) >= rank) {
       const double lower = i == 0 ? 0.0 : bounds_[i - 1];
       const double upper = bounds_[i];
@@ -54,10 +82,14 @@ void Histogram::merge(const Histogram& other) {
         "obs: histogram merge with mismatched bucket bounds");
   }
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    buckets_[i] += other.buckets_[i];
+    buckets_[i].fetch_add(other.bucketValue(i), std::memory_order_relaxed);
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  const double delta = other.sum();
+  while (!sum_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 namespace {

@@ -28,6 +28,7 @@
 // (one per shard), which is the plan of record for the parallel engine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -58,16 +59,37 @@ struct MetricKey {
 };
 
 /// A monotonically increasing event count.
+///
+/// Storage is atomic (relaxed): the sharded engine's worker lanes bump
+/// cached handles into the one shared registry concurrently, and
+/// integer sums are interleaving-invariant — the value at any barrier
+/// or export point is a pure function of the event stream, so the
+/// determinism gates hold at every thread count.  Copying (for variant
+/// storage in the registry map) snapshots the value; registration
+/// happens at world construction, never concurrently with writes.
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
-  std::uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
   /// Fold another counter in (shard merge): counts add.
-  void merge(const Counter& other) { value_ += other.value_; }
+  void merge(const Counter& other) { inc(other.value()); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// An instantaneous level (queue depth, bytes outstanding).
@@ -77,30 +99,55 @@ class Counter {
 /// point) from "never touched" (no point) without comparing doubles.
 class Gauge {
  public:
+  Gauge() = default;
+  Gauge(const Gauge& other)
+      : value_(other.value_.load(std::memory_order_relaxed)),
+        version_(other.version_.load(std::memory_order_relaxed)) {}
+  Gauge& operator=(const Gauge& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    version_.store(other.version_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
+
   void set(double v) {
-    value_ = v;
-    ++version_;
+    value_.store(v, std::memory_order_relaxed);
+    version_.fetch_add(1, std::memory_order_relaxed);
   }
   void add(double delta) {
-    value_ += delta;
-    ++version_;
+    // CAS loop: atomic<double> has no fetch_add pre-C++20 on all
+    // toolchains.  Deterministic under the per-node single-writer
+    // discipline the sharded engine enforces (each gauge instance is
+    // bumped by exactly one lane per window).
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+    version_.fetch_add(1, std::memory_order_relaxed);
   }
-  double value() const { return value_; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
   /// Number of writes since construction.
-  std::uint64_t version() const { return version_; }
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
 
   /// Fold another gauge in (shard merge).  Levels add — each shard's
   /// gauge holds its local share of the quantity (its queue's depth,
   /// its nodes' bytes outstanding), so the merged level is the sum.
   /// Versions add so on-change samplers still see every shard's writes.
   void merge(const Gauge& other) {
-    value_ += other.value_;
-    version_ += other.version_;
+    double cur = value_.load(std::memory_order_relaxed);
+    const double delta = other.value();
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+    version_.fetch_add(other.version(), std::memory_order_relaxed);
   }
 
  private:
-  double value_ = 0.0;
-  std::uint64_t version_ = 0;
+  std::atomic<double> value_{0.0};
+  std::atomic<std::uint64_t> version_{0};
 };
 
 /// A fixed-bucket histogram: bucket i counts observations <= bound i,
@@ -108,11 +155,15 @@ class Gauge {
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
 
   void observe(double x);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Estimate the q-quantile (q in [0, 1]) by linear interpolation inside
   /// the bucket holding the target rank, Prometheus histogram_quantile
   /// style: rank r = q * count, the first bucket whose cumulative count
@@ -126,7 +177,9 @@ class Histogram {
   }
   std::size_t bucketCount() const { return buckets_.size(); }
   /// Count in bucket `i`; the final bucket is the overflow bucket.
-  std::uint64_t bucketValue(std::size_t i) const { return buckets_[i]; }
+  std::uint64_t bucketValue(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
   /// Upper bound of bucket `i` (undefined for the overflow bucket).
   double upperBound(std::size_t i) const { return bounds_[i]; }
   const std::vector<double>& bounds() const { return bounds_; }
@@ -137,10 +190,14 @@ class Histogram {
   void merge(const Histogram& other);
 
  private:
-  std::vector<double> bounds_;          // ascending
-  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow)
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
+  std::vector<double> bounds_;  // ascending
+  // bounds_.size() + 1 atomic buckets (last = overflow).  Bucket bumps
+  // and count are integer adds (interleaving-invariant); sum_ is a
+  // CAS-add double, deterministic under per-node single-writer
+  // instancing — see the Counter comment.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
 };
 
 class ScopedRegistry;

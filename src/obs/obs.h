@@ -49,6 +49,32 @@ struct Obs {
     metrics.partitionByNode(groups);
     tracer.partitionByNode(groups);
   }
+
+  /// Arm the obs plane for the sharded (multi-threaded) engine with
+  /// `lanes` worker lanes (one per interned node tag — pass
+  /// EventQueue::shardLaneCount()).  Metric primitives are already
+  /// atomic, so the shared registry needs no lanes; the ordered streams
+  /// (tracer, spans, timeline) buffer per lane and fold back
+  /// deterministically.  Call after the world's components registered
+  /// and interned, right after EventQueue::finalizeSharding().
+  void enableShardLanes(std::size_t lanes) {
+    tracer.enableShardLanes(lanes);
+    spans.enableShardLanes(lanes);
+    timeline.enableShardLanes(lanes);
+  }
+  bool shardLanesEnabled() const { return tracer.shardLaneCount() != 0; }
+
+  /// Replay every lane buffer into the shared tables in deterministic
+  /// (t, lane, issue) order.  Must run — main thread, workers quiescent
+  /// (i.e. not inside EventQueue::run) — before any export or read-side
+  /// query that should see lane-recorded data.  Idempotent; a no-op
+  /// when lanes were never enabled.
+  void foldShardLanes() {
+    if (!shardLanesEnabled()) return;
+    tracer.foldShardLanes();
+    spans.foldShardLanes();
+    timeline.foldShardLanes();
+  }
 };
 
 /// The installed context, or nullptr when instrumentation is off.

@@ -20,7 +20,35 @@ const char* spanOutcomeName(SpanOutcome outcome) {
 
 SpanTracker::SpanTracker(std::size_t capacity) : capacity_(capacity) {}
 
+int SpanTracker::laneIndex() const {
+  if (lane_states_.empty()) return -1;
+  const int lane = sim::EventQueue::currentShardLane();
+  if (lane < 0 || static_cast<std::size_t>(lane) + 1 >= lane_states_.size()) {
+    return -1;
+  }
+  return lane;
+}
+
 std::int16_t SpanTracker::intern(const std::string& name) {
+  if (const int lane = laneIndex(); lane >= 0) {
+    // Frozen read of the shared table: the main thread mutates it only
+    // between windows, never while lanes execute.
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<std::int16_t>(i);
+    }
+    LaneState& state = lane_states_[static_cast<std::size_t>(lane)];
+    for (std::size_t i = 0; i < state.pending_names.size(); ++i) {
+      if (state.pending_names[i] == name) {
+        return static_cast<std::int16_t>(-static_cast<int>(i) - 2);
+      }
+    }
+    if (state.pending_names.size() >= 0x7ffd) {
+      throw std::length_error("span lane pending name table full");
+    }
+    state.pending_names.push_back(name);
+    return static_cast<std::int16_t>(
+        -static_cast<int>(state.pending_names.size()) - 1);
+  }
   shard_.assertHeld();
   for (std::size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return static_cast<std::int16_t>(i);
@@ -28,6 +56,16 @@ std::int16_t SpanTracker::intern(const std::string& name) {
   if (names_.size() >= 0x7fff) throw std::length_error("span name table full");
   names_.push_back(name);
   return static_cast<std::int16_t>(names_.size() - 1);
+}
+
+std::uint64_t SpanTracker::newTraceId() {
+  if (const int lane = laneIndex(); lane >= 0) {
+    LaneState& state = lane_states_[static_cast<std::size_t>(lane)];
+    return (static_cast<std::uint64_t>(lane + 1) << kLaneTraceShift) |
+           ++state.trace_seq;
+  }
+  shard_.assertHeld();
+  return ++next_trace_id_;
 }
 
 const std::string& SpanTracker::name(std::int16_t id) const {
@@ -40,7 +78,30 @@ const std::string& SpanTracker::name(std::int16_t id) const {
 std::uint32_t SpanTracker::open(std::uint64_t trace_id, std::int16_t layer,
                                 sim::Time t, std::int16_t node,
                                 std::int16_t link, std::uint32_t bytes) {
+  if (const int lane = laneIndex(); lane >= 0) {
+    LaneState& state = lane_states_[static_cast<std::size_t>(lane)];
+    if (state.span_seq + 1 >= (1u << kLaneSpanShift)) {
+      throw std::length_error("span lane id space exhausted");
+    }
+    const std::uint32_t prov =
+        (static_cast<std::uint32_t>(lane + 1) << kLaneSpanShift) |
+        ++state.span_seq;
+    LaneOp op;
+    op.kind = LaneOp::Kind::kOpen;
+    op.t = t;
+    op.trace_id = trace_id;
+    op.span_id = prov;
+    op.layer = layer;
+    op.node = node;
+    op.link = link;
+    op.bytes = bytes;
+    state.ops.push_back(op);
+    return prov;
+  }
   shard_.assertHeld();
+  if (!lane_states_.empty() && next_span_id_ + 1 >= (1u << kLaneSpanShift)) {
+    throw std::length_error("span id space exhausted under shard lanes");
+  }
   SpanRecord rec;
   rec.trace_id = trace_id;
   rec.span_id = ++next_span_id_;
@@ -56,8 +117,36 @@ std::uint32_t SpanTracker::open(std::uint64_t trace_id, std::int16_t layer,
 
 void SpanTracker::close(std::uint32_t span_id, sim::Time t,
                         SpanOutcome outcome, std::int16_t reason) {
-  shard_.assertHeld();
   if (span_id == kNoSpan) return;
+  if (const int lane = laneIndex(); lane >= 0) {
+    LaneOp op;
+    op.kind = LaneOp::Kind::kClose;
+    op.t = t;
+    op.span_id = span_id;
+    op.reason = reason;
+    op.outcome = outcome;
+    lane_states_[static_cast<std::size_t>(lane)].ops.push_back(op);
+    return;
+  }
+  shard_.assertHeld();
+  if (!lane_states_.empty() && isProvisionalSpanId(span_id)) {
+    const auto pit = provisional_spans_.find(span_id);
+    if (pit == provisional_spans_.end()) {
+      // The matching open is still buffered in a lane: defer beside it
+      // (the main pseudo-lane folds with everything else).
+      LaneOp op;
+      op.kind = LaneOp::Kind::kClose;
+      op.t = t;
+      op.span_id = span_id;
+      op.reason = reason;
+      op.outcome = outcome;
+      mainLane().ops.push_back(op);
+      return;
+    }
+    const std::uint32_t real = pit->second;
+    provisional_spans_.erase(pit);
+    span_id = real;
+  }
   auto it = open_spans_.find(span_id);
   if (it == open_spans_.end()) return;
   SpanRecord rec = it->second;
@@ -68,8 +157,20 @@ void SpanTracker::close(std::uint32_t span_id, sim::Time t,
 void SpanTracker::openRoot(std::uint64_t trace_id, std::int16_t layer,
                            sim::Time t, std::int16_t node,
                            std::uint32_t bytes) {
+  if (trace_id == 0) return;
+  if (const int lane = laneIndex(); lane >= 0) {
+    LaneOp op;
+    op.kind = LaneOp::Kind::kOpenRoot;
+    op.t = t;
+    op.trace_id = trace_id;
+    op.layer = layer;
+    op.node = node;
+    op.bytes = bytes;
+    lane_states_[static_cast<std::size_t>(lane)].ops.push_back(op);
+    return;
+  }
   shard_.assertHeld();
-  if (trace_id == 0 || open_roots_.count(trace_id) != 0) return;
+  if (open_roots_.count(trace_id) != 0) return;
   SpanRecord rec;
   rec.trace_id = trace_id;
   rec.span_id = ++next_span_id_;
@@ -85,10 +186,32 @@ void SpanTracker::openRoot(std::uint64_t trace_id, std::int16_t layer,
 
 void SpanTracker::closeRoot(std::uint64_t trace_id, sim::Time t,
                             SpanOutcome outcome, std::int16_t reason) {
-  shard_.assertHeld();
   if (trace_id == 0) return;
+  if (const int lane = laneIndex(); lane >= 0) {
+    LaneOp op;
+    op.kind = LaneOp::Kind::kCloseRoot;
+    op.t = t;
+    op.trace_id = trace_id;
+    op.reason = reason;
+    op.outcome = outcome;
+    lane_states_[static_cast<std::size_t>(lane)].ops.push_back(op);
+    return;
+  }
+  shard_.assertHeld();
   auto it = open_roots_.find(trace_id);
   if (it == open_roots_.end()) {
+    if (!lane_states_.empty() && !folding_) {
+      // The root's open may still be buffered in a lane; the fold
+      // decides (a genuinely late close counts late there instead).
+      LaneOp op;
+      op.kind = LaneOp::Kind::kCloseRoot;
+      op.t = t;
+      op.trace_id = trace_id;
+      op.reason = reason;
+      op.outcome = outcome;
+      mainLane().ops.push_back(op);
+      return;
+    }
     ++late_root_closes_;
     return;
   }
@@ -114,6 +237,85 @@ void SpanTracker::finish(SpanRecord rec, sim::Time t, SpanOutcome outcome,
     return;
   }
   records_.push_back(rec);
+}
+
+void SpanTracker::enableShardLanes(std::size_t lanes) {
+  shard_.assertHeld();
+  if (!lane_states_.empty()) {
+    throw std::logic_error("obs: span shard lanes already enabled");
+  }
+  if (lanes == 0 || lanes > 254) {
+    throw std::logic_error("obs: span enableShardLanes() lane count invalid");
+  }
+  lane_states_.resize(lanes + 1);  // + the main pseudo-lane
+}
+
+std::int16_t SpanTracker::resolvePending(const LaneState& lane,
+                                         std::int16_t id) {
+  if (id >= -1) return id;
+  const std::size_t idx = static_cast<std::size_t>(-id) - 2;
+  if (idx >= lane.pending_names.size()) return -1;
+  return intern(lane.pending_names[idx]);
+}
+
+void SpanTracker::foldShardLanes() {
+  shard_.assertHeld();
+  // Deterministic replay order: (t, lane, issue order), with the main
+  // pseudo-lane last at equal timestamps.  Per-lane op streams are
+  // time-sorted already (lane clocks are monotonic), so a stable sort
+  // on (t, lane) reproduces the same stream at every thread count.
+  struct Key {
+    sim::Time t = 0;
+    std::size_t lane = 0;
+    std::size_t idx = 0;
+  };
+  std::vector<Key> keys;
+  for (std::size_t l = 0; l < lane_states_.size(); ++l) {
+    for (std::size_t i = 0; i < lane_states_[l].ops.size(); ++i) {
+      keys.push_back(Key{lane_states_[l].ops[i].t, l, i});
+    }
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.idx < b.idx;
+  });
+  folding_ = true;
+  for (const Key& k : keys) {
+    const LaneState& state = lane_states_[k.lane];
+    const LaneOp op = state.ops[k.idx];
+    const std::int16_t reason = resolvePending(state, op.reason);
+    switch (op.kind) {
+      case LaneOp::Kind::kOpen: {
+        const std::uint32_t real =
+            open(op.trace_id, resolvePending(state, op.layer), op.t,
+                 resolvePending(state, op.node), resolvePending(state, op.link),
+                 op.bytes);
+        provisional_spans_[op.span_id] = real;
+        break;
+      }
+      case LaneOp::Kind::kClose: {
+        std::uint32_t id = op.span_id;
+        if (isProvisionalSpanId(id)) {
+          const auto it = provisional_spans_.find(id);
+          if (it == provisional_spans_.end()) break;  // double close: no-op
+          id = it->second;
+          provisional_spans_.erase(it);
+        }
+        close(id, op.t, op.outcome, reason);
+        break;
+      }
+      case LaneOp::Kind::kOpenRoot:
+        openRoot(op.trace_id, resolvePending(state, op.layer), op.t,
+                 resolvePending(state, op.node), op.bytes);
+        break;
+      case LaneOp::Kind::kCloseRoot:
+        closeRoot(op.trace_id, op.t, op.outcome, reason);
+        break;
+    }
+  }
+  folding_ = false;
+  for (LaneState& state : lane_states_) state.ops.clear();
 }
 
 std::vector<SpanRecord> SpanTracker::traceSpans(std::uint64_t trace_id) const {
@@ -164,6 +366,13 @@ void SpanTracker::clear() {
   open_spans_.clear();
   open_roots_.clear();
   records_.clear();
+  provisional_spans_.clear();
+  for (LaneState& state : lane_states_) {
+    state.ops.clear();
+    state.pending_names.clear();
+    state.span_seq = 0;
+    state.trace_seq = 0;
+  }
 }
 
 void closeRootAtCurrent(std::uint64_t trace_id, const char* reason) {

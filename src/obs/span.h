@@ -71,8 +71,13 @@ class SpanTracker {
   explicit SpanTracker(std::size_t capacity = kDefaultCapacity);
 
   /// Intern a name (layer, node, link, or drop reason) in the shared
-  /// string table; re-interning returns the same id.
-  std::int16_t intern(const std::string& name);
+  /// string table; re-interning returns the same id.  From inside a
+  /// worker lane a miss returns a *provisional* (negative, <= -2) id
+  /// backed by the lane's pending table; foldShardLanes() re-interns it
+  /// into the shared table when the referencing op replays.  Hits on
+  /// already-interned names return the real id even from lanes (the
+  /// shared table is frozen while lanes execute).
+  std::int16_t intern(const std::string& name) VINI_NO_THREAD_SAFETY_ANALYSIS;
   const std::string& name(std::int16_t id) const;
   const std::vector<std::string>& names() const {
     shard_.assertHeld();
@@ -80,37 +85,61 @@ class SpanTracker {
   }
 
   /// Assign a fresh trace id (ingress).  Ids are dense and deterministic:
-  /// the Nth packet admitted to tracing in a run always gets id N.
-  std::uint64_t newTraceId() {
-    shard_.assertHeld();
-    return ++next_trace_id_;
-  }
+  /// the Nth packet admitted to tracing in a run always gets id N.  From
+  /// inside a worker lane the id carries the lane in its top bits
+  /// ([lane+1 : 16 | seq : 48]) — still deterministic (a packet's
+  /// ingress node fixes its lane), but banded rather than globally
+  /// dense, so barrier-free allocation cannot race.
+  std::uint64_t newTraceId() VINI_NO_THREAD_SAFETY_ANALYSIS;
 
   // -- Hop spans --------------------------------------------------------------
 
-  /// Open a span; the returned id is owed exactly one close().
+  /// Open a span; the returned id is owed exactly one close().  From a
+  /// worker lane the op is buffered and the returned id is provisional
+  /// (lane-banded, [lane+1 : 8 | seq : 24]); the close may use it from
+  /// the same lane (hop spans are lane-local: the component that opens
+  /// a span closes it, and components live on one node) or from the
+  /// main thread after the fold mapped it to the real id.
   std::uint32_t open(std::uint64_t trace_id, std::int16_t layer, sim::Time t,
                      std::int16_t node = -1, std::int16_t link = -1,
-                     std::uint32_t bytes = 0);
+                     std::uint32_t bytes = 0) VINI_NO_THREAD_SAFETY_ANALYSIS;
   void close(std::uint32_t span_id, sim::Time t,
              SpanOutcome outcome = SpanOutcome::kDelivered,
-             std::int16_t reason = -1);
+             std::int16_t reason = -1) VINI_NO_THREAD_SAFETY_ANALYSIS;
 
   // -- Root spans -------------------------------------------------------------
 
   /// Open the end-to-end span for `trace_id` (once per trace).
   void openRoot(std::uint64_t trace_id, std::int16_t layer, sim::Time t,
-                std::int16_t node = -1, std::uint32_t bytes = 0);
+                std::int16_t node = -1,
+                std::uint32_t bytes = 0) VINI_NO_THREAD_SAFETY_ANALYSIS;
   /// Close the root span by trace id — drop sites use this, since the
   /// packet carries its trace id but no span handle.  A second close for
   /// the same trace (e.g. a reply dropped after the probe already timed
   /// out of the trace) is a counted no-op, preserving exactly-once.
   void closeRoot(std::uint64_t trace_id, sim::Time t, SpanOutcome outcome,
-                 std::int16_t reason = -1);
+                 std::int16_t reason = -1) VINI_NO_THREAD_SAFETY_ANALYSIS;
   bool rootOpen(std::uint64_t trace_id) const {
     shard_.assertHeld();
     return open_roots_.count(trace_id) != 0;
   }
+
+  // -- Shard lanes (parallel engine) ------------------------------------------
+
+  /// Arm per-lane op buffering: span operations issued from worker
+  /// lanes (sim::EventQueue::currentShardLane() >= 0) are buffered as
+  /// intents and replayed against the shared tables by
+  /// foldShardLanes() in (t, lane, issue-order) order — a pure
+  /// function of the event stream, byte-identical at every thread
+  /// count.  Roots opened on one lane and closed on another reconcile
+  /// at the fold because conservative lookahead guarantees the open's
+  /// timestamp precedes the close's (a cross-lane hop costs at least
+  /// one lookahead window).  Call before the run, at most once.
+  void enableShardLanes(std::size_t lanes);
+  std::size_t shardLaneCount() const { return lane_states_.size() ? lane_states_.size() - 1 : 0; }
+  /// Replay every buffered lane op.  Main-thread only, lanes
+  /// quiescent; idempotent; must run before the read side.
+  void foldShardLanes();
 
   // -- Read side --------------------------------------------------------------
 
@@ -176,6 +205,45 @@ class SpanTracker {
   void finish(SpanRecord rec, sim::Time t, SpanOutcome outcome,
               std::int16_t reason);
 
+  /// One buffered span operation from a worker lane (or a deferred
+  /// main-thread op that referenced still-buffered lane state).
+  struct LaneOp {
+    enum class Kind : std::uint8_t { kOpen, kClose, kOpenRoot, kCloseRoot };
+    Kind kind = Kind::kOpen;
+    sim::Time t = 0;
+    std::uint64_t trace_id = 0;
+    std::uint32_t span_id = 0;  ///< provisional or real (kClose only)
+    std::int16_t layer = -1;
+    std::int16_t node = -1;
+    std::int16_t link = -1;
+    std::int16_t reason = -1;  ///< <= -2 means lane-pending intern index
+    SpanOutcome outcome = SpanOutcome::kDelivered;
+    std::uint32_t bytes = 0;
+  };
+  struct LaneState {
+    std::vector<LaneOp> ops;
+    /// Names interned from this lane that missed the shared table;
+    /// provisional id -(idx + 2) resolves here.  Persists across folds
+    /// (provisional ids may outlive the window that minted them).
+    std::vector<std::string> pending_names;
+    std::uint32_t span_seq = 0;   ///< provisional span id allocator
+    std::uint64_t trace_seq = 0;  ///< lane-banded trace id allocator
+  };
+
+  /// Lane of the calling thread clamped to the enabled lane set, or -1.
+  int laneIndex() const;
+  /// Main-thread pseudo-lane (index lane count): deferred ops that
+  /// reference not-yet-folded lane state.
+  LaneState& mainLane() { return lane_states_.back(); }
+  std::int16_t resolvePending(const LaneState& lane, std::int16_t id)
+      VINI_REQUIRES(shard_);
+
+  static constexpr unsigned kLaneSpanShift = 24;
+  static constexpr unsigned kLaneTraceShift = 48;
+  static bool isProvisionalSpanId(std::uint32_t id) {
+    return (id >> kLaneSpanShift) != 0;
+  }
+
   // Sharded plan: a packet's spans follow it across shards, so the open
   // tables are the one obs structure that must become a true cross-shard
   // handoff (span state travels in the mailbox with the packet).
@@ -198,6 +266,19 @@ class SpanTracker {
   std::unordered_map<std::uint64_t, SpanRecord> open_roots_
       VINI_GUARDED_BY(shard_);
   std::vector<SpanRecord> records_ VINI_GUARDED_BY(shard_);
+  /// Per-lane op buffers plus one trailing main-thread pseudo-lane
+  /// (enableShardLanes sizes this to lanes + 1; empty = lanes off).
+  /// Each lane entry is written only by the thread executing that lane
+  /// inside a window; the barrier separates that from the main-thread
+  /// fold, so access never races.
+  std::vector<LaneState> lane_states_;
+  /// provisional span id -> real id, filled when an open replays at the
+  /// fold, consumed by the matching close.
+  std::unordered_map<std::uint32_t, std::uint32_t> provisional_spans_
+      VINI_GUARDED_BY(shard_);
+  /// True while foldShardLanes() replays — miss paths count instead of
+  /// re-deferring onto the buffers being drained.
+  bool folding_ VINI_GUARDED_BY(shard_) = false;
 };
 
 /// Close the root span of `trace_id` on the *currently installed* obs

@@ -29,12 +29,19 @@ std::int16_t Timeline::intern(
 
 void Timeline::instant(const std::string& track, const std::string& label,
                        sim::Time t) {
-  shard_.assertHeld();
   duration(track, label, t, 0);
 }
 
 void Timeline::duration(const std::string& track, const std::string& label,
                         sim::Time t, sim::Duration dur) {
+  if (!lane_ops_.empty()) {
+    const int lane = sim::EventQueue::currentShardLane();
+    if (lane >= 0 && static_cast<std::size_t>(lane) < lane_ops_.size()) {
+      lane_ops_[static_cast<std::size_t>(lane)].push_back(
+          LaneOp{track, label, t, dur > 0 ? dur : 0});
+      return;
+    }
+  }
   shard_.assertHeld();
   if (events_.size() >= capacity_) {
     ++events_lost_;
@@ -46,6 +53,46 @@ void Timeline::duration(const std::string& track, const std::string& label,
   ev.t = t;
   ev.dur = dur > 0 ? dur : 0;
   events_.push_back(ev);
+}
+
+void Timeline::enableShardLanes(std::size_t lanes) {
+  shard_.assertHeld();
+  if (!lane_ops_.empty()) {
+    throw std::logic_error("obs: timeline shard lanes already enabled");
+  }
+  if (lanes == 0) {
+    throw std::logic_error("obs: timeline enableShardLanes() with no lanes");
+  }
+  lane_ops_.resize(lanes);
+}
+
+void Timeline::foldShardLanes() {
+  shard_.assertHeld();
+  // Deterministic (t, lane, issue-order) merge; per-lane streams are
+  // already time-sorted (lane clocks are monotonic).
+  struct Cursor {
+    std::size_t lane = 0;
+    std::size_t i = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (std::size_t l = 0; l < lane_ops_.size(); ++l) {
+    if (!lane_ops_[l].empty()) cursors.push_back(Cursor{l, 0});
+  }
+  for (;;) {
+    Cursor* best = nullptr;
+    for (Cursor& c : cursors) {
+      if (c.i == lane_ops_[c.lane].size()) continue;
+      if (best == nullptr ||
+          lane_ops_[c.lane][c.i].t < lane_ops_[best->lane][best->i].t) {
+        best = &c;
+      }
+    }
+    if (best == nullptr) break;
+    const LaneOp& op = lane_ops_[best->lane][best->i];
+    duration(op.track, op.label, op.t, op.dur);
+    ++best->i;
+  }
+  for (auto& buf : lane_ops_) buf.clear();
 }
 
 const std::string& Timeline::trackName(std::int16_t id) const {

@@ -52,9 +52,20 @@ class Timeline {
   /// Record an instant event ("spf_run" on track "ospf/1.0.0.1") at `t`.
   void instant(const std::string& track, const std::string& label,
                sim::Time t);
-  /// Record a duration event covering [t, t + dur).
+  /// Record a duration event covering [t, t + dur).  From inside a
+  /// worker lane the event is buffered (strings and all) and replayed
+  /// by foldShardLanes() in deterministic (t, lane, issue) order.
   void duration(const std::string& track, const std::string& label,
                 sim::Time t, sim::Duration dur);
+
+  /// Arm per-lane event buffers for the sharded engine (see
+  /// PacketTracer::enableShardLanes — same contract).
+  void enableShardLanes(std::size_t lanes);
+  std::size_t shardLaneCount() const { return lane_ops_.size(); }
+  /// Replay lane buffers through the shared tables (interning in replay
+  /// order, so ids and bytes are thread-count invariant).  Main-thread
+  /// only, lanes quiescent; idempotent.
+  void foldShardLanes();
 
   const std::vector<TimelineEvent>& events() const {
     shard_.assertHeld();
@@ -98,6 +109,17 @@ class Timeline {
       VINI_GUARDED_BY(shard_);
   // cross-shard: merged across shard-local timelines at export time.
   std::vector<TimelineEvent> events_ VINI_GUARDED_BY(shard_);
+  /// One buffered lane event (strings kept: interning happens at the
+  /// fold so table ids stay independent of worker interleaving).
+  struct LaneOp {
+    std::string track;
+    std::string label;
+    sim::Time t = 0;
+    sim::Duration dur = 0;
+  };
+  /// Per-lane buffers; lane-owned during windows, drained by the main
+  /// thread at the fold (barrier-separated, never racing).
+  std::vector<std::vector<LaneOp>> lane_ops_;
 };
 
 /// Snapshots registry metrics on virtual-time period boundaries.

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "sim/event_queue.h"
+
 namespace vini::obs {
 
 const char* traceEventName(TraceEvent ev) {
@@ -114,6 +116,13 @@ const std::string& PacketTracer::linkName(std::int16_t id) const {
 }
 
 void PacketTracer::record(const TraceRecord& rec) {
+  if (!lane_records_.empty()) {
+    const int lane = sim::EventQueue::currentShardLane();
+    if (lane >= 0 && static_cast<std::size_t>(lane) < lane_records_.size()) {
+      lane_records_[static_cast<std::size_t>(lane)].push_back(rec);
+      return;
+    }
+  }
   shard_.assertHeld();
   Ring& ring = rings_[ringOf(rec.node)];
   const std::size_t pos = static_cast<std::size_t>(ring.total % capacity_);
@@ -127,6 +136,48 @@ void PacketTracer::record(const TraceRecord& rec) {
   ++ring.total;
   ++total_;
   ++kind_totals_[static_cast<std::size_t>(rec.event)];
+}
+
+void PacketTracer::enableShardLanes(std::size_t lanes) {
+  shard_.assertHeld();
+  if (!lane_records_.empty()) {
+    throw std::logic_error("obs: tracer shard lanes already enabled");
+  }
+  if (lanes == 0) {
+    throw std::logic_error("obs: tracer enableShardLanes() with no lanes");
+  }
+  lane_records_.resize(lanes);
+}
+
+void PacketTracer::foldShardLanes() {
+  shard_.assertHeld();
+  // Deterministic merge order: (t, lane, within-lane emit order).  Each
+  // lane's buffer is already time-sorted (a lane's local clock is
+  // monotonic and windows only move forward), so a stable sort on t
+  // with the lane index as tie-break reproduces the same byte stream at
+  // every thread count.
+  struct Cursor {
+    std::size_t lane = 0;
+    std::size_t i = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (std::size_t l = 0; l < lane_records_.size(); ++l) {
+    if (!lane_records_[l].empty()) cursors.push_back(Cursor{l, 0});
+  }
+  for (;;) {
+    Cursor* best = nullptr;
+    for (Cursor& c : cursors) {
+      if (c.i == lane_records_[c.lane].size()) continue;
+      if (best == nullptr ||
+          lane_records_[c.lane][c.i].t < lane_records_[best->lane][best->i].t) {
+        best = &c;
+      }
+    }
+    if (best == nullptr) break;
+    record(lane_records_[best->lane][best->i]);
+    ++best->i;
+  }
+  for (auto& buf : lane_records_) buf.clear();
 }
 
 std::size_t PacketTracer::size() const {

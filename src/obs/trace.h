@@ -84,6 +84,24 @@ class PacketTracer {
 
   void record(const TraceRecord& rec);
 
+  // -- Shard lanes (parallel engine) ----------------------------------------
+
+  /// Arm per-lane record buffers for the sharded engine: a record()
+  /// issued from inside a worker lane (sim::EventQueue::currentShardLane()
+  /// >= 0) is appended to its lane's private buffer instead of the
+  /// shared rings, keeping the hot path lock-free and race-free.
+  /// foldShardLanes() later replays the buffers through the normal
+  /// record() path in (t, lane, emit-order) order — a pure function of
+  /// the event stream, so exports stay byte-identical across thread
+  /// counts.  Call after construction-time interning, before the run.
+  void enableShardLanes(std::size_t lanes);
+  std::size_t shardLaneCount() const { return lane_records_.size(); }
+  /// Merge every lane buffer into the shared rings (stamps, ring
+  /// routing, and kind totals assigned exactly as a serial recorder
+  /// would).  Main-thread only, lanes quiescent; idempotent.  Must run
+  /// before any read-side call that should see lane-recorded traffic.
+  void foldShardLanes();
+
   // -- Read side ------------------------------------------------------------
 
   /// Total events recorded since construction (keeps counting after the
@@ -166,6 +184,12 @@ class PacketTracer {
   std::vector<std::string> link_names_ VINI_GUARDED_BY(shard_);
   /// Partition of each interned node id (parallel to node_names_).
   std::vector<std::size_t> node_parts_ VINI_GUARDED_BY(shard_);
+  /// Per-lane record buffers (enableShardLanes).  Each inner vector is
+  /// written only by the thread executing that lane inside a window and
+  /// drained by the main thread at foldShardLanes(); rounds are
+  /// separated by the pool barrier, so access never races.  The outer
+  /// vector is sized once, before the run.
+  std::vector<std::vector<TraceRecord>> lane_records_;
   /// Explicit node-name → partition assignments from partitionByNode().
   // cross-shard: written once at partition time, read-only afterwards.
   std::map<std::string, std::size_t> node_group_ VINI_GUARDED_BY(shard_);

@@ -61,6 +61,7 @@ Channel::Channel(sim::EventQueue& queue, sim::Random& random,
       tx_node_(tx_node),
       rx_node_(rx_node),
       label_(std::move(label)) {
+  if (queue_.shardThreads() > 0) lane_random_.emplace(random_.fork());
   if (label_.empty()) return;
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     obs::MetricsRegistry& m = ctx->metrics;
@@ -176,7 +177,7 @@ void Channel::startNextTransmission() {
     spanClose(serialize_span);
     // The wire is free again; start the next frame.
     const bool lost = !link_up_ ||
-                      (config_.loss_rate > 0.0 && random_.chance(config_.loss_rate));
+                      (config_.loss_rate > 0.0 && rng().chance(config_.loss_rate));
     if (lost) {
       if (!link_up_) {
         ++stats_.down_drops;

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -86,7 +87,14 @@ class Channel {
   void spanRootDrop(const packet::Packet& p, const char* reason);
 
   sim::EventQueue& queue_;
+  /// The network RNG, or (sharded queue) a per-channel fork of it: loss
+  /// draws happen inside worker lanes, and a shared engine would make
+  /// the draw sequence depend on lane interleaving.  Forking at
+  /// construction (single-threaded, deterministic order) pins each
+  /// channel's stream to the topology, not the thread count.
   sim::Random& random_;
+  std::optional<sim::Random> lane_random_;
+  sim::Random& rng() { return lane_random_ ? *lane_random_ : random_; }
   LinkConfig config_;
   const bool& link_up_;
   DeliverFn deliver_;

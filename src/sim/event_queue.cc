@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <string>
 #include <utility>
 
 #include "check/audit.h"
+#include "sim/shard.h"
 
 namespace vini::sim {
 
@@ -16,9 +18,13 @@ constexpr std::size_t kCalMinBuckets = 16;
 
 }  // namespace
 
+thread_local EventQueue::ShardWorkerCtx EventQueue::worker_ctx_;
+
 const char* queueImplName(QueueImpl impl) {
   return impl == QueueImpl::kHeap ? "heap" : "calendar";
 }
+
+EventQueue::EventQueue() : EventQueue(QueueImpl::kHeap) {}
 
 EventQueue::EventQueue(QueueImpl impl) : impl_(impl) {
   shard_.assertHeld();
@@ -28,7 +34,14 @@ EventQueue::EventQueue(QueueImpl impl) : impl_(impl) {
   }
 }
 
+EventQueue::EventQueue(QueueImpl impl, int threads) : EventQueue(impl) {
+  shard_threads_ = threads > 0 ? threads : 0;
+}
+
 EventQueue::~EventQueue() {
+  // Join the worker pool first: no other thread may touch the queue
+  // while it tears down.
+  shard_rt_.reset();
   // Drain stored callbacks while every member is still alive: dropping
   // a callback can destroy the last owner of a component (e.g. a TCP
   // connection kept alive only by its pending retransmit event), and
@@ -37,6 +50,18 @@ EventQueue::~EventQueue() {
   // touching the slab or the priority structure.
   tearing_down_ = true;
   for (Slot& slot : slots_) slot.cb.reset();
+}
+
+void EventQueue::finalizeSharding(Duration lookahead) {
+  shard_.assertHeld();
+  if (shard_threads_ <= 0 || shard_rt_ != nullptr) return;
+  tags_frozen_ = true;
+  shard_rt_ = std::make_unique<ShardRuntime>(*this, shard_threads_);
+  shard_rt_->finalize(lookahead);
+}
+
+std::size_t EventQueue::shardLaneCount() const {
+  return shard_rt_ ? shard_rt_->laneCount() : 0;
 }
 
 std::uint32_t EventQueue::allocSlot() {
@@ -59,6 +84,10 @@ void EventQueue::releaseSlot(std::uint32_t slot) {
   slots_[slot].cb.reset();
   slots_[slot].tag = nullptr;
   slots_[slot].id = 0;
+  if (slots_[slot].alias != 0) {
+    if (shard_rt_) shard_rt_->dropAlias(slots_[slot].alias);
+    slots_[slot].alias = 0;
+  }
   slots_[slot].sched_at = 0;
   slots_[slot].node = kNoNode;
   slots_[slot].sched_from = kNoNode;
@@ -70,6 +99,15 @@ NodeTag EventQueue::internNodeTag(const std::string& name) {
   for (std::size_t i = 0; i < node_tag_names_.size(); ++i) {
     if (node_tag_names_[i] == name) return static_cast<NodeTag>(i);
   }
+  // V106: the lane set of a sharded run is frozen at finalizeSharding();
+  // a *new* node name appearing afterwards would need a lane that does
+  // not exist (its events would silently fall to the serial path).
+  VINI_AUDIT_CHECK(
+      !tags_frozen_,
+      (check::Diagnostic{check::Severity::kError, "V106", "event queue",
+                         "node tag '" + name +
+                             "' interned after finalizeSharding froze the "
+                             "lane set"}));
   // Linear scan: interning happens once per node at construction, and
   // topologies hold tens of nodes, not thousands.
   VINI_AUDIT_CHECK(
@@ -96,8 +134,19 @@ std::uint64_t EventQueue::nodeExecutedCount(NodeTag tag) const {
 
 EventId EventQueue::schedule(Time when, const char* tag, NodeTag node,
                              Callback cb) {
+  if (worker_ctx_.queue == this) {
+    return workerSchedule(when, tag, node, std::move(cb));
+  }
   shard_.assertHeld();
   if (when < now_) when = now_;
+  // Sharded runs reserve the id's top byte for worker lane bands; the
+  // classic encoding stays clear of it while the sequence fits 31 bits.
+  if (shard_rt_) {
+    VINI_AUDIT_CHECK(
+        next_seq_ < (1ull << 31),
+        (check::Diagnostic{check::Severity::kError, "V107", "event queue",
+                           "sharded-mode event sequence space exhausted"}));
+  }
   // Cross-node edge accounting: an attributed handler scheduling onto a
   // different attributed node is exactly the event a sharded engine
   // would have to hand off through a mailbox; its delay bounds the
@@ -137,13 +186,23 @@ EventId EventQueue::schedule(Time when, const char* tag, NodeTag node,
 }
 
 bool EventQueue::cancel(EventId id) {
+  if (worker_ctx_.queue == this) return workerCancel(id);
+  return cancelMain(id, /*audit=*/true);
+}
+
+bool EventQueue::cancelMain(EventId id, bool audit) {
   shard_.assertHeld();
   if (tearing_down_) return false;
+  // A worker-issued id (lane band in the top byte) resolves through the
+  // shard runtime's translation tables.
+  if (shard_rt_ != nullptr && ShardRuntime::isShardId(id)) {
+    return shard_rt_->mainCancel(id);
+  }
   // Only events still awaiting execution can be cancelled: the handle
   // must still occupy its slab slot.
   const std::uint32_t slot = slotOf(id);
   if (id == 0 || slot >= slots_.size() || slots_[slot].id != id) {
-    if (id != 0) {
+    if (id != 0 && audit) {
       if (seqOf(id) == 0 || seqOf(id) >= next_seq_) {
         // V101 (error): this queue never issued `id` — the handle is
         // corrupt, crossed queues, or was fabricated.  Unlike
@@ -422,6 +481,10 @@ bool EventQueue::step() {
 
 void EventQueue::runUntil(Time deadline) {
   shard_.assertHeld();
+  if (shard_rt_ != nullptr) {
+    shard_rt_->runUntil(deadline);
+    return;
+  }
   while (const Key* top = peekLive()) {
     if (top->when > deadline) break;
     step();
@@ -434,6 +497,17 @@ void EventQueue::runUntil(Time deadline) {
 
 void EventQueue::run() {
   shard_.assertHeld();
+  if (shard_rt_ != nullptr) {
+    // Drain in lookahead-sized chunks so every window still spans the
+    // full conservative horizon.
+    const Duration w = shard_rt_->lookahead();
+    constexpr Time kMax = std::numeric_limits<Time>::max();
+    while (const Key* top = peekLive()) {
+      const Time t = top->when;
+      shard_rt_->runUntil(t > kMax - w ? kMax : t + w);
+    }
+    return;
+  }
   while (step()) {
   }
 }
@@ -441,7 +515,7 @@ void EventQueue::run() {
 void PeriodicTimer::start() {
   if (running_) return;
   running_ = true;
-  pending_ = queue_.scheduleAfter(period_, [this] { fire(); });
+  pending_ = queue_.scheduleAfter(period_, tag_, node_, [this] { fire(); });
 }
 
 void PeriodicTimer::stop() {
@@ -457,13 +531,13 @@ void PeriodicTimer::fire() {
   pending_ = 0;
   if (!running_) return;
   // Re-arm before invoking so the callback may stop() or setPeriod().
-  pending_ = queue_.scheduleAfter(period_, [this] { fire(); });
+  pending_ = queue_.scheduleAfter(period_, tag_, node_, [this] { fire(); });
   fn_();
 }
 
 void OneShotTimer::armAfter(Duration delay) {
   cancel();
-  pending_ = queue_.scheduleAfter(delay, [this] {
+  pending_ = queue_.scheduleAfter(delay, tag_, node_, [this] {
     pending_ = 0;
     fn_();
   });

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,8 @@
 #include "sim/time.h"
 
 namespace vini::sim {
+
+class ShardRuntime;
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
 /// Handles are unique for the lifetime of their queue and monotonically
@@ -80,8 +83,14 @@ class EventQueue {
   /// covers that with headroom (a stray std::function also fits).
   using Callback = InlineCallback<64>;
 
-  EventQueue() = default;
+  EventQueue();  // out of line: members need ShardRuntime complete
   explicit EventQueue(QueueImpl impl);
+  /// Sharded construction: `threads` worker contexts execute the run
+  /// once finalizeSharding() freezes the lane set.  threads == 0 is the
+  /// classic single-threaded engine (byte-identical to an EventQueue
+  /// built without the parameter); threads == 1 runs the sharded
+  /// schedule serially — the determinism gate's reference run.
+  EventQueue(QueueImpl impl, int threads);
   ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -92,7 +101,10 @@ class EventQueue {
   }
 
   /// Current simulation time.  Advances only inside run()/runUntil()/step().
+  /// From inside a sharded worker lane this is the lane's local time
+  /// (the timestamp of the event currently executing).
   Time now() const {
+    if (worker_ctx_.queue == this) return workerNow();
     shard_.assertHeld();
     return now_;
   }
@@ -118,23 +130,22 @@ class EventQueue {
   /// off it, and a run is byte-identical with or without it.
   EventId schedule(Time when, const char* tag, NodeTag node, Callback cb);
 
-  /// Schedule `cb` to run `delay` after the current time.
+  /// Schedule `cb` to run `delay` after the current time.  Routed
+  /// through now()/schedule() so the overloads work identically from
+  /// the main thread and from sharded worker lanes.
   EventId scheduleAfter(Duration delay, Callback cb) {
-    shard_.assertHeld();
-    return schedule(now_ + (delay > 0 ? delay : 0), nullptr, kNoNode,
+    return schedule(now() + (delay > 0 ? delay : 0), nullptr, kNoNode,
                     std::move(cb));
   }
 
   EventId scheduleAfter(Duration delay, const char* tag, Callback cb) {
-    shard_.assertHeld();
-    return schedule(now_ + (delay > 0 ? delay : 0), tag, kNoNode,
+    return schedule(now() + (delay > 0 ? delay : 0), tag, kNoNode,
                     std::move(cb));
   }
 
   EventId scheduleAfter(Duration delay, const char* tag, NodeTag node,
                         Callback cb) {
-    shard_.assertHeld();
-    return schedule(now_ + (delay > 0 ? delay : 0), tag, node, std::move(cb));
+    return schedule(now() + (delay > 0 ? delay : 0), tag, node, std::move(cb));
   }
 
   /// Cancel a previously scheduled event.  Returns true if the event was
@@ -153,6 +164,26 @@ class EventQueue {
 
   /// Run until the queue drains completely.
   void run();
+
+  // -- Sharded execution ------------------------------------------------------
+
+  /// Freeze the lane set (one lane per interned node tag) and the
+  /// conservative lookahead window, and spawn the worker pool.  Call
+  /// after world construction (every component has interned its node
+  /// tag) and before the first run; no-op when the queue was built with
+  /// threads == 0.  `lookahead` is the minimum cross-node propagation
+  /// delay (PhysNetwork::minPropagation()); values < 1 ns are clamped.
+  void finalizeSharding(Duration lookahead);
+
+  /// True when this queue executes rounds through the shard runtime.
+  bool sharded() const { return shard_rt_ != nullptr; }
+  int shardThreads() const { return shard_threads_; }
+  std::size_t shardLaneCount() const;
+
+  /// Lane the calling thread is currently executing (any queue), or -1
+  /// outside sharded lane execution.  The observability layer routes
+  /// per-lane recording off this.
+  static int currentShardLane() { return worker_ctx_.lane_index; }
 
   /// Number of events still pending (cancelled events are excluded).
   std::size_t pendingCount() const {
@@ -281,6 +312,8 @@ class EventQueue {
   }
 
  private:
+  friend class ShardRuntime;
+
   /// EventId layout: [ sequence : 40 | slab slot : 24 ].  The sequence
   /// is monotone per queue (ids order by scheduling time, giving the
   /// FIFO tie-break), and the slot gives cancel()/step() an O(1),
@@ -315,6 +348,10 @@ class EventQueue {
     Callback cb;
     const char* tag = nullptr;
     EventId id = 0;
+    /// Sharded mode: the worker-issued staged id this event was
+    /// scheduled under (0 otherwise) — releasing the slot erases the
+    /// staged-id mapping so the translation table stays bounded.
+    EventId alias = 0;
     Time sched_at = 0;
     NodeTag node = kNoNode;
     NodeTag sched_from = kNoNode;
@@ -407,6 +444,36 @@ class EventQueue {
   /// Node attribution of the handler currently executing (kNoNode
   /// outside step() or under an unattributed handler).
   NodeTag exec_node_ VINI_GUARDED_BY(shard_) = kNoNode;
+
+  // -- Sharded dispatch -------------------------------------------------------
+  //
+  // Worker lanes reach the queue through the same public API as the
+  // rest of the simulation; a thread-local context installed around
+  // lane execution reroutes now()/schedule()/cancel() to the lane's
+  // local state (defined in shard.cc, where the lane types are
+  // complete).  The context is per (thread, queue): a worker executing
+  // for queue A leaves any other queue's behavior untouched.
+  struct ShardWorkerCtx {
+    const EventQueue* queue = nullptr;
+    void* lane = nullptr;  ///< ShardRuntime::Lane*
+    int lane_index = -1;
+  };
+  static thread_local ShardWorkerCtx worker_ctx_;  // defined in event_queue.cc
+
+  Time workerNow() const;
+  EventId workerSchedule(Time when, const char* tag, NodeTag node,
+                         Callback cb);
+  bool workerCancel(EventId id);
+  /// cancel() body for the main thread (the classic path plus
+  /// translation of worker-issued sharded ids).
+  bool cancelMain(EventId id, bool audit);
+
+  /// Worker threads requested at construction (0 = classic engine).
+  int shard_threads_ = 0;
+  /// Set by finalizeSharding(): interning new node tags afterwards is a
+  /// V106 audit error (the lane set must stay frozen).
+  bool tags_frozen_ VINI_GUARDED_BY(shard_) = false;
+  std::unique_ptr<ShardRuntime> shard_rt_;
 };
 
 /// A repeating timer built on EventQueue; cancels cleanly on destruction.
@@ -418,6 +485,13 @@ class PeriodicTimer {
  public:
   PeriodicTimer(EventQueue& queue, Duration period, std::function<void()> fn)
       : queue_(queue), period_(period), fn_(std::move(fn)) {}
+  /// Node-attributed variant: firings carry the profiler tag and the
+  /// owning node, so a sharded engine keeps them on the node's lane
+  /// instead of forcing a serial round.
+  PeriodicTimer(EventQueue& queue, Duration period, const char* tag,
+                NodeTag node, std::function<void()> fn)
+      : queue_(queue), period_(period), fn_(std::move(fn)), tag_(tag),
+        node_(node) {}
   ~PeriodicTimer() { stop(); }
 
   PeriodicTimer(const PeriodicTimer&) = delete;
@@ -438,6 +512,8 @@ class PeriodicTimer {
   EventQueue& queue_;
   Duration period_;
   std::function<void()> fn_;
+  const char* tag_ = nullptr;
+  NodeTag node_ = kNoNode;
   EventId pending_ = 0;
   bool running_ = false;
 };
@@ -448,6 +524,10 @@ class OneShotTimer {
  public:
   OneShotTimer(EventQueue& queue, std::function<void()> fn)
       : queue_(queue), fn_(std::move(fn)) {}
+  /// Node-attributed variant (see PeriodicTimer).
+  OneShotTimer(EventQueue& queue, const char* tag, NodeTag node,
+               std::function<void()> fn)
+      : queue_(queue), fn_(std::move(fn)), tag_(tag), node_(node) {}
   ~OneShotTimer() { cancel(); }
 
   OneShotTimer(const OneShotTimer&) = delete;
@@ -462,6 +542,8 @@ class OneShotTimer {
  private:
   EventQueue& queue_;
   std::function<void()> fn_;
+  const char* tag_ = nullptr;
+  NodeTag node_ = kNoNode;
   EventId pending_ = 0;
 };
 

@@ -113,6 +113,10 @@ HostStack::HostStack(phys::PhysNode& node, phys::PhysNetwork& net,
   // Unconditional (not obs-gated): node attribution is engine-level
   // bookkeeping for the shard-readiness telemetry, and passive either way.
   node_tag_ = queue().internNodeTag(node_.name());
+  // Sharded queue: fork a per-stack RNG stream at construction (single-
+  // threaded, deterministic order) so lane-side draws are independent of
+  // how many worker threads the engine runs.
+  if (queue().shardThreads() > 0) lane_random_.emplace(net_.random().fork());
   if (obs::Obs* ctx = VINI_OBS_CTX()) {
     obs::MetricsRegistry& m = ctx->metrics;
     const std::string& n = node_.name();
@@ -123,6 +127,7 @@ HostStack::HostStack(phys::PhysNode& node, phys::PhysNetwork& net,
     m_dropped_ttl_ = &m.counter("tcpip.host", n, "dropped_ttl");
     m_dropped_no_listener_ = &m.counter("tcpip.host", n, "dropped_no_listener");
     m_socket_buffer_drops_ = &m.counter("tcpip.host", n, "socket_buffer_drops");
+    m_nic_queue_drops_ = &m.counter("tcpip.host", n, "nic_queue_drops");
     trace_node_ = ctx->tracer.internNode(n);
     span_node_ = ctx->spans.intern(n);
     span_nic_rx_ = ctx->spans.intern("host.nic_rx");
@@ -249,7 +254,7 @@ void HostStack::unregisterTcpListener(std::uint16_t port) {
 
 sim::Duration HostStack::sampleNicLatency(sim::Duration mean) {
   if (mean <= 0) return 0;
-  auto& rnd = net_.random();
+  auto& rnd = rng();
   const double m = static_cast<double>(mean);
   const double sample = rnd.normal(m, m * config_.nic_jitter);
   return static_cast<sim::Duration>(std::clamp(sample, 0.2 * m, 3.0 * m));
@@ -271,9 +276,9 @@ void HostStack::onWirePacket(packet::Packet p) {
     deliver_at = now + sampleNicLatency(config_.rx_latency_mean);
   }
   if (config_.rx_spike_probability > 0 &&
-      net_.random().chance(config_.rx_spike_probability)) {
-    deliver_at += net_.random().uniformDuration(config_.rx_spike_min,
-                                                config_.rx_spike_max);
+      rng().chance(config_.rx_spike_probability)) {
+    deliver_at += rng().uniformDuration(config_.rx_spike_min,
+                                        config_.rx_spike_max);
   }
   last_rx_delivery_ = deliver_at;
   VINI_OBS_INC(m_rx_packets_);
@@ -492,35 +497,60 @@ void HostStack::transmitUnderlay(packet::Packet p) {
     ++traffic.tx_packets;
     traffic.tx_bytes += p.ipPacketBytes();
   }
+  NicState& nic = nic_state_[link->id()];
+  // Bounded transmit ring: a saturated sender used to pre-schedule one
+  // far-future wire event per packet (~414k pending events at peak on a
+  // saturated mesh); now overflow is a counted drop, like a real driver.
+  if (nic.queue.size() >= config_.nic_queue_packets) {
+    ++stats_.dropped_nic_queue;
+    VINI_OBS_INC(m_nic_queue_drops_);
+    spanRootDrop(p, "nic_queue_full");
+    return;
+  }
   // Serialize through the access NIC (this is what limits a PlanetLab
   // node to ~100 Mb/s regardless of the backbone capacity), then the
   // transmit-path latency, then onto the wire.  Integer ceiling for the
   // same reason as Channel: the float product truncated up to 1 ns per
-  // frame, letting back-to-back frames creep together.
+  // frame, letting back-to-back frames creep together.  The wire time is
+  // still decided here, at enqueue — byte-identical to the old per-packet
+  // pre-scheduling — but only the ring head holds a pending event;
+  // nicComplete() chains the rest.
   const sim::Duration serialization =
       sim::serializationDelay(p.wireBytes(), config_.nic_bps);
   const sim::Time now = queue().now();
-  sim::Time& busy = nic_busy_until_[link->id()];
-  const bool back_to_back = busy > now;
-  const sim::Time start = std::max(now, busy);
-  busy = start + serialization;
+  const bool back_to_back = nic.busy_until > now;
+  const sim::Time start = std::max(now, nic.busy_until);
+  nic.busy_until = start + serialization;
   // Jitter applies when the NIC ramps up from idle; a back-to-back burst
   // stays perfectly paced at the serialization rate (re-sampling jitter
   // per packet would ratchet the spacing up and silently tax throughput).
   const sim::Duration latency = back_to_back
                                     ? config_.tx_latency_mean
                                     : sampleNicLatency(config_.tx_latency_mean);
-  sim::Time wire_at = busy + latency;
-  sim::Time& last_wire = last_tx_wire_[link->id()];
-  if (wire_at < last_wire) wire_at = last_wire;  // keep FIFO
-  last_wire = wire_at;
+  sim::Time wire_at = nic.busy_until + latency;
+  if (wire_at < nic.last_wire) wire_at = nic.last_wire;  // keep FIFO
+  nic.last_wire = wire_at;
   const std::uint32_t tx_span = spanOpen(p, span_nic_tx_);
-  queue().schedule(wire_at, "tcpip.host", node_tag_,
-                   [this, link, tx_span,
-                    p = std::make_shared<packet::Packet>(std::move(p))]() mutable {
-    spanClose(tx_span);
-    link->channelFrom(node_.id()).transmit(std::move(*p));
-  });
+  const bool was_idle = nic.queue.empty();
+  nic.queue.push_back(NicTx{std::make_shared<packet::Packet>(std::move(p)),
+                            link, tx_span, wire_at});
+  if (was_idle) {
+    queue().schedule(wire_at, "tcpip.host", node_tag_,
+                     [this, id = link->id()]() { nicComplete(id); });
+  }
+}
+
+void HostStack::nicComplete(int link_id) {
+  NicState& nic = nic_state_[link_id];
+  if (nic.queue.empty()) return;  // defensive: ring was torn down
+  NicTx tx = std::move(nic.queue.front());
+  nic.queue.pop_front();
+  spanClose(tx.span);
+  tx.link->channelFrom(node_.id()).transmit(std::move(*tx.packet));
+  if (!nic.queue.empty()) {
+    queue().schedule(nic.queue.front().wire_at, "tcpip.host", node_tag_,
+                     [this, link_id]() { nicComplete(link_id); });
+  }
 }
 
 void HostStack::resetKernelAccounting() {

@@ -47,6 +47,13 @@ struct HostConfig {
   /// reaching the wire (a PlanetLab node's ~100 Mb/s access port; set to
   /// the link speed or higher to make the wire the bottleneck).
   double nic_bps = 1e9;
+  /// Transmit ring capacity per outgoing link, in packets.  The NIC
+  /// model is backpressured: packets queue here and a single completion
+  /// event per link chains through the ring, instead of every packet
+  /// pre-scheduling its own far-future wire event (which peaked at
+  /// ~414k pending events on saturated meshes).  Overflow is a counted
+  /// drop ("nic_queue_full"), like a real driver ring.
+  std::size_t nic_queue_packets = 4096;
   /// Kernel IP forwarding cost (serial; models the forwarding hot path).
   sim::Duration forward_fixed_cost = 3 * sim::kMicrosecond;
   double forward_cost_per_byte_ns = 1.0;
@@ -73,6 +80,7 @@ struct HostStats {
   std::uint64_t dropped_no_route = 0;
   std::uint64_t dropped_ttl = 0;
   std::uint64_t dropped_no_listener = 0;
+  std::uint64_t dropped_nic_queue = 0;
 };
 
 class HostStack;
@@ -273,6 +281,18 @@ class HostStack {
     return slice_traffic_[slice_id];
   }
 
+  /// This stack's interned node tag (kNoNode when the queue has no obs
+  /// attribution) — protocol timers owned by the stack attribute their
+  /// events here so the sharded engine lanes them correctly.
+  sim::NodeTag nodeTag() const { return node_tag_; }
+
+  /// Packets currently queued in every per-link NIC transmit ring.
+  std::size_t nicQueuedPackets() const {
+    std::size_t n = 0;
+    for (const auto& [id, nic] : nic_state_) n += nic.queue.size();
+    return n;
+  }
+
   /// Kernel CPU consumed by forwarding since last reset (Table 2 CPU%).
   sim::Duration kernelCpuConsumed() const { return kernel_cpu_; }
   void resetKernelAccounting();
@@ -295,6 +315,13 @@ class HostStack {
   void forwardPacket(std::shared_ptr<packet::Packet> p);
   void routeAndTransmit(packet::Packet p);
   sim::Duration sampleNicLatency(sim::Duration mean);
+  /// Fire the head-of-ring wire event for `link_id` and chain the next.
+  void nicComplete(int link_id);
+  /// The stack RNG: the shared network RNG, or (sharded queue) a
+  /// per-stack fork of it so lane-side draws cannot race or reorder.
+  sim::Random& rng() {
+    return lane_random_ ? *lane_random_ : net_.random();
+  }
 
   // Span plumbing for traced packets: NIC receive, kernel forwarding,
   // and NIC transmit become hop spans; every drop site closes the
@@ -328,8 +355,22 @@ class HostStack {
   std::uint16_t next_ephemeral_ = 32768;
   std::uint16_t next_icmp_ident_ = 0x4000;
   // Per-outgoing-link NIC state (one interface per link, full duplex).
-  std::unordered_map<int, sim::Time> nic_busy_until_;
-  std::unordered_map<int, sim::Time> last_tx_wire_;
+  // Timing (busy_until, last_wire) is decided at enqueue — identical to
+  // the old per-packet pre-scheduling — but only the ring head holds a
+  // pending wire event; completion chains the next, so pending-event
+  // storage is O(active links), not O(in-flight packets).
+  struct NicTx {
+    std::shared_ptr<packet::Packet> packet;
+    phys::PhysLink* link = nullptr;
+    std::uint32_t span = 0;
+    sim::Time wire_at = 0;
+  };
+  struct NicState {
+    std::deque<NicTx> queue;
+    sim::Time busy_until = 0;
+    sim::Time last_wire = 0;
+  };
+  std::unordered_map<int, NicState> nic_state_;
   sim::Time last_rx_delivery_ = 0;
   sim::Time kernel_busy_until_ = 0;
   sim::Duration kernel_cpu_ = 0;
@@ -343,6 +384,10 @@ class HostStack {
   /// Node attribution for every event this stack schedules (interned at
   /// construction; shard-readiness telemetry, passive).
   sim::NodeTag node_tag_ = sim::kNoNode;
+  /// Engaged only when the queue is sharded: a construction-time fork of
+  /// the network RNG, so this stack's latency/spike draws form their own
+  /// stream regardless of how lanes interleave (see rng()).
+  std::optional<sim::Random> lane_random_;
   // Observability handles, cached at construction (null when no obs
   // context is installed).
   std::int16_t trace_node_ = -1;
@@ -357,6 +402,7 @@ class HostStack {
   obs::Counter* m_dropped_ttl_ = nullptr;
   obs::Counter* m_dropped_no_listener_ = nullptr;
   obs::Counter* m_socket_buffer_drops_ = nullptr;
+  obs::Counter* m_nic_queue_drops_ = nullptr;
 };
 
 }  // namespace vini::tcpip

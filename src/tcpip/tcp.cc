@@ -41,13 +41,16 @@ TcpConnection::TcpConnection(HostStack& stack, TcpConfig config)
     : stack_(stack), config_(config) {
   rto_ = config_.initial_rto;
   cwnd_ = config_.initial_cwnd_segments * config_.mss;
-  rto_timer_ = std::make_unique<sim::OneShotTimer>(stack_.queue(),
-                                                   [this] { onRtoExpired(); });
-  delack_timer_ = std::make_unique<sim::OneShotTimer>(stack_.queue(), [this] {
-    if (unacked_segments_ > 0) sendAck();
-  });
-  time_wait_timer_ =
-      std::make_unique<sim::OneShotTimer>(stack_.queue(), [this] { becomeClosed(); });
+  rto_timer_ = std::make_unique<sim::OneShotTimer>(
+      stack_.queue(), "tcpip.tcp", stack_.nodeTag(),
+      [this] { onRtoExpired(); });
+  delack_timer_ = std::make_unique<sim::OneShotTimer>(
+      stack_.queue(), "tcpip.tcp", stack_.nodeTag(), [this] {
+        if (unacked_segments_ > 0) sendAck();
+      });
+  time_wait_timer_ = std::make_unique<sim::OneShotTimer>(
+      stack_.queue(), "tcpip.tcp", stack_.nodeTag(),
+      [this] { becomeClosed(); });
 }
 
 TcpConnection::~TcpConnection() = default;

@@ -6,14 +6,26 @@
 namespace vini::topo {
 
 World::World(tcpip::HostConfig host_default, phys::NetworkConfig net_config,
-             sim::QueueImpl queue_impl)
-    : queue(queue_impl),
+             sim::QueueImpl queue_impl, int threads)
+    : queue(queue_impl, threads),
       net(queue, net_config),
       stacks(net, host_default),
       schedule(queue) {
   // Give the obs layer a read-only view of this world's clock so
   // drop-site root closes and timeline events can self-timestamp.
   if (obs::Obs* ctx = VINI_OBS_CTX()) ctx->clock = &queue;
+}
+
+void World::finalizeSharding() {
+  if (queue.shardThreads() == 0 || queue.sharded()) return;
+  // Conservative lookahead = the smallest cross-node propagation delay;
+  // finalizeSharding clamps a linkless topology's 0 to 1 ns.
+  queue.finalizeSharding(net.minPropagation());
+  if (obs::Obs* ctx = VINI_OBS_CTX()) {
+    if (!ctx->shardLanesEnabled()) {
+      ctx->enableShardLanes(queue.shardLaneCount());
+    }
+  }
 }
 
 tcpip::HostStack& World::stack(const std::string& node_name) {
@@ -100,8 +112,8 @@ std::unique_ptr<World> makeDeterWorld(const WorldOptions& options) {
   phys::NetworkConfig net_config;
   net_config.mask_failures = options.mask_underlay_failures;
   net_config.seed = options.seed;
-  auto world =
-      std::make_unique<World>(deterHost(), net_config, options.queue_impl);
+  auto world = std::make_unique<World>(deterHost(), net_config,
+                                       options.queue_impl, options.threads);
 
   DeterOptions deter;
   deter.seed = options.seed + 100;
@@ -115,6 +127,7 @@ std::unique_ptr<World> makeDeterWorld(const WorldOptions& options) {
   world->iias = std::make_unique<overlay::IiasNetwork>(
       std::move(embedding), world->stacks, iiasConfig(options));
   world->iias->start();
+  world->finalizeSharding();
   return world;
 }
 
@@ -122,8 +135,8 @@ std::unique_ptr<World> makeAbileneSubstrate(const WorldOptions& options) {
   phys::NetworkConfig net_config;
   net_config.mask_failures = options.mask_underlay_failures;
   net_config.seed = options.seed;
-  auto world =
-      std::make_unique<World>(planetLabHost(), net_config, options.queue_impl);
+  auto world = std::make_unique<World>(planetLabHost(), net_config,
+                                       options.queue_impl, options.threads);
 
   AbileneOptions abilene;
   abilene.seed = options.seed + 200;
@@ -133,6 +146,10 @@ std::unique_ptr<World> makeAbileneSubstrate(const WorldOptions& options) {
                 {"Denver", "KansasCity"}, abilene.backbone_bps, 5.0);
 
   world->vini = std::make_unique<core::Vini>(world->net, viniConfig(options));
+  // Safe before the overlay exists: lanes are keyed by *physical* node
+  // tags, and every physical name was interned when its links were
+  // built — stacking IIAS on the substrate only re-interns them.
+  world->finalizeSharding();
   return world;
 }
 
@@ -143,6 +160,7 @@ std::unique_ptr<World> makeAbileneWorld(const WorldOptions& options) {
   world->iias = std::make_unique<overlay::IiasNetwork>(
       std::move(embedding), world->stacks, iiasConfig(options));
   world->iias->start();
+  world->finalizeSharding();
   return world;
 }
 

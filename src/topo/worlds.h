@@ -55,12 +55,18 @@ struct WorldOptions {
   /// amortized under dense, roughly-uniform timestamps (see
   /// bench_engine).
   sim::QueueImpl queue_impl = sim::QueueImpl::kHeap;
+  /// Worker threads for the sharded engine.  0 = classic single-threaded
+  /// engine (byte-identical to the pre-sharding builds); N >= 1 runs the
+  /// parallel sharded schedule, whose exports are byte-identical for
+  /// every N (threads == 1 is the determinism gate's serial reference).
+  /// World factories call World::finalizeSharding() automatically.
+  int threads = 0;
 };
 
 class World {
  public:
   World(tcpip::HostConfig host_default, phys::NetworkConfig net_config,
-        sim::QueueImpl queue_impl = sim::QueueImpl::kHeap);
+        sim::QueueImpl queue_impl = sim::QueueImpl::kHeap, int threads = 0);
 
   sim::EventQueue queue;
   phys::PhysNetwork net;
@@ -82,6 +88,14 @@ class World {
   /// Run until the overlay is adjacency-complete and the route count is
   /// stable; returns false if `deadline` passes first.
   bool runUntilConverged(sim::Duration deadline = 120 * sim::kSecond);
+
+  /// Freeze the lane set and arm the sharded engine (no-op for
+  /// threads == 0, idempotent).  The factories below call this after the
+  /// world is fully built — every component has interned its node tag by
+  /// then — using the topology's minimum cross-node propagation delay as
+  /// the conservative lookahead window.  Call manually only for worlds
+  /// assembled by hand.
+  void finalizeSharding();
 };
 
 /// DETER chain: Src - Fwdr - Sink, IIAS on top (Figures 3 and 4).

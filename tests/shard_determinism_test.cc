@@ -1,0 +1,176 @@
+// World-level determinism of the sharded engine, enforced at the bytes.
+//
+// The parallel engine's contract is not "similar results with more
+// threads" but *byte-identical observability exports for every thread
+// count*: metrics CSV, packet-trace CSV, span CSV, timeline CSV,
+// sampled series CSV, and the Chrome trace JSON.  This is the test the
+// conservative-lookahead design is answerable to — if any lane ordering,
+// RNG stream, or fold leaks thread-count dependence, the byte compare
+// here fails long before a human could spot it in a plot.
+//
+// threads = 1 runs the sharded schedule serially and is the reference;
+// 2, 8, and hardware_concurrency must reproduce it exactly, on both
+// event-queue implementations.  (threads = 0, the classic engine, is a
+// *different* — but equally deterministic — canonical order; see
+// DESIGN.md section 16.)
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "app/ping.h"
+#include "obs/obs.h"
+#include "obs/timeline.h"
+#include "topo/worlds.h"
+
+namespace vini {
+namespace {
+
+using sim::kSecond;
+
+struct Exports {
+  std::string metrics;
+  std::string trace;
+  std::string spans;
+  std::string timeline;
+  std::string series;
+  std::string chrome;
+  std::uint64_t spans_closed = 0;
+};
+
+/// A condensed fig8: converge the Abilene mirror, ping across the
+/// overlay while a backbone virtual link fails and is restored, with
+/// every obs subsystem armed.  Returns all exports as strings.
+Exports runScenario(std::uint64_t seed, sim::QueueImpl impl, int threads) {
+  obs::ScopedObs scope;
+  topo::WorldOptions options;
+  options.seed = seed;
+  options.queue_impl = impl;
+  options.threads = threads;
+  options.contention = topo::kPlanetLabContention;
+  options.resources.cpu_reservation = 0.25;
+  options.resources.realtime = true;
+  auto world = topo::makeAbileneWorld(options);
+  EXPECT_TRUE(world->runUntilConverged(180 * kSecond));
+  const sim::Time t0 = world->queue.now();
+
+  scope.sampler().setPeriod(kSecond / 2);
+  scope.sampler().setOrigin(t0);
+  scope.sampler().watch("app.ping", "Washington", "last_rtt_ms",
+                        obs::MetricSampler::Mode::kOnChange);
+  scope.sampler().attach(world->queue);
+
+  app::Pinger::Options popt;
+  popt.count = 16;
+  popt.flood = false;
+  popt.interval = kSecond / 2;
+  popt.source = world->tapOf("Washington");
+  app::Pinger pinger(world->stack("Washington"), world->tapOf("Seattle"),
+                     popt);
+  world->schedule.at(t0 + 3 * kSecond, "fail", [&] {
+    world->iias->failLink("Denver", "KansasCity");
+  });
+  world->schedule.at(t0 + 6 * kSecond, "restore", [&] {
+    world->iias->restoreLink("Denver", "KansasCity");
+  });
+  pinger.start();
+  world->queue.runUntil(t0 + 9 * kSecond);
+  scope.sampler().detach();
+
+  // Replay the per-lane buffers into the shared tables; everything below
+  // reads the folded state.
+  scope.obs().foldShardLanes();
+
+  Exports out;
+  out.spans_closed = scope.spans().closed();
+  {
+    std::ostringstream os;
+    scope.metrics().writeCsv(os);
+    out.metrics = os.str();
+  }
+  {
+    std::ostringstream os;
+    scope.tracer().writeCsv(os);
+    out.trace = os.str();
+  }
+  {
+    std::ostringstream os;
+    scope.spans().writeCsv(os);
+    out.spans = os.str();
+  }
+  {
+    std::ostringstream os;
+    scope.timeline().writeCsv(os);
+    out.timeline = os.str();
+  }
+  {
+    std::ostringstream os;
+    scope.sampler().writeCsv(os);
+    out.series = os.str();
+  }
+  {
+    std::ostringstream os;
+    obs::writeChromeTrace(os, scope.spans(), scope.timeline(),
+                          scope.sampler());
+    out.chrome = os.str();
+  }
+  return out;
+}
+
+void expectIdentical(const Exports& a, const Exports& b, const char* what) {
+  EXPECT_EQ(a.metrics, b.metrics) << what << ": metrics CSV diverged";
+  EXPECT_EQ(a.trace, b.trace) << what << ": trace CSV diverged";
+  EXPECT_EQ(a.spans, b.spans) << what << ": span CSV diverged";
+  EXPECT_EQ(a.timeline, b.timeline) << what << ": timeline CSV diverged";
+  EXPECT_EQ(a.series, b.series) << what << ": series CSV diverged";
+  EXPECT_EQ(a.chrome, b.chrome) << what << ": Chrome JSON diverged";
+}
+
+TEST(ShardDeterminism, HeapExportsByteIdenticalAcrossThreadCounts) {
+  const Exports one = runScenario(901, sim::QueueImpl::kHeap, 1);
+  // The run must actually exercise the traced path, or the byte compare
+  // is vacuous.
+  ASSERT_GT(one.spans_closed, 0u);
+  ASSERT_FALSE(one.metrics.empty());
+  const Exports two = runScenario(901, sim::QueueImpl::kHeap, 2);
+  const Exports eight = runScenario(901, sim::QueueImpl::kHeap, 8);
+  expectIdentical(one, two, "heap 1 vs 2 threads");
+  expectIdentical(one, eight, "heap 1 vs 8 threads");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 1 && hw != 2 && hw != 8) {
+    const Exports native =
+        runScenario(901, sim::QueueImpl::kHeap, static_cast<int>(hw));
+    expectIdentical(one, native, "heap 1 vs hardware_concurrency threads");
+  }
+}
+
+TEST(ShardDeterminism, CalendarExportsByteIdenticalAcrossThreadCounts) {
+  const Exports one = runScenario(901, sim::QueueImpl::kCalendar, 1);
+  ASSERT_GT(one.spans_closed, 0u);
+  const Exports two = runScenario(901, sim::QueueImpl::kCalendar, 2);
+  const Exports eight = runScenario(901, sim::QueueImpl::kCalendar, 8);
+  expectIdentical(one, two, "calendar 1 vs 2 threads");
+  expectIdentical(one, eight, "calendar 1 vs 8 threads");
+}
+
+TEST(ShardDeterminism, HeapAndCalendarAgreeWhenSharded) {
+  // Queue internals must not leak into the sharded schedule either: the
+  // same seed and thread count produce the same bytes on both priority
+  // structures.
+  const Exports heap = runScenario(901, sim::QueueImpl::kHeap, 2);
+  const Exports cal = runScenario(901, sim::QueueImpl::kCalendar, 2);
+  expectIdentical(heap, cal, "heap vs calendar at 2 threads");
+}
+
+TEST(ShardDeterminism, DifferentSeedsStillDiffer) {
+  // Guard against the degenerate pass where exports are identical
+  // because nothing seed-dependent was captured.
+  const Exports a = runScenario(901, sim::QueueImpl::kHeap, 2);
+  const Exports b = runScenario(902, sim::QueueImpl::kHeap, 2);
+  EXPECT_NE(a.chrome, b.chrome);
+}
+
+}  // namespace
+}  // namespace vini

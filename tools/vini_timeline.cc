@@ -6,6 +6,7 @@
 // the metric sampler armed, then exports what they captured:
 //
 //   vini_timeline export    [--seed N] [--out BASE] [--queue heap|calendar]
+//                           [--threads N]
 //       BASE.json        Chrome trace-event JSON (Perfetto-loadable)
 //       BASE.spans.csv   completed spans in close order
 //       BASE.timeline.csv control-plane instants/durations
@@ -20,7 +21,10 @@
 // The scenario is deterministic: the same --seed produces byte-identical
 // exports, which the CI timeline stage enforces with a double-run diff —
 // and across both event-queue implementations (--queue), which the
-// engine-bench stage enforces with a heap-vs-calendar diff.
+// engine-bench stage enforces with a heap-vs-calendar diff.  With
+// --threads N >= 1 the run uses the sharded engine, whose exports are
+// byte-identical across every N (the CI shard-determinism stage diffs
+// 1 vs multi-thread exports); --threads 0 is the classic serial engine.
 // VINI_SMOKE=1 shrinks the run for fast gating.
 #include <cctype>
 #include <cstdint>
@@ -48,7 +52,7 @@ using namespace vini;
 
 int usage() {
   std::cerr << "usage: vini_timeline export    [--seed N] [--out BASE]"
-               " [--queue heap|calendar]\n"
+               " [--queue heap|calendar] [--threads N]\n"
                "       vini_timeline decompose [--seed N] [--trace N]\n"
                "       vini_timeline validate <file.json>\n"
                "       vini_timeline --self-test\n";
@@ -66,7 +70,8 @@ struct ScenarioResult {
 /// Denver-KansasCity virtual link mid-run, restore it, keep pinging.
 /// Everything the obs layer captures flows from this one run.
 ScenarioResult runScenario(std::uint64_t seed, obs::ScopedObs& scope,
-                           sim::QueueImpl queue_impl = sim::QueueImpl::kHeap) {
+                           sim::QueueImpl queue_impl = sim::QueueImpl::kHeap,
+                           int threads = 0) {
   const bool smoke = std::getenv("VINI_SMOKE") != nullptr;
   topo::WorldOptions options;
   options.resources.cpu_reservation = 0.25;
@@ -74,6 +79,7 @@ ScenarioResult runScenario(std::uint64_t seed, obs::ScopedObs& scope,
   options.contention = topo::kPlanetLabContention;
   options.seed = seed;
   options.queue_impl = queue_impl;
+  options.threads = threads;
   ScenarioResult result;
   result.world = topo::makeAbileneWorld(options);
   topo::World& world = *result.world;
@@ -116,9 +122,12 @@ ScenarioResult runScenario(std::uint64_t seed, obs::ScopedObs& scope,
 }
 
 int cmdExport(std::uint64_t seed, const std::string& base,
-              sim::QueueImpl queue_impl) {
+              sim::QueueImpl queue_impl, int threads) {
   obs::ScopedObs scope;
-  ScenarioResult result = runScenario(seed, scope, queue_impl);
+  ScenarioResult result = runScenario(seed, scope, queue_impl, threads);
+  // Sharded runs buffer ordered-stream records per worker lane; fold
+  // them back (deterministic merge) before anything reads or exports.
+  scope.obs().foldShardLanes();
   {
     std::ofstream out(base + ".json");
     obs::writeChromeTrace(out, scope.spans(), scope.timeline(),
@@ -153,6 +162,7 @@ int cmdExport(std::uint64_t seed, const std::string& base,
 int cmdDecompose(std::uint64_t seed, std::uint64_t trace_id) {
   obs::ScopedObs scope;
   ScenarioResult result = runScenario(seed, scope);
+  scope.obs().foldShardLanes();
   const obs::SpanTracker& spans = scope.spans();
 
   if (trace_id == 0) {
@@ -583,6 +593,7 @@ int main(int argc, char** argv) {
   std::string base = "vini_timeline";
   std::string path;
   sim::QueueImpl queue_impl = sim::QueueImpl::kHeap;
+  int threads = 0;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto value = [&](const char* name) -> std::string {
@@ -598,6 +609,13 @@ int main(int argc, char** argv) {
       base = value("--out");
     } else if (arg == "--trace") {
       trace = std::strtoull(value("--trace").c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = static_cast<int>(
+          std::strtol(value("--threads").c_str(), nullptr, 10));
+      if (threads < 0) {
+        std::cerr << "vini_timeline: --threads must be >= 0\n";
+        return 2;
+      }
     } else if (arg == "--queue") {
       const std::string which = value("--queue");
       if (which == "heap") {
@@ -616,7 +634,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (cmd == "export") return cmdExport(seed, base, queue_impl);
+    if (cmd == "export") return cmdExport(seed, base, queue_impl, threads);
     if (cmd == "decompose") return cmdDecompose(seed, trace);
     if (cmd == "validate") {
       if (path.empty()) return usage();
